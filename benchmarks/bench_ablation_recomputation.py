@@ -1,0 +1,62 @@
+"""Ablation bench: the second-level index's lazy recomputation.
+
+DESIGN.md design decision 2: affected-node weights are recomputed by
+repairing the stored bounded tree instead of rerunning a bounded
+Dijkstra from scratch.  This bench isolates exactly that difference —
+DISO vs the DISO- ablation on the *same* transit set under a heavy
+random failure rate — the mechanism behind Figure 6(b).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.oracle.diso import DISO
+from repro.oracle.diso_minus import DISOMinus
+from repro.workload.queries import generate_queries
+
+from bench_util import SEED, dataset, run_query_batch
+
+
+@lru_cache(maxsize=None)
+def shared_setup():
+    graph = dataset("NY")
+    diso = DISO(graph, tau=4, theta=1.0)
+    minus = DISOMinus(graph, transit=diso.transit)
+    batch = tuple(
+        generate_queries(graph, 12, f_gen=5, p=0.01, seed=SEED)
+    )
+    return graph, diso, minus, batch
+
+
+def test_lazy_tree_repair(benchmark):
+    _, diso, _, batch = shared_setup()
+    checksum = benchmark(run_query_batch, diso, batch)
+    assert checksum > 0
+
+
+def test_from_scratch_recomputation(benchmark):
+    _, _, minus, batch = shared_setup()
+    checksum = benchmark(run_query_batch, minus, batch)
+    assert checksum > 0
+
+
+def test_ablation_shape(benchmark):
+    """Under heavy p, tree repair beats from-scratch recomputation."""
+    graph, diso, minus, batch = shared_setup()
+    import time
+
+    def compare():
+        start = time.perf_counter()
+        a = run_query_batch(diso, batch)
+        diso_time = time.perf_counter() - start
+        start = time.perf_counter()
+        b = run_query_batch(minus, batch)
+        minus_time = time.perf_counter() - start
+        return a, b, diso_time, minus_time
+
+    a, b, diso_time, minus_time = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    assert a == b  # both exact on the same transit set
+    assert diso_time < minus_time

@@ -1,0 +1,63 @@
+"""Ablation bench: sparsity control in transit-set selection.
+
+DESIGN.md design decision 1/3: the whole point of ISC's sigma/theta
+machinery is a sparser distance graph; and on dense scale-free graphs
+the explicit sparsification (DISO-S) buys query time back.  Both claims
+are isolated here.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.cover.hpc import hpc_path_cover
+from repro.cover.isc import isc_path_cover
+from repro.oracle.diso import DISO
+from repro.oracle.diso_s import DISOSparse
+from repro.overlay.distance_graph import build_distance_graph
+
+from bench_util import SEED, dataset, queries, run_query_batch
+
+
+@lru_cache(maxsize=None)
+def overlays():
+    graph = dataset("NY")
+    isc = isc_path_cover(graph, tau=4, theta=1.0).cover
+    hpc = hpc_path_cover(graph, tau=4).cover
+    isc_overlay, _ = build_distance_graph(graph, isc)
+    hpc_overlay, _ = build_distance_graph(graph, hpc)
+    return isc_overlay, hpc_overlay
+
+
+def test_isc_overlay_construction(benchmark):
+    graph = dataset("NY")
+    cover = isc_path_cover(graph, tau=4, theta=1.0).cover
+    overlay, trees = benchmark.pedantic(
+        lambda: build_distance_graph(graph, cover), rounds=1, iterations=1
+    )
+    assert overlay.num_edges > 0
+    assert trees
+
+
+def test_isc_sparser_than_hpc(benchmark):
+    isc_overlay, hpc_overlay = benchmark.pedantic(
+        overlays, rounds=1, iterations=1
+    )
+    assert isc_overlay.num_edges <= hpc_overlay.num_edges
+
+
+def test_diso_s_vs_diso_on_dense_graph(benchmark):
+    """Sparsification pays on the dense POKE-like graph."""
+    graph = dataset("POKE")
+    oracle = DISOSparse(graph, beta=2.0, tau=3, theta=16.0)
+    batch = queries("POKE", count=8)
+    checksum = benchmark(run_query_batch, oracle, batch)
+    assert checksum >= 0
+
+
+def test_diso_plain_on_dense_graph(benchmark):
+    graph = dataset("POKE")
+    oracle = DISO(graph, tau=3, theta=16.0)
+    batch = queries("POKE", count=8)
+    checksum = benchmark(run_query_batch, oracle, batch)
+    assert checksum >= 0

@@ -1,0 +1,34 @@
+"""Bench: accuracy of the approximate methods (Section 7.1).
+
+Measures the mean relative error of DISO-S, ADISO-P, and FDDO against
+exact Dijkstra ground truth and persists ``results/accuracy.txt``.
+At synthetic scale the absolute errors are larger than the paper's
+(0.6% / 2.9% / 1.6% on million-node graphs) — see EXPERIMENTS.md —
+but the invariants (no underestimates; bounded error) are asserted.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.accuracy import format_accuracy, run_accuracy
+
+from bench_util import SCALE, SEED, write_result
+
+
+def test_accuracy_all_methods(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_accuracy(
+            road_dataset="NY",
+            social_dataset="DBLP",
+            scale=SCALE,
+            query_count=15,
+            seed=SEED,
+            fddo_landmarks=20,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("accuracy", format_accuracy(rows))
+    for row in rows:
+        assert row["error_pct"] >= 0.0
+        # Bounded error: nothing drifts to pathological estimates.
+        assert row["error_pct"] < 60.0

@@ -1,0 +1,85 @@
+"""Bench: shared failure-state batches (Examples 2-3 serving pattern).
+
+Many queries against one system-wide failure state: FailureStateView
+hoists the affected-set computation and memoizes per-affected-node
+recomputation across the batch.  Compared against issuing the same
+queries individually through plain DISO.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+
+from repro.oracle.batch import FailureStateView
+from repro.oracle.diso import DISO
+
+from bench_util import SEED, dataset, write_result
+
+
+@lru_cache(maxsize=None)
+def setup():
+    graph = dataset("NY")
+    oracle = DISO(graph, tau=4, theta=1.0)
+    rng = random.Random(SEED)
+    edges = sorted(graph.edge_set())
+    failed = frozenset(rng.sample(edges, 20))
+    nodes = sorted(graph.nodes())
+    pairs = tuple(
+        tuple(rng.sample(nodes, 2)) for _ in range(30)
+    )
+    return graph, oracle, failed, pairs
+
+
+def test_individual_queries(benchmark):
+    _, oracle, failed, pairs = setup()
+
+    def run():
+        return sum(
+            d for s, t in pairs
+            if (d := oracle.query(s, t, failed)) != float("inf")
+        )
+
+    checksum = benchmark(run)
+    assert checksum > 0
+
+
+def test_failure_state_view(benchmark):
+    _, oracle, failed, pairs = setup()
+
+    def run():
+        view = FailureStateView(oracle, failed)
+        return sum(
+            d for d in view.query_many(list(pairs))
+            if d != float("inf")
+        )
+
+    checksum = benchmark(run)
+    assert checksum > 0
+
+
+def test_view_matches_individual(benchmark):
+    _, oracle, failed, pairs = setup()
+
+    def compare():
+        view = FailureStateView(oracle, failed)
+        mismatches = 0
+        for s, t in pairs:
+            if abs(view.query(s, t) - oracle.query(s, t, failed)) > 1e-9:
+                mismatches += 1
+        return mismatches, view.memoized_nodes, len(view.affected)
+
+    mismatches, memoized, affected = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    write_result(
+        "batch_view",
+        (
+            "FailureStateView vs per-query DISO (30 queries, 20 failures)\n"
+            f"mismatches: {mismatches}\n"
+            f"affected transit nodes: {affected}\n"
+            f"recomputed once across the whole batch: {memoized}"
+        ),
+    )
+    assert mismatches == 0
+    assert memoized <= affected

@@ -1,0 +1,76 @@
+"""Bench: endpoint caching on repeated-endpoint workloads (Example 1).
+
+The paper's Example 1 workload — one commuter, many closure variants —
+re-uses the same endpoints across queries.  CachingDISO serves the
+access-node searches from cache whenever the failures stay outside the
+endpoints' bounded regions; this bench quantifies the win over plain
+DISO on exactly that workload.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+
+from repro.oracle.caching import CachingDISO
+from repro.oracle.diso import DISO
+
+from bench_util import SEED, dataset
+
+
+@lru_cache(maxsize=None)
+def commuter_workload():
+    """One (s, t) pair, 30 closure variants away from the endpoints."""
+    graph = dataset("NY")
+    nodes = sorted(graph.nodes())
+    source, target = nodes[0], nodes[-1]
+    rng = random.Random(SEED)
+    edges = sorted(graph.edge_set())
+    # Closures sampled from the middle of the edge list: statistically
+    # far from the two corner endpoints of the road grid.
+    middle = edges[len(edges) // 3: 2 * len(edges) // 3]
+    variants = [frozenset(rng.sample(middle, 4)) for _ in range(30)]
+    return graph, source, target, variants
+
+
+def _run(oracle, source, target, variants) -> float:
+    total = 0.0
+    for failed in variants:
+        distance = oracle.query(source, target, failed)
+        if distance != float("inf"):
+            total += distance
+    return total
+
+
+def test_plain_diso_repeated_endpoints(benchmark):
+    graph, source, target, variants = commuter_workload()
+    oracle = DISO(graph, tau=4, theta=1.0)
+    checksum = benchmark(_run, oracle, source, target, variants)
+    assert checksum > 0
+
+
+def test_caching_diso_repeated_endpoints(benchmark):
+    graph, source, target, variants = commuter_workload()
+    oracle = CachingDISO(graph, tau=4, theta=1.0)
+    oracle.query(source, target)  # warm
+    checksum = benchmark(_run, oracle, source, target, variants)
+    assert checksum > 0
+    assert oracle.cache_hits > 0
+
+
+def test_answers_identical(benchmark):
+    graph, source, target, variants = commuter_workload()
+    plain = DISO(graph, tau=4, theta=1.0)
+    cached = CachingDISO(graph, transit=plain.transit)
+
+    def compare():
+        mismatches = 0
+        for failed in variants:
+            a = plain.query(source, target, failed)
+            b = cached.query(source, target, failed)
+            if abs(a - b) > 1e-9:
+                mismatches += 1
+        return mismatches
+
+    mismatches = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert mismatches == 0

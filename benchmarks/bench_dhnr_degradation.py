@@ -1,0 +1,94 @@
+"""Bench: DHNR's degradation under failures (paper §2's prediction).
+
+The paper argues that avoidance-style dynamic highway-node routing
+"would mostly use edges in G ... act like the Dijkstra's algorithm"
+once many highway edges are affected, which is why DISO repairs weights
+instead.  This bench sweeps the random failure rate and compares DHNR's
+graph-level search effort against DISO's on the same transit set.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.baselines.dhnr import DHNROracle
+from repro.baselines.dijkstra_oracle import DijkstraOracle
+from repro.oracle.diso import DISO
+from repro.workload.queries import generate_queries
+
+from bench_util import SEED, dataset, run_query_batch, write_result
+
+
+@lru_cache(maxsize=None)
+def setup():
+    graph = dataset("NY")
+    diso = DISO(graph, tau=4, theta=1.0)
+    dhnr = DHNROracle(graph, transit=diso.transit)
+    dijkstra = DijkstraOracle(graph)
+    batches = {
+        p: tuple(generate_queries(graph, 10, f_gen=5, p=p, seed=SEED))
+        for p in (0.0005, 0.01, 0.04)
+    }
+    return graph, diso, dhnr, dijkstra, batches
+
+
+def test_dhnr_light_failures(benchmark):
+    _, _, dhnr, _, batches = setup()
+    checksum = benchmark(run_query_batch, dhnr, batches[0.0005])
+    assert checksum > 0
+
+
+def test_dhnr_heavy_failures(benchmark):
+    _, _, dhnr, _, batches = setup()
+    checksum = benchmark(run_query_batch, dhnr, batches[0.04])
+    assert checksum > 0
+
+
+def test_diso_heavy_failures(benchmark):
+    _, diso, _, _, batches = setup()
+    checksum = benchmark(run_query_batch, diso, batches[0.04])
+    assert checksum > 0
+
+
+def test_degradation_shape(benchmark):
+    """DHNR's graph expansion approaches Dijkstra's as p grows."""
+    graph, diso, dhnr, dijkstra, batches = setup()
+
+    def measure():
+        rows = []
+        for p, batch in sorted(batches.items()):
+            dhnr_settled = 0
+            diso_settled = 0
+            dij_settled = 0
+            for q in batch:
+                dhnr_settled += dhnr.query_detailed(
+                    q.source, q.target, q.failed
+                ).stats.graph_settled
+                diso_settled += diso.query_detailed(
+                    q.source, q.target, q.failed
+                ).stats.graph_settled
+                dij_settled += dijkstra.query_detailed(
+                    q.source, q.target, q.failed
+                ).stats.graph_settled
+            count = len(batch)
+            rows.append(
+                (p, dhnr_settled / count, diso_settled / count,
+                 dij_settled / count)
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = ["DHNR degradation: avg graph-settled nodes per query",
+             "p        | DHNR    | DISO    | DI"]
+    for p, dhnr_avg, diso_avg, dij_avg in rows:
+        lines.append(
+            f"{p:<8g} | {dhnr_avg:7.1f} | {diso_avg:7.1f} | {dij_avg:7.1f}"
+        )
+    write_result("dhnr_degradation", "\n".join(lines))
+    # The prediction: DHNR's graph search effort grows with p and
+    # overtakes DISO's, which stays bounded by the access searches.
+    first_p_dhnr = rows[0][1]
+    last_p_dhnr = rows[-1][1]
+    last_p_diso = rows[-1][2]
+    assert last_p_dhnr > first_p_dhnr
+    assert last_p_dhnr > last_p_diso

@@ -1,0 +1,34 @@
+"""Bench: Figure 4 — cover methods across tau on the USA-like road graph.
+
+Sweeps the path-cover parameter and records query/preprocessing series
+per method, persisted to ``results/figure4.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure4 import format_figure4, run_figure4
+
+from bench_util import SEED, write_result
+
+
+def test_figure4_sweep(benchmark):
+    data = benchmark.pedantic(
+        lambda: run_figure4(
+            dataset="USA",
+            scale=0.3,
+            taus=(2, 3, 4, 5),
+            query_count=10,
+            seed=SEED,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("figure4", format_figure4(data))
+    # ISC overlays never denser than HPC's anywhere on the sweep would
+    # be too strong; the paper's stable claim is on the best tau.
+    best_isc = min(data["query_ms"]["ISC"])
+    best_hpc = min(data["query_ms"]["HPC"])
+    assert best_isc <= best_hpc * 1.5
+    # Preprocessing grows with tau for both methods (more rounds).
+    prep = data["preprocess_seconds"]["ISC"]
+    assert prep[-1] >= prep[0] * 0.5

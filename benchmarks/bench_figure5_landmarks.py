@@ -1,0 +1,76 @@
+"""Bench: Figure 5 — landmark selection methods across N_L.
+
+Sweeps the landmark count for SLS / RAND / max-cover / best-cover on a
+road graph, recording ADISO query time and selection preprocessing
+time; persisted to ``results/figure5.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure5 import format_figure5, run_figure5
+from repro.landmarks.selection import (
+    best_cover_landmarks,
+    max_cover_landmarks,
+    random_landmarks,
+    sls_landmarks,
+)
+
+from bench_util import SEED, dataset, write_result
+
+
+def test_sls_selection(benchmark):
+    graph = dataset("NY")
+    landmarks = benchmark.pedantic(
+        lambda: sls_landmarks(graph, 10, seed=SEED, alpha=0.1),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(landmarks) == 10
+
+
+def test_max_cover_selection(benchmark):
+    graph = dataset("NY")
+    landmarks = benchmark.pedantic(
+        lambda: max_cover_landmarks(graph, 10, seed=SEED, alpha=0.1),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(landmarks) == 10
+
+
+def test_best_cover_selection(benchmark):
+    graph = dataset("NY")
+    landmarks = benchmark.pedantic(
+        lambda: best_cover_landmarks(graph, 10, seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(landmarks) == 10
+
+
+def test_random_selection(benchmark):
+    graph = dataset("NY")
+    landmarks = benchmark(random_landmarks, graph, 10, SEED)
+    assert len(landmarks) == 10
+
+
+def test_figure5_sweep(benchmark):
+    data = benchmark.pedantic(
+        lambda: run_figure5(
+            dataset="USA",
+            scale=0.25,
+            landmark_counts=(5, 10, 15),
+            query_count=8,
+            seed=SEED,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("figure5", format_figure5(data))
+    # Paper's shape: SLS selection is much cheaper than max-cover's
+    # local search at every landmark count.
+    for sls, mc in zip(
+        data["selection_seconds"]["SLS"],
+        data["selection_seconds"]["max-cover"],
+    ):
+        assert sls <= mc * 2.0

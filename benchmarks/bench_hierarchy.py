@@ -1,0 +1,93 @@
+"""Bench: the multi-level hierarchy on a larger road graph.
+
+The hierarchy pays off when the base distance graph itself is big
+enough that skipping across it matters; this bench uses the largest
+road stand-in (USA-like at full registry scale) and compares DISO vs
+DISO-H query times and overlay search effort.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.landmarks.base import LandmarkTable
+from repro.landmarks.selection import sls_landmarks
+from repro.oracle.diso import DISO
+from repro.oracle.hierarchy import HierarchicalDISO
+from repro.workload.datasets import load_dataset
+from repro.workload.queries import generate_queries
+
+from bench_util import SEED, run_query_batch, write_result
+
+
+@lru_cache(maxsize=None)
+def setup():
+    graph = load_dataset("USA", scale=1.0, seed=SEED)
+    base = DISO(graph, tau=4, theta=1.0)
+    landmarks = LandmarkTable(
+        graph, sls_landmarks(graph, 8, seed=SEED, alpha=0.1)
+    )
+    hierarchy = HierarchicalDISO(
+        graph,
+        transit=base.transit,
+        extra_level_taus=(3, 2),
+        landmark_table=landmarks,
+    )
+    batch = tuple(
+        generate_queries(graph, 12, f_gen=5, p=0.0005, seed=SEED)
+    )
+    return graph, base, hierarchy, batch
+
+
+def test_flat_diso(benchmark):
+    _, base, _, batch = setup()
+    checksum = benchmark(run_query_batch, base, batch)
+    assert checksum > 0
+
+
+def test_hierarchical_diso(benchmark):
+    _, _, hierarchy, batch = setup()
+    checksum = benchmark(run_query_batch, hierarchy, batch)
+    assert checksum > 0
+
+
+def test_hierarchy_report(benchmark):
+    graph, base, hierarchy, batch = setup()
+
+    def measure():
+        flat_settled = 0
+        hier_settled = 0
+        mismatches = 0
+        for q in batch:
+            flat = base.query_detailed(q.source, q.target, q.failed)
+            hier = hierarchy.query_detailed(q.source, q.target, q.failed)
+            flat_settled += flat.stats.overlay_settled
+            hier_settled += hier.stats.overlay_settled
+            if abs(flat.distance - hier.distance) > 1e-9:
+                mismatches += 1
+        return flat_settled, hier_settled, mismatches
+
+    flat_settled, hier_settled, mismatches = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    sizes = " -> ".join(
+        str(n)
+        for n in (
+            [hierarchy.distance_graph.num_nodes]
+            + [lvl.overlay.num_nodes for lvl in hierarchy.levels]
+        )
+    )
+    write_result(
+        "hierarchy",
+        (
+            f"Multi-level hierarchy on USA-like "
+            f"({graph.number_of_nodes()} nodes)\n"
+            f"level sizes: {sizes}\n"
+            f"overlay nodes settled per batch: flat {flat_settled}, "
+            f"hierarchical {hier_settled}\n"
+            f"answer mismatches: {mismatches}"
+        ),
+    )
+    assert mismatches == 0
+    # The shortcuts reduce overlay search effort.
+    assert hier_settled <= flat_settled

@@ -1,0 +1,37 @@
+"""Bench: maintenance strategies (paper supplemental).
+
+Measures permanent-update costs and verifies the supplemental claim
+that maintenance preserves query efficiency (maintained index answers
+exactly, at a query time comparable to a fresh rebuild).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.maintenance_exp import (
+    format_maintenance_experiment,
+    run_maintenance_experiment,
+)
+
+from bench_util import SCALE, SEED, write_result
+
+
+def test_maintenance_experiment(benchmark):
+    data = benchmark.pedantic(
+        lambda: run_maintenance_experiment(
+            dataset="NY",
+            scale=SCALE,
+            operations_per_kind=8,
+            query_count=10,
+            seed=SEED,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("maintenance", format_maintenance_experiment(data))
+    # Exactness preserved: the maintained index matches ground truth.
+    assert data["maintained_error_pct"] < 1e-6
+    # "Without losing query efficiency": maintained index within 2x of
+    # a from-scratch rebuild on the same workload.
+    assert data["maintained_query_ms"] <= 2.0 * data["fresh_query_ms"] + 0.5
+    # Each update rebuilt only a few of the trees.
+    assert data["rebuilt_trees"] > 0

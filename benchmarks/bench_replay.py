@@ -1,0 +1,37 @@
+"""Bench: live-scenario replay — the paper's motivation, quantified.
+
+Replays a Poisson failure/recovery timeline through a distance
+sensitivity oracle (no updates ever) and through a fully dynamic oracle
+(update per event), accounting for all work each does.  The motivating
+claim — stalling updates dominate the dynamic oracle's cost even when
+most failures are irrelevant to any query — is asserted.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.replay import format_replay, run_replay
+
+from bench_util import SCALE, SEED, write_result
+
+
+def test_replay_scenario(benchmark):
+    data = benchmark.pedantic(
+        lambda: run_replay(
+            dataset="NY",
+            scale=SCALE,
+            duration=60.0,
+            failures_per_unit=0.5,
+            mean_downtime=8.0,
+            query_count=25,
+            seed=SEED,
+            fddo_landmarks=12,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("replay", format_replay(data))
+    # The dynamic oracle's update work alone dwarfs the DSO's entire
+    # query-time budget for the same scenario.
+    assert data["fdd_update_seconds"] > data["dso_total_seconds"]
+    # And the DSO never performed an index update at all (by design).
+    assert data["dso_query_seconds"] == data["dso_total_seconds"]

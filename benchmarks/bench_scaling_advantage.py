@@ -1,0 +1,63 @@
+"""Bench: DISO's advantage over DI grows with graph scale.
+
+The paper reports DISO ≈ 9× faster than Dijkstra on road networks with
+10⁶–10⁷ nodes; at this library's scales the gap is smaller but must
+*grow* with n — DISO's query cost is dominated by the (locally bounded)
+access searches plus an overlay search over |T| ≪ n nodes, while DI
+scans O(n).  This bench sweeps three sizes of the road stand-in and
+asserts the monotone trend, the strongest offline evidence that the
+reproduction extrapolates to the paper's regime.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.dijkstra_oracle import DijkstraOracle
+from repro.oracle.diso import DISO
+from repro.workload.datasets import load_dataset
+from repro.workload.queries import generate_queries
+
+from bench_util import SEED, write_result
+
+
+def _mean_query_ms(oracle, queries) -> float:
+    started = time.perf_counter()
+    for q in queries:
+        oracle.query(q.source, q.target, q.failed)
+    return (time.perf_counter() - started) / len(queries) * 1000.0
+
+
+def test_advantage_grows_with_scale(benchmark):
+    def measure():
+        rows = []
+        for scale, tau in ((0.3, 3), (1.0, 4), (2.5, 5)):
+            graph = load_dataset("USA", scale=scale, seed=SEED)
+            queries = generate_queries(
+                graph, 10, f_gen=5, p=0.0005, seed=SEED
+            )
+            diso = DISO(graph, tau=tau, theta=1.0)
+            di = DijkstraOracle(graph)
+            _mean_query_ms(diso, queries)  # warm
+            _mean_query_ms(di, queries)
+            diso_ms = _mean_query_ms(diso, queries)
+            di_ms = _mean_query_ms(di, queries)
+            rows.append(
+                (graph.number_of_nodes(), diso_ms, di_ms, di_ms / diso_ms)
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        "DISO vs DI across road-graph scales (paper: ~9x at 24M nodes)",
+        "nodes | DISO ms | DI ms  | DI/DISO",
+    ]
+    for nodes, diso_ms, di_ms, ratio in rows:
+        lines.append(
+            f"{nodes:5d} | {diso_ms:7.3f} | {di_ms:6.3f} | {ratio:6.2f}x"
+        )
+    write_result("scaling_advantage", "\n".join(lines))
+    # DISO wins at every size, and the advantage grows from the smallest
+    # to the largest size (allowing mid-point wobble from timing noise).
+    assert all(ratio > 1.0 for _, _, _, ratio in rows)
+    assert rows[-1][3] > rows[0][3]

@@ -1,0 +1,90 @@
+"""Bench: substrate micro-benchmarks.
+
+Times the building blocks every oracle is made of — Dijkstra variants,
+bounded searches, tree repair — so regressions in the substrate layer
+are visible independently of end-to-end query times.
+"""
+
+from __future__ import annotations
+
+from repro.pathing.bounded import bounded_dijkstra
+from repro.pathing.dijkstra import (
+    bidirectional_dijkstra,
+    dijkstra,
+    shortest_path_tree,
+)
+from repro.pathing.dynamic_spt import recompute_distances
+from repro.pathing.astar import astar_distance
+from repro.landmarks.base import LandmarkTable
+from repro.cover.isc import isc_path_cover
+
+from bench_util import dataset
+
+
+def test_full_dijkstra(benchmark):
+    graph = dataset("NY")
+    dist, _ = benchmark(dijkstra, graph, 0)
+    assert dist
+
+
+def test_point_to_point_dijkstra(benchmark):
+    graph = dataset("NY")
+    n = graph.number_of_nodes()
+    dist, _ = benchmark(dijkstra, graph, 0, None, n - 1)
+    assert dist
+
+
+def test_bidirectional_dijkstra(benchmark):
+    graph = dataset("NY")
+    n = graph.number_of_nodes()
+    distance = benchmark(bidirectional_dijkstra, graph, 0, n - 1)
+    assert distance < float("inf")
+
+
+def test_alt_astar(benchmark):
+    graph = dataset("NY")
+    n = graph.number_of_nodes()
+    table = LandmarkTable(graph, [0, n // 2, n - 1])
+    heuristic = table.heuristic_to(n - 1)
+    distance = benchmark(astar_distance, graph, 0, n - 1, heuristic)
+    assert distance < float("inf")
+
+
+def test_bounded_dijkstra(benchmark):
+    graph = dataset("NY")
+    cover = isc_path_cover(graph, tau=4, theta=1.0).cover
+    result = benchmark(bounded_dijkstra, graph, 0, cover)
+    assert result.settled_count > 0
+
+
+def test_spt_repair(benchmark):
+    graph = dataset("NY")
+    tree = shortest_path_tree(graph, 0)
+    failed = set(list(graph.edge_set())[:10])
+
+    def repair():
+        return recompute_distances(graph, tree, failed)
+
+    result = benchmark(repair)
+    assert result
+
+
+def test_csr_dijkstra(benchmark):
+    from repro.graph.csr import FrozenGraph, csr_distance
+
+    graph = dataset("NY")
+    frozen = FrozenGraph.from_digraph(graph)
+    n = graph.number_of_nodes()
+    distance = benchmark(csr_distance, frozen, 0, n - 1)
+    assert distance < float("inf")
+
+
+def test_landmark_table_build(benchmark):
+    graph = dataset("NY")
+    n = graph.number_of_nodes()
+    table = benchmark.pedantic(
+        lambda: LandmarkTable(graph, [0, n // 3, 2 * n // 3]),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(table) == 3

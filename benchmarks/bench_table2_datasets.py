@@ -1,0 +1,30 @@
+"""Bench: Table 2 — dataset generation and statistics.
+
+Measures synthetic dataset construction and records the Table 2
+statistics rows (|V|, |E|, degree bands) used by every other bench.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table2 import format_table2, run_table2
+from repro.graph.generators import road_network, scale_free_network
+
+from bench_util import SCALE, SEED, write_result
+
+
+def test_generate_road_network(benchmark):
+    graph = benchmark(road_network, 30, 22, SEED)
+    assert graph.number_of_nodes() == 30 * 22
+
+
+def test_generate_scale_free_network(benchmark):
+    graph = benchmark(scale_free_network, 700, 3, SEED)
+    assert graph.number_of_nodes() == 700
+
+
+def test_table2_rows(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_table2(scale=SCALE, seed=SEED), rounds=1, iterations=1
+    )
+    assert len(rows) == 6
+    write_result("table2", format_table2(rows))

@@ -1,0 +1,69 @@
+"""Bench: Table 3 — path cover computation methods (ISC vs PRU vs HPC).
+
+Reproduces the paper's comparison: ISC should produce the sparsest
+distance graph and the fastest DISO queries; PRU explodes on dense
+social graphs.  The full table (one road + one social dataset) is
+written to ``results/table3.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.cover.hpc import hpc_path_cover
+from repro.cover.isc import isc_path_cover
+from repro.cover.pruning import pru_path_cover
+from repro.experiments.table3 import format_table3, run_table3
+
+from bench_util import SCALE, SEED, dataset, write_result
+
+
+def test_isc_cover_road(benchmark):
+    graph = dataset("NY")
+    result = benchmark(isc_path_cover, graph, 4, 1.0)
+    assert result.cover
+
+
+def test_hpc_cover_road(benchmark):
+    graph = dataset("NY")
+    result = benchmark(hpc_path_cover, graph, 4)
+    assert result.cover
+
+
+def test_pru_cover_road(benchmark):
+    graph = dataset("NY")
+    result = benchmark.pedantic(
+        lambda: pru_path_cover(graph, k=16, budget_per_node=4000),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.cover
+
+
+def test_isc_cover_social(benchmark):
+    graph = dataset("DBLP")
+    result = benchmark(isc_path_cover, graph, 3, 16.0)
+    assert result.cover
+
+
+def test_table3_full(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_table3(
+            datasets=("NY", "DBLP"),
+            scale=SCALE,
+            query_count=15,
+            seed=SEED,
+            pru_budget=4000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("table3", format_table3(rows))
+    # The paper's headline shape: ISC's overlay is the sparsest.
+    by_method = {
+        (row["dataset"], row["method"]): row
+        for row in rows
+        if not row.get("failed")
+    }
+    for name in ("NY", "DBLP"):
+        isc_edges = by_method[(name, "ISC")]["overlay_edges"]
+        hpc_edges = by_method[(name, "HPC")]["overlay_edges"]
+        assert isc_edges <= hpc_edges

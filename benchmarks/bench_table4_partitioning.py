@@ -1,0 +1,60 @@
+"""Bench: Table 4 — ISC versus partitioning border-node transit sets.
+
+The paper's shape: ISC gives the sparsest distance graph and the best
+query time; UNIFORM the worst; METIS/SPA in between.
+"""
+
+from __future__ import annotations
+
+from repro.cover.partitioning import (
+    metis_like_partition,
+    spectral_partition,
+    uniform_partition,
+)
+from repro.experiments.table4 import format_table4, run_table4
+
+from bench_util import SCALE, SEED, dataset, write_result
+
+
+def test_metis_like_partition(benchmark):
+    graph = dataset("NY")
+    assignment = benchmark(metis_like_partition, graph, 24, SEED)
+    assert len(assignment) == graph.number_of_nodes()
+
+
+def test_spectral_partition(benchmark):
+    graph = dataset("NY")
+    assignment = benchmark.pedantic(
+        lambda: spectral_partition(graph, 24, SEED), rounds=1, iterations=1
+    )
+    assert len(assignment) == graph.number_of_nodes()
+
+
+def test_uniform_partition(benchmark):
+    graph = dataset("NY")
+    assignment = benchmark(uniform_partition, graph, 24, SEED)
+    assert len(assignment) == graph.number_of_nodes()
+
+
+def test_table4_full(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_table4(
+            datasets=("NY", "POKE"),
+            scale=SCALE,
+            parts=24,
+            query_count=15,
+            seed=SEED,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("table4", format_table4(rows))
+    by_method = {
+        (row["dataset"], row["method"]): row
+        for row in rows
+        if not row.get("failed")
+    }
+    # ISC's overlay is sparsest on the road dataset (paper's NY row).
+    isc = by_method[("NY", "ISC")]["overlay_edges"]
+    uniform = by_method[("NY", "UNIFORM")]["overlay_edges"]
+    assert isc < uniform

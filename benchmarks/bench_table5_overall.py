@@ -1,0 +1,104 @@
+"""Bench: Table 5 — overall query time per method and dataset family.
+
+One pytest-benchmark entry per (dataset family, method) pair, so the
+benchmark summary table is directly comparable to the paper's Table 5,
+plus a full-table run persisted to ``results/table5.txt``.
+
+Expected shapes at synthetic scale: FDDO is orders of magnitude slower
+than everything (update-then-rollback per query); the DISO family beats
+DI on road networks.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+from repro.baselines.astar_oracle import AStarOracle
+from repro.baselines.dijkstra_oracle import DijkstraOracle
+from repro.baselines.fddo import FDDOOracle
+from repro.experiments.table5 import format_table5, run_table5
+from repro.oracle.adiso import ADISO
+from repro.oracle.adiso_p import ADISOPartial
+from repro.oracle.diso import DISO
+from repro.oracle.diso_minus import DISOMinus
+from repro.oracle.diso_s import DISOSparse
+from repro.workload.datasets import DATASETS
+
+from bench_util import SCALE, SEED, dataset, queries, run_query_batch, write_result
+
+
+@lru_cache(maxsize=None)
+def oracle(dataset_name: str, method: str):
+    """Build (once) the oracle for a (dataset, method) pair."""
+    graph = dataset(dataset_name)
+    spec = DATASETS[dataset_name]
+    if method == "DISO":
+        return DISO(graph, tau=spec.tau_diso, theta=spec.theta)
+    if method == "DISO-":
+        return DISOMinus(graph, tau=spec.tau_diso, theta=spec.theta)
+    if method == "ADISO":
+        return ADISO(
+            graph, tau=spec.tau_adiso, theta=spec.theta,
+            alpha=spec.alpha, seed=SEED,
+        )
+    if method == "ADISO-P":
+        return ADISOPartial(
+            graph, tau=spec.tau_adiso, theta=spec.theta,
+            alpha=spec.alpha, seed=SEED, tau_h=2,
+        )
+    if method == "DISO-S":
+        return DISOSparse(
+            graph, beta=spec.beta, tau=spec.tau_diso, theta=spec.theta
+        )
+    if method == "FDDO":
+        return FDDOOracle(graph, num_landmarks=20, seed=SEED)
+    if method == "A*":
+        return AStarOracle(graph, alpha=spec.alpha, seed=SEED)
+    if method == "DI":
+        return DijkstraOracle(graph)
+    raise ValueError(method)
+
+
+ROAD_METHODS = ("DISO-", "DISO", "ADISO", "ADISO-P", "FDDO", "A*", "DI")
+SOCIAL_METHODS = ("DISO-", "DISO", "ADISO", "DISO-S", "FDDO", "A*", "DI")
+
+
+@pytest.mark.parametrize("method", ROAD_METHODS)
+def test_query_time_road(benchmark, method):
+    batch = queries("NY")
+    checksum = benchmark(run_query_batch, oracle("NY", method), batch)
+    assert checksum >= 0.0
+
+
+@pytest.mark.parametrize("method", SOCIAL_METHODS)
+def test_query_time_social(benchmark, method):
+    batch = queries("DBLP")
+    checksum = benchmark(run_query_batch, oracle("DBLP", method), batch)
+    assert checksum >= 0.0
+
+
+def test_table5_full(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_table5(
+            datasets=("NY", "CAL", "DBLP", "POKE"),
+            scale=SCALE,
+            query_count=12,
+            seed=SEED,
+            fddo_landmarks=20,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("table5", format_table5(rows))
+    by_key = {(row["dataset"], row["method"]): row for row in rows}
+    # The paper's robust shape: FDDO is the slowest method everywhere.
+    for name in ("NY", "CAL", "DBLP", "POKE"):
+        fddo = by_key[(name, "FDDO")]["query_ms"]
+        others = [
+            row["query_ms"]
+            for (data, method), row in by_key.items()
+            if data == name and method != "FDDO"
+        ]
+        assert fddo > max(others)

@@ -1,0 +1,62 @@
+"""Shared helpers for the benchmark suite.
+
+Benchmarks reproduce the paper's tables and figures at reduced synthetic
+scale.  Heavy artefacts (graphs, query batches, oracle indices) are
+built once per session and cached; each bench then measures the
+interesting operation with pytest-benchmark and writes the formatted
+paper-style table to ``benchmarks/results/`` so EXPERIMENTS.md can quote
+it.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+
+from repro.workload.datasets import load_dataset
+from repro.workload.queries import generate_queries
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Benchmark scale: large enough to show the paper's separations,
+#: small enough for a pure-Python suite to finish in minutes.
+SCALE = 0.5
+SEED = 7
+QUERY_COUNT = 20
+
+
+@lru_cache(maxsize=None)
+def dataset(name: str, scale: float = SCALE):
+    """Session-cached synthetic dataset."""
+    return load_dataset(name, scale=scale, seed=SEED)
+
+
+@lru_cache(maxsize=None)
+def queries(name: str, f_gen: int = 5, p: float = 0.0005, count: int = QUERY_COUNT):
+    """Session-cached query batch for a dataset (paper defaults)."""
+    graph = dataset(name)
+    return tuple(
+        generate_queries(graph, count, f_gen=f_gen, p=p, seed=SEED)
+    )
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a formatted experiment table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def run_query_batch(oracle, batch) -> float:
+    """Answer every query in ``batch``; return the distance checksum.
+
+    Returning a value derived from every answer keeps the work honest
+    under aggressive interpreters.
+    """
+    total = 0.0
+    for query in batch:
+        distance = oracle.query(query.source, query.target, query.failed)
+        if distance != float("inf"):
+            total += distance
+    return total

@@ -1,0 +1,93 @@
+"""The no-stall property: parallel query threads on one shared index.
+
+The paper's central motivation (Sections 1 and 4.2): a distance
+sensitivity oracle answers failure queries *without updating its index*,
+so concurrent queries never block each other, while a fully dynamic
+oracle (FDDO) must update-then-answer-then-rollback, serialising work
+and inflating tail latency.
+
+This demo runs the same mixed workload through both designs and reports
+per-query latency statistics.
+
+Run with::
+
+    python examples/throughput_no_stall.py
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro import DISO, FDDOOracle, road_network
+from repro.workload.queries import generate_queries
+
+
+def run_threaded(
+    oracle,
+    queries,
+    threads: int = 4,
+    serialize: bool = False,
+) -> list[float]:
+    """Answer the workload from several threads; return latencies (ms).
+
+    ``serialize=True`` models a fully dynamic oracle: because each query
+    *mutates* the index (update, answer, rollback), concurrent queries
+    must take a write lock — the stalling the paper eliminates.
+    """
+    latencies: list[float] = []
+    lock = threading.Lock()
+    index_lock = threading.Lock()
+    chunks = [queries[i::threads] for i in range(threads)]
+
+    def worker(chunk) -> None:
+        local: list[float] = []
+        for query in chunk:
+            started = time.perf_counter()
+            if serialize:
+                with index_lock:
+                    oracle.query(query.source, query.target, query.failed)
+            else:
+                oracle.query(query.source, query.target, query.failed)
+            local.append((time.perf_counter() - started) * 1000)
+        with lock:
+            latencies.extend(local)
+
+    pool = [threading.Thread(target=worker, args=(c,)) for c in chunks]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    return latencies
+
+
+def describe(name: str, latencies: list[float]) -> None:
+    ordered = sorted(latencies)
+    mean = sum(ordered) / len(ordered)
+    p95 = ordered[int(0.95 * (len(ordered) - 1))]
+    print(f"  {name:6s} mean {mean:8.2f} ms    p95 {p95:8.2f} ms    "
+          f"max {ordered[-1]:8.2f} ms")
+
+
+def main() -> None:
+    graph = road_network(22, 22, seed=9)
+    queries = generate_queries(graph, 40, f_gen=4, p=0.002, seed=2)
+    print(f"workload: {len(queries)} queries with failures, 4 threads\n")
+
+    diso = DISO(graph, tau=4, theta=1.0)
+    fddo = FDDOOracle(graph, num_landmarks=12, seed=1)
+
+    print("per-query latency:")
+    describe("DISO", run_threaded(diso, queries))
+    describe("FDDO", run_threaded(fddo, queries, serialize=True))
+
+    print(
+        "\nDISO answers on an immutable index (lazy recomputation stays\n"
+        "on the side), so threads share it freely.  FDDO rebuilds parts\n"
+        "of its landmark trees per failure set — the stalling the paper\n"
+        "set out to eliminate."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,143 @@
+"""repro — practical distance sensitivity oracles for directed graphs.
+
+A from-scratch Python reproduction of Lee & Chung, *Efficient Distance
+Sensitivity Oracles for Real-World Graph Data*: the DISO and ADISO
+oracles (Transit Node Routing variants with a fault-tolerant two-level
+index), the partial-detouring and sparsification boosting techniques,
+every substrate they rely on, and the competitors used in the paper's
+evaluation.
+
+Quickstart
+----------
+>>> from repro import DISO, road_network
+>>> g = road_network(12, 12, seed=1)
+>>> oracle = DISO(g, tau=3, theta=1.0)
+>>> d_normal = oracle.query(0, 143)
+>>> d_failed = oracle.query(0, 143, failed={(0, 1)})
+>>> d_failed >= d_normal
+True
+"""
+
+from repro.baselines import (
+    AStarOracle,
+    DHNROracle,
+    DijkstraOracle,
+    FDDOOracle,
+    StaticDijkstraOracle,
+)
+from repro.cover import (
+    hpc_path_cover,
+    isc_path_cover,
+    pru_path_cover,
+)
+from repro.exceptions import (
+    EdgeNotFoundError,
+    FormatError,
+    GraphError,
+    NegativeWeightError,
+    NodeNotFoundError,
+    PreprocessingError,
+    QueryError,
+    ReproError,
+)
+from repro.graph import (
+    DiGraph,
+    FrozenGraph,
+    gnm_random_graph,
+    read_dimacs,
+    read_edge_list,
+    road_network,
+    scale_free_network,
+)
+from repro.landmarks import (
+    LandmarkTable,
+    best_cover_landmarks,
+    max_cover_landmarks,
+    random_landmarks,
+    sls_landmarks,
+)
+from repro.oracle import (
+    ADISO,
+    CachingDISO,
+    DISO,
+    ADISOPartial,
+    DISOBidirectional,
+    DISOMinus,
+    DISOSparse,
+    DistanceSensitivityOracle,
+    FailureStateView,
+    HierarchicalDISO,
+    OracleMaintainer,
+    QueryEngine,
+    QueryResult,
+    QueryStats,
+    index_size_megabytes,
+    load_index,
+    query_path,
+    save_index,
+    validate_path,
+)
+from repro.workload import Query, generate_queries, load_dataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # Graph substrate
+    "DiGraph",
+    "road_network",
+    "scale_free_network",
+    "gnm_random_graph",
+    "FrozenGraph",
+    "read_dimacs",
+    "read_edge_list",
+    # Covers
+    "isc_path_cover",
+    "pru_path_cover",
+    "hpc_path_cover",
+    # Landmarks
+    "LandmarkTable",
+    "random_landmarks",
+    "sls_landmarks",
+    "max_cover_landmarks",
+    "best_cover_landmarks",
+    # Oracles
+    "DistanceSensitivityOracle",
+    "QueryResult",
+    "QueryStats",
+    "DISO",
+    "DISOBidirectional",
+    "CachingDISO",
+    "HierarchicalDISO",
+    "DISOMinus",
+    "ADISO",
+    "DISOSparse",
+    "ADISOPartial",
+    "OracleMaintainer",
+    "FailureStateView",
+    "QueryEngine",
+    "query_path",
+    "validate_path",
+    "save_index",
+    "load_index",
+    "index_size_megabytes",
+    # Baselines
+    "DijkstraOracle",
+    "AStarOracle",
+    "FDDOOracle",
+    "DHNROracle",
+    "StaticDijkstraOracle",
+    # Workload
+    "Query",
+    "generate_queries",
+    "load_dataset",
+    # Errors
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "EdgeNotFoundError",
+    "NegativeWeightError",
+    "QueryError",
+    "PreprocessingError",
+    "FormatError",
+]

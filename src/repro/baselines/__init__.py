@@ -1,0 +1,17 @@
+"""Competitor algorithms used in the paper's evaluation."""
+
+from repro.baselines.astar_oracle import AStarOracle
+from repro.baselines.dhnr import DHNROracle
+from repro.baselines.dijkstra_oracle import (
+    DijkstraOracle,
+    StaticDijkstraOracle,
+)
+from repro.baselines.fddo import FDDOOracle
+
+__all__ = [
+    "DijkstraOracle",
+    "StaticDijkstraOracle",
+    "AStarOracle",
+    "FDDOOracle",
+    "DHNROracle",
+]

@@ -1,0 +1,87 @@
+"""DHNR — a dynamic highway-node routing style baseline (paper §2).
+
+Schultes & Sanders' dynamic highway-node routing handles edge-weight
+changes by *not relaxing affected highway edges*: instead of repairing
+overlay weights, the query simply routes through the underlying graph
+wherever the overlay is dirty.  The paper discusses this approach at
+length in Related Work and predicts its failure mode: "since many
+highway edges may become unavailable, the algorithm would mostly use
+edges in G, which means that it would act like the Dijkstra's
+algorithm".
+
+This baseline reproduces that design on DISO's own index so the
+comparison isolates the *failure-handling policy*:
+
+* DISO (lazy recomputation): affected overlay weights are repaired from
+  the stored bounded trees;
+* DHNR (avoidance): affected transit nodes relax their plain graph
+  edges and never touch the trees.
+
+Mechanically this is ADISO's merged two-queue procedure with a zero
+heuristic (plain Dijkstra ordering) — popping an affected transit node
+falls through to graph-edge relaxation, which is exactly the
+"avoid affected highway edges" rule.  Answers remain exact; only the
+search-space behaviour differs, and the benchmark shows it degrading
+toward Dijkstra as the failure rate grows, as the paper predicts.
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import DiGraph
+from repro.oracle.adiso import ADISO
+
+
+class _ZeroHeuristicTable:
+    """A landmark-table stand-in whose lower bound is identically zero.
+
+    Plugging it into ADISO's machinery turns the A* ordering into plain
+    Dijkstra ordering — the ordering DHNR uses.
+    """
+
+    landmarks: tuple[int, ...] = ()
+
+    def __len__(self) -> int:
+        return 0
+
+    def lower_bound(self, u: int, v: int) -> float:
+        return 0.0
+
+    def landmark_bound(self, index: int, u: int, v: int) -> float:
+        raise IndexError("the zero table has no landmarks")
+
+    def heuristic_to(self, target: int):
+        def heuristic(_node: int) -> float:
+            return 0.0
+
+        return heuristic
+
+    def size_in_entries(self) -> int:
+        return 0
+
+
+class DHNROracle(ADISO):
+    """Dynamic highway-node routing style oracle (exact).
+
+    Parameters
+    ----------
+    graph, tau, theta, transit:
+        Index parameters, as in :class:`repro.DISO`.
+    """
+
+    name = "DHNR"
+    exact = True
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        tau: int = 4,
+        theta: float = 1.0,
+        transit: set[int] | frozenset[int] | None = None,
+    ) -> None:
+        super().__init__(
+            graph,
+            tau=tau,
+            theta=theta,
+            transit=transit,
+            landmark_table=_ZeroHeuristicTable(),
+        )

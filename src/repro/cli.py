@@ -1,0 +1,324 @@
+"""Command-line interface: ``repro-dso`` / ``python -m repro``.
+
+Subcommands
+-----------
+``stats``
+    Print Table 2 dataset statistics.
+``query``
+    Build an oracle over a dataset (or a graph file) and answer one
+    distance sensitivity query.
+``experiment``
+    Reproduce one of the paper's tables/figures and print it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.graph.io import read_dimacs, read_edge_list
+from repro.oracle.adiso import ADISO
+from repro.oracle.adiso_p import ADISOPartial
+from repro.oracle.diso import DISO
+from repro.oracle.diso_s import DISOSparse
+from repro.baselines.astar_oracle import AStarOracle
+from repro.baselines.dijkstra_oracle import DijkstraOracle
+from repro.workload.datasets import DATASETS, load_dataset
+
+_ORACLES = {
+    "diso": DISO,
+    "adiso": ADISO,
+    "diso-s": DISOSparse,
+    "adiso-p": ADISOPartial,
+    "astar": AStarOracle,
+    "dijkstra": DijkstraOracle,
+}
+
+_EXPERIMENTS = (
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "figure4",
+    "figure5",
+    "figure6",
+    "accuracy",
+    "theta",
+    "alpha",
+    "affected",
+    "throughput",
+    "maintenance",
+    "replay",
+    "all",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dso",
+        description="Distance sensitivity oracles (DISO / ADISO).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="print dataset statistics")
+    stats.add_argument("--scale", type=float, default=0.5)
+    stats.add_argument("--seed", type=int, default=7)
+
+    query = sub.add_parser("query", help="answer one query")
+    query.add_argument("source", type=int)
+    query.add_argument("target", type=int)
+    query.add_argument(
+        "--fail",
+        action="append",
+        default=[],
+        metavar="TAIL,HEAD",
+        help="failed edge, repeatable (e.g. --fail 3,4)",
+    )
+    query.add_argument(
+        "--oracle", choices=sorted(_ORACLES), default="diso"
+    )
+    query.add_argument(
+        "--dataset", choices=sorted(DATASETS), default="NY"
+    )
+    query.add_argument("--graph-file", help="edge list or DIMACS .gr file")
+    query.add_argument(
+        "--format", choices=("edgelist", "dimacs"), default="edgelist"
+    )
+    query.add_argument("--scale", type=float, default=0.5)
+    query.add_argument("--tau", type=int, default=3)
+    query.add_argument("--theta", type=float, default=1.0)
+    query.add_argument("--seed", type=int, default=7)
+    query.add_argument(
+        "--index-file",
+        help="load a prebuilt index (see the build subcommand) instead "
+        "of preprocessing",
+    )
+
+    build = sub.add_parser(
+        "build", help="preprocess an oracle index and save it to a file"
+    )
+    build.add_argument("index_file", help="output path for the JSON index")
+    build.add_argument(
+        "--oracle", choices=("diso", "adiso", "diso-b"), default="diso"
+    )
+    build.add_argument(
+        "--dataset", choices=sorted(DATASETS), default="NY"
+    )
+    build.add_argument("--graph-file", help="edge list or DIMACS .gr file")
+    build.add_argument(
+        "--format", choices=("edgelist", "dimacs"), default="edgelist"
+    )
+    build.add_argument("--scale", type=float, default=0.5)
+    build.add_argument("--tau", type=int, default=3)
+    build.add_argument("--theta", type=float, default=1.0)
+    build.add_argument("--seed", type=int, default=7)
+
+    experiment = sub.add_parser(
+        "experiment", help="reproduce a table or figure"
+    )
+    experiment.add_argument("name", choices=_EXPERIMENTS)
+    experiment.add_argument("--scale", type=float, default=0.5)
+    experiment.add_argument("--queries", type=int, default=20)
+    experiment.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def _load_graph(args):
+    if args.graph_file:
+        if args.format == "dimacs":
+            return read_dimacs(args.graph_file)
+        return read_edge_list(args.graph_file)
+    return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+
+
+def _parse_failures(pairs: list[str]) -> set[tuple[int, int]]:
+    failed: set[tuple[int, int]] = set()
+    for pair in pairs:
+        tail_text, sep, head_text = pair.partition(",")
+        if not sep:
+            raise SystemExit(
+                f"error: --fail expects TAIL,HEAD (got {pair!r})"
+            )
+        try:
+            failed.add((int(tail_text), int(head_text)))
+        except ValueError:
+            raise SystemExit(
+                f"error: --fail endpoints must be integers (got {pair!r})"
+            ) from None
+    return failed
+
+
+def _run_stats(args) -> int:
+    from repro.experiments.table2 import format_table2, run_table2
+
+    print(format_table2(run_table2(scale=args.scale, seed=args.seed)))
+    return 0
+
+
+def _run_query(args) -> int:
+    if args.index_file:
+        from repro.oracle.serialize import load_index
+
+        oracle = load_index(args.index_file)
+    else:
+        graph = _load_graph(args)
+        oracle_cls = _ORACLES[args.oracle]
+        if oracle_cls is DijkstraOracle:
+            oracle = oracle_cls(graph)
+        elif oracle_cls is AStarOracle:
+            oracle = oracle_cls(graph, seed=args.seed)
+        else:
+            oracle = oracle_cls(graph, tau=args.tau, theta=args.theta)
+    failed = _parse_failures(args.fail)
+    result = oracle.query_detailed(args.source, args.target, failed)
+    print(f"oracle        : {oracle.name}")
+    print(f"distance      : {result.distance}")
+    print(f"reachable     : {result.reachable}")
+    print(f"affected nodes: {result.stats.affected_count}")
+    print(f"query seconds : {result.stats.total_seconds:.6f}")
+    return 0
+
+
+def _run_build(args) -> int:
+    from repro.oracle.diso_bi import DISOBidirectional
+    from repro.oracle.serialize import save_index
+
+    graph = _load_graph(args)
+    classes = {"diso": DISO, "adiso": ADISO, "diso-b": DISOBidirectional}
+    oracle_cls = classes[args.oracle]
+    oracle = oracle_cls(graph, tau=args.tau, theta=args.theta)
+    save_index(oracle, args.index_file)
+    print(f"oracle        : {oracle.name}")
+    print(f"transit nodes : {len(oracle.transit)}")
+    print(f"overlay edges : {oracle.distance_graph.num_edges}")
+    print(f"preprocess s  : {oracle.preprocess_seconds:.3f}")
+    print(f"index written : {args.index_file}")
+    return 0
+
+
+def _run_experiment(args) -> int:
+    from repro import experiments as exp
+
+    name = args.name
+    if name == "table2":
+        print(exp.format_table2(exp.run_table2(scale=args.scale, seed=args.seed)))
+    elif name == "table3":
+        print(
+            exp.format_table3(
+                exp.run_table3(
+                    scale=args.scale, query_count=args.queries, seed=args.seed
+                )
+            )
+        )
+    elif name == "table4":
+        print(
+            exp.format_table4(
+                exp.run_table4(
+                    scale=args.scale, query_count=args.queries, seed=args.seed
+                )
+            )
+        )
+    elif name == "table5":
+        print(
+            exp.format_table5(
+                exp.run_table5(
+                    scale=args.scale, query_count=args.queries, seed=args.seed
+                )
+            )
+        )
+    elif name == "table6":
+        print(exp.format_table6(exp.run_table6(scale=args.scale, seed=args.seed)))
+    elif name == "figure4":
+        print(exp.format_figure4(exp.run_figure4(scale=args.scale, seed=args.seed)))
+    elif name == "figure5":
+        print(exp.format_figure5(exp.run_figure5(scale=args.scale, seed=args.seed)))
+    elif name == "figure6":
+        print(exp.format_figure6(exp.run_figure6(scale=args.scale, seed=args.seed)))
+    elif name == "accuracy":
+        print(
+            exp.format_accuracy(
+                exp.run_accuracy(
+                    scale=args.scale, query_count=args.queries, seed=args.seed
+                )
+            )
+        )
+    elif name == "theta":
+        print(
+            exp.format_theta_sweep(
+                exp.run_theta_sweep(
+                    scale=args.scale, query_count=args.queries, seed=args.seed
+                )
+            )
+        )
+    elif name == "alpha":
+        print(
+            exp.format_alpha_sweep(
+                exp.run_alpha_sweep(
+                    scale=args.scale, query_count=args.queries, seed=args.seed
+                )
+            )
+        )
+    elif name == "affected":
+        print(
+            exp.format_affected_nodes_sweep(
+                exp.run_affected_nodes_sweep(
+                    scale=args.scale, query_count=args.queries, seed=args.seed
+                )
+            )
+        )
+    elif name == "throughput":
+        print(
+            exp.format_throughput_scaling(
+                exp.run_throughput_scaling(
+                    scale=args.scale, query_count=args.queries, seed=args.seed
+                )
+            )
+        )
+    elif name == "maintenance":
+        print(
+            exp.format_maintenance_experiment(
+                exp.run_maintenance_experiment(
+                    scale=args.scale, query_count=args.queries, seed=args.seed
+                )
+            )
+        )
+    elif name == "replay":
+        print(
+            exp.format_replay(
+                exp.run_replay(
+                    scale=args.scale, query_count=args.queries, seed=args.seed
+                )
+            )
+        )
+    elif name == "all":
+        sections = exp.run_all(
+            scale=args.scale,
+            query_count=args.queries,
+            seed=args.seed,
+            progress=lambda n: print(f"running {n} ...", flush=True),
+        )
+        print(exp.format_all(sections))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "stats":
+        return _run_stats(args)
+    if args.command == "query":
+        return _run_query(args)
+    if args.command == "build":
+        return _run_build(args)
+    if args.command == "experiment":
+        return _run_experiment(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Transit-node selection: k-path covers and partition border sets."""
+
+from repro.cover.hpc import hpc_path_cover, lr_deg_independent_set
+from repro.cover.independent_set import (
+    IndependentSetResult,
+    get_independent_set,
+    is_independent_set,
+    sigma,
+)
+from repro.cover.isc import PathCoverResult, isc_path_cover, verify_k_path_cover
+from repro.cover.partitioning import (
+    border_nodes,
+    edge_cut,
+    metis_like_partition,
+    spectral_partition,
+    uniform_partition,
+)
+from repro.cover.pruning import pru_path_cover
+
+__all__ = [
+    "get_independent_set",
+    "is_independent_set",
+    "sigma",
+    "IndependentSetResult",
+    "isc_path_cover",
+    "verify_k_path_cover",
+    "PathCoverResult",
+    "pru_path_cover",
+    "hpc_path_cover",
+    "lr_deg_independent_set",
+    "border_nodes",
+    "edge_cut",
+    "uniform_partition",
+    "metis_like_partition",
+    "spectral_partition",
+]

@@ -1,0 +1,124 @@
+"""ISC: the paper's independent-set based k-path cover (Section 4.3.2).
+
+Starting from ``D_0 = G``, the method repeats ``tau`` rounds: compute an
+independent set ``IS_i`` of ``D_i`` with Algorithm 1, eliminate it, and
+let the contracted graph be ``D_{i+1}``.  By Lemma 3 the surviving node
+set ``V_tau`` is a ``2^tau``-path cover of ``G``, and because each round
+minimises the net edge contribution ``sigma`` subject to ``theta``, the
+derived distance graph stays sparse — the property Table 3 measures
+against PRU and HPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.digraph import DiGraph
+from repro.graph.transforms import remove_self_loops
+from repro.cover.independent_set import get_independent_set
+
+
+@dataclass
+class PathCoverResult:
+    """A k-path cover together with construction byproducts.
+
+    Attributes
+    ----------
+    cover:
+        The transit node set ``C`` (a ``2^tau``-path cover).
+    k:
+        The guaranteed path-cover parameter ``k = 2^tau``.
+    topology:
+        The final contracted graph ``D_tau``.  Its node set is ``cover``;
+        its edges over-approximate the true distance graph's edges (the
+        real distance graph is built with bounded Dijkstra afterwards).
+    rounds:
+        Sizes of the independent sets eliminated per round, useful for
+        diagnosing convergence.
+    """
+
+    cover: set[int]
+    k: int
+    topology: DiGraph
+    rounds: list[int] = field(default_factory=list)
+
+
+def isc_path_cover(
+    graph: DiGraph,
+    tau: int,
+    theta: float = 1.0,
+) -> PathCoverResult:
+    """Compute a ``2^tau``-path cover of ``graph`` with Algorithm 1 rounds.
+
+    Parameters
+    ----------
+    graph:
+        The input graph ``G``.
+    tau:
+        Number of elimination rounds (``k = 2^tau``).  The paper uses
+        ``tau = 8`` for road networks and ``tau = 4`` for social networks
+        (Table 3).
+    theta:
+        Sparsity threshold of Algorithm 1.  The paper uses ``theta = 1``
+        for road networks and ``theta = 16`` for social networks
+        (Section 7.2).
+
+    Raises
+    ------
+    ValueError
+        If ``tau < 1``.
+    """
+    if tau < 1:
+        raise ValueError("tau must be >= 1")
+    current = remove_self_loops(graph)
+    rounds: list[int] = []
+    for _ in range(tau):
+        result = get_independent_set(current, theta)
+        rounds.append(len(result.independent_set))
+        current = result.contracted
+        if not result.independent_set:
+            # Fixed point: no further node satisfies the theta budget.
+            break
+    cover = set(current.nodes())
+    return PathCoverResult(
+        cover=cover,
+        k=2 ** tau,
+        topology=current,
+        rounds=rounds,
+    )
+
+
+def verify_k_path_cover(
+    graph: DiGraph,
+    cover: set[int],
+    k: int,
+    sample_limit: int | None = None,
+) -> bool:
+    """Exhaustively verify that ``cover`` is a k-path cover of ``graph``.
+
+    A k-path cover intersects every simple path of ``k`` nodes
+    (Definition 4.4).  The check enumerates simple cover-free paths by
+    DFS and fails as soon as one reaches ``k`` nodes.  Exponential in the
+    worst case — use on test-sized graphs only.
+
+    Parameters
+    ----------
+    sample_limit:
+        Optional cap on the number of DFS start nodes, for spot checks on
+        larger graphs.
+    """
+    starts = [node for node in graph.nodes() if node not in cover]
+    if sample_limit is not None:
+        starts = starts[:sample_limit]
+    for start in starts:
+        # DFS over simple paths that avoid the cover entirely.
+        stack: list[tuple[int, frozenset[int]]] = [(start, frozenset((start,)))]
+        while stack:
+            node, on_path = stack.pop()
+            if len(on_path) >= k:
+                return False
+            for succ in graph.successors(node):
+                if succ in cover or succ in on_path:
+                    continue
+                stack.append((succ, on_path | {succ}))
+    return True

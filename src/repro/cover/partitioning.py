@@ -1,0 +1,352 @@
+"""Partitioning-based transit node sets (Table 4 competitors).
+
+The paper compares ISC against using the *border nodes* of a graph
+partitioning as the transit node set: UNIFORM random partitioning, METIS
+[34], and the stochastic partitioner SPA of [17].  A border node is "a
+node having a neighbor included in a different partition".
+
+Substitutions (documented in DESIGN.md): METIS is replaced by a
+multilevel heavy-edge-matching partitioner with greedy refinement;
+SPA by recursive spectral bisection over Fiedler vectors (via scipy when
+available, with a deterministic BFS-bisection fallback).  Both optimise
+edge cut — the property that determines border-set size — so the Table 4
+comparison exercises the same trade-off as the paper's.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.graph.digraph import DiGraph
+
+
+def border_nodes(graph: DiGraph, assignment: dict[int, int]) -> set[int]:
+    """Return the border nodes of a partition ``assignment``.
+
+    A node is a border node when any in- or out-neighbour lies in a
+    different partition.
+    """
+    borders: set[int] = set()
+    for node in graph.nodes():
+        part = assignment[node]
+        if any(assignment[other] != part for other in graph.successors(node)):
+            borders.add(node)
+            continue
+        if any(assignment[other] != part for other in graph.predecessors(node)):
+            borders.add(node)
+    return borders
+
+
+def uniform_partition(
+    graph: DiGraph,
+    parts: int,
+    seed: int = 0,
+) -> dict[int, int]:
+    """Assign every node to one of ``parts`` partitions uniformly at random."""
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    rng = random.Random(seed)
+    return {node: rng.randrange(parts) for node in graph.nodes()}
+
+
+def edge_cut(graph: DiGraph, assignment: dict[int, int]) -> int:
+    """Count edges crossing partition boundaries."""
+    return sum(
+        1
+        for tail, head, _ in graph.edges()
+        if assignment[tail] != assignment[head]
+    )
+
+
+# ----------------------------------------------------------------------
+# METIS-like multilevel partitioner
+# ----------------------------------------------------------------------
+
+def _undirected_neighbors(graph: DiGraph, node: int) -> set[int]:
+    neighbors = set(graph.successors(node))
+    neighbors.update(graph.predecessors(node))
+    neighbors.discard(node)
+    return neighbors
+
+
+def _heavy_edge_matching(graph: DiGraph, rng: random.Random) -> dict[int, int]:
+    """Match nodes to heavy-edge partners; return node -> supernode id."""
+    matched: dict[int, int] = {}
+    order = list(graph.nodes())
+    rng.shuffle(order)
+    next_super = 0
+    for node in order:
+        if node in matched:
+            continue
+        best_partner: int | None = None
+        best_weight = -1.0
+        for other, weight in graph.successors(node).items():
+            if other != node and other not in matched and weight > best_weight:
+                best_partner = other
+                best_weight = weight
+        for other, weight in graph.predecessors(node).items():
+            if other != node and other not in matched and weight > best_weight:
+                best_partner = other
+                best_weight = weight
+        matched[node] = next_super
+        if best_partner is not None:
+            matched[best_partner] = next_super
+        next_super += 1
+    return matched
+
+
+def _coarsen(graph: DiGraph, mapping: dict[int, int]) -> DiGraph:
+    coarse = DiGraph()
+    coarse.add_nodes(set(mapping.values()))
+    for tail, head, weight in graph.edges():
+        a, b = mapping[tail], mapping[head]
+        if a == b:
+            continue
+        if coarse.has_edge(a, b):
+            coarse.set_weight(a, b, coarse.weight(a, b) + weight)
+        else:
+            coarse.add_edge(a, b, weight)
+    return coarse
+
+
+def _bfs_grow_partition(
+    graph: DiGraph,
+    parts: int,
+    rng: random.Random,
+) -> dict[int, int]:
+    """Partition by simultaneous BFS region growing from random seeds."""
+    nodes = list(graph.nodes())
+    if not nodes:
+        return {}
+    parts = min(parts, len(nodes))
+    seeds = rng.sample(nodes, parts)
+    assignment: dict[int, int] = {}
+    queues = [deque([seed]) for seed in seeds]
+    for part, seed in enumerate(seeds):
+        assignment[seed] = part
+    active = True
+    while active:
+        active = False
+        for part, queue in enumerate(queues):
+            if not queue:
+                continue
+            node = queue.popleft()
+            active = True
+            for other in _undirected_neighbors(graph, node):
+                if other not in assignment:
+                    assignment[other] = part
+                    queue.append(other)
+    # Isolated leftovers (disconnected nodes) round-robin.
+    part = 0
+    for node in nodes:
+        if node not in assignment:
+            assignment[node] = part % parts
+            part += 1
+    return assignment
+
+
+def _refine(
+    graph: DiGraph,
+    assignment: dict[int, int],
+    parts: int,
+    passes: int = 2,
+) -> None:
+    """Greedy boundary refinement: move nodes that reduce the edge cut.
+
+    Respects a loose balance constraint (no partition may shrink below
+    half or grow beyond double the average size).
+    """
+    sizes = [0] * parts
+    for part in assignment.values():
+        sizes[part] += 1
+    n = len(assignment)
+    low = max(1, n // (2 * parts))
+    high = max(low + 1, (2 * n) // parts)
+    for _ in range(passes):
+        moved = 0
+        for node in graph.nodes():
+            current = assignment[node]
+            if sizes[current] <= low:
+                continue
+            tally: dict[int, int] = {}
+            for other in _undirected_neighbors(graph, node):
+                tally[assignment[other]] = tally.get(assignment[other], 0) + 1
+            if not tally:
+                continue
+            best_part, best_links = current, tally.get(current, 0)
+            for part, links in tally.items():
+                if part == current or sizes[part] >= high:
+                    continue
+                if links > best_links:
+                    best_part, best_links = part, links
+            if best_part != current:
+                assignment[node] = best_part
+                sizes[current] -= 1
+                sizes[best_part] += 1
+                moved += 1
+        if moved == 0:
+            break
+
+
+def metis_like_partition(
+    graph: DiGraph,
+    parts: int,
+    seed: int = 0,
+    coarsen_until: int = 200,
+) -> dict[int, int]:
+    """Multilevel partition in the style of METIS [34].
+
+    Phases: (1) coarsen via heavy-edge matching until the graph has at
+    most ``max(coarsen_until, parts * 4)`` supernodes; (2) partition the
+    coarsest graph by BFS region growing; (3) project back level by
+    level, refining the boundary greedily at each level.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    rng = random.Random(seed)
+    levels: list[dict[int, int]] = []
+    current = graph
+    floor = max(coarsen_until, parts * 4)
+    while current.number_of_nodes() > floor:
+        mapping = _heavy_edge_matching(current, rng)
+        if len(set(mapping.values())) >= current.number_of_nodes():
+            break  # no progress
+        levels.append(mapping)
+        current = _coarsen(current, mapping)
+    assignment = _bfs_grow_partition(current, parts, rng)
+    _refine(current, assignment, parts)
+    # Uncoarsen: project assignment through each matching level.
+    for mapping, level_graph in zip(
+        reversed(levels), reversed(_level_graphs(graph, levels))
+    ):
+        assignment = {
+            node: assignment[supernode] for node, supernode in mapping.items()
+        }
+        _refine(level_graph, assignment, parts)
+    return assignment
+
+
+def _level_graphs(graph: DiGraph, levels: list[dict[int, int]]) -> list[DiGraph]:
+    """Return the graph at each coarsening level (finest first)."""
+    graphs = [graph]
+    current = graph
+    for mapping in levels[:-1]:
+        current = _coarsen(current, mapping)
+        graphs.append(current)
+    return graphs
+
+
+# ----------------------------------------------------------------------
+# SPA-like spectral partitioner
+# ----------------------------------------------------------------------
+
+def spectral_partition(
+    graph: DiGraph,
+    parts: int,
+    seed: int = 0,
+) -> dict[int, int]:
+    """Recursive spectral bisection (SPA substitute, see DESIGN.md).
+
+    Splits the node set by the sign structure of the Fiedler vector of
+    the symmetrised graph Laplacian, recursing until ``parts`` blocks
+    exist.  Falls back to BFS bisection when scipy is unavailable or the
+    eigensolver fails (tiny or disconnected blocks).
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    blocks: list[list[int]] = [list(graph.nodes())]
+    rng = random.Random(seed)
+    while len(blocks) < parts:
+        blocks.sort(key=len, reverse=True)
+        largest = blocks.pop(0)
+        if len(largest) < 2:
+            blocks.append(largest)
+            break
+        left, right = _bisect(graph, largest, rng)
+        if not left or not right:
+            blocks.append(largest)
+            break
+        blocks.extend((left, right))
+    assignment: dict[int, int] = {}
+    for part, block in enumerate(blocks):
+        for node in block:
+            assignment[node] = part
+    return assignment
+
+
+def _bisect(
+    graph: DiGraph,
+    block: list[int],
+    rng: random.Random,
+) -> tuple[list[int], list[int]]:
+    fiedler = _fiedler_vector(graph, block)
+    if fiedler is None:
+        return _bfs_bisect(graph, block, rng)
+    ranked = sorted(zip(fiedler, block))
+    half = len(block) // 2
+    left = [node for _, node in ranked[:half]]
+    right = [node for _, node in ranked[half:]]
+    return left, right
+
+
+def _fiedler_vector(graph: DiGraph, block: list[int]) -> list[float] | None:
+    """Fiedler vector of the symmetrised Laplacian restricted to ``block``."""
+    if len(block) < 4:
+        return None
+    try:
+        import numpy as np
+        from scipy.sparse import coo_matrix
+        from scipy.sparse.csgraph import laplacian
+        from scipy.sparse.linalg import eigsh
+    except ImportError:
+        return None
+    index = {node: i for i, node in enumerate(block)}
+    member = set(block)
+    rows: list[int] = []
+    cols: list[int] = []
+    for tail in block:
+        for head in graph.successors(tail):
+            if head in member and head != tail:
+                rows.append(index[tail])
+                cols.append(index[head])
+                rows.append(index[head])
+                cols.append(index[tail])
+    if not rows:
+        return None
+    data = np.ones(len(rows))
+    adjacency = coo_matrix(
+        (data, (rows, cols)), shape=(len(block), len(block))
+    ).tocsr()
+    adjacency.sum_duplicates()
+    lap = laplacian(adjacency)
+    try:
+        _, vectors = eigsh(
+            lap.asfptype(), k=2, which="SM", maxiter=2000, tol=1e-4
+        )
+    except Exception:
+        return None
+    return list(vectors[:, 1])
+
+
+def _bfs_bisect(
+    graph: DiGraph,
+    block: list[int],
+    rng: random.Random,
+) -> tuple[list[int], list[int]]:
+    member = set(block)
+    start = block[rng.randrange(len(block))]
+    visited: list[int] = []
+    seen = {start}
+    queue = deque([start])
+    half = len(block) // 2
+    while queue and len(visited) < half:
+        node = queue.popleft()
+        visited.append(node)
+        for other in _undirected_neighbors(graph, node):
+            if other in member and other not in seen:
+                seen.add(other)
+                queue.append(other)
+    left = set(visited)
+    right = [node for node in block if node not in left]
+    return list(left), right

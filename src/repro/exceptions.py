@@ -1,0 +1,81 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can install a single ``except ReproError`` guard around oracle
+construction and querying.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graph operations.
+
+    Examples: adding an edge whose endpoint does not exist, negative edge
+    weights, or referring to an unknown node id.
+    """
+
+
+class NodeNotFoundError(GraphError):
+    """Raised when an operation references a node that is not in the graph."""
+
+    def __init__(self, node: int) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError):
+    """Raised when an operation references an edge that is not in the graph."""
+
+    def __init__(self, tail: int, head: int) -> None:
+        super().__init__(f"edge ({tail!r}, {head!r}) is not in the graph")
+        self.tail = tail
+        self.head = head
+
+
+class NegativeWeightError(GraphError):
+    """Raised when a negative edge weight is supplied.
+
+    All algorithms in this library (Dijkstra variants, A* with landmark
+    lower bounds, TNR overlays) require non-negative real weights, exactly
+    as the paper assumes.
+    """
+
+    def __init__(self, tail: int, head: int, weight: float) -> None:
+        super().__init__(
+            f"edge ({tail!r}, {head!r}) has negative weight {weight!r}; "
+            "only non-negative weights are supported"
+        )
+        self.tail = tail
+        self.head = head
+        self.weight = weight
+
+
+class QueryError(ReproError):
+    """Raised for invalid distance sensitivity queries.
+
+    Examples: a source/destination that is not in the graph, or a failed
+    edge set referencing unknown edges when strict validation is enabled.
+    """
+
+
+class PreprocessingError(ReproError):
+    """Raised when oracle preprocessing cannot complete.
+
+    Examples: an empty transit node set, or a sparsification parameter
+    ``beta < 1``.
+    """
+
+
+class FormatError(ReproError):
+    """Raised when parsing a graph file fails."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number

@@ -1,0 +1,85 @@
+"""Experiment reproduction: one module per table/figure of the paper."""
+
+from repro.experiments.accuracy import format_accuracy, run_accuracy
+from repro.experiments.harness import (
+    BatchResult,
+    compare_methods,
+    exact_answers,
+    run_batch,
+)
+from repro.experiments.report import (
+    human_count,
+    human_ms,
+    human_seconds,
+    render_series,
+    render_table,
+)
+from repro.experiments.maintenance_exp import (
+    format_maintenance_experiment,
+    run_maintenance_experiment,
+)
+from repro.experiments.replay import format_replay, run_replay
+from repro.experiments.summary import format_all, run_all
+from repro.experiments.sensitivity import (
+    format_affected_nodes_sweep,
+    format_alpha_sweep,
+    format_theta_sweep,
+    format_throughput_scaling,
+    run_affected_nodes_sweep,
+    run_alpha_sweep,
+    run_theta_sweep,
+    run_throughput_scaling,
+)
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.table3 import format_table3, run_table3
+from repro.experiments.table4 import format_table4, run_table4
+from repro.experiments.table5 import format_table5, run_table5, standard_factories
+from repro.experiments.table6 import format_table6, run_table6
+from repro.experiments.figure4 import format_figure4, run_figure4
+from repro.experiments.figure5 import format_figure5, run_figure5
+from repro.experiments.figure6 import format_figure6, run_figure6
+
+__all__ = [
+    "BatchResult",
+    "run_batch",
+    "compare_methods",
+    "exact_answers",
+    "standard_factories",
+    "run_table2",
+    "format_table2",
+    "run_table3",
+    "format_table3",
+    "run_table4",
+    "format_table4",
+    "run_table5",
+    "format_table5",
+    "run_table6",
+    "format_table6",
+    "run_figure4",
+    "format_figure4",
+    "run_figure5",
+    "format_figure5",
+    "run_figure6",
+    "format_figure6",
+    "run_accuracy",
+    "format_accuracy",
+    "run_theta_sweep",
+    "format_theta_sweep",
+    "run_alpha_sweep",
+    "format_alpha_sweep",
+    "run_affected_nodes_sweep",
+    "format_affected_nodes_sweep",
+    "run_throughput_scaling",
+    "format_throughput_scaling",
+    "run_maintenance_experiment",
+    "format_maintenance_experiment",
+    "run_replay",
+    "format_replay",
+    "run_all",
+    "format_all",
+    "human_count",
+    "human_ms",
+    "human_seconds",
+    "render_table",
+    "render_series",
+]

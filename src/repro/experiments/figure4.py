@@ -1,0 +1,78 @@
+"""Figure 4 — path cover methods across tau (k = 2^tau) on a road graph.
+
+The paper sweeps the cover parameter on USA and plots query time and
+preprocessing time per cover method, showing that (a) an intermediate
+tau is best for query time, and (b) ISC dominates HPC across the sweep.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cover.hpc import hpc_path_cover
+from repro.cover.isc import isc_path_cover
+from repro.experiments.harness import exact_answers, run_batch
+from repro.experiments.report import render_series
+from repro.oracle.diso import DISO
+from repro.workload.datasets import load_dataset
+from repro.workload.queries import generate_queries
+
+
+def run_figure4(
+    dataset: str = "USA",
+    scale: float = 0.3,
+    taus: tuple[int, ...] = (2, 3, 4, 5),
+    query_count: int = 15,
+    seed: int = 7,
+    methods: tuple[str, ...] = ("ISC", "HPC"),
+) -> dict[str, object]:
+    """Sweep tau; returns query-time and prep-time series per method."""
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    queries = generate_queries(graph, query_count, f_gen=5, p=0.0005, seed=seed)
+    truth = exact_answers(graph, queries)
+    query_series: dict[str, list[float]] = {m: [] for m in methods}
+    prep_series: dict[str, list[float]] = {m: [] for m in methods}
+    cover_sizes: dict[str, list[int]] = {m: [] for m in methods}
+    for tau in taus:
+        for method in methods:
+            started = time.perf_counter()
+            if method == "ISC":
+                cover = isc_path_cover(graph, tau=tau, theta=1.0).cover
+            else:
+                cover = hpc_path_cover(graph, tau=tau).cover
+            cover_seconds = time.perf_counter() - started
+            oracle = DISO(graph, transit=cover)
+            batch = run_batch(oracle, queries, truth)
+            query_series[method].append(batch.query_ms)
+            prep_series[method].append(
+                cover_seconds + oracle.preprocess_seconds
+            )
+            cover_sizes[method].append(len(cover))
+    return {
+        "dataset": dataset,
+        "taus": list(taus),
+        "query_ms": query_series,
+        "preprocess_seconds": prep_series,
+        "cover_sizes": cover_sizes,
+    }
+
+
+def format_figure4(data: dict[str, object]) -> str:
+    """Render the Figure 4 sweep as two text series."""
+    taus = data["taus"]
+    parts = [
+        render_series(
+            f"Figure 4a: query time (ms) vs tau ({data['dataset']})",
+            "tau",
+            taus,
+            data["query_ms"],
+        ),
+        render_series(
+            f"Figure 4b: preprocessing (s) vs tau ({data['dataset']})",
+            "tau",
+            taus,
+            data["preprocess_seconds"],
+            fmt=lambda v: f"{v:.2f}",
+        ),
+    ]
+    return "\n\n".join(parts)

@@ -1,0 +1,99 @@
+"""Figure 5 — landmark selection methods across N_L on a road graph.
+
+The paper sweeps the number of landmarks on USA and compares SLS
+(theirs) against RAND, max-cover, and best-cover in ADISO query time
+and landmark-selection preprocessing time.  Expected shape: SLS beats
+max-cover in query time at a fraction of its preprocessing cost, beats
+best-cover in query time at comparable preprocessing, and beats RAND in
+stability.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.harness import exact_answers, run_batch
+from repro.experiments.report import render_series
+from repro.landmarks.selection import (
+    best_cover_landmarks,
+    max_cover_landmarks,
+    random_landmarks,
+    sls_landmarks,
+)
+from repro.oracle.adiso import ADISO
+from repro.workload.datasets import DATASETS, load_dataset
+from repro.workload.queries import generate_queries
+
+#: Landmark selectors compared in Figure 5.
+LANDMARK_METHODS = ("SLS", "RAND", "max-cover", "best-cover")
+
+
+def _select(method: str, graph, count: int, alpha: float, seed: int):
+    if method == "SLS":
+        return sls_landmarks(graph, count, seed=seed, alpha=alpha)
+    if method == "RAND":
+        return random_landmarks(graph, count, seed=seed)
+    if method == "max-cover":
+        return max_cover_landmarks(graph, count, seed=seed, alpha=alpha)
+    if method == "best-cover":
+        return best_cover_landmarks(graph, count, seed=seed)
+    raise ValueError(f"unknown landmark method {method!r}")
+
+
+def run_figure5(
+    dataset: str = "USA",
+    scale: float = 0.3,
+    landmark_counts: tuple[int, ...] = (5, 10, 15),
+    query_count: int = 15,
+    seed: int = 7,
+    methods: tuple[str, ...] = LANDMARK_METHODS,
+) -> dict[str, object]:
+    """Sweep N_L; returns ADISO query time and selection time series."""
+    spec = DATASETS[dataset]
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    queries = generate_queries(graph, query_count, f_gen=5, p=0.0005, seed=seed)
+    truth = exact_answers(graph, queries)
+    query_series: dict[str, list[float]] = {m: [] for m in methods}
+    select_series: dict[str, list[float]] = {m: [] for m in methods}
+    for count in landmark_counts:
+        for method in methods:
+            started = time.perf_counter()
+            landmarks = _select(method, graph, count, spec.alpha, seed)
+            select_seconds = time.perf_counter() - started
+            oracle = ADISO(
+                graph,
+                tau=spec.tau_adiso,
+                theta=spec.theta,
+                landmarks=landmarks,
+            )
+            batch = run_batch(oracle, queries, truth)
+            query_series[method].append(batch.query_ms)
+            select_series[method].append(select_seconds)
+    return {
+        "dataset": dataset,
+        "landmark_counts": list(landmark_counts),
+        "query_ms": query_series,
+        "selection_seconds": select_series,
+    }
+
+
+def format_figure5(data: dict[str, object]) -> str:
+    """Render the Figure 5 sweep as two text series."""
+    counts = data["landmark_counts"]
+    parts = [
+        render_series(
+            f"Figure 5a: ADISO query time (ms) vs N_L ({data['dataset']})",
+            "N_L",
+            counts,
+            data["query_ms"],
+        ),
+        render_series(
+            f"Figure 5b: landmark selection time (s) vs N_L "
+            f"({data['dataset']})",
+            "N_L",
+            counts,
+            data["selection_seconds"],
+            fmt=lambda v: f"{v:.3f}",
+        ),
+    ]
+    return "\n\n".join(parts)

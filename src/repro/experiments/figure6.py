@@ -1,0 +1,92 @@
+"""Figure 6 — robustness: query time versus failure intensity.
+
+The paper sweeps the two failure knobs of the query generator on a road
+dataset (a, b) and on Pokec (c, d):
+
+* ``f_gen`` — essential on-path failures (a, c): landmark-guided
+  methods (ADISO, ADISO-P, A*) degrade together as lower bounds become
+  stale, while DISO is insensitive;
+* ``p`` — background random failure rate (b, d): DISO- degrades sharply
+  (BFS detection + from-scratch recomputation) while DISO stays flat —
+  the headline evidence for the second-level index.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import compare_methods
+from repro.experiments.report import render_series
+from repro.experiments.table5 import standard_factories
+from repro.workload.datasets import DATASETS, load_dataset
+from repro.workload.queries import generate_queries
+
+
+def run_figure6(
+    dataset: str = "NY",
+    scale: float = 0.5,
+    f_gen_values: tuple[int, ...] = (0, 5, 10),
+    p_values: tuple[float, ...] = (0.0, 0.0005, 0.002),
+    query_count: int = 15,
+    seed: int = 7,
+    methods: tuple[str, ...] | None = None,
+    fddo_landmarks: int = 12,
+) -> dict[str, object]:
+    """Sweep ``f_gen`` (at p = 0.05%) and ``p`` (at f_gen = 5).
+
+    Returns per-method query-time series for both sweeps.
+    """
+    spec = DATASETS[dataset]
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    factories = standard_factories(
+        spec, seed=seed, fddo_landmarks=fddo_landmarks
+    )
+    if methods is not None:
+        factories = {
+            name: factory
+            for name, factory in factories.items()
+            if name in methods
+        }
+
+    fgen_series: dict[str, list[float]] = {m: [] for m in factories}
+    for f_gen in f_gen_values:
+        queries = generate_queries(
+            graph, query_count, f_gen=f_gen, p=0.0005, seed=seed
+        )
+        results = compare_methods(graph, factories, queries)
+        for method, batch in results.items():
+            fgen_series[method].append(batch.query_ms)
+
+    p_series: dict[str, list[float]] = {m: [] for m in factories}
+    for p in p_values:
+        queries = generate_queries(
+            graph, query_count, f_gen=5, p=p, seed=seed
+        )
+        results = compare_methods(graph, factories, queries)
+        for method, batch in results.items():
+            p_series[method].append(batch.query_ms)
+
+    return {
+        "dataset": dataset,
+        "f_gen_values": list(f_gen_values),
+        "p_values": list(p_values),
+        "query_ms_vs_fgen": fgen_series,
+        "query_ms_vs_p": p_series,
+    }
+
+
+def format_figure6(data: dict[str, object]) -> str:
+    """Render both Figure 6 sweeps as text series."""
+    parts = [
+        render_series(
+            f"Figure 6: query time (ms) vs f_gen ({data['dataset']})",
+            "f_gen",
+            data["f_gen_values"],
+            data["query_ms_vs_fgen"],
+        ),
+        render_series(
+            f"Figure 6: query time (ms) vs p ({data['dataset']})",
+            "p",
+            data["p_values"],
+            data["query_ms_vs_p"],
+        ),
+    ]
+    return "\n\n".join(parts)

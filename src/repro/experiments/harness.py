@@ -1,0 +1,135 @@
+"""Experiment harness: timing and accuracy measurement over query batches.
+
+Mirrors the paper's measurement protocol (Section 7.1): every number is
+an average over a batch of generated queries (the paper uses 100), query
+time is wall-clock per query, accuracy of approximate methods is the
+relative error against the exact Dijkstra answer, and preprocessing time
+is the oracle constructor's wall clock.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.graph.digraph import DiGraph
+from repro.oracle.base import INFINITY, DistanceSensitivityOracle
+from repro.pathing.dijkstra import shortest_distance
+from repro.workload.queries import Query
+
+OracleFactory = Callable[[DiGraph], DistanceSensitivityOracle]
+
+
+@dataclass
+class BatchResult:
+    """Aggregated measurements of one oracle over one query batch.
+
+    Times are in milliseconds per query, matching the units of the
+    paper's Tables 3-5.
+    """
+
+    method: str
+    preprocess_seconds: float
+    query_ms: float
+    access_ms: float
+    recompute_ms: float
+    affected_avg: float
+    error_pct: float
+    fallback_count: int
+    query_count: int
+    distances: list[float] = field(default_factory=list)
+
+
+def exact_answers(
+    graph: DiGraph,
+    queries: Sequence[Query],
+) -> list[float]:
+    """Ground-truth distances for a batch (plain Dijkstra per query)."""
+    return [
+        shortest_distance(graph, q.source, q.target, set(q.failed))
+        for q in queries
+    ]
+
+
+def run_batch(
+    oracle: DistanceSensitivityOracle,
+    queries: Sequence[Query],
+    truth: Sequence[float] | None = None,
+) -> BatchResult:
+    """Run ``queries`` through ``oracle`` and aggregate measurements.
+
+    Parameters
+    ----------
+    oracle:
+        A constructed oracle (its ``preprocess_seconds`` is reported).
+    queries:
+        The query batch.
+    truth:
+        Optional precomputed exact answers (one per query) for error
+        computation; pass None to skip accuracy accounting.
+    """
+    total_time = 0.0
+    access_time = 0.0
+    recompute_time = 0.0
+    affected_total = 0
+    fallbacks = 0
+    error_sum = 0.0
+    error_count = 0
+    distances: list[float] = []
+
+    for index, query in enumerate(queries):
+        started = time.perf_counter()
+        result = oracle.query_detailed(query.source, query.target, query.failed)
+        total_time += time.perf_counter() - started
+        distances.append(result.distance)
+        access_time += result.stats.access_seconds
+        recompute_time += result.stats.recompute_seconds
+        affected_total += result.stats.affected_count
+        fallbacks += int(result.stats.used_fallback)
+        if truth is not None:
+            exact = truth[index]
+            if exact > 0 and exact < INFINITY and result.distance < INFINITY:
+                error_sum += max(0.0, (result.distance - exact) / exact)
+                error_count += 1
+
+    count = max(1, len(queries))
+    return BatchResult(
+        method=oracle.name,
+        preprocess_seconds=oracle.preprocess_seconds,
+        query_ms=1000.0 * total_time / count,
+        access_ms=1000.0 * access_time / count,
+        recompute_ms=1000.0 * recompute_time / count,
+        affected_avg=affected_total / count,
+        error_pct=100.0 * error_sum / max(1, error_count),
+        fallback_count=fallbacks,
+        query_count=len(queries),
+    )
+
+
+def compare_methods(
+    graph: DiGraph,
+    factories: dict[str, OracleFactory],
+    queries: Sequence[Query],
+    with_truth: bool = True,
+) -> dict[str, BatchResult]:
+    """Build each oracle, run the batch, return results keyed by method.
+
+    Construction failures propagate — an experiment with a broken method
+    should fail loudly, not silently drop a row.
+    """
+    truth = exact_answers(graph, queries) if with_truth else None
+    results: dict[str, BatchResult] = {}
+    for method, factory in factories.items():
+        oracle = factory(graph)
+        batch = run_batch(oracle, queries, truth)
+        batch.method = method
+        results[method] = batch
+    return results
+
+
+def time_call(fn: Callable[[], object]) -> tuple[object, float]:
+    """Call ``fn`` and return ``(result, elapsed_seconds)``."""
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started

@@ -1,0 +1,99 @@
+"""Rendering experiment rows as paper-style text tables.
+
+The paper prints counts with k/M suffixes ("42.96k", "0.31M") and times
+in milliseconds or seconds; these helpers mimic that so measured tables
+can be eyeballed against the paper's directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def human_count(value: float) -> str:
+    """Format a count in the paper's k/M/G style."""
+    if value is None:
+        return "-"
+    if value >= 1e9:
+        return f"{value / 1e9:.2f}G"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.2f}k"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def human_ms(value: float) -> str:
+    """Format a duration given in milliseconds, k-suffixed like the paper."""
+    if value is None:
+        return "-"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.2f}k"
+    return f"{value:.2f}"
+
+
+def human_seconds(value: float) -> str:
+    """Format a duration given in seconds."""
+    if value is None:
+        return "-"
+    if value >= 1e3:
+        return f"{value / 1e3:.2f}k"
+    return f"{value:.2f}"
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[tuple[str, str]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        Mappings from column key to already-formatted cell values.
+    columns:
+        ``(key, header)`` pairs in display order.
+    title:
+        Optional title line.
+    """
+    headers = [header for _, header in columns]
+    table: list[list[str]] = [headers]
+    for row in rows:
+        table.append([str(row.get(key, "-")) for key, _ in columns])
+    widths = [
+        max(len(line[i]) for line in table) for i in range(len(columns))
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    for line_index, line in enumerate(table):
+        lines.append(
+            " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(line))
+        )
+        if line_index == 0:
+            lines.append(separator)
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    fmt=human_ms,
+) -> str:
+    """Render figure-style data (one line per method over an x sweep)."""
+    columns = [("__x", x_label)] + [(name, name) for name in series]
+    rows = []
+    for i, x in enumerate(x_values):
+        row: dict[str, object] = {"__x": str(x)}
+        for name, values in series.items():
+            row[name] = fmt(values[i]) if i < len(values) else "-"
+        rows.append(row)
+    return render_table(rows, columns, title=title)

@@ -1,0 +1,205 @@
+"""Parameter sensitivity experiments (paper supplemental material).
+
+The paper's supplemental material tunes three knobs before the main
+evaluation; these harnesses reproduce the sweeps:
+
+* **theta** — Algorithm 1's density threshold: larger theta eliminates
+  more nodes (smaller |C|) at the price of a denser overlay, with an
+  intermediate optimum for query time (the paper settles on 1 for road
+  and 16 for social networks);
+* **alpha** — SLS's coverage slack: controls how demanding the
+  pair-coverage test is during landmark selection (0.1 road / 0.25
+  social in the paper);
+* **affected-node count vs p** — how many transit nodes a random
+  failure rate touches, the quantity driving lazy-recomputation cost
+  (reported alongside Table 3 in the supplemental).
+
+A fourth harness measures **parallel throughput scaling**, backing the
+paper's multi-threaded no-stall claim (Section 1).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import exact_answers, run_batch
+from repro.experiments.report import render_series
+from repro.cover.isc import isc_path_cover
+from repro.landmarks.selection import sls_landmarks
+from repro.oracle.adiso import ADISO
+from repro.oracle.diso import DISO
+from repro.oracle.parallel import QueryEngine
+from repro.workload.datasets import DATASETS, load_dataset
+from repro.workload.queries import generate_queries
+
+
+def run_theta_sweep(
+    dataset: str = "DBLP",
+    scale: float = 0.5,
+    thetas: tuple[float, ...] = (0.0, 4.0, 16.0, 64.0),
+    query_count: int = 12,
+    seed: int = 7,
+) -> dict[str, object]:
+    """Sweep Algorithm 1's theta; report |C|, |E_D|, and query time."""
+    spec = DATASETS[dataset]
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    queries = generate_queries(graph, query_count, f_gen=5, p=0.0005, seed=seed)
+    truth = exact_answers(graph, queries)
+    cover_sizes: list[float] = []
+    overlay_edges: list[float] = []
+    query_ms: list[float] = []
+    for theta in thetas:
+        cover = isc_path_cover(graph, tau=spec.tau_diso, theta=theta).cover
+        oracle = DISO(graph, transit=cover)
+        batch = run_batch(oracle, queries, truth)
+        cover_sizes.append(len(cover))
+        overlay_edges.append(oracle.distance_graph.num_edges)
+        query_ms.append(batch.query_ms)
+    return {
+        "dataset": dataset,
+        "thetas": list(thetas),
+        "cover_sizes": cover_sizes,
+        "overlay_edges": overlay_edges,
+        "query_ms": query_ms,
+    }
+
+
+def format_theta_sweep(data: dict[str, object]) -> str:
+    """Render the theta sweep."""
+    return render_series(
+        f"Supplemental: theta sensitivity ({data['dataset']})",
+        "theta",
+        data["thetas"],
+        {
+            "|C|": data["cover_sizes"],
+            "|E_D|": data["overlay_edges"],
+            "query_ms": data["query_ms"],
+        },
+        fmt=lambda v: f"{v:.2f}",
+    )
+
+
+def run_alpha_sweep(
+    dataset: str = "NY",
+    scale: float = 0.5,
+    alphas: tuple[float, ...] = (0.05, 0.1, 0.25, 0.5),
+    num_landmarks: int = 8,
+    query_count: int = 12,
+    seed: int = 7,
+) -> dict[str, object]:
+    """Sweep SLS's alpha; report ADISO query time per setting."""
+    spec = DATASETS[dataset]
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    queries = generate_queries(graph, query_count, f_gen=5, p=0.0005, seed=seed)
+    truth = exact_answers(graph, queries)
+    query_ms: list[float] = []
+    for alpha in alphas:
+        landmarks = sls_landmarks(
+            graph, num_landmarks, seed=seed, alpha=alpha
+        )
+        oracle = ADISO(
+            graph, tau=spec.tau_adiso, theta=spec.theta, landmarks=landmarks
+        )
+        batch = run_batch(oracle, queries, truth)
+        query_ms.append(batch.query_ms)
+    return {
+        "dataset": dataset,
+        "alphas": list(alphas),
+        "query_ms": query_ms,
+    }
+
+
+def format_alpha_sweep(data: dict[str, object]) -> str:
+    """Render the alpha sweep."""
+    return render_series(
+        f"Supplemental: alpha sensitivity ({data['dataset']})",
+        "alpha",
+        data["alphas"],
+        {"ADISO query_ms": data["query_ms"]},
+        fmt=lambda v: f"{v:.3f}",
+    )
+
+
+def run_affected_nodes_sweep(
+    dataset: str = "NY",
+    scale: float = 0.5,
+    p_values: tuple[float, ...] = (0.0, 0.0005, 0.002, 0.008),
+    query_count: int = 12,
+    seed: int = 7,
+) -> dict[str, object]:
+    """Measure average affected-node counts as ``p`` grows."""
+    spec = DATASETS[dataset]
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    oracle = DISO(graph, tau=spec.tau_diso, theta=spec.theta)
+    affected_avg: list[float] = []
+    recompute_ms: list[float] = []
+    for p in p_values:
+        queries = generate_queries(
+            graph, query_count, f_gen=5, p=p, seed=seed
+        )
+        batch = run_batch(oracle, queries)
+        affected_avg.append(batch.affected_avg)
+        recompute_ms.append(batch.recompute_ms)
+    return {
+        "dataset": dataset,
+        "p_values": list(p_values),
+        "affected_avg": affected_avg,
+        "recompute_ms": recompute_ms,
+        "transit_size": len(oracle.transit),
+    }
+
+
+def format_affected_nodes_sweep(data: dict[str, object]) -> str:
+    """Render the affected-node sweep."""
+    return render_series(
+        f"Supplemental: affected nodes vs p ({data['dataset']}, "
+        f"|C|={data['transit_size']})",
+        "p",
+        data["p_values"],
+        {
+            "avg affected": data["affected_avg"],
+            "recompute_ms": data["recompute_ms"],
+        },
+        fmt=lambda v: f"{v:.3f}",
+    )
+
+
+def run_throughput_scaling(
+    dataset: str = "NY",
+    scale: float = 0.5,
+    thread_counts: tuple[int, ...] = (1, 2, 4),
+    query_count: int = 40,
+    seed: int = 7,
+) -> dict[str, object]:
+    """Measure parallel query throughput on one shared DISO index."""
+    spec = DATASETS[dataset]
+    graph = load_dataset(dataset, scale=scale, seed=seed)
+    oracle = DISO(graph, tau=spec.tau_diso, theta=spec.theta)
+    queries = generate_queries(
+        graph, query_count, f_gen=5, p=0.002, seed=seed
+    )
+    qps: list[float] = []
+    reference: list[float] | None = None
+    for threads in thread_counts:
+        engine = QueryEngine(oracle, threads=threads)
+        report = engine.run(queries)
+        if reference is None:
+            reference = report.answers
+        else:
+            # Concurrency must never change answers.
+            assert report.answers == reference
+        qps.append(report.queries_per_second)
+    return {
+        "dataset": dataset,
+        "thread_counts": list(thread_counts),
+        "queries_per_second": qps,
+    }
+
+
+def format_throughput_scaling(data: dict[str, object]) -> str:
+    """Render the throughput scaling sweep."""
+    return render_series(
+        f"Throughput scaling ({data['dataset']})",
+        "threads",
+        data["thread_counts"],
+        {"queries/s": data["queries_per_second"]},
+        fmt=lambda v: f"{v:.0f}",
+    )

@@ -1,0 +1,203 @@
+"""One-shot driver: run every reproduction experiment and collate.
+
+``run_all`` executes each table, figure, supplemental sweep, and
+extension experiment at a configurable scale and returns the formatted
+sections; the CLI exposes it as ``repro-dso experiment all``.  Use a
+small scale (0.2-0.3) for a quick look and 0.5+ for the numbers
+EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+
+def run_all(
+    scale: float = 0.3,
+    query_count: int = 10,
+    seed: int = 7,
+    progress: Callable[[str], None] | None = None,
+) -> list[tuple[str, str]]:
+    """Run every experiment; return ``(name, formatted_text)`` sections.
+
+    Parameters
+    ----------
+    scale:
+        Dataset scale shared by all experiments.
+    query_count:
+        Queries per measurement batch.
+    seed:
+        Shared determinism seed.
+    progress:
+        Optional callback invoked with each experiment name before it
+        runs (the CLI prints them).
+    """
+    from repro import experiments as exp
+
+    sections: list[tuple[str, str]] = []
+
+    def announce(name: str) -> None:
+        if progress is not None:
+            progress(name)
+
+    announce("table2")
+    sections.append(
+        ("table2", exp.format_table2(exp.run_table2(scale=scale, seed=seed)))
+    )
+    announce("table3")
+    sections.append(
+        (
+            "table3",
+            exp.format_table3(
+                exp.run_table3(
+                    scale=scale, query_count=query_count, seed=seed
+                )
+            ),
+        )
+    )
+    announce("table4")
+    sections.append(
+        (
+            "table4",
+            exp.format_table4(
+                exp.run_table4(
+                    scale=scale, query_count=query_count, seed=seed
+                )
+            ),
+        )
+    )
+    announce("table5")
+    sections.append(
+        (
+            "table5",
+            exp.format_table5(
+                exp.run_table5(
+                    scale=scale, query_count=query_count, seed=seed
+                )
+            ),
+        )
+    )
+    announce("table6")
+    sections.append(
+        ("table6", exp.format_table6(exp.run_table6(scale=scale, seed=seed)))
+    )
+    announce("figure4")
+    sections.append(
+        (
+            "figure4",
+            exp.format_figure4(
+                exp.run_figure4(
+                    scale=scale, query_count=query_count, seed=seed
+                )
+            ),
+        )
+    )
+    announce("figure5")
+    sections.append(
+        (
+            "figure5",
+            exp.format_figure5(
+                exp.run_figure5(
+                    scale=scale, query_count=query_count, seed=seed
+                )
+            ),
+        )
+    )
+    announce("figure6")
+    sections.append(
+        (
+            "figure6",
+            exp.format_figure6(
+                exp.run_figure6(
+                    scale=scale, query_count=query_count, seed=seed
+                )
+            ),
+        )
+    )
+    announce("accuracy")
+    sections.append(
+        (
+            "accuracy",
+            exp.format_accuracy(
+                exp.run_accuracy(
+                    scale=scale, query_count=query_count, seed=seed
+                )
+            ),
+        )
+    )
+    announce("theta")
+    sections.append(
+        (
+            "theta",
+            exp.format_theta_sweep(
+                exp.run_theta_sweep(
+                    scale=scale, query_count=query_count, seed=seed
+                )
+            ),
+        )
+    )
+    announce("alpha")
+    sections.append(
+        (
+            "alpha",
+            exp.format_alpha_sweep(
+                exp.run_alpha_sweep(
+                    scale=scale, query_count=query_count, seed=seed
+                )
+            ),
+        )
+    )
+    announce("affected")
+    sections.append(
+        (
+            "affected",
+            exp.format_affected_nodes_sweep(
+                exp.run_affected_nodes_sweep(
+                    scale=scale, query_count=query_count, seed=seed
+                )
+            ),
+        )
+    )
+    announce("throughput")
+    sections.append(
+        (
+            "throughput",
+            exp.format_throughput_scaling(
+                exp.run_throughput_scaling(
+                    scale=scale, query_count=query_count * 3, seed=seed
+                )
+            ),
+        )
+    )
+    announce("maintenance")
+    sections.append(
+        (
+            "maintenance",
+            exp.format_maintenance_experiment(
+                exp.run_maintenance_experiment(
+                    scale=scale, query_count=query_count, seed=seed
+                )
+            ),
+        )
+    )
+    announce("replay")
+    sections.append(
+        (
+            "replay",
+            exp.format_replay(
+                exp.run_replay(
+                    scale=scale, query_count=query_count, seed=seed
+                )
+            ),
+        )
+    )
+    return sections
+
+
+def format_all(sections: list[tuple[str, str]]) -> str:
+    """Join all sections into one report document."""
+    parts = []
+    for name, text in sections:
+        banner = "=" * 72
+        parts.append(f"{banner}\n# {name}\n{banner}\n{text}")
+    return "\n\n".join(parts)

@@ -1,0 +1,127 @@
+"""Table 5 — overall query time and preprocessing time, all methods.
+
+The paper's headline table: per dataset, the query time and
+preprocessing time of DISO-, DISO, ADISO, DISO-S (social only),
+ADISO-P (road only), FDDO, A*, and DI.  Expected shape on road
+networks: ADISO-P < ADISO < DISO < A* < DI << FDDO; on social networks
+DISO-S leads and FDDO remains slowest.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.baselines.astar_oracle import AStarOracle
+from repro.baselines.dijkstra_oracle import DijkstraOracle
+from repro.baselines.fddo import FDDOOracle
+from repro.experiments.harness import compare_methods
+from repro.experiments.report import human_ms, human_seconds, render_table
+from repro.graph.digraph import DiGraph
+from repro.oracle.adiso import ADISO
+from repro.oracle.adiso_p import ADISOPartial
+from repro.oracle.diso import DISO
+from repro.oracle.diso_minus import DISOMinus
+from repro.oracle.diso_s import DISOSparse
+from repro.workload.datasets import DATASETS, load_dataset
+from repro.workload.queries import generate_queries
+
+
+def standard_factories(
+    spec,
+    seed: int = 7,
+    fddo_landmarks: int = 20,
+) -> dict[str, Callable[[DiGraph], object]]:
+    """Oracle factories with the paper's per-family parameters.
+
+    Road datasets get ADISO-P; social datasets get DISO-S, matching the
+    paper's table layout.
+    """
+    factories: dict[str, Callable[[DiGraph], object]] = {
+        "DISO-": lambda g: DISOMinus(
+            g, tau=spec.tau_diso, theta=spec.theta
+        ),
+        "DISO": lambda g: DISO(g, tau=spec.tau_diso, theta=spec.theta),
+        "ADISO": lambda g: ADISO(
+            g,
+            tau=spec.tau_adiso,
+            theta=spec.theta,
+            alpha=spec.alpha,
+            seed=seed,
+        ),
+    }
+    if spec.kind == "road":
+        factories["ADISO-P"] = lambda g: ADISOPartial(
+            g,
+            tau=spec.tau_adiso,
+            theta=spec.theta,
+            alpha=spec.alpha,
+            seed=seed,
+            tau_h=2,
+        )
+    else:
+        factories["DISO-S"] = lambda g: DISOSparse(
+            g, beta=spec.beta, tau=spec.tau_diso, theta=spec.theta
+        )
+    factories["FDDO"] = lambda g: FDDOOracle(
+        g, num_landmarks=fddo_landmarks, seed=seed
+    )
+    factories["A*"] = lambda g: AStarOracle(g, alpha=spec.alpha, seed=seed)
+    factories["DI"] = lambda g: DijkstraOracle(g)
+    return factories
+
+
+def run_table5(
+    datasets: tuple[str, ...] = ("NY", "DBLP"),
+    scale: float = 0.5,
+    query_count: int = 20,
+    seed: int = 7,
+    fddo_landmarks: int = 20,
+) -> list[dict[str, object]]:
+    """Reproduce Table 5 rows (one per dataset x method)."""
+    rows: list[dict[str, object]] = []
+    for name in datasets:
+        spec = DATASETS[name]
+        graph = load_dataset(name, scale=scale, seed=seed)
+        queries = generate_queries(
+            graph, query_count, f_gen=5, p=0.0005, seed=seed
+        )
+        factories = standard_factories(
+            spec, seed=seed, fddo_landmarks=fddo_landmarks
+        )
+        results = compare_methods(graph, factories, queries)
+        for method, batch in results.items():
+            rows.append(
+                {
+                    "dataset": name,
+                    "method": method,
+                    "query_ms": batch.query_ms,
+                    "preprocess_seconds": batch.preprocess_seconds,
+                    "error_pct": batch.error_pct,
+                }
+            )
+    return rows
+
+
+def format_table5(rows: list[dict[str, object]]) -> str:
+    """Render :func:`run_table5` rows like the paper's Table 5."""
+    display = [
+        {
+            "dataset": row["dataset"],
+            "method": row["method"],
+            "query": human_ms(row["query_ms"]),
+            "preprocess": human_seconds(row["preprocess_seconds"]),
+            "error": f"{row['error_pct']:.2f}%",
+        }
+        for row in rows
+    ]
+    return render_table(
+        display,
+        columns=[
+            ("dataset", "Data"),
+            ("method", "Method"),
+            ("query", "Query(ms)"),
+            ("preprocess", "Prep(s)"),
+            ("error", "Avg err"),
+        ],
+        title="Table 5: overall query and preprocessing time",
+    )

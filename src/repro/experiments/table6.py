@@ -1,0 +1,74 @@
+"""Table 6 — index sizes of DISO, ADISO, FDDO, and A*.
+
+The paper reports preprocessed index sizes in MB.  Expected shape:
+DISO smallest (overlay + trees + inverted index), A* next (landmark
+distance tables), ADISO = DISO + landmark tables, FDDO largest
+(50 full landmark trees in both directions).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.astar_oracle import AStarOracle
+from repro.baselines.fddo import FDDOOracle
+from repro.experiments.report import render_table
+from repro.oracle.adiso import ADISO
+from repro.oracle.diso import DISO
+from repro.oracle.sizing import index_size_megabytes
+from repro.workload.datasets import DATASETS, load_dataset
+
+
+def run_table6(
+    datasets: tuple[str, ...] = ("NY", "DBLP"),
+    scale: float = 0.5,
+    seed: int = 7,
+    fddo_landmarks: int = 20,
+) -> list[dict[str, object]]:
+    """Reproduce Table 6 rows: index size (MB) per dataset x method."""
+    rows: list[dict[str, object]] = []
+    for name in datasets:
+        spec = DATASETS[name]
+        graph = load_dataset(name, scale=scale, seed=seed)
+        oracles = {
+            "DISO": DISO(graph, tau=spec.tau_diso, theta=spec.theta),
+            "ADISO": ADISO(
+                graph,
+                tau=spec.tau_adiso,
+                theta=spec.theta,
+                alpha=spec.alpha,
+                seed=seed,
+            ),
+            "FDDO": FDDOOracle(
+                graph, num_landmarks=fddo_landmarks, seed=seed
+            ),
+            "A*": AStarOracle(graph, alpha=spec.alpha, seed=seed),
+        }
+        for method, oracle in oracles.items():
+            rows.append(
+                {
+                    "dataset": name,
+                    "method": method,
+                    "size_mb": index_size_megabytes(oracle),
+                }
+            )
+    return rows
+
+
+def format_table6(rows: list[dict[str, object]]) -> str:
+    """Render :func:`run_table6` rows like the paper's Table 6."""
+    display = [
+        {
+            "dataset": row["dataset"],
+            "method": row["method"],
+            "size": f"{row['size_mb']:.3f}",
+        }
+        for row in rows
+    ]
+    return render_table(
+        display,
+        columns=[
+            ("dataset", "Data"),
+            ("method", "Method"),
+            ("size", "Index size (MB)"),
+        ],
+        title="Table 6: index sizes",
+    )

@@ -1,0 +1,59 @@
+"""Graph substrate: representation, I/O, generators, and transforms."""
+
+from repro.graph.csr import FrozenGraph, csr_dijkstra, csr_distance
+from repro.graph.digraph import DiGraph, Edge, WeightedEdge
+from repro.graph.generators import (
+    complete_network,
+    gnm_random_graph,
+    grid_network,
+    path_network,
+    ring_network,
+    road_network,
+    scale_free_network,
+)
+from repro.graph.io import (
+    graph_from_string,
+    read_dimacs,
+    read_edge_list,
+    write_dimacs,
+    write_edge_list,
+)
+from repro.graph.transforms import (
+    assign_uniform_weights,
+    is_strongly_connected,
+    largest_strongly_connected_subgraph,
+    remove_self_loops,
+    scale_weights,
+    strongly_connected_components,
+    symmetrize,
+    without_edges,
+)
+
+__all__ = [
+    "DiGraph",
+    "FrozenGraph",
+    "csr_dijkstra",
+    "csr_distance",
+    "Edge",
+    "WeightedEdge",
+    "road_network",
+    "scale_free_network",
+    "gnm_random_graph",
+    "ring_network",
+    "path_network",
+    "complete_network",
+    "grid_network",
+    "read_dimacs",
+    "write_dimacs",
+    "read_edge_list",
+    "write_edge_list",
+    "graph_from_string",
+    "symmetrize",
+    "assign_uniform_weights",
+    "scale_weights",
+    "remove_self_loops",
+    "strongly_connected_components",
+    "largest_strongly_connected_subgraph",
+    "is_strongly_connected",
+    "without_edges",
+]

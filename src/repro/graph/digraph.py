@@ -1,0 +1,325 @@
+"""A directed, weighted graph tailored for shortest-path workloads.
+
+The paper formulates every structure over a directed graph ``G = (V, E)``
+with non-negative real edge weights (Section 3.1).  :class:`DiGraph` is the
+single graph representation used throughout this library: the input graph,
+the distance graph ``D`` (Definition 4.1), and the second-level overlay
+``H`` used by partial detouring are all instances of it.
+
+Design notes
+------------
+* Nodes are integers.  They do not need to be contiguous, although the
+  synthetic generators emit ``0..n-1``.
+* Adjacency is stored as dict-of-dict in both directions
+  (``successors`` and ``predecessors``), so that edge-weight lookup,
+  failed-edge checks, and the reverse traversals needed by in-access node
+  computation are all O(1) per edge.
+* Weights are validated to be non-negative at insertion time, because every
+  algorithm in the library (Dijkstra variants, landmark lower bounds)
+  silently produces wrong answers on negative weights.
+* Multi-edges collapse to the minimum weight, matching the paper's data
+  preparation: "if there exist multiple edges defined over the same node
+  pair, we only take the minimum weight edge" (Section 7.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.exceptions import (
+    EdgeNotFoundError,
+    NegativeWeightError,
+    NodeNotFoundError,
+)
+
+Edge = tuple[int, int]
+WeightedEdge = tuple[int, int, float]
+
+
+class DiGraph:
+    """A mutable directed graph with non-negative edge weights.
+
+    Parameters
+    ----------
+    edges:
+        Optional iterable of ``(tail, head, weight)`` triples to insert at
+        construction time.  Endpoints are added implicitly.
+
+    Examples
+    --------
+    >>> g = DiGraph([(0, 1, 1.0), (1, 2, 2.5)])
+    >>> g.number_of_nodes(), g.number_of_edges()
+    (3, 2)
+    >>> g.weight(1, 2)
+    2.5
+    """
+
+    __slots__ = ("_succ", "_pred", "_num_edges")
+
+    def __init__(self, edges: Iterable[WeightedEdge] | None = None) -> None:
+        self._succ: dict[int, dict[int, float]] = {}
+        self._pred: dict[int, dict[int, float]] = {}
+        self._num_edges = 0
+        if edges is not None:
+            for tail, head, weight in edges:
+                self.add_edge(tail, head, weight)
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+    def add_node(self, node: int) -> None:
+        """Add ``node`` to the graph; a no-op if it already exists."""
+        if node not in self._succ:
+            self._succ[node] = {}
+            self._pred[node] = {}
+
+    def add_nodes(self, nodes: Iterable[int]) -> None:
+        """Add every node in ``nodes``."""
+        for node in nodes:
+            self.add_node(node)
+
+    def remove_node(self, node: int) -> None:
+        """Remove ``node`` and every edge incident to it.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If ``node`` is not in the graph.
+        """
+        if node not in self._succ:
+            raise NodeNotFoundError(node)
+        for head in list(self._succ[node]):
+            self.remove_edge(node, head)
+        for tail in list(self._pred[node]):
+            self.remove_edge(tail, node)
+        del self._succ[node]
+        del self._pred[node]
+
+    def has_node(self, node: int) -> bool:
+        """Return whether ``node`` is in the graph."""
+        return node in self._succ
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over all node ids."""
+        return iter(self._succ)
+
+    def number_of_nodes(self) -> int:
+        """Return ``|V|``."""
+        return len(self._succ)
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+    def add_edge(self, tail: int, head: int, weight: float) -> None:
+        """Insert a directed edge ``(tail, head)`` with ``weight``.
+
+        Endpoints are created implicitly.  If the edge already exists the
+        minimum of the old and new weight is kept (multi-edge collapse, as
+        in the paper's data preparation).
+
+        Raises
+        ------
+        NegativeWeightError
+            If ``weight`` is negative.
+        """
+        if weight < 0:
+            raise NegativeWeightError(tail, head, weight)
+        self.add_node(tail)
+        self.add_node(head)
+        succ_tail = self._succ[tail]
+        if head in succ_tail:
+            if weight < succ_tail[head]:
+                succ_tail[head] = weight
+                self._pred[head][tail] = weight
+        else:
+            succ_tail[head] = weight
+            self._pred[head][tail] = weight
+            self._num_edges += 1
+
+    def set_weight(self, tail: int, head: int, weight: float) -> None:
+        """Overwrite the weight of an existing edge.
+
+        Unlike :meth:`add_edge` this never keeps the old weight, which is
+        what the maintenance strategies need for weight increases.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge does not exist.
+        NegativeWeightError
+            If ``weight`` is negative.
+        """
+        if weight < 0:
+            raise NegativeWeightError(tail, head, weight)
+        if not self.has_edge(tail, head):
+            raise EdgeNotFoundError(tail, head)
+        self._succ[tail][head] = weight
+        self._pred[head][tail] = weight
+
+    def remove_edge(self, tail: int, head: int) -> None:
+        """Remove the directed edge ``(tail, head)``.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge does not exist.
+        """
+        try:
+            del self._succ[tail][head]
+            del self._pred[head][tail]
+        except KeyError:
+            raise EdgeNotFoundError(tail, head) from None
+        self._num_edges -= 1
+
+    def has_edge(self, tail: int, head: int) -> bool:
+        """Return whether the directed edge ``(tail, head)`` exists."""
+        succ_tail = self._succ.get(tail)
+        return succ_tail is not None and head in succ_tail
+
+    def weight(self, tail: int, head: int) -> float:
+        """Return the weight of edge ``(tail, head)``.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge does not exist.
+        """
+        try:
+            return self._succ[tail][head]
+        except KeyError:
+            raise EdgeNotFoundError(tail, head) from None
+
+    def edges(self) -> Iterator[WeightedEdge]:
+        """Iterate over ``(tail, head, weight)`` for every edge."""
+        for tail, heads in self._succ.items():
+            for head, weight in heads.items():
+                yield tail, head, weight
+
+    def edge_set(self) -> set[Edge]:
+        """Return the set of ``(tail, head)`` pairs."""
+        return {(tail, head) for tail, head, _ in self.edges()}
+
+    def number_of_edges(self) -> int:
+        """Return ``|E|``."""
+        return self._num_edges
+
+    # ------------------------------------------------------------------
+    # Neighborhoods
+    # ------------------------------------------------------------------
+    def successors(self, node: int) -> dict[int, float]:
+        """Return the ``{head: weight}`` map of out-edges of ``node``.
+
+        The returned mapping is the live internal structure; callers must
+        not mutate it.  This is the hot path of every Dijkstra variant, so
+        no defensive copy is made.
+        """
+        try:
+            return self._succ[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def predecessors(self, node: int) -> dict[int, float]:
+        """Return the ``{tail: weight}`` map of in-edges of ``node``."""
+        try:
+            return self._pred[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def out_degree(self, node: int) -> int:
+        """Return the number of out-edges of ``node``."""
+        return len(self.successors(node))
+
+    def in_degree(self, node: int) -> int:
+        """Return the number of in-edges of ``node``."""
+        return len(self.predecessors(node))
+
+    def degree(self, node: int) -> int:
+        """Return in-degree plus out-degree of ``node``."""
+        return self.in_degree(node) + self.out_degree(node)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "DiGraph":
+        """Return a deep structural copy of this graph."""
+        clone = DiGraph()
+        for node in self._succ:
+            clone.add_node(node)
+        for tail, head, weight in self.edges():
+            clone.add_edge(tail, head, weight)
+        return clone
+
+    def reverse(self) -> "DiGraph":
+        """Return a new graph with every edge direction flipped."""
+        rev = DiGraph()
+        for node in self._succ:
+            rev.add_node(node)
+        for tail, head, weight in self.edges():
+            rev.add_edge(head, tail, weight)
+        return rev
+
+    def subgraph(self, nodes: Iterable[int]) -> "DiGraph":
+        """Return the subgraph induced by ``nodes``.
+
+        Nodes not present in this graph are ignored.
+        """
+        keep = {node for node in nodes if node in self._succ}
+        sub = DiGraph()
+        for node in keep:
+            sub.add_node(node)
+        for tail in keep:
+            for head, weight in self._succ[tail].items():
+                if head in keep:
+                    sub.add_edge(tail, head, weight)
+        return sub
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def average_degree(self) -> float:
+        """Return the average (out-)degree ``|E| / |V|``.
+
+        Matches the "Avg. deg." column of the paper's Table 2 when the
+        graph was symmetrised from an undirected one (each undirected edge
+        counted once per direction over n nodes).
+        """
+        n = self.number_of_nodes()
+        if n == 0:
+            return 0.0
+        return self._num_edges / n
+
+    def max_degree(self) -> int:
+        """Return the maximum total degree over all nodes."""
+        best = 0
+        for node in self._succ:
+            d = len(self._succ[node]) + len(self._pred[node])
+            if d > best:
+                best = d
+        return best
+
+    def total_weight(self) -> float:
+        """Return the sum of all edge weights."""
+        return sum(weight for _, _, weight in self.edges())
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __contains__(self, node: int) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._succ)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiGraph):
+            return NotImplemented
+        return self._succ == other._succ
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(nodes={self.number_of_nodes()}, "
+            f"edges={self.number_of_edges()})"
+        )

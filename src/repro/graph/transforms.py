@@ -1,0 +1,172 @@
+"""Graph transformations used in data preparation and preprocessing.
+
+These mirror the paper's Section 7.1 data-preparation steps (symmetrising
+undirected social networks, collapsing multi-edges, assigning uniform
+random weights) plus utilities needed internally (strongly connected
+components, largest-SCC restriction so queries always have answers).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from repro.graph.digraph import DiGraph, Edge
+
+
+def symmetrize(graph: DiGraph) -> DiGraph:
+    """Return a copy with a reverse edge added for every edge.
+
+    Matches the paper: "For the undirected graphs, we make them directed
+    by adding an edge (v, u) for each edge (u, v)".  When both directions
+    already exist the minimum weight per direction is kept.
+    """
+    result = graph.copy()
+    for tail, head, weight in list(graph.edges()):
+        result.add_edge(head, tail, weight)
+    return result
+
+
+def assign_uniform_weights(
+    graph: DiGraph,
+    seed: int = 0,
+    low: float = 0.0,
+    high: float = 1.0,
+) -> DiGraph:
+    """Return a copy with every edge weight resampled uniformly.
+
+    Matches the paper's protocol for social networks: "we set the weight
+    of each edge as a real value that is sampled uniformly at random from
+    0 to 1".  Weights get a tiny positive floor so they stay strictly
+    positive (zero-weight cycles break path uniqueness assumptions).
+    """
+    rng = random.Random(seed)
+    result = DiGraph()
+    for node in graph.nodes():
+        result.add_node(node)
+    for tail, head, _ in sorted(graph.edges()):
+        weight = low + rng.random() * (high - low)
+        result.add_edge(tail, head, max(weight, 1e-9))
+    return result
+
+
+def scale_weights(graph: DiGraph, factor: float) -> DiGraph:
+    """Return a copy with every weight multiplied by ``factor``."""
+    if factor < 0:
+        raise ValueError("factor must be non-negative")
+    result = DiGraph()
+    for node in graph.nodes():
+        result.add_node(node)
+    for tail, head, weight in graph.edges():
+        result.add_edge(tail, head, weight * factor)
+    return result
+
+
+def remove_self_loops(graph: DiGraph) -> DiGraph:
+    """Return a copy without self-loop edges."""
+    result = DiGraph()
+    for node in graph.nodes():
+        result.add_node(node)
+    for tail, head, weight in graph.edges():
+        if tail != head:
+            result.add_edge(tail, head, weight)
+    return result
+
+
+def strongly_connected_components(graph: DiGraph) -> list[set[int]]:
+    """Return the strongly connected components of ``graph``.
+
+    Iterative Tarjan's algorithm (no recursion, safe for deep graphs).
+    Components are returned in reverse topological order of the
+    condensation, as Tarjan produces them.
+    """
+    index_of: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    components: list[set[int]] = []
+    counter = 0
+
+    for root in graph.nodes():
+        if root in index_of:
+            continue
+        # Each frame is (node, iterator over successors).
+        work = [(root, iter(graph.successors(root)))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(graph.successors(succ))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    if index_of[succ] < lowlink[node]:
+                        lowlink[node] = index_of[succ]
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if lowlink[node] < lowlink[parent]:
+                    lowlink[parent] = lowlink[node]
+            if lowlink[node] == index_of[node]:
+                component: set[int] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def largest_strongly_connected_subgraph(graph: DiGraph) -> DiGraph:
+    """Return the subgraph induced by the largest SCC.
+
+    Benchmarks restrict queries to the largest SCC so that every (s, t)
+    pair has a finite failure-free distance, mirroring how shortest-path
+    papers sample query endpoints from the main component.
+    """
+    components = strongly_connected_components(graph)
+    if not components:
+        return DiGraph()
+    largest = max(components, key=len)
+    return graph.subgraph(largest)
+
+
+def is_strongly_connected(graph: DiGraph) -> bool:
+    """Return whether ``graph`` is strongly connected (and non-empty)."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        return False
+    components = strongly_connected_components(graph)
+    return len(components) == 1
+
+
+def without_edges(graph: DiGraph, edges: Iterable[Edge]) -> DiGraph:
+    """Return a copy of ``graph`` with ``edges`` removed.
+
+    Missing edges are silently skipped, matching the semantics of the
+    failed-edge set ``F`` (a query may name edges that were already
+    removed by a concurrent maintenance operation).
+    """
+    result = graph.copy()
+    for tail, head in edges:
+        if result.has_edge(tail, head):
+            result.remove_edge(tail, head)
+    return result
+
+
+def induced_weight_map(graph: DiGraph) -> dict[Edge, float]:
+    """Return a ``{(tail, head): weight}`` dictionary for ``graph``."""
+    return {(tail, head): weight for tail, head, weight in graph.edges()}

@@ -1,0 +1,17 @@
+"""Landmark lower bounds and selection strategies."""
+
+from repro.landmarks.base import LandmarkTable
+from repro.landmarks.selection import (
+    best_cover_landmarks,
+    max_cover_landmarks,
+    random_landmarks,
+    sls_landmarks,
+)
+
+__all__ = [
+    "LandmarkTable",
+    "random_landmarks",
+    "sls_landmarks",
+    "max_cover_landmarks",
+    "best_cover_landmarks",
+]

@@ -1,0 +1,51 @@
+"""The paper's oracles: DISO, ADISO, the boosting variants, maintenance."""
+
+from repro.oracle.adiso import ADISO
+from repro.oracle.adiso_p import ADISOPartial
+from repro.oracle.audit import audit_index
+from repro.oracle.batch import FailureStateView
+from repro.oracle.caching import CachingDISO
+from repro.oracle.base import (
+    INFINITY,
+    DistanceSensitivityOracle,
+    QueryResult,
+    QueryStats,
+    normalize_failures,
+)
+from repro.oracle.diso import DISO
+from repro.oracle.diso_bi import DISOBidirectional
+from repro.oracle.hierarchy import HierarchicalDISO
+from repro.oracle.diso_minus import DISOMinus
+from repro.oracle.diso_s import DISOSparse
+from repro.oracle.maintenance import OracleMaintainer
+from repro.oracle.parallel import QueryEngine, ThroughputReport
+from repro.oracle.paths import query_path, validate_path
+from repro.oracle.serialize import load_index, save_index
+from repro.oracle.sizing import index_size_bytes, index_size_megabytes
+
+__all__ = [
+    "DistanceSensitivityOracle",
+    "QueryResult",
+    "QueryStats",
+    "INFINITY",
+    "normalize_failures",
+    "DISO",
+    "DISOBidirectional",
+    "HierarchicalDISO",
+    "CachingDISO",
+    "FailureStateView",
+    "audit_index",
+    "DISOMinus",
+    "ADISO",
+    "DISOSparse",
+    "ADISOPartial",
+    "OracleMaintainer",
+    "QueryEngine",
+    "ThroughputReport",
+    "query_path",
+    "validate_path",
+    "save_index",
+    "load_index",
+    "index_size_bytes",
+    "index_size_megabytes",
+]

@@ -1,0 +1,238 @@
+"""Endpoint caching for repeated-endpoint workloads (paper Example 1).
+
+The paper's first motivating scenario is a user asking "multiple times
+for the same start and destination with different avoided roads".  For
+such workloads the dominant per-query cost — the two bounded Dijkstra
+runs computing the access nodes of ``s`` and ``t`` — is *recomputable
+from cache* whenever the failure set does not touch the cached bounded
+region:
+
+* the forward bounded search from ``s`` explores a fixed edge set
+  ``R_out(s)`` (independent of ``F`` as long as no edge of it fails);
+* if ``F ∩ R_out(s) = ∅``, the failure-free access map *and* the
+  direct-answer distances are still exact under ``F`` (deleting edges
+  outside the explored region cannot create shorter paths, and every
+  explored path survives);
+* membership of ``F`` in the cached region costs ``O(|F|)`` set
+  lookups — the same flavour of check as the inverted tree index.
+
+:class:`CachingDISO` wraps this around :class:`DISO`'s query algorithm.
+It is exact (property-tested) and never mutates shared state during
+queries except the endpoint cache itself, which is guarded for
+concurrent use.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+from repro.graph.digraph import DiGraph, Edge
+from repro.oracle.base import (
+    INFINITY,
+    QueryResult,
+    QueryStats,
+    normalize_failures,
+)
+from repro.oracle.diso import DISO
+from repro.pathing.bounded import BoundedSearchResult, bounded_dijkstra
+
+
+class _EndpointCache:
+    """LRU cache of bounded search results keyed by (node, direction)."""
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._entries: OrderedDict[
+            tuple[int, str], tuple[BoundedSearchResult, frozenset[Edge]]
+        ] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(
+        self,
+        node: int,
+        direction: str,
+        failed: frozenset[Edge],
+    ) -> BoundedSearchResult | None:
+        """Return a cached result valid under ``failed``, else None."""
+        key = (node, direction)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            result, region = entry
+            if failed and not failed.isdisjoint(region):
+                # The failures touch the cached region: recompute.
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
+
+    def has_entry(self, node: int, direction: str) -> bool:
+        """Whether any (possibly F-invalid) entry exists for this key."""
+        with self._lock:
+            return (node, direction) in self._entries
+
+    def store(
+        self,
+        node: int,
+        direction: str,
+        result: BoundedSearchResult,
+        region: frozenset[Edge],
+    ) -> None:
+        key = (node, direction)
+        with self._lock:
+            self._entries[key] = (result, region)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def _explored_region(
+    graph: DiGraph,
+    result: BoundedSearchResult,
+) -> frozenset[Edge]:
+    """All edges the bounded search could have relaxed.
+
+    The search's behaviour depends exactly on the edges incident to the
+    nodes it expanded (settled non-boundary nodes), in its direction of
+    travel, *plus* the edges it relaxed into boundary nodes — all of
+    which have their tail (resp. head) among expanded nodes, so taking
+    every out-edge (resp. in-edge) of every settled node that was
+    expanded is a sound over-approximation.  Any failure outside this
+    set leaves the search's outcome unchanged.
+    """
+    forward = result.direction == "out"
+    region: set[Edge] = set()
+    boundary = set(result.access)
+    for node in result.dist:
+        if node in boundary and node != result.source:
+            continue  # never expanded
+        if forward:
+            for head in graph.successors(node):
+                region.add((node, head))
+        else:
+            for tail in graph.predecessors(node):
+                region.add((tail, node))
+    return frozenset(region)
+
+
+class CachingDISO(DISO):
+    """DISO with an endpoint cache for repeated (s, t) workloads.
+
+    Parameters
+    ----------
+    graph, tau, theta, transit:
+        As in :class:`DISO`.
+    cache_size:
+        Maximum number of cached (endpoint, direction) searches.
+
+    Notes
+    -----
+    The cache is *only* a fast path: whenever the failure set touches a
+    cached region, the query recomputes exactly like plain DISO.  After
+    permanent maintenance operations call :meth:`invalidate_cache`.
+    """
+
+    name = "DISO-C"
+    exact = True
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        tau: int = 4,
+        theta: float = 1.0,
+        transit: set[int] | frozenset[int] | None = None,
+        cache_size: int = 1024,
+    ) -> None:
+        super().__init__(graph, tau=tau, theta=theta, transit=transit)
+        self._cache = _EndpointCache(cache_size)
+
+    @property
+    def cache_hits(self) -> int:
+        """Number of bounded searches served from cache."""
+        return self._cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Number of bounded searches that had to run."""
+        return self._cache.misses
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached endpoint search (after graph mutation)."""
+        self._cache.clear()
+
+    def _bounded_search(
+        self,
+        node: int,
+        direction: str,
+        failed: frozenset[Edge],
+    ) -> BoundedSearchResult:
+        cached = self._cache.lookup(node, direction, failed)
+        if cached is not None:
+            return cached
+        if not self._cache.has_entry(node, direction):
+            # First sighting of this endpoint: cache the failure-free
+            # search — its region check is what validates reuse under
+            # every future failure set.
+            clean = bounded_dijkstra(
+                self.graph, node, self.transit, None, direction
+            )
+            region = _explored_region(self.graph, clean)
+            self._cache.store(node, direction, clean, region)
+            if not failed or failed.isdisjoint(region):
+                return clean
+        # The failures touch this endpoint's region: compute under F.
+        return bounded_dijkstra(
+            self.graph, node, self.transit, set(failed), direction
+        )
+
+    def query_detailed(
+        self,
+        source: int,
+        target: int,
+        failed: set[Edge] | frozenset[Edge] | None = None,
+    ) -> QueryResult:
+        self._validate_endpoints(source, target)
+        fail_set = normalize_failures(failed)
+        stats = QueryStats()
+        started = time.perf_counter()
+        if source == target:
+            stats.total_seconds = time.perf_counter() - started
+            return QueryResult(distance=0.0, stats=stats)
+
+        affected = self._find_affected_nodes(fail_set, stats)
+        stats.affected_count = len(affected)
+
+        access_start = time.perf_counter()
+        forward = self._bounded_search(source, "out", fail_set)
+        backward = self._bounded_search(target, "in", fail_set)
+        stats.access_seconds = time.perf_counter() - access_start
+        stats.graph_settled = forward.settled_count + backward.settled_count
+
+        best = forward.dist.get(target, INFINITY)
+        overlay_best = self._overlay_search(
+            forward.access,
+            backward.access,
+            fail_set,
+            affected,
+            stats,
+            best,
+            target=target,
+        )
+        if overlay_best < best:
+            best = overlay_best
+        stats.total_seconds = time.perf_counter() - started
+        return QueryResult(distance=best, stats=stats)

@@ -1,0 +1,252 @@
+"""Hierarchical DISO: a multi-level distance-graph hierarchy.
+
+ADISO-P already builds a second overlay ``H`` — a distance graph *of*
+the distance graph.  This module generalises that to an arbitrary
+number of levels, the natural multi-level TNR the related work (highway
+hierarchies, multi-level overlay graphs) builds and the paper's
+construction supports out of the box:
+
+* level 0 is the input graph ``G``;
+* level ``i`` is the distance graph of level ``i-1`` over a k-path
+  cover of its nodes, built with the same bounded-Dijkstra machinery —
+  so ``cover_L ⊆ ... ⊆ cover_1`` and each level's edges are exact
+  transit-free distances of the level below.
+
+**Failure handling** stacks the paper's localisation level by level:
+
+* level-1 affected nodes come from the inverted tree index over ``G``
+  edges, exactly as in DISO, and their out-weights are lazily repaired
+  from their bounded trees;
+* a level-``i`` node (``i ≥ 2``) is *affected* when its level-``i``
+  bounded tree (a tree over level-``i-1`` edges) contains any edge
+  whose tail is affected at level ``i-1`` — those are precisely the
+  lower-level weights that may have changed.
+
+**Query algorithm** is DISO's with the higher levels as accelerators:
+the overlay search relaxes, for each popped node, its level-1 edges
+(repaired when affected — this alone is already exact, by Theorem 1's
+argument) *plus* the edges of every higher level at which the node is
+unaffected (valid real-path distances under ``F``, so they can only
+tighten labels, never break exactness).  Affected higher-level edges
+are simply skipped — no recomputation above level 1 is ever needed.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.graph.digraph import DiGraph, Edge
+from repro.cover.isc import isc_path_cover
+from repro.oracle.base import QueryStats
+from repro.oracle.diso import DISO
+from repro.overlay.distance_graph import DistanceGraph, build_distance_graph
+
+
+class _Level:
+    """One overlay level above the base DISO index."""
+
+    __slots__ = ("overlay", "node_to_roots")
+
+    def __init__(
+        self,
+        overlay: DistanceGraph,
+        node_to_roots: dict[int, set[int]],
+    ) -> None:
+        self.overlay = overlay
+        # Maps a lower-level node u to the roots of this level's bounded
+        # trees that contain an edge with tail u — the trees (and hence
+        # this level's out-edges) invalidated when u's lower-level
+        # weights change.
+        self.node_to_roots = node_to_roots
+
+
+class HierarchicalDISO(DISO):
+    """DISO with a multi-level distance-graph hierarchy.
+
+    Parameters
+    ----------
+    graph:
+        The input graph ``G``.
+    tau, theta, transit:
+        Level-1 parameters, as in :class:`DISO`.
+    extra_level_taus:
+        ISC rounds for each additional level, applied to the previous
+        level's overlay with ``theta = infinity`` (node reduction, as
+        ADISO-P does for ``H``).  Levels whose cover would come out
+        empty are skipped.
+    landmark_table:
+        Optional :class:`repro.landmarks.LandmarkTable`.  Without goal
+        direction, long shortcuts tighten labels but cannot *prune*: a
+        Dijkstra settles every node closer than the answer regardless.
+        With a landmark table the overlay search runs in A* order and
+        the shortcuts actually skip territory (the ADISO-P effect).
+    """
+
+    name = "DISO-H"
+    exact = True
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        tau: int = 4,
+        theta: float = 1.0,
+        transit: set[int] | frozenset[int] | None = None,
+        extra_level_taus: tuple[int, ...] = (3, 3),
+        landmark_table=None,
+    ) -> None:
+        super().__init__(graph, tau=tau, theta=theta, transit=transit)
+        self.landmarks = landmark_table
+        started = time.perf_counter()
+        self.levels: list[_Level] = []
+        current = self.distance_graph.graph
+        for level_tau in extra_level_taus:
+            cover = isc_path_cover(
+                current, tau=level_tau, theta=float("inf")
+            ).cover
+            if not cover or len(cover) >= current.number_of_nodes():
+                break
+            overlay, trees = build_distance_graph(current, cover)
+            node_to_roots: dict[int, set[int]] = {}
+            for root, tree in trees.items():
+                for parent, _child in tree.tree_edges():
+                    node_to_roots.setdefault(parent, set()).add(root)
+                # The root's own out-weights depend on the root's
+                # lower-level edges as well.
+                node_to_roots.setdefault(root, set()).add(root)
+            self.levels.append(_Level(overlay, node_to_roots))
+            current = overlay.graph
+        self.preprocess_seconds += time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Failure propagation across levels
+    # ------------------------------------------------------------------
+    def _affected_by_level(
+        self,
+        failed: frozenset[Edge],
+        stats: QueryStats,
+    ) -> list[set[int]]:
+        """Affected sets per level: index 0 = level 1 (base DISO)."""
+        per_level: list[set[int]] = [
+            self.inverted_index.affected_nodes(failed)
+        ]
+        for level in self.levels:
+            below = per_level[-1]
+            affected: set[int] = set()
+            if below:
+                node_to_roots = level.node_to_roots
+                for node in below:
+                    roots = node_to_roots.get(node)
+                    if roots:
+                        affected.update(roots)
+            per_level.append(affected)
+        return per_level
+
+    # ------------------------------------------------------------------
+    # Overlay search with hierarchical shortcuts
+    # ------------------------------------------------------------------
+    def _overlay_search(
+        self,
+        seeds: dict[int, float],
+        into_target: dict[int, float],
+        failed: frozenset[Edge],
+        affected: set[int],
+        stats: QueryStats,
+        upper_bound: float,
+        target: int | None = None,
+    ) -> float:
+        from heapq import heappop, heappush
+
+        INFINITY = float("inf")
+        per_level = self._affected_by_level(failed, stats)
+        # ``affected`` (level 1) was already computed by query_detailed;
+        # per_level[0] recomputes it identically — keep the caller's.
+        per_level[0] = affected
+
+        if self.landmarks is not None and target is not None:
+            heuristic = self.landmarks.heuristic_to(target)
+        else:
+            def heuristic(_node: int) -> float:
+                return 0.0
+
+        best = upper_bound
+        dist: dict[int, float] = {}
+        heap: list[tuple[float, int]] = []
+        for node, d in seeds.items():
+            dist[node] = d
+            heappush(heap, (d + heuristic(node), node))
+        settled: set[int] = set()
+        overlay_edges = self.distance_graph.graph
+        recompute_seconds = 0.0
+        recomputed_nodes = 0
+
+        while heap:
+            cost, node = heappop(heap)
+            if node in settled:
+                continue
+            if cost >= best:
+                # cost = d + h(node) lower-bounds any completion through
+                # this or any remaining node (consistent ALT bounds).
+                break
+            settled.add(node)
+            d = dist[node]
+            tail_distance = into_target.get(node)
+            if tail_distance is not None and d + tail_distance < best:
+                best = d + tail_distance
+
+            # Level-1 edges: exact machinery of DISO.
+            if node in per_level[0]:
+                tick = time.perf_counter()
+                out_weights = self._recomputed_weights(node, failed)
+                recompute_seconds += time.perf_counter() - tick
+                recomputed_nodes += 1
+            else:
+                out_weights = overlay_edges.successors(node)
+            for head, weight in out_weights.items():
+                if head in settled or head == node:
+                    continue
+                candidate = d + weight
+                if candidate < dist.get(head, INFINITY):
+                    dist[head] = candidate
+                    heappush(heap, (candidate + heuristic(head), head))
+
+            # Higher-level shortcuts where this node is unaffected.
+            for index, level in enumerate(self.levels):
+                if node not in level.overlay.transit:
+                    break  # covers are nested; no higher membership
+                if node in per_level[index + 1]:
+                    continue  # stale weights at this level: skip
+                for head, weight in level.overlay.out_edges(node).items():
+                    if head in settled or head == node:
+                        continue
+                    candidate = d + weight
+                    if candidate < dist.get(head, INFINITY):
+                        dist[head] = candidate
+                        heappush(heap, (candidate + heuristic(head), head))
+
+        stats.overlay_settled += len(settled)
+        stats.recompute_seconds += recompute_seconds
+        stats.recomputed_nodes += recomputed_nodes
+        return best
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+    def index_entries(self) -> dict[str, int]:
+        entries = super().index_entries()
+        entries["h_overlay_nodes"] = sum(
+            level.overlay.num_nodes for level in self.levels
+        )
+        entries["h_overlay_edges"] = sum(
+            level.overlay.num_edges for level in self.levels
+        )
+        entries["h_tree_nodes"] = sum(
+            len(roots)
+            for level in self.levels
+            for roots in level.node_to_roots.values()
+        )
+        return entries
+
+    @property
+    def level_count(self) -> int:
+        """Total levels including the base distance graph."""
+        return 1 + len(self.levels)

@@ -1,0 +1,191 @@
+"""Maintenance strategies for permanent graph updates (supplemental).
+
+Distance sensitivity queries handle *temporary* failures without any
+index change; this module handles *permanent* updates — an edge really
+being deleted, inserted, or re-weighted — by repairing the DISO/ADISO
+index in place.  The strategies follow the paper's supplemental
+material's outline, reconstructed from the main text:
+
+* Only the bounded shortest path trees that can see the change are
+  rebuilt.  For a deletion or weight increase of ``(a, b)`` these are
+  the trees containing ``(a, b)`` as a tree edge (found via the
+  inverted tree index).  For an insertion or weight decrease these are
+  the trees containing the tail ``a`` as an *expandable* node — found as
+  the trees containing any surviving in-edge of ``a``, plus ``a``'s own
+  tree when ``a`` is a transit node (a bounded tree can only gain a path
+  through ``a`` if it could already reach ``a``).
+* Each rebuilt tree refreshes its root's out-edges on the distance graph
+  and its entries in the inverted tree index.
+* Landmark tables (ADISO) are refreshed per affected landmark, because a
+  permanent update invalidates the triangle bounds (unlike temporary
+  query failures, which only ever lengthen distances *relative to the
+  stored table's graph*).
+
+The transit set is left unchanged: a smaller graph keeps the k-path
+cover property under deletions; insertions can degrade the cover's
+``k`` guarantee, which affects performance only, never correctness —
+Definition 4.1 and Lemma 1 hold for *any* transit set.  Callers doing
+bulk insertions should periodically rebuild the oracle.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import EdgeNotFoundError, GraphError
+from repro.landmarks.base import LandmarkTable
+from repro.oracle.adiso import ADISO
+from repro.oracle.diso import DISO
+from repro.pathing.bounded import bounded_dijkstra
+
+
+class OracleMaintainer:
+    """In-place maintenance of a DISO (or ADISO) index under updates.
+
+    Parameters
+    ----------
+    oracle:
+        The oracle to maintain.  Its ``graph`` is mutated by the update
+        operations; for ADISO the landmark table is refreshed as well.
+
+    Examples
+    --------
+    >>> # doctest setup omitted; see examples/maintenance_demo.py
+    """
+
+    def __init__(self, oracle: DISO) -> None:
+        self.oracle = oracle
+        self.rebuilt_trees = 0
+        self.landmark_refreshes = 0
+
+    # ------------------------------------------------------------------
+    # Public update operations
+    # ------------------------------------------------------------------
+    def delete_edge(self, tail: int, head: int) -> None:
+        """Permanently delete edge ``(tail, head)`` and repair the index.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge does not exist.
+        """
+        graph = self.oracle.graph
+        if not graph.has_edge(tail, head):
+            raise EdgeNotFoundError(tail, head)
+        self._drop_derived_caches()
+        affected = self.oracle.inverted_index.trees_containing((tail, head))
+        graph.remove_edge(tail, head)
+        self._rebuild_trees(affected)
+        self._refresh_landmarks()
+
+    def insert_edge(self, tail: int, head: int, weight: float) -> None:
+        """Permanently insert edge ``(tail, head)`` and repair the index.
+
+        Raises
+        ------
+        GraphError
+            If the edge already exists (use :meth:`change_weight`).
+        """
+        graph = self.oracle.graph
+        if graph.has_edge(tail, head):
+            raise GraphError(
+                f"edge ({tail}, {head}) already exists; use change_weight"
+            )
+        self._drop_derived_caches()
+        graph.add_edge(tail, head, weight)
+        graph.add_node(tail)
+        graph.add_node(head)
+        affected = self._trees_seeing_tail(tail)
+        self._rebuild_trees(affected)
+        self._refresh_landmarks()
+
+    def change_weight(self, tail: int, head: int, weight: float) -> None:
+        """Permanently change the weight of ``(tail, head)`` and repair.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge does not exist.
+        """
+        graph = self.oracle.graph
+        old = graph.weight(tail, head)
+        self._drop_derived_caches()
+        graph.set_weight(tail, head, weight)
+        if weight > old:
+            # Increase: only trees whose shortest paths used the edge.
+            affected = self.oracle.inverted_index.trees_containing(
+                (tail, head)
+            )
+        else:
+            # Decrease: any tree that can expand through the tail.
+            affected = self._trees_seeing_tail(tail)
+        self._rebuild_trees(affected)
+        self._refresh_landmarks()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _trees_seeing_tail(self, tail: int) -> frozenset[int]:
+        """Roots whose bounded region contains ``tail`` expandably.
+
+        A bounded tree can route new paths through ``tail`` only when it
+        already reaches ``tail`` as a non-boundary node: either ``tail``
+        is the root itself, or some tree edge ends at ``tail`` — looked
+        up as the trees containing any in-edge of ``tail``.  Boundary
+        transit leaves are never expanded, so their trees are unaffected.
+        """
+        oracle = self.oracle
+        roots: set[int] = set()
+        if tail in oracle.transit:
+            roots.add(tail)
+        graph = oracle.graph
+        index = oracle.inverted_index
+        if graph.has_node(tail) and tail not in oracle.transit:
+            for pred in graph.predecessors(tail):
+                roots.update(index.trees_containing((pred, tail)))
+        return frozenset(roots)
+
+    def _drop_derived_caches(self) -> None:
+        """Invalidate per-endpoint caches derived from the old graph.
+
+        CachingDISO (and any subclass exposing ``invalidate_cache``)
+        holds bounded-search results for the pre-update graph; every
+        permanent update drops them, whether or not any tree changed.
+        """
+        invalidate = getattr(self.oracle, "invalidate_cache", None)
+        if callable(invalidate):
+            invalidate()
+
+    def _rebuild_trees(self, roots: frozenset[int]) -> None:
+        """Rebuild each tree, its overlay out-edges, and index entries."""
+        oracle = self.oracle
+        graph = oracle.graph
+        overlay = oracle.distance_graph.graph
+        for root in roots:
+            old_tree = oracle.trees.tree(root)
+            oracle.inverted_index.remove_tree(root, old_tree)
+            result = bounded_dijkstra(graph, root, oracle.transit, None, "out")
+            new_tree = result.to_tree()
+            oracle.trees.replace_tree(root, new_tree)
+            oracle.inverted_index.add_tree(root, new_tree)
+            # Refresh the overlay out-edges of this root.
+            for head in list(overlay.successors(root)):
+                overlay.remove_edge(root, head)
+            for head, distance in result.access.items():
+                if head != root:
+                    overlay.add_edge(root, head, distance)
+            self.rebuilt_trees += 1
+
+    def _refresh_landmarks(self) -> None:
+        """Recompute the landmark table for ADISO-family oracles.
+
+        Permanent updates can both lengthen and shorten true distances,
+        so stale triangle bounds would no longer be admissible.  The
+        simple strategy (full re-run of the landmark Dijkstras) keeps
+        query answers exact; incremental repair is possible but not
+        needed at library scale.
+        """
+        oracle = self.oracle
+        if isinstance(oracle, ADISO):
+            oracle.landmarks = LandmarkTable(
+                oracle.graph, oracle.landmarks.landmarks
+            )
+            self.landmark_refreshes += 1

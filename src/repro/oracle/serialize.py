@@ -1,0 +1,189 @@
+"""Index serialization: persist a preprocessed oracle to disk.
+
+Preprocessing dominates oracle cost (one bounded Dijkstra per transit
+node plus landmark Dijkstras), so a production deployment builds the
+index once and ships it.  The format is a single JSON document holding
+the graph, the transit set, the overlay with weights, every bounded
+tree (parents + distances), and — for ADISO — the landmark tables.
+The inverted tree index is *not* stored: it is derivable from the trees
+in linear time and rebuilding it on load is cheaper than parsing it.
+
+JSON is chosen over pickle deliberately: the file is
+interpreter-version independent, diffable, and cannot execute code on
+load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.exceptions import FormatError
+from repro.graph.digraph import DiGraph
+from repro.landmarks.base import LandmarkTable
+from repro.oracle.adiso import ADISO
+from repro.oracle.diso import DISO
+from repro.overlay.bsp_tree import BoundedTreeStore
+from repro.overlay.distance_graph import DistanceGraph
+from repro.overlay.inverted_index import InvertedTreeIndex
+from repro.pathing.spt import ShortestPathTree
+
+FORMAT_VERSION = 1
+
+
+def _graph_to_obj(graph: DiGraph) -> dict[str, Any]:
+    return {
+        "nodes": sorted(graph.nodes()),
+        "edges": [[t, h, w] for t, h, w in sorted(graph.edges())],
+    }
+
+
+def _graph_from_obj(obj: dict[str, Any]) -> DiGraph:
+    graph = DiGraph()
+    graph.add_nodes(obj["nodes"])
+    for tail, head, weight in obj["edges"]:
+        graph.add_edge(tail, head, weight)
+    return graph
+
+
+def _tree_to_obj(tree: ShortestPathTree) -> dict[str, Any]:
+    return {
+        "root": tree.root,
+        # parent[root] is None; JSON null round-trips fine.
+        "entries": [
+            [node, tree.parent[node], tree.dist[node]]
+            for node in sorted(tree.dist)
+        ],
+    }
+
+
+def _tree_from_obj(obj: dict[str, Any]) -> ShortestPathTree:
+    tree = ShortestPathTree(obj["root"])
+    # Attach in distance order so parents precede children.
+    pending = sorted(obj["entries"], key=lambda entry: entry[2])
+    for node, parent, distance in pending:
+        if parent is None:
+            continue
+        tree.attach(node, parent, distance)
+    return tree
+
+
+def save_index(oracle: DISO, target: str | Path | TextIO) -> None:
+    """Serialize ``oracle`` (DISO, DISO-B, or ADISO) to JSON.
+
+    The approximate variants (DISO-S, ADISO-P) hold extra derived
+    structures and original-graph references; persist their base
+    parameters and rebuild instead.
+    """
+    document: dict[str, Any] = {
+        "format_version": FORMAT_VERSION,
+        "oracle": type(oracle).__name__,
+        "graph": _graph_to_obj(oracle.graph),
+        "transit": sorted(oracle.transit),
+        "overlay": _graph_to_obj(oracle.distance_graph.graph),
+        "trees": [
+            _tree_to_obj(oracle.trees.tree(root))
+            for root in sorted(oracle.trees.roots())
+        ],
+        "preprocess_seconds": oracle.preprocess_seconds,
+    }
+    if isinstance(oracle, ADISO):
+        document["landmarks"] = {
+            "nodes": list(oracle.landmarks.landmarks),
+            "outbound": [
+                {str(k): v for k, v in table.items()}
+                for table in oracle.landmarks._outbound
+            ],
+            "inbound": [
+                {str(k): v for k, v in table.items()}
+                for table in oracle.landmarks._inbound
+            ],
+        }
+
+    close_after = False
+    if isinstance(target, (str, Path)):
+        handle: TextIO = open(target, "w", encoding="utf-8")
+        close_after = True
+    else:
+        handle = target
+    try:
+        json.dump(document, handle)
+    finally:
+        if close_after:
+            handle.close()
+
+
+def load_index(source: str | Path | TextIO) -> DISO:
+    """Load an oracle previously written by :func:`save_index`.
+
+    Returns a fully functional oracle of the persisted class; the
+    inverted tree index is rebuilt from the stored trees.
+
+    Raises
+    ------
+    FormatError
+        On version mismatch or an unknown oracle class name.
+    """
+    close_after = False
+    if isinstance(source, (str, Path)):
+        handle: TextIO = open(source, "r", encoding="utf-8")
+        close_after = True
+    else:
+        handle = source
+    try:
+        document = json.load(handle)
+    finally:
+        if close_after:
+            handle.close()
+
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise FormatError(
+            f"unsupported index format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    class_name = document.get("oracle")
+    from repro.oracle.diso_bi import DISOBidirectional
+
+    classes = {
+        "DISO": DISO,
+        "DISOBidirectional": DISOBidirectional,
+        "ADISO": ADISO,
+    }
+    oracle_cls = classes.get(class_name)
+    if oracle_cls is None:
+        raise FormatError(f"unknown oracle class {class_name!r}")
+
+    graph = _graph_from_obj(document["graph"])
+    transit = frozenset(document["transit"])
+    overlay = DistanceGraph(
+        graph=_graph_from_obj(document["overlay"]), transit=transit
+    )
+    trees = {
+        obj["root"]: _tree_from_obj(obj) for obj in document["trees"]
+    }
+
+    oracle = oracle_cls.__new__(oracle_cls)
+    # Rebuild the object without re-running preprocessing.
+    DISO.__bases__[0].__init__(oracle, graph)  # DistanceSensitivityOracle
+    oracle.distance_graph = overlay
+    oracle.transit = transit
+    oracle.trees = BoundedTreeStore(trees, transit)
+    oracle.inverted_index = InvertedTreeIndex.from_trees(trees)
+    oracle.preprocess_seconds = document.get("preprocess_seconds", 0.0)
+
+    if oracle_cls is ADISO:
+        landmark_obj = document["landmarks"]
+        table = LandmarkTable.__new__(LandmarkTable)
+        table.landmarks = tuple(landmark_obj["nodes"])
+        table._outbound = [
+            {int(k): v for k, v in entry.items()}
+            for entry in landmark_obj["outbound"]
+        ]
+        table._inbound = [
+            {int(k): v for k, v in entry.items()}
+            for entry in landmark_obj["inbound"]
+        ]
+        oracle.landmarks = table
+    return oracle

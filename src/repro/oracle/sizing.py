@@ -1,0 +1,53 @@
+"""Index size accounting (Table 6 of the paper).
+
+Sizes are *model* estimates, not ``sys.getsizeof`` measurements: each
+index entry is costed at what a C++ implementation would pay (the paper
+measures its C++ structures), so relative sizes across oracles match the
+paper's table shape.  The cost model:
+
+* one adjacency entry (node id + weight)     : 12 bytes
+* one tree entry (parent id + distance)      : 12 bytes
+* one inverted-index entry (edge -> tree id) : 12 bytes
+* one landmark distance entry                : 8 bytes
+* one graph edge (endpoint ids + weight)     : 16 bytes
+"""
+
+from __future__ import annotations
+
+from repro.oracle.base import DistanceSensitivityOracle
+
+BYTES_PER_ADJACENCY_ENTRY = 12
+BYTES_PER_TREE_ENTRY = 12
+BYTES_PER_INVERTED_ENTRY = 12
+BYTES_PER_LANDMARK_ENTRY = 8
+BYTES_PER_GRAPH_EDGE = 16
+
+_ENTRY_COSTS = {
+    "distance_graph_nodes": 8,
+    "distance_graph_edges": BYTES_PER_ADJACENCY_ENTRY,
+    "tree_nodes": BYTES_PER_TREE_ENTRY,
+    "inverted_index_entries": BYTES_PER_INVERTED_ENTRY,
+    "landmark_entries": BYTES_PER_LANDMARK_ENTRY,
+    "h_overlay_nodes": 8,
+    "h_overlay_edges": BYTES_PER_ADJACENCY_ENTRY,
+    "h_tree_nodes": BYTES_PER_TREE_ENTRY,
+    "landmark_tree_entries": BYTES_PER_TREE_ENTRY,
+}
+
+
+def index_size_bytes(oracle: DistanceSensitivityOracle) -> int:
+    """Estimate the preprocessed index size of ``oracle`` in bytes.
+
+    Only preprocessed structures count; the input graph itself is shared
+    by every method and excluded, exactly like the paper's Table 6
+    (which omits DI, the method with no preprocessed data).
+    """
+    total = 0
+    for kind, count in oracle.index_entries().items():
+        total += _ENTRY_COSTS.get(kind, BYTES_PER_ADJACENCY_ENTRY) * count
+    return total
+
+
+def index_size_megabytes(oracle: DistanceSensitivityOracle) -> float:
+    """Estimate the preprocessed index size in MB (Table 6 units)."""
+    return index_size_bytes(oracle) / (1024.0 * 1024.0)

@@ -1,0 +1,28 @@
+"""The fault-tolerant two-level index: distance graph, BSP trees, inverted
+tree index, and the sparsification boosting technique."""
+
+from repro.overlay.bsp_tree import BoundedTreeStore
+from repro.overlay.distance_graph import (
+    DistanceGraph,
+    build_distance_graph,
+    verify_distance_graph,
+)
+from repro.overlay.inverted_index import InvertedTreeIndex
+from repro.overlay.sparsify import (
+    SparsificationResult,
+    default_degree_floor,
+    sparsify_graph,
+    verify_sparsification,
+)
+
+__all__ = [
+    "DistanceGraph",
+    "build_distance_graph",
+    "verify_distance_graph",
+    "BoundedTreeStore",
+    "InvertedTreeIndex",
+    "SparsificationResult",
+    "sparsify_graph",
+    "verify_sparsification",
+    "default_degree_floor",
+]

@@ -1,0 +1,105 @@
+"""Bounded shortest path trees — second-level index part one (Def. 4.2).
+
+The bounded shortest path tree ``G_u`` of a transit node ``u`` is the
+path tree of the bounded Dijkstra's algorithm from ``u``: it contains
+every node reachable without passing through another transit node, with
+the tree path to each node equal to ``hat-P(u, v, emptyset)``.  Transit
+nodes appear only as leaves.
+
+This module wraps the per-tree machinery DISO needs at query time:
+finding affected nodes and lazily recomputing distance-graph edge
+weights via DynDijkstra-style repair, *without mutating* the stored
+trees (stall avoidance, Section 4.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.graph.digraph import DiGraph, Edge
+from repro.pathing.bounded import bounded_dijkstra
+from repro.pathing.dynamic_spt import recompute_boundary_distances
+from repro.pathing.spt import ShortestPathTree
+
+
+class BoundedTreeStore:
+    """Container for all bounded shortest path trees of an oracle."""
+
+    __slots__ = ("_trees", "_transit")
+
+    def __init__(
+        self,
+        trees: Mapping[int, ShortestPathTree],
+        transit: frozenset[int],
+    ) -> None:
+        self._trees = dict(trees)
+        self._transit = transit
+
+    @property
+    def transit(self) -> frozenset[int]:
+        """The transit node set the trees are bounded by."""
+        return self._transit
+
+    def tree(self, root: int) -> ShortestPathTree:
+        """Return ``G_root``.
+
+        Raises
+        ------
+        KeyError
+            If ``root`` has no stored tree (not a transit node).
+        """
+        return self._trees[root]
+
+    def __contains__(self, root: int) -> bool:
+        return root in self._trees
+
+    def __len__(self) -> int:
+        return len(self._trees)
+
+    def roots(self) -> frozenset[int]:
+        """All tree roots (== transit nodes)."""
+        return frozenset(self._trees)
+
+    def total_nodes(self) -> int:
+        """Sum of tree sizes: ``|T| * |G_avg|`` of the space analysis."""
+        return sum(len(tree) for tree in self._trees.values())
+
+    def average_size(self) -> float:
+        """``|G_avg|`` — average bounded tree size."""
+        if not self._trees:
+            return 0.0
+        return self.total_nodes() / len(self._trees)
+
+    # ------------------------------------------------------------------
+    # Query-time lazy recomputation
+    # ------------------------------------------------------------------
+    def recomputed_out_weights(
+        self,
+        graph: DiGraph,
+        root: int,
+        failed: set[Edge],
+    ) -> dict[int, float]:
+        """Fresh distance-graph out-edge weights of ``root`` under ``failed``.
+
+        Returns ``{v: d_hat(root, v, failed)}`` for every transit ``v``
+        still reachable transit-free.  The stored tree is not modified —
+        repaired distances are computed on the side (DynDijkstra
+        adaptation, Section 4.1.2).
+        """
+        tree = self._trees[root]
+        return recompute_boundary_distances(graph, tree, failed, self._transit)
+
+    def rebuild_tree(self, graph: DiGraph, root: int) -> ShortestPathTree:
+        """Recompute ``G_root`` from scratch and store it (maintenance).
+
+        Returns the *old* tree so callers can unregister its edges from
+        the inverted index before registering the new ones.
+        """
+        old = self._trees[root]
+        fresh = bounded_dijkstra(graph, root, self._transit, direction="out")
+        self._trees[root] = fresh.to_tree()
+        return old
+
+    def replace_tree(self, root: int, tree: ShortestPathTree) -> None:
+        """Install ``tree`` as ``G_root`` (maintenance helper)."""
+        self._trees[root] = tree

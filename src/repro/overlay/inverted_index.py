@@ -1,0 +1,98 @@
+"""The inverted tree index — second-level index part two (Definition 4.3).
+
+Maps every input-graph edge to the list of bounded shortest path trees
+containing it.  Given a failed edge set ``F`` the union of the mapped
+tree roots is exactly the set of *affected nodes* — the transit nodes
+whose distance-graph out-edge weights may have changed — which the query
+algorithm finds in ``O(|F|)`` dictionary lookups instead of scanning all
+``|T|`` trees (Section 4.1.2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.graph.digraph import Edge
+from repro.pathing.spt import ShortestPathTree
+
+
+class InvertedTreeIndex:
+    """In-memory map from graph edges to the trees containing them."""
+
+    __slots__ = ("_index", "_tree_count")
+
+    def __init__(self) -> None:
+        self._index: dict[Edge, set[int]] = {}
+        self._tree_count = 0
+
+    @classmethod
+    def from_trees(
+        cls,
+        trees: Mapping[int, ShortestPathTree],
+    ) -> "InvertedTreeIndex":
+        """Build the index from ``{root: bounded_tree}``.
+
+        Every tree edge ``(parent, child)`` of ``G_u`` is an edge of
+        ``G``, so the index key space is a subset of ``E``.
+        """
+        index = cls()
+        for root, tree in trees.items():
+            index.add_tree(root, tree)
+        return index
+
+    def add_tree(self, root: int, tree: ShortestPathTree) -> None:
+        """Register all edges of ``tree`` under ``root``."""
+        store = self._index
+        for edge in tree.tree_edges():
+            members = store.get(edge)
+            if members is None:
+                store[edge] = {root}
+            else:
+                members.add(root)
+        self._tree_count += 1
+
+    def remove_tree(self, root: int, tree: ShortestPathTree) -> None:
+        """Unregister all edges of ``tree`` (used by maintenance)."""
+        store = self._index
+        for edge in tree.tree_edges():
+            members = store.get(edge)
+            if members is not None:
+                members.discard(root)
+                if not members:
+                    del store[edge]
+        self._tree_count -= 1
+
+    def trees_containing(self, edge: Edge) -> frozenset[int]:
+        """Return the roots of all trees containing ``edge``."""
+        return frozenset(self._index.get(edge, ()))
+
+    def affected_nodes(self, failed: Iterable[Edge]) -> set[int]:
+        """Return all transit nodes whose tree contains a failed edge.
+
+        This is the affected-node set ``A`` of the query algorithm: the
+        out-edge weights of exactly these nodes on the distance graph may
+        change under ``failed``.
+        """
+        affected: set[int] = set()
+        store = self._index
+        for edge in failed:
+            members = store.get(edge)
+            if members:
+                affected.update(members)
+        return affected
+
+    def __contains__(self, edge: Edge) -> bool:
+        return edge in self._index
+
+    def __len__(self) -> int:
+        """Number of distinct indexed edges."""
+        return len(self._index)
+
+    @property
+    def tree_count(self) -> int:
+        """Number of registered trees."""
+        return self._tree_count
+
+    def entry_count(self) -> int:
+        """Total number of (edge, tree) entries, for index sizing."""
+        return sum(len(members) for members in self._index.values())

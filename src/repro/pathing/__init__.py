@@ -1,0 +1,60 @@
+"""Shortest-path machinery: Dijkstra variants, A*, SPTs, dynamic repair."""
+
+from repro.pathing.astar import (
+    astar_distance,
+    astar_path,
+    astar_search_stats,
+    zero_heuristic,
+)
+from repro.pathing.bounded import (
+    BoundedSearchResult,
+    bounded_dijkstra,
+    bounded_tree,
+    in_access_nodes,
+    out_access_nodes,
+)
+from repro.pathing.dijkstra import (
+    bidirectional_dijkstra,
+    dijkstra,
+    eccentricity,
+    path_distance,
+    reverse_dijkstra,
+    shortest_distance,
+    shortest_path,
+    shortest_path_tree,
+)
+from repro.pathing.dynamic_spt import (
+    affected_subtree_nodes,
+    apply_failures,
+    recompute_boundary_distances,
+    recompute_distances,
+)
+from repro.pathing.heap import AddressableHeap
+from repro.pathing.spt import INFINITY, ShortestPathTree
+
+__all__ = [
+    "AddressableHeap",
+    "INFINITY",
+    "ShortestPathTree",
+    "dijkstra",
+    "shortest_distance",
+    "shortest_path",
+    "shortest_path_tree",
+    "path_distance",
+    "bidirectional_dijkstra",
+    "reverse_dijkstra",
+    "eccentricity",
+    "bounded_dijkstra",
+    "BoundedSearchResult",
+    "bounded_tree",
+    "out_access_nodes",
+    "in_access_nodes",
+    "recompute_distances",
+    "recompute_boundary_distances",
+    "apply_failures",
+    "affected_subtree_nodes",
+    "astar_distance",
+    "astar_path",
+    "astar_search_stats",
+    "zero_heuristic",
+]

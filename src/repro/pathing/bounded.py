@@ -1,0 +1,203 @@
+"""The bounded Dijkstra's algorithm (Section 4.1.1 of the paper).
+
+The bounded Dijkstra's algorithm runs Dijkstra from a source node but is
+"designed to avoid traversing beyond transit nodes except the source
+node": when a settled node is a transit node (and not the source), its
+out-edges are not relaxed.  Consequently it only explores paths that do
+not pass *through* any transit node, and therefore:
+
+* the set of transit nodes it settles is a superset ``A*_out(s)`` of the
+  out-access nodes of ``s``, each with its exact access distance
+  ``d_hat(s, u, F)``;
+* when run from a transit node ``u`` it produces exactly the bounded
+  shortest path tree ``G_u`` (Definition 4.2);
+* when the destination ``t`` of a query is settled, the reported distance
+  is ``d_hat(s, t, F)`` — the locality-filter answer of the TNR adaptation.
+
+Running it over predecessor edges ("in" direction) yields ``A*_in(t)``
+and the inbound access distances ``d_hat(u, t, F)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.digraph import DiGraph, Edge
+from repro.pathing.spt import INFINITY, ShortestPathTree
+
+
+@dataclass
+class BoundedSearchResult:
+    """Outcome of one bounded Dijkstra run.
+
+    Attributes
+    ----------
+    source:
+        The start node of the search.
+    direction:
+        ``"out"`` for forward search, ``"in"`` for search over in-edges.
+    dist:
+        Distance from (or to, for ``"in"``) the source for every settled
+        node, i.e. ``d_hat(source, v, F)``.
+    parent:
+        Predecessor map over the bounded search region.
+    access:
+        ``{transit_node: access_distance}`` — the superset ``A*`` of
+        access nodes together with their exact distances.
+    settled_count:
+        Number of settled nodes, used as the ``c_B`` cost proxy in the
+        experiment harness.
+    """
+
+    source: int
+    direction: str
+    dist: dict[int, float] = field(default_factory=dict)
+    parent: dict[int, int | None] = field(default_factory=dict)
+    access: dict[int, float] = field(default_factory=dict)
+    settled_count: int = 0
+
+    def distance(self, node: int) -> float:
+        """Return ``d_hat(source, node)`` or ``inf`` if not reached."""
+        return self.dist.get(node, INFINITY)
+
+    def to_tree(self) -> ShortestPathTree:
+        """Materialise the search as a (bounded) shortest path tree."""
+        tree = ShortestPathTree(self.source)
+        for node in sorted(self.dist, key=self.dist.__getitem__):
+            if node == self.source:
+                continue
+            prev = self.parent[node]
+            assert prev is not None
+            tree.attach(node, prev, self.dist[node])
+        return tree
+
+
+def bounded_dijkstra(
+    graph: DiGraph,
+    source: int,
+    transit: set[int],
+    failed: set[Edge] | None = None,
+    direction: str = "out",
+) -> BoundedSearchResult:
+    """Run the bounded Dijkstra's algorithm.
+
+    Parameters
+    ----------
+    graph:
+        The input graph ``G``.
+    source:
+        Start node (for ``direction="in"``, the *destination* whose
+        in-access nodes are wanted).
+    transit:
+        The transit node set ``T``.  Settled transit nodes other than
+        ``source`` are not expanded.
+    failed:
+        Failed directed edges ``F`` (always expressed in the original
+        graph orientation, also for ``direction="in"``).
+    direction:
+        ``"out"`` to search along out-edges, ``"in"`` along in-edges.
+
+    Returns
+    -------
+    BoundedSearchResult
+        Distances, parents, and the access-node superset with distances.
+
+    Raises
+    ------
+    NodeNotFoundError
+        If ``source`` is not in the graph.
+    ValueError
+        If ``direction`` is not ``"out"`` or ``"in"``.
+    """
+    if direction not in ("out", "in"):
+        raise ValueError(f"direction must be 'out' or 'in', got {direction!r}")
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+
+    forward = direction == "out"
+    result = BoundedSearchResult(source=source, direction=direction)
+    dist = result.dist
+    parent = result.parent
+    access = result.access
+    dist[source] = 0.0
+    parent[source] = None
+    if source in transit:
+        access[source] = 0.0
+
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    check_failed = bool(failed)
+
+    while heap:
+        d, node = heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        is_boundary = node in transit and node != source
+        if is_boundary:
+            access[node] = d
+            # Do not traverse beyond transit nodes.
+            continue
+        neighbors = (
+            graph.successors(node) if forward else graph.predecessors(node)
+        )
+        for other, weight in neighbors.items():
+            if other in settled:
+                continue
+            if check_failed:
+                edge = (node, other) if forward else (other, node)
+                if edge in failed:
+                    continue
+            candidate = d + weight
+            if candidate < dist.get(other, INFINITY):
+                dist[other] = candidate
+                parent[other] = node
+                heappush(heap, (candidate, other))
+    result.settled_count = len(settled)
+    return result
+
+
+def out_access_nodes(
+    graph: DiGraph,
+    source: int,
+    transit: set[int],
+    failed: set[Edge] | None = None,
+) -> dict[int, float]:
+    """Return ``A*_out(source)`` with access distances ``d_hat(s, u, F)``.
+
+    If ``source`` itself is a transit node the result is ``{source: 0.0}``
+    — a transit source is its own (only needed) access node, because every
+    path from it trivially starts at a transit node.
+    """
+    if source in transit:
+        return {source: 0.0}
+    return bounded_dijkstra(graph, source, transit, failed, "out").access
+
+
+def in_access_nodes(
+    graph: DiGraph,
+    target: int,
+    transit: set[int],
+    failed: set[Edge] | None = None,
+) -> dict[int, float]:
+    """Return ``A*_in(target)`` with access distances ``d_hat(u, t, F)``."""
+    if target in transit:
+        return {target: 0.0}
+    return bounded_dijkstra(graph, target, transit, failed, "in").access
+
+
+def bounded_tree(
+    graph: DiGraph,
+    root: int,
+    transit: set[int],
+    failed: set[Edge] | None = None,
+) -> ShortestPathTree:
+    """Build the bounded shortest path tree ``G_root`` (Definition 4.2).
+
+    ``root`` is expected to be a transit node; the tree contains every
+    node reachable from it without passing through another transit node,
+    with transit nodes themselves as leaves.
+    """
+    return bounded_dijkstra(graph, root, transit, failed, "out").to_tree()

@@ -1,0 +1,266 @@
+"""Dijkstra's algorithm and its bidirectional variant.
+
+These are the reference algorithms of the library: the ``DI`` competitor
+of the paper's experiments (classic Dijkstra with a binary heap, Section
+7.1), the ground truth against which every oracle is tested, and the
+building block on which the bounded variant (:mod:`repro.pathing.bounded`)
+and the oracles are layered.
+
+All entry points take an optional ``failed`` set of directed edges and
+never traverse those edges, which is exactly how a distance sensitivity
+query ``(s, t, F)`` is answered by the trivial solution: run Dijkstra on
+``(V, E \\ F)`` (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.digraph import DiGraph, Edge
+from repro.pathing.spt import INFINITY, ShortestPathTree
+
+
+def dijkstra(
+    graph: DiGraph,
+    source: int,
+    failed: set[Edge] | None = None,
+    target: int | None = None,
+) -> tuple[dict[int, float], dict[int, int | None]]:
+    """Single-source shortest distances avoiding ``failed`` edges.
+
+    Parameters
+    ----------
+    graph:
+        The directed graph.
+    source:
+        Start node.
+    failed:
+        Directed edges that must not be traversed (the set ``F``).
+    target:
+        Optional early-exit node: the search stops once ``target`` is
+        settled, so distances of nodes farther than ``target`` may be
+        missing from the result.
+
+    Returns
+    -------
+    (dist, parent):
+        ``dist[v]`` is the shortest distance from ``source`` to every
+        settled node ``v``; ``parent[v]`` is the predecessor on that
+        shortest path (``None`` for the source).
+
+    Raises
+    ------
+    NodeNotFoundError
+        If ``source`` is not in the graph.
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    dist: dict[int, float] = {source: 0.0}
+    parent: dict[int, int | None] = {source: None}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    check_failed = bool(failed)
+    while heap:
+        d, node = heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        if node == target:
+            break
+        for head, weight in graph.successors(node).items():
+            if head in settled:
+                continue
+            if check_failed and (node, head) in failed:
+                continue
+            candidate = d + weight
+            if candidate < dist.get(head, INFINITY):
+                dist[head] = candidate
+                parent[head] = node
+                heappush(heap, (candidate, head))
+    return dist, parent
+
+
+def shortest_distance(
+    graph: DiGraph,
+    source: int,
+    target: int,
+    failed: set[Edge] | None = None,
+) -> float:
+    """Return ``d(source, target, failed)``; ``inf`` when unreachable."""
+    dist, _ = dijkstra(graph, source, failed=failed, target=target)
+    return dist.get(target, INFINITY)
+
+
+def shortest_path(
+    graph: DiGraph,
+    source: int,
+    target: int,
+    failed: set[Edge] | None = None,
+) -> list[Edge] | None:
+    """Return the shortest path ``P(source, target, failed)`` as edges.
+
+    Returns None when ``target`` is unreachable.
+    """
+    dist, parent = dijkstra(graph, source, failed=failed, target=target)
+    if target not in dist:
+        return None
+    edges: list[Edge] = []
+    node = target
+    while True:
+        prev = parent[node]
+        if prev is None:
+            break
+        edges.append((prev, node))
+        node = prev
+    edges.reverse()
+    return edges
+
+
+def path_distance(graph: DiGraph, path: list[Edge]) -> float:
+    """Return ``d(P)``, the sum of the weights of the edges of ``path``."""
+    return sum(graph.weight(tail, head) for tail, head in path)
+
+
+def shortest_path_tree(
+    graph: DiGraph,
+    source: int,
+    failed: set[Edge] | None = None,
+) -> ShortestPathTree:
+    """Build the full shortest path tree rooted at ``source``.
+
+    Used by landmark preprocessing (FDDO trees and ALT distance tables).
+    """
+    dist, parent = dijkstra(graph, source, failed=failed)
+    tree = ShortestPathTree(source)
+    # Attach in order of increasing distance so parents always precede
+    # children.
+    for node in sorted(dist, key=dist.__getitem__):
+        if node == source:
+            continue
+        prev = parent[node]
+        assert prev is not None
+        tree.attach(node, prev, dist[node])
+    return tree
+
+
+def bidirectional_dijkstra(
+    graph: DiGraph,
+    source: int,
+    target: int,
+    failed: set[Edge] | None = None,
+) -> float:
+    """Point-to-point distance by simultaneous forward/backward search.
+
+    Alternates between a forward search from ``source`` and a backward
+    search from ``target`` (over predecessors), stopping when the sum of
+    the two frontier radii exceeds the best meeting distance found.
+
+    Returns ``inf`` when ``target`` is unreachable.
+
+    Raises
+    ------
+    NodeNotFoundError
+        If either endpoint is missing from the graph.
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    if not graph.has_node(target):
+        raise NodeNotFoundError(target)
+    if source == target:
+        return 0.0
+    check_failed = bool(failed)
+
+    dist_fwd: dict[int, float] = {source: 0.0}
+    dist_bwd: dict[int, float] = {target: 0.0}
+    settled_fwd: set[int] = set()
+    settled_bwd: set[int] = set()
+    heap_fwd: list[tuple[float, int]] = [(0.0, source)]
+    heap_bwd: list[tuple[float, int]] = [(0.0, target)]
+    best = INFINITY
+
+    while heap_fwd and heap_bwd:
+        if heap_fwd[0][0] + heap_bwd[0][0] >= best:
+            break
+        # Expand the smaller frontier.
+        if heap_fwd[0][0] <= heap_bwd[0][0]:
+            d, node = heappop(heap_fwd)
+            if node in settled_fwd:
+                continue
+            settled_fwd.add(node)
+            for head, weight in graph.successors(node).items():
+                if head in settled_fwd:
+                    continue
+                if check_failed and (node, head) in failed:
+                    continue
+                candidate = d + weight
+                if candidate < dist_fwd.get(head, INFINITY):
+                    dist_fwd[head] = candidate
+                    heappush(heap_fwd, (candidate, head))
+                meeting = candidate + dist_bwd.get(head, INFINITY)
+                if meeting < best:
+                    best = meeting
+        else:
+            d, node = heappop(heap_bwd)
+            if node in settled_bwd:
+                continue
+            settled_bwd.add(node)
+            for tail, weight in graph.predecessors(node).items():
+                if tail in settled_bwd:
+                    continue
+                if check_failed and (tail, node) in failed:
+                    continue
+                candidate = d + weight
+                if candidate < dist_bwd.get(tail, INFINITY):
+                    dist_bwd[tail] = candidate
+                    heappush(heap_bwd, (candidate, tail))
+                meeting = candidate + dist_fwd.get(tail, INFINITY)
+                if meeting < best:
+                    best = meeting
+    # One frontier can run dry while the other still holds the witness
+    # meeting point; ``best`` already accounts for every scanned edge.
+    return best
+
+
+def eccentricity(graph: DiGraph, source: int) -> float:
+    """Return the maximum finite shortest distance from ``source``.
+
+    Useful for diameter estimation in workload characterisation.
+    """
+    dist, _ = dijkstra(graph, source)
+    return max(dist.values(), default=0.0)
+
+
+def reverse_dijkstra(
+    graph: DiGraph,
+    target: int,
+    failed: set[Edge] | None = None,
+) -> dict[int, float]:
+    """Distances from every node *to* ``target`` (search over in-edges).
+
+    Equivalent to running :func:`dijkstra` on the reversed graph, without
+    materialising the reversal.  Needed by landmark preprocessing, which
+    stores both outbound and inbound distances from each landmark
+    (Section 5.2).
+    """
+    if not graph.has_node(target):
+        raise NodeNotFoundError(target)
+    dist: dict[int, float] = {target: 0.0}
+    settled: set[int] = set()
+    heap: list[tuple[float, int]] = [(0.0, target)]
+    check_failed = bool(failed)
+    while heap:
+        d, node = heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        for tail, weight in graph.predecessors(node).items():
+            if tail in settled:
+                continue
+            if check_failed and (tail, node) in failed:
+                continue
+            candidate = d + weight
+            if candidate < dist.get(tail, INFINITY):
+                dist[tail] = candidate
+                heappush(heap, (candidate, tail))
+    return dist

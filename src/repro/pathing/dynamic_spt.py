@@ -1,0 +1,211 @@
+"""DynDijkstra-style shortest path tree repair under edge failures.
+
+The paper recomputes distance-graph edge weights with "an algorithm,
+named DynDijkstra [22], which updates shortest path trees on dynamic
+graphs ... adapted to update a bounded shortest path tree" (Section
+4.1.2), and stresses that the stored tree is *not* mutated: "we do not
+explicitly update G_x in the adapted algorithm, but recompute only the
+distances" (stall avoidance, Section 4.2).
+
+The repair works in two phases, as in Chan & Yang's algorithm:
+
+1. *Invalidate*: every failed edge that is a tree edge disconnects the
+   subtree below it; the union of those subtrees is the affected set.
+   Failed non-tree edges cannot change any tree distance (deletions only
+   ever lengthen paths), so a tree untouched by failures is returned
+   as-is — this is what makes lazy recomputation cheap when failures are
+   far away.
+2. *Repair*: a Dijkstra restricted to the affected set, seeded with the
+   best surviving entry edges from unaffected nodes, recomputes the
+   distances of affected nodes.  For bounded trees, edges leaving a
+   non-root transit node are never relaxed, preserving the bounded-search
+   semantics.
+
+Both the non-mutating variant (used by DISO's lazy recomputation) and the
+mutating variant (used by the FDDO baseline, which *does* stall to update
+its landmark trees) are provided.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+from repro.graph.digraph import DiGraph, Edge
+from repro.pathing.spt import INFINITY, ShortestPathTree
+
+_EMPTY: frozenset[int] = frozenset()
+
+
+def affected_subtree_nodes(
+    tree: ShortestPathTree,
+    failed: set[Edge],
+) -> set[int]:
+    """Return the nodes whose tree path uses a failed edge.
+
+    These are exactly the nodes in subtrees hanging below failed tree
+    edges.  Returns the empty set when no failed edge is a tree edge.
+    """
+    affected: set[int] = set()
+    for tail, head in failed:
+        if head in affected:
+            continue
+        if tree.parent.get(head) == tail:
+            affected.update(tree.subtree_nodes(head))
+    return affected
+
+
+def recompute_distances(
+    graph: DiGraph,
+    tree: ShortestPathTree,
+    failed: set[Edge],
+    transit: frozenset[int] | set[int] = _EMPTY,
+) -> dict[int, float]:
+    """Recompute root distances of ``tree`` under ``failed``, non-mutating.
+
+    Parameters
+    ----------
+    graph:
+        The graph the tree was built on (unmodified).
+    tree:
+        A (bounded) shortest path tree; it is *not* modified.
+    failed:
+        The failed edge set ``F``.
+    transit:
+        The transit node set for bounded trees; pass an empty set for
+        ordinary full shortest path trees.  Nodes in ``transit`` other
+        than the root are never expanded, exactly like the bounded
+        Dijkstra's algorithm.
+
+    Returns
+    -------
+    dict
+        ``{node: distance}`` for every node of the tree that is still
+        reachable; nodes that became unreachable are absent.
+    """
+    affected = affected_subtree_nodes(tree, failed)
+    if not affected:
+        return tree.dist
+    base = tree.dist
+    root = tree.root
+    new_dist: dict[int, float] = {
+        node: d for node, d in base.items() if node not in affected
+    }
+    heap: list[tuple[float, int]] = []
+    # Seed: best surviving edge from an unaffected node into each affected
+    # node.  Unaffected boundary transit nodes (other than the root) may
+    # not be expanded, so they contribute no entry edges.
+    for node in affected:
+        best = INFINITY
+        for pred, weight in graph.predecessors(node).items():
+            if pred in affected:
+                continue
+            if (pred, node) in failed:
+                continue
+            pred_dist = new_dist.get(pred)
+            if pred_dist is None:
+                continue
+            if pred in transit and pred != root:
+                continue
+            candidate = pred_dist + weight
+            if candidate < best:
+                best = candidate
+        if best < INFINITY:
+            heappush(heap, (best, node))
+            new_dist[node] = best
+
+    settled: set[int] = set()
+    while heap:
+        d, node = heappop(heap)
+        if node in settled:
+            continue
+        if d > new_dist.get(node, INFINITY):
+            continue
+        settled.add(node)
+        if node in transit and node != root:
+            continue
+        for head, weight in graph.successors(node).items():
+            if head not in affected or head in settled:
+                continue
+            if (node, head) in failed:
+                continue
+            candidate = d + weight
+            if candidate < new_dist.get(head, INFINITY):
+                new_dist[head] = candidate
+                heappush(heap, (candidate, head))
+    # Affected nodes never reached stay absent (unreachable under F).
+    for node in affected:
+        if new_dist.get(node, INFINITY) == INFINITY:
+            new_dist.pop(node, None)
+    return new_dist
+
+
+def apply_failures(
+    graph: DiGraph,
+    tree: ShortestPathTree,
+    failed: set[Edge],
+    transit: frozenset[int] | set[int] = _EMPTY,
+) -> set[int]:
+    """Mutate ``tree`` to the post-failure shortest path tree.
+
+    This is the stalling update a fully dynamic oracle performs (used by
+    the FDDO baseline): subtrees below failed tree edges are detached and
+    reachable nodes are re-attached with fresh parents and distances.
+
+    Returns the set of nodes whose tree entry changed or vanished.
+
+    Note: ``graph`` must already reflect reality *without* the failed
+    edges conceptually; this function itself skips ``failed`` edges, so
+    the caller does not need to mutate the graph.
+    """
+    affected = affected_subtree_nodes(tree, failed)
+    if not affected:
+        return set()
+    new_dist = recompute_distances(graph, tree, failed, transit)
+    # Detach the top-level affected subtrees; descendants go with them.
+    for tail, head in failed:
+        if head in tree and tree.parent.get(head) == tail:
+            tree.detach_subtree(head)
+    # Re-attach reachable nodes in distance order so parents exist first.
+    reattach = sorted(
+        (node for node in affected if node in new_dist),
+        key=new_dist.__getitem__,
+    )
+    for node in reattach:
+        best_parent: int | None = None
+        best = INFINITY
+        target = new_dist[node]
+        for pred, weight in graph.predecessors(node).items():
+            if (pred, node) in failed:
+                continue
+            if pred not in tree:
+                continue
+            if pred in transit and pred != tree.root:
+                continue
+            pred_dist = tree.dist.get(pred, INFINITY)
+            if abs(pred_dist + weight - target) <= 1e-9 and pred_dist + weight < best + 1e-12:
+                best_parent = pred
+                best = pred_dist + weight
+        if best_parent is not None:
+            tree.attach(node, best_parent, target)
+    return affected
+
+
+def recompute_boundary_distances(
+    graph: DiGraph,
+    tree: ShortestPathTree,
+    failed: set[Edge],
+    transit: frozenset[int] | set[int],
+) -> dict[int, float]:
+    """Recompute only the transit-leaf distances of a bounded tree.
+
+    This is the exact quantity DISO's lazy recomputation needs: the fresh
+    weights ``d_hat(root, v, F)`` of the distance-graph out-edges of the
+    tree's root.  Convenience wrapper over :func:`recompute_distances`.
+    """
+    new_dist = recompute_distances(graph, tree, failed, transit)
+    root = tree.root
+    return {
+        node: d
+        for node, d in new_dist.items()
+        if node in transit and node != root
+    }

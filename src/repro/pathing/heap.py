@@ -1,0 +1,221 @@
+"""An addressable binary min-heap with decrease-key.
+
+``heapq`` with lazy deletion is used inside the hot Dijkstra loops (it is
+faster in CPython), but several algorithms in the paper need a genuinely
+addressable queue:
+
+* Algorithm 1 (``GetIS``) repeatedly extracts the node minimising the
+  live score ``sigma(v)`` while neighbouring removals change scores of
+  queued nodes in both directions (decrease *and* increase);
+* the landmark max-cover local search reorders candidates as coverage
+  counts change.
+
+:class:`AddressableHeap` supports push / pop-min / update-priority /
+remove in O(log n) with O(1) membership tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+from typing import Generic, TypeVar
+
+KT = TypeVar("KT", bound=Hashable)
+
+
+class AddressableHeap(Generic[KT]):
+    """Binary min-heap keyed by item with mutable priorities.
+
+    Ties are broken by insertion order, which keeps behaviour deterministic
+    across runs (important for reproducible benchmark numbers).
+
+    Examples
+    --------
+    >>> heap = AddressableHeap()
+    >>> heap.push("a", 3.0)
+    >>> heap.push("b", 1.0)
+    >>> heap.update("a", 0.5)
+    >>> heap.pop()
+    ('a', 0.5)
+    >>> heap.pop()
+    ('b', 1.0)
+    """
+
+    __slots__ = ("_entries", "_position", "_counter")
+
+    def __init__(self) -> None:
+        # Each entry is [priority, tiebreak, item].
+        self._entries: list[list] = []
+        self._position: dict[KT, int] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+    def push(self, item: KT, priority: float) -> None:
+        """Insert ``item`` with ``priority``.
+
+        Raises
+        ------
+        KeyError
+            If ``item`` is already in the heap (use :meth:`update`).
+        """
+        if item in self._position:
+            raise KeyError(f"{item!r} is already in the heap")
+        entry = [priority, self._counter, item]
+        self._counter += 1
+        self._entries.append(entry)
+        index = len(self._entries) - 1
+        self._position[item] = index
+        self._sift_up(index)
+
+    def update(self, item: KT, priority: float) -> None:
+        """Change the priority of ``item``; insert it if absent."""
+        index = self._position.get(item)
+        if index is None:
+            self.push(item, priority)
+            return
+        old_priority = self._entries[index][0]
+        self._entries[index][0] = priority
+        if priority < old_priority:
+            self._sift_up(index)
+        elif priority > old_priority:
+            self._sift_down(index)
+
+    def update_if_lower(self, item: KT, priority: float) -> bool:
+        """Insert or decrease-key; return True if the heap changed.
+
+        This is the Dijkstra relaxation primitive: never increase an
+        existing priority.
+        """
+        index = self._position.get(item)
+        if index is None:
+            self.push(item, priority)
+            return True
+        if priority < self._entries[index][0]:
+            self._entries[index][0] = priority
+            self._sift_up(index)
+            return True
+        return False
+
+    def pop(self) -> tuple[KT, float]:
+        """Remove and return ``(item, priority)`` with the lowest priority.
+
+        Raises
+        ------
+        IndexError
+            If the heap is empty.
+        """
+        if not self._entries:
+            raise IndexError("pop from an empty heap")
+        top = self._entries[0]
+        self._remove_at(0)
+        return top[2], top[0]
+
+    def peek(self) -> tuple[KT, float]:
+        """Return ``(item, priority)`` with the lowest priority, keeping it.
+
+        Raises
+        ------
+        IndexError
+            If the heap is empty.
+        """
+        if not self._entries:
+            raise IndexError("peek at an empty heap")
+        top = self._entries[0]
+        return top[2], top[0]
+
+    def peek_priority(self) -> float:
+        """Return the minimum priority, or ``inf`` when empty.
+
+        Matches the paper's ``top(Q)`` convention in Algorithm 2: "If Q is
+        empty, top(Q) returns infinity".
+        """
+        if not self._entries:
+            return float("inf")
+        return self._entries[0][0]
+
+    def remove(self, item: KT) -> float:
+        """Remove ``item``; return its priority.
+
+        Raises
+        ------
+        KeyError
+            If ``item`` is not in the heap.
+        """
+        index = self._position[item]
+        priority = self._entries[index][0]
+        self._remove_at(index)
+        return priority
+
+    def priority(self, item: KT) -> float:
+        """Return the current priority of ``item``.
+
+        Raises
+        ------
+        KeyError
+            If ``item`` is not in the heap.
+        """
+        return self._entries[self._position[item]][0]
+
+    def __contains__(self, item: KT) -> bool:
+        return item in self._position
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __iter__(self) -> Iterator[KT]:
+        """Iterate over items in arbitrary (heap) order."""
+        return (entry[2] for entry in self._entries)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _less(self, i: int, j: int) -> bool:
+        a = self._entries[i]
+        b = self._entries[j]
+        return (a[0], a[1]) < (b[0], b[1])
+
+    def _swap(self, i: int, j: int) -> None:
+        entries = self._entries
+        entries[i], entries[j] = entries[j], entries[i]
+        self._position[entries[i][2]] = i
+        self._position[entries[j][2]] = j
+
+    def _sift_up(self, index: int) -> None:
+        while index > 0:
+            parent = (index - 1) >> 1
+            if self._less(index, parent):
+                self._swap(index, parent)
+                index = parent
+            else:
+                break
+
+    def _sift_down(self, index: int) -> None:
+        size = len(self._entries)
+        while True:
+            left = 2 * index + 1
+            right = left + 1
+            smallest = index
+            if left < size and self._less(left, smallest):
+                smallest = left
+            if right < size and self._less(right, smallest):
+                smallest = right
+            if smallest == index:
+                break
+            self._swap(index, smallest)
+            index = smallest
+
+    def _remove_at(self, index: int) -> None:
+        entries = self._entries
+        last = len(entries) - 1
+        item = entries[index][2]
+        if index != last:
+            self._swap(index, last)
+        entries.pop()
+        del self._position[item]
+        if index < len(entries):
+            self._sift_up(index)
+            self._sift_down(index)

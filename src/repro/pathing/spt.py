@@ -1,0 +1,213 @@
+"""Shortest path tree structure.
+
+A shortest path tree (SPT) stores, for one root, the tree of shortest
+paths discovered by a Dijkstra run: per-node distance and parent.  Both
+the second-level index of DISO (bounded shortest path trees, Definition
+4.2) and the landmark forests of the FDDO baseline are instances of this
+structure, so it also maintains an explicit children map to support
+subtree operations (invalidation during DynDijkstra-style repair).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.graph.digraph import Edge
+
+INFINITY = float("inf")
+
+
+class ShortestPathTree:
+    """A rooted tree of shortest paths with distances.
+
+    Attributes
+    ----------
+    root:
+        The root node (the source of the Dijkstra run).
+    dist:
+        ``{node: distance_from_root}`` for every node in the tree.
+    parent:
+        ``{node: parent_node}``; the root maps to ``None``.
+    """
+
+    __slots__ = ("root", "dist", "parent", "_children")
+
+    def __init__(self, root: int) -> None:
+        self.root = root
+        self.dist: dict[int, float] = {root: 0.0}
+        self.parent: dict[int, int | None] = {root: None}
+        self._children: dict[int, set[int]] = {root: set()}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def attach(self, node: int, parent: int, distance: float) -> None:
+        """Attach ``node`` under ``parent`` at ``distance`` from the root.
+
+        If ``node`` is already in the tree it is re-parented (its own
+        subtree stays attached below it; distances of descendants are the
+        caller's responsibility, as in Dijkstra where descendants are
+        settled later).
+
+        Raises
+        ------
+        KeyError
+            If ``parent`` is not in the tree.
+        ValueError
+            If attempting to re-parent the root.
+        """
+        if parent not in self.dist:
+            raise KeyError(f"parent {parent!r} is not in the tree")
+        if node == self.root:
+            raise ValueError("cannot re-parent the root")
+        old_parent = self.parent.get(node)
+        if old_parent is not None:
+            self._children[old_parent].discard(node)
+        self.dist[node] = distance
+        self.parent[node] = parent
+        self._children[parent].add(node)
+        self._children.setdefault(node, set())
+
+    def detach_subtree(self, node: int) -> set[int]:
+        """Remove ``node`` and its whole subtree; return the removed nodes.
+
+        Raises
+        ------
+        ValueError
+            If ``node`` is the root.
+        KeyError
+            If ``node`` is not in the tree.
+        """
+        if node == self.root:
+            raise ValueError("cannot detach the root")
+        parent = self.parent[node]
+        if parent is not None:
+            self._children[parent].discard(node)
+        removed = set(self.subtree_nodes(node))
+        for member in removed:
+            del self.dist[member]
+            del self.parent[member]
+            del self._children[member]
+        return removed
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: int) -> bool:
+        return node in self.dist
+
+    def __len__(self) -> int:
+        return len(self.dist)
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over all nodes in the tree."""
+        return iter(self.dist)
+
+    def children(self, node: int) -> frozenset[int]:
+        """Return the children of ``node``."""
+        return frozenset(self._children[node])
+
+    def distance(self, node: int) -> float:
+        """Return the distance from the root to ``node``, or ``inf``."""
+        return self.dist.get(node, INFINITY)
+
+    def tree_edges(self) -> Iterator[Edge]:
+        """Iterate over the tree edges as ``(parent, child)`` pairs."""
+        for node, parent in self.parent.items():
+            if parent is not None:
+                yield parent, node
+
+    def path_to(self, node: int) -> list[Edge] | None:
+        """Return the root-to-``node`` path as a list of edges, or None.
+
+        The path is ``[(root, x1), (x1, x2), ..., (xk, node)]``.
+        """
+        if node not in self.dist:
+            return None
+        reversed_edges: list[Edge] = []
+        current = node
+        while True:
+            parent = self.parent[current]
+            if parent is None:
+                break
+            reversed_edges.append((parent, current))
+            current = parent
+        reversed_edges.reverse()
+        return reversed_edges
+
+    def path_nodes_to(self, node: int) -> list[int] | None:
+        """Return the root-to-``node`` path as a node list, or None."""
+        if node not in self.dist:
+            return None
+        nodes = [node]
+        current = node
+        while True:
+            parent = self.parent[current]
+            if parent is None:
+                break
+            nodes.append(parent)
+            current = parent
+        nodes.reverse()
+        return nodes
+
+    def subtree_nodes(self, node: int) -> Iterator[int]:
+        """Iterate over ``node`` and all its descendants (preorder).
+
+        Raises
+        ------
+        KeyError
+            If ``node`` is not in the tree.
+        """
+        if node not in self.dist:
+            raise KeyError(f"{node!r} is not in the tree")
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            yield current
+            stack.extend(self._children[current])
+
+    def depth(self, node: int) -> int:
+        """Return the number of tree edges from the root to ``node``."""
+        count = 0
+        current = node
+        while True:
+            parent = self.parent[current]
+            if parent is None:
+                return count
+            count += 1
+            current = parent
+
+    def copy(self) -> "ShortestPathTree":
+        """Return an independent copy of this tree."""
+        clone = ShortestPathTree(self.root)
+        clone.dist = dict(self.dist)
+        clone.parent = dict(self.parent)
+        clone._children = {node: set(kids) for node, kids in self._children.items()}
+        return clone
+
+    def check_invariants(self) -> None:
+        """Validate internal consistency; raise AssertionError on breakage.
+
+        Used by tests and by the maintenance code in debug mode: every
+        non-root node has a parent in the tree, children maps mirror
+        parent pointers, and distances are non-decreasing along tree
+        edges.
+        """
+        assert self.parent[self.root] is None
+        for node, parent in self.parent.items():
+            if parent is None:
+                assert node == self.root
+                continue
+            assert parent in self.dist, f"dangling parent of {node}"
+            assert node in self._children[parent], f"children map misses {node}"
+            assert self.dist[node] >= self.dist[parent] - 1e-12, (
+                f"distance decreases along tree edge ({parent}, {node})"
+            )
+        for node, kids in self._children.items():
+            for kid in kids:
+                assert self.parent.get(kid) == node
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(root={self.root}, nodes={len(self.dist)})"
+        )

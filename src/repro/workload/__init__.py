@@ -1,0 +1,41 @@
+"""Query workloads and the synthetic dataset registry."""
+
+from repro.workload.datasets import (
+    DATASETS,
+    ROAD_DATASETS,
+    SOCIAL_DATASETS,
+    DatasetSpec,
+    dataset_statistics,
+    load_dataset,
+)
+from repro.workload.scenarios import (
+    FailureEvent,
+    FailureSchedule,
+    generate_failure_schedule,
+    sample_query_times,
+)
+from repro.workload.queries import (
+    Query,
+    essential_failures,
+    generate_queries,
+    generate_query,
+    random_failures,
+)
+
+__all__ = [
+    "Query",
+    "generate_query",
+    "generate_queries",
+    "essential_failures",
+    "random_failures",
+    "DATASETS",
+    "ROAD_DATASETS",
+    "SOCIAL_DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "dataset_statistics",
+    "FailureEvent",
+    "FailureSchedule",
+    "generate_failure_schedule",
+    "sample_query_times",
+]

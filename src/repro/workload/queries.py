@@ -1,0 +1,162 @@
+"""Query workload generation (Section 7.1 "Query Generation").
+
+A query is ``(s, t, F)``.  The paper generates ``F`` in two parts:
+
+* ``f_gen`` **essential** failures: iteratively pick a random edge *on
+  the current shortest path* ``P(s, t, F)``, fail it, and recompute —
+  so every one of these failures actually forces the answer to change;
+* **random** failures: every remaining edge fails independently with
+  probability ``p`` (default 0.05%), modelling real failures that are
+  oblivious to the query endpoints.
+
+Defaults are the paper's: ``f_gen = 5``, ``p = 0.0005``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.graph.digraph import DiGraph, Edge
+from repro.pathing.dijkstra import shortest_path
+
+
+@dataclass(frozen=True)
+class Query:
+    """One distance sensitivity query ``(s, t, F)``.
+
+    Attributes
+    ----------
+    source, target:
+        Endpoints.
+    failed:
+        The failed edge set ``F``.
+    essential_count:
+        How many members of ``failed`` were generated as essential
+        (on-path) failures; the rest are random background failures.
+    """
+
+    source: int
+    target: int
+    failed: frozenset[Edge]
+    essential_count: int = 0
+
+    @property
+    def num_failures(self) -> int:
+        """``|F|``."""
+        return len(self.failed)
+
+
+def essential_failures(
+    graph: DiGraph,
+    source: int,
+    target: int,
+    count: int,
+    rng: random.Random,
+) -> set[Edge]:
+    """Generate up to ``count`` on-path failures for ``(source, target)``.
+
+    Repeatedly fails a random edge of the current ``P(s, t, F)``.  Stops
+    early when the endpoints become disconnected (no further edge can be
+    essential).
+    """
+    failed: set[Edge] = set()
+    for _ in range(count):
+        path = shortest_path(graph, source, target, failed)
+        if not path:
+            break
+        edge = path[rng.randrange(len(path))]
+        failed.add(edge)
+    return failed
+
+
+def random_failures(
+    graph: DiGraph,
+    probability: float,
+    rng: random.Random,
+    exclude: set[Edge] | None = None,
+) -> set[Edge]:
+    """Fail each edge independently with ``probability``.
+
+    Implemented by sampling the binomial failure count and then drawing
+    that many distinct edges, which is O(failures) instead of O(m) per
+    query on large graphs.
+    """
+    if probability <= 0.0:
+        return set()
+    edges = [(tail, head) for tail, head, _ in graph.edges()]
+    count = _binomial(len(edges), probability, rng)
+    if count == 0:
+        return set()
+    chosen = set(rng.sample(edges, min(count, len(edges))))
+    if exclude:
+        chosen -= exclude
+    return chosen
+
+
+def _binomial(n: int, p: float, rng: random.Random) -> int:
+    """Sample Binomial(n, p) by geometric gap skipping.
+
+    Runs in O(n * p) expected time — cheap for the tiny failure rates
+    used here (p = 0.05%) even on large edge sets.
+    """
+    if p <= 0.0 or n <= 0:
+        return 0
+    if p >= 1.0:
+        return n
+    log_q = math.log1p(-p)
+    count = 0
+    position = -1
+    while True:
+        gap = int(math.log(1.0 - rng.random()) / log_q)
+        position += gap + 1
+        if position >= n:
+            return count
+        count += 1
+
+
+def generate_query(
+    graph: DiGraph,
+    rng: random.Random,
+    f_gen: int = 5,
+    p: float = 0.0005,
+    nodes: list[int] | None = None,
+) -> Query:
+    """Generate one query with the paper's two-part failure model."""
+    if nodes is None:
+        nodes = sorted(graph.nodes())
+    while True:
+        source = nodes[rng.randrange(len(nodes))]
+        target = nodes[rng.randrange(len(nodes))]
+        if source != target:
+            break
+    essential = essential_failures(graph, source, target, f_gen, rng)
+    background = random_failures(graph, p, rng, exclude=essential)
+    return Query(
+        source=source,
+        target=target,
+        failed=frozenset(essential | background),
+        essential_count=len(essential),
+    )
+
+
+def generate_queries(
+    graph: DiGraph,
+    count: int,
+    f_gen: int = 5,
+    p: float = 0.0005,
+    seed: int = 0,
+    nodes: list[int] | None = None,
+) -> list[Query]:
+    """Generate ``count`` queries (the paper averages over 100).
+
+    Deterministic given ``seed``.
+    """
+    rng = random.Random(seed)
+    if nodes is None:
+        nodes = sorted(graph.nodes())
+    return [
+        generate_query(graph, rng, f_gen=f_gen, p=p, nodes=nodes)
+        for _ in range(count)
+    ]

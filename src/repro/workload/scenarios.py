@@ -1,0 +1,150 @@
+"""Temporal failure scenarios: recoverable failures over time.
+
+The paper's motivating examples (road works, accidents, cut cables,
+blocks) are *recoverable*: a failure appears, lives for a while, and
+heals.  This module models that as a timeline of failure/recovery
+events so the replay experiment can compare the two architectures the
+paper contrasts:
+
+* a **distance sensitivity oracle** ignores the timeline entirely and
+  passes the currently-active failure set with each query;
+* a **fully dynamic oracle** must apply every event to its index
+  (stalling queries that arrive during updates).
+
+Failures arrive as a Poisson process over the edge set and heal after
+an exponential downtime, both deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.graph.digraph import DiGraph, Edge
+
+FAIL = "fail"
+RECOVER = "recover"
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One timeline event: an edge failing or recovering."""
+
+    time: float
+    edge: Edge
+    kind: str  # FAIL or RECOVER
+
+
+@dataclass
+class FailureSchedule:
+    """A time-ordered list of failure/recovery events.
+
+    Attributes
+    ----------
+    events:
+        Events sorted by time; every FAIL has a matching later RECOVER.
+    duration:
+        The scenario horizon; recoveries may extend past it.
+    """
+
+    events: list[FailureEvent] = field(default_factory=list)
+    duration: float = 0.0
+
+    def active_at(self, time: float) -> frozenset[Edge]:
+        """The failure set in force at ``time``."""
+        active: set[Edge] = set()
+        for event in self.events:
+            if event.time > time:
+                break
+            if event.kind == FAIL:
+                active.add(event.edge)
+            else:
+                active.discard(event.edge)
+        return frozenset(active)
+
+    def changes(self) -> int:
+        """Total number of index updates a dynamic oracle would apply."""
+        return len(self.events)
+
+    def peak_failures(self) -> int:
+        """Maximum number of simultaneously failed edges."""
+        active: set[Edge] = set()
+        peak = 0
+        for event in self.events:
+            if event.kind == FAIL:
+                active.add(event.edge)
+                peak = max(peak, len(active))
+            else:
+                active.discard(event.edge)
+        return peak
+
+
+def generate_failure_schedule(
+    graph: DiGraph,
+    duration: float = 100.0,
+    failures_per_unit: float = 1.0,
+    mean_downtime: float = 5.0,
+    seed: int = 0,
+) -> FailureSchedule:
+    """Sample a Poisson failure process with exponential downtimes.
+
+    Parameters
+    ----------
+    graph:
+        The network; failed edges are drawn uniformly from its edges.
+    duration:
+        Scenario horizon (arbitrary time units).
+    failures_per_unit:
+        Poisson arrival rate of new failures.
+    mean_downtime:
+        Mean of the exponential repair time.
+    seed:
+        Determinism seed.
+
+    Raises
+    ------
+    ValueError
+        If the graph has no edges or rates are non-positive.
+    """
+    if graph.number_of_edges() == 0:
+        raise ValueError("cannot schedule failures on an edgeless graph")
+    if failures_per_unit <= 0 or mean_downtime <= 0 or duration <= 0:
+        raise ValueError("rates and duration must be positive")
+    rng = random.Random(seed)
+    edges = sorted(graph.edge_set())
+    events: list[FailureEvent] = []
+    clock = 0.0
+    down: set[Edge] = set()
+    recoveries: list[tuple[float, Edge]] = []
+    while True:
+        clock += -math.log(1.0 - rng.random()) / failures_per_unit
+        if clock >= duration:
+            break
+        # Process due recoveries first so an edge can fail again.
+        for recover_time, edge in list(recoveries):
+            if recover_time <= clock:
+                recoveries.remove((recover_time, edge))
+                down.discard(edge)
+        candidates = [edge for edge in edges if edge not in down]
+        if not candidates:
+            continue
+        edge = candidates[rng.randrange(len(candidates))]
+        down.add(edge)
+        downtime = -math.log(1.0 - rng.random()) * mean_downtime
+        events.append(FailureEvent(clock, edge, FAIL))
+        recover_at = clock + downtime
+        events.append(FailureEvent(recover_at, edge, RECOVER))
+        recoveries.append((recover_at, edge))
+    events.sort(key=lambda event: (event.time, event.kind, event.edge))
+    return FailureSchedule(events=events, duration=duration)
+
+
+def sample_query_times(
+    count: int,
+    duration: float,
+    seed: int = 0,
+) -> list[float]:
+    """Uniformly random query arrival times over the scenario horizon."""
+    rng = random.Random(seed)
+    return sorted(rng.random() * duration for _ in range(count))

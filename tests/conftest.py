@@ -1,0 +1,63 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    grid_network,
+    path_network,
+    ring_network,
+    road_network,
+    scale_free_network,
+)
+
+
+@pytest.fixture
+def triangle() -> DiGraph:
+    """Three nodes, one cheap two-hop route and one expensive direct edge."""
+    return DiGraph([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)])
+
+
+@pytest.fixture
+def diamond() -> DiGraph:
+    """Classic diamond: two disjoint routes from 0 to 3."""
+    return DiGraph(
+        [
+            (0, 1, 1.0),
+            (1, 3, 1.0),
+            (0, 2, 2.0),
+            (2, 3, 2.0),
+        ]
+    )
+
+
+@pytest.fixture
+def small_grid() -> DiGraph:
+    """5x5 bidirectional unit grid — analytic Manhattan distances."""
+    return grid_network(5, 5)
+
+
+@pytest.fixture
+def small_road() -> DiGraph:
+    """A ~140-node road-like network for oracle tests."""
+    return road_network(12, 12, seed=3)
+
+
+@pytest.fixture
+def small_social() -> DiGraph:
+    """A ~200-node scale-free network for oracle tests."""
+    return scale_free_network(200, attach=3, seed=5)
+
+
+@pytest.fixture
+def line() -> DiGraph:
+    """Bidirectional path of 8 nodes."""
+    return path_network(8)
+
+
+@pytest.fixture
+def ring() -> DiGraph:
+    """Bidirectional ring of 10 nodes."""
+    return ring_network(10)

@@ -1,0 +1,126 @@
+"""Correctness tests for ADISO (Theorems 2-3) and the DISO- ablation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.landmarks.base import LandmarkTable
+from repro.oracle.adiso import ADISO
+from repro.oracle.diso import DISO
+from repro.oracle.diso_minus import DISOMinus
+from repro.pathing.dijkstra import shortest_distance
+from util import random_failures_from, random_graph
+
+
+class TestADISOConstruction:
+    def test_landmarks_selected(self, small_road):
+        oracle = ADISO(small_road, tau=3, num_landmarks=4)
+        assert len(oracle.landmarks) == 4
+
+    def test_explicit_landmarks(self, small_road):
+        oracle = ADISO(small_road, tau=3, landmarks=[0, 143])
+        assert oracle.landmarks.landmarks == (0, 143)
+
+    def test_shared_landmark_table(self, small_road):
+        table = LandmarkTable(small_road, [0, 143])
+        oracle = ADISO(small_road, tau=3, landmark_table=table)
+        assert oracle.landmarks is table
+
+    def test_index_includes_landmarks(self, small_road):
+        oracle = ADISO(small_road, tau=3, num_landmarks=4)
+        assert oracle.index_entries()["landmark_entries"] > 0
+
+
+class TestADISOQueries:
+    def test_same_node(self, small_road):
+        oracle = ADISO(small_road, tau=3, num_landmarks=4)
+        assert oracle.query(9, 9, failed={(9, 10)}) == 0.0
+
+    def test_failure_free_exact(self, small_road):
+        oracle = ADISO(small_road, tau=3, num_landmarks=4)
+        for target in (3, 60, 143):
+            assert oracle.query(0, target) == pytest.approx(
+                shortest_distance(small_road, 0, target)
+            )
+
+    def test_exact_with_failures(self, small_road):
+        oracle = ADISO(small_road, tau=3, num_landmarks=4)
+        failed = {(0, 1), (40, 41), (100, 101), (12, 11)}
+        for target in (3, 60, 143):
+            assert oracle.query(0, target, failed) == pytest.approx(
+                shortest_distance(small_road, 0, target, failed)
+            )
+
+    def test_matches_diso(self, small_road):
+        adiso = ADISO(small_road, tau=3, num_landmarks=4)
+        diso = DISO(small_road, tau=3, theta=1.0)
+        failed = {(5, 6), (77, 78)}
+        for s, t in [(0, 143), (12, 95), (143, 0)]:
+            assert adiso.query(s, t, failed) == pytest.approx(
+                diso.query(s, t, failed)
+            )
+
+    def test_no_index_mutation(self, small_road):
+        oracle = ADISO(small_road, tau=3, num_landmarks=4)
+        overlay_before = {
+            (t, h): w for t, h, w in oracle.distance_graph.graph.edges()
+        }
+        oracle.query(0, 143, failed={(0, 1), (50, 51)})
+        overlay_after = {
+            (t, h): w for t, h, w in oracle.distance_graph.graph.edges()
+        }
+        assert overlay_before == overlay_after
+
+
+class TestDISOMinus:
+    def test_exact_on_fixtures(self, small_road):
+        oracle = DISOMinus(small_road, tau=3, theta=1.0)
+        failed = {(0, 1), (40, 41)}
+        for target in (3, 60, 143):
+            assert oracle.query(0, target, failed) == pytest.approx(
+                shortest_distance(small_road, 0, target, failed)
+            )
+
+    def test_affected_superset_of_diso(self, small_road):
+        """BFS detection over-approximates the tree-based detection."""
+        diso = DISOMinus(small_road, tau=3, theta=1.0)
+        reference = DISO(small_road, transit=diso.transit)
+        from repro.oracle.base import QueryStats
+
+        failed = frozenset({(10, 11), (70, 71)})
+        bfs_affected = diso._find_affected_nodes(failed, QueryStats())
+        tree_affected = reference._find_affected_nodes(failed, QueryStats())
+        assert tree_affected <= bfs_affected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=20_000),
+    fail_seed=st.integers(min_value=0, max_value=20_000),
+    fail_count=st.integers(min_value=0, max_value=10),
+    s=st.integers(min_value=0, max_value=29),
+    t=st.integers(min_value=0, max_value=29),
+)
+def test_adiso_exact_random(seed, fail_seed, fail_count, s, t):
+    """Theorems 2-3 on random graphs with random failure sets."""
+    graph = random_graph(seed)
+    oracle = ADISO(graph, tau=2, theta=4.0, num_landmarks=3, seed=seed)
+    failed = random_failures_from(graph, fail_seed, fail_count)
+    expected = shortest_distance(graph, s, t, failed)
+    assert oracle.query(s, t, failed) == pytest.approx(expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=20_000),
+    fail_seed=st.integers(min_value=0, max_value=20_000),
+    s=st.integers(min_value=0, max_value=29),
+    t=st.integers(min_value=0, max_value=29),
+)
+def test_diso_minus_exact_random(seed, fail_seed, s, t):
+    graph = random_graph(seed)
+    oracle = DISOMinus(graph, tau=2, theta=4.0)
+    failed = random_failures_from(graph, fail_seed, 6)
+    expected = shortest_distance(graph, s, t, failed)
+    assert oracle.query(s, t, failed) == pytest.approx(expected)

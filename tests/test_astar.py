@@ -1,0 +1,126 @@
+"""Tests for the generic A* search and landmark heuristics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.digraph import DiGraph
+from repro.landmarks.base import LandmarkTable
+from repro.pathing.astar import (
+    astar_distance,
+    astar_path,
+    astar_search_stats,
+    zero_heuristic,
+)
+from repro.pathing.dijkstra import path_distance, shortest_distance
+from util import random_failures_from, random_graph
+
+
+class TestAStarBasics:
+    def test_zero_heuristic_equals_dijkstra(self, small_road):
+        for target in (5, 70, 143):
+            assert astar_distance(
+                small_road, 0, target, zero_heuristic
+            ) == pytest.approx(shortest_distance(small_road, 0, target))
+
+    def test_path_reconstruction(self, triangle):
+        path = astar_path(triangle, 0, 2, zero_heuristic)
+        assert path == [(0, 1), (1, 2)]
+
+    def test_path_unreachable_is_none(self):
+        g = DiGraph([(0, 1, 1.0)])
+        g.add_node(2)
+        assert astar_path(g, 0, 2, zero_heuristic) is None
+
+    def test_missing_endpoints_raise(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            astar_distance(triangle, 42, 0, zero_heuristic)
+        with pytest.raises(NodeNotFoundError):
+            astar_distance(triangle, 0, 42, zero_heuristic)
+
+    def test_failed_edges_avoided(self, diamond):
+        assert astar_distance(
+            diamond, 0, 3, zero_heuristic, failed={(1, 3)}
+        ) == pytest.approx(4.0)
+
+    def test_search_stats_counts_settled(self, small_road):
+        distance, settled = astar_search_stats(
+            small_road, 0, 1, zero_heuristic
+        )
+        assert distance == pytest.approx(
+            shortest_distance(small_road, 0, 1)
+        )
+        assert settled >= 1
+
+
+class TestLandmarkGuidedAStar:
+    def test_landmark_heuristic_preserves_exactness(self, small_road):
+        table = LandmarkTable(small_road, [0, 77, 143])
+        for target in (12, 88, 140):
+            h = table.heuristic_to(target)
+            assert astar_distance(small_road, 3, target, h) == (
+                pytest.approx(shortest_distance(small_road, 3, target))
+            )
+
+    def test_good_heuristic_prunes_search(self, small_road):
+        table = LandmarkTable(small_road, [0, 11, 132, 143])
+        h = table.heuristic_to(143)
+        _, settled_alt = astar_search_stats(small_road, 0, 143, h)
+        _, settled_dij = astar_search_stats(
+            small_road, 0, 143, zero_heuristic
+        )
+        assert settled_alt <= settled_dij
+
+    def test_exact_under_failures(self, small_road):
+        table = LandmarkTable(small_road, [0, 77, 143])
+        h = table.heuristic_to(100)
+        failed = {(0, 1), (12, 13), (50, 51)}
+        assert astar_distance(small_road, 3, 100, h, failed) == (
+            pytest.approx(shortest_distance(small_road, 3, 100, failed))
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5000),
+    target=st.integers(min_value=0, max_value=29),
+)
+def test_alt_astar_matches_dijkstra(seed, target):
+    """Landmark A* is exact on random graphs (admissibility property)."""
+    graph = random_graph(seed)
+    table = LandmarkTable(graph, [1, 13, 27])
+    h = table.heuristic_to(target)
+    assert astar_distance(graph, 0, target, h) == pytest.approx(
+        shortest_distance(graph, 0, target)
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5000),
+    fail_seed=st.integers(min_value=0, max_value=5000),
+)
+def test_alt_astar_exact_under_failures(seed, fail_seed):
+    """Failure-free landmark bounds stay admissible under failures."""
+    graph = random_graph(seed)
+    failed = random_failures_from(graph, fail_seed, 8)
+    table = LandmarkTable(graph, [2, 17])
+    h = table.heuristic_to(25)
+    assert astar_distance(graph, 0, 25, h, failed) == pytest.approx(
+        shortest_distance(graph, 0, 25, failed)
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5000))
+def test_astar_path_distance_matches(seed):
+    graph = random_graph(seed)
+    table = LandmarkTable(graph, [5])
+    h = table.heuristic_to(20)
+    path = astar_path(graph, 0, 20, h)
+    assert path is not None
+    assert path_distance(graph, path) == pytest.approx(
+        shortest_distance(graph, 0, 20)
+    )

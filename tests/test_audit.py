@@ -1,0 +1,79 @@
+"""Tests for the index audit tool."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.oracle.audit import audit_index
+from repro.oracle.diso import DISO
+from repro.oracle.maintenance import OracleMaintainer
+from util import random_graph
+
+
+class TestAuditCleanIndex:
+    def test_fresh_index_is_sound(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        assert audit_index(oracle) == []
+
+    def test_queries_do_not_dirty_the_index(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        oracle.query(0, 143, failed={(0, 1), (50, 51)})
+        assert audit_index(oracle) == []
+
+    def test_maintained_index_is_sound(self):
+        graph = random_graph(4)
+        oracle = DISO(graph, tau=2, theta=4.0)
+        maintainer = OracleMaintainer(oracle)
+        edges = sorted(graph.edge_set())
+        maintainer.delete_edge(*edges[0])
+        maintainer.insert_edge(3, 21, 0.05)
+        maintainer.change_weight(*edges[10], 9.0)
+        assert audit_index(oracle) == []
+
+
+class TestAuditDetectsCorruption:
+    def test_detects_stale_overlay_weight(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        overlay = oracle.distance_graph.graph
+        tail, head, weight = next(iter(overlay.edges()))
+        overlay.set_weight(tail, head, weight * 7)
+        report = audit_index(oracle)
+        assert any("weight" in line or "neighbour" in line for line in report)
+
+    def test_detects_missing_overlay_edge(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        overlay = oracle.distance_graph.graph
+        tail, head, _ = next(iter(overlay.edges()))
+        overlay.remove_edge(tail, head)
+        assert audit_index(oracle) != []
+
+    def test_detects_tree_distance_corruption(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        root = next(iter(oracle.trees.roots()))
+        tree = oracle.trees.tree(root)
+        victim = next(n for n in tree.dist if n != root)
+        tree.dist[victim] += 5.0
+        report = audit_index(oracle)
+        assert any(f"tree of {root}" in line for line in report)
+
+    def test_detects_graph_drift(self, small_road):
+        """Mutating the graph behind the oracle's back is caught."""
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        edge = next(iter(small_road.edges()))
+        small_road.set_weight(edge[0], edge[1], edge[2] * 50)
+        assert audit_index(oracle) != []
+
+    def test_detects_stale_inverted_entries(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        oracle.inverted_index._index[(-1, -2)] = {0}
+        report = audit_index(oracle)
+        assert any("stale" in line for line in report)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5000))
+def test_fresh_indices_always_sound(seed):
+    graph = random_graph(seed)
+    oracle = DISO(graph, tau=2, theta=4.0)
+    assert audit_index(oracle) == []

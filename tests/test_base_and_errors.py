@@ -1,0 +1,126 @@
+"""Unit tests for the oracle base layer and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    EdgeNotFoundError,
+    FormatError,
+    GraphError,
+    NegativeWeightError,
+    NodeNotFoundError,
+    PreprocessingError,
+    QueryError,
+    ReproError,
+)
+from repro.oracle.base import (
+    INFINITY,
+    QueryResult,
+    QueryStats,
+    normalize_failures,
+)
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (
+            GraphError,
+            NodeNotFoundError,
+            EdgeNotFoundError,
+            NegativeWeightError,
+            QueryError,
+            PreprocessingError,
+            FormatError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_node_not_found_attributes(self):
+        exc = NodeNotFoundError(42)
+        assert exc.node == 42
+        assert "42" in str(exc)
+
+    def test_edge_not_found_attributes(self):
+        exc = EdgeNotFoundError(1, 2)
+        assert (exc.tail, exc.head) == (1, 2)
+
+    def test_negative_weight_attributes(self):
+        exc = NegativeWeightError(1, 2, -3.5)
+        assert exc.weight == -3.5
+        assert "negative" in str(exc)
+
+    def test_format_error_line_number(self):
+        exc = FormatError("bad token", line_number=7)
+        assert exc.line_number == 7
+        assert str(exc).startswith("line 7")
+
+    def test_format_error_without_line(self):
+        exc = FormatError("bad token")
+        assert exc.line_number is None
+        assert str(exc) == "bad token"
+
+    def test_single_guard_catches_everything(self):
+        caught = []
+        for raiser in (
+            lambda: (_ for _ in ()).throw(NodeNotFoundError(1)),
+            lambda: (_ for _ in ()).throw(QueryError("x")),
+            lambda: (_ for _ in ()).throw(FormatError("y")),
+        ):
+            try:
+                next(raiser())
+            except ReproError as exc:
+                caught.append(type(exc).__name__)
+        assert len(caught) == 3
+
+
+class TestNormalizeFailures:
+    def test_none_is_empty(self):
+        assert normalize_failures(None) == frozenset()
+
+    def test_empty_set_is_empty(self):
+        assert normalize_failures(set()) == frozenset()
+
+    def test_set_is_frozen(self):
+        result = normalize_failures({(1, 2)})
+        assert isinstance(result, frozenset)
+        assert result == {(1, 2)}
+
+    def test_frozenset_passthrough(self):
+        original = frozenset({(1, 2), (3, 4)})
+        assert normalize_failures(original) == original
+
+    def test_rejects_non_tuples(self):
+        with pytest.raises(QueryError):
+            normalize_failures({"not-an-edge"})  # type: ignore[arg-type]
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(QueryError):
+            normalize_failures({(1, 2, 3)})  # type: ignore[arg-type]
+
+
+class TestQueryResult:
+    def test_reachable_flag(self):
+        assert QueryResult(distance=1.5).reachable
+        assert not QueryResult(distance=INFINITY).reachable
+
+    def test_default_stats(self):
+        result = QueryResult(distance=0.0)
+        assert result.stats.affected_count == 0
+        assert result.stats.used_fallback is False
+
+    def test_stats_fields_independent(self):
+        a = QueryResult(distance=0.0)
+        b = QueryResult(distance=0.0)
+        a.stats.affected_count = 5
+        assert b.stats.affected_count == 0
+
+
+class TestQueryStats:
+    def test_defaults(self):
+        stats = QueryStats()
+        assert stats.access_seconds == 0.0
+        assert stats.recompute_seconds == 0.0
+        assert stats.overlay_settled == 0
+        assert stats.graph_settled == 0
+        assert stats.recomputed_nodes == 0
+        assert stats.total_seconds == 0.0

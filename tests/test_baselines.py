@@ -1,0 +1,151 @@
+"""Tests for the competitor baselines: DI, A*, FDDO."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.astar_oracle import AStarOracle
+from repro.baselines.dijkstra_oracle import DijkstraOracle
+from repro.baselines.fddo import FDDOOracle
+from repro.exceptions import QueryError
+from repro.oracle.base import INFINITY
+from repro.pathing.dijkstra import shortest_distance
+from util import random_failures_from, random_graph
+
+
+class TestDijkstraOracle:
+    def test_zero_preprocessing(self, small_road):
+        oracle = DijkstraOracle(small_road)
+        assert oracle.preprocess_seconds == 0.0
+        assert oracle.index_entries() == {}
+
+    def test_exact(self, small_road):
+        oracle = DijkstraOracle(small_road)
+        failed = {(0, 1), (10, 11)}
+        assert oracle.query(0, 143, failed) == pytest.approx(
+            shortest_distance(small_road, 0, 143, failed)
+        )
+
+    def test_validates_endpoints(self, small_road):
+        with pytest.raises(QueryError):
+            DijkstraOracle(small_road).query(0, 10_000)
+
+    def test_stats_settled(self, small_road):
+        result = DijkstraOracle(small_road).query_detailed(0, 143)
+        assert result.stats.graph_settled > 0
+
+
+class TestAStarOracle:
+    def test_exact_with_failures(self, small_road):
+        oracle = AStarOracle(small_road, num_landmarks=4, seed=1)
+        failed = {(0, 1), (10, 11), (99, 100)}
+        for target in (5, 77, 143):
+            assert oracle.query(0, target, failed) == pytest.approx(
+                shortest_distance(small_road, 0, target, failed)
+            )
+
+    def test_explicit_landmarks(self, small_road):
+        oracle = AStarOracle(small_road, landmarks=[0, 143])
+        assert oracle.landmarks.landmarks == (0, 143)
+
+    def test_prunes_vs_dijkstra(self, small_road):
+        astar = AStarOracle(small_road, num_landmarks=6, seed=1)
+        dijkstra = DijkstraOracle(small_road)
+        a = astar.query_detailed(0, 143)
+        d = dijkstra.query_detailed(0, 143)
+        assert a.stats.graph_settled <= d.stats.graph_settled
+
+    def test_index_entries(self, small_road):
+        oracle = AStarOracle(small_road, num_landmarks=4, seed=1)
+        assert oracle.index_entries()["landmark_entries"] > 0
+
+
+class TestFDDO:
+    def build(self, graph, count=8):
+        return FDDOOracle(graph, num_landmarks=count, seed=1)
+
+    def test_marked_approximate(self, small_road):
+        assert not self.build(small_road).exact
+
+    def test_never_underestimates(self, small_road):
+        oracle = self.build(small_road)
+        for s, t in [(0, 143), (12, 95), (100, 3)]:
+            estimate = oracle.query(s, t)
+            true = shortest_distance(small_road, s, t)
+            assert estimate >= true - 1e-9
+
+    def test_exact_through_landmark(self, small_road):
+        # Querying from a landmark is exact: d(l, t) is stored.
+        oracle = self.build(small_road)
+        landmark = oracle.landmark_nodes[0]
+        assert oracle.query(landmark, 143) == pytest.approx(
+            shortest_distance(small_road, landmark, 143)
+        )
+
+    def test_update_and_rollback(self, small_road):
+        """Trees are updated for the query, then restored afterwards."""
+        oracle = self.build(small_road)
+        snapshots = [dict(t.dist) for t in oracle.forward_trees]
+        failed = {(0, 1), (10, 11), (50, 51), (90, 91)}
+        result = oracle.query_detailed(0, 143, failed)
+        assert result.distance >= shortest_distance(
+            small_road, 0, 143, failed
+        ) - 1e-9
+        for tree, before in zip(oracle.forward_trees, snapshots):
+            assert tree.dist == before
+
+    def test_failures_respected(self, small_road):
+        """Post-update estimates are valid for the failed graph too."""
+        oracle = self.build(small_road, count=12)
+        failed = random_failures_from(small_road, 4, 10)
+        for s, t in [(0, 143), (20, 77)]:
+            estimate = oracle.query(s, t, failed)
+            true = shortest_distance(small_road, s, t, failed)
+            assert estimate >= true - 1e-9
+
+    def test_recompute_time_counted(self, small_road):
+        oracle = self.build(small_road)
+        # Fail edges guaranteed to be tree edges of some landmark tree.
+        tree = oracle.forward_trees[0]
+        edge = next(iter(tree.tree_edges()))
+        result = oracle.query_detailed(0, 143, {edge})
+        assert result.stats.recompute_seconds > 0
+        assert result.stats.affected_count >= 1
+
+    def test_index_entries(self, small_road):
+        entries = self.build(small_road).index_entries()
+        assert entries["landmark_tree_entries"] > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    fail_seed=st.integers(min_value=0, max_value=10_000),
+    s=st.integers(min_value=0, max_value=29),
+    t=st.integers(min_value=0, max_value=29),
+)
+def test_fddo_upper_bound_random(seed, fail_seed, s, t):
+    """FDDO estimates are distances of real surviving paths."""
+    graph = random_graph(seed)
+    oracle = FDDOOracle(graph, num_landmarks=6, seed=seed)
+    failed = random_failures_from(graph, fail_seed, 6)
+    true = shortest_distance(graph, s, t, failed)
+    estimate = oracle.query(s, t, failed)
+    assert estimate >= true - 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    fail_seed=st.integers(min_value=0, max_value=10_000),
+    s=st.integers(min_value=0, max_value=29),
+    t=st.integers(min_value=0, max_value=29),
+)
+def test_astar_oracle_exact_random(seed, fail_seed, s, t):
+    graph = random_graph(seed)
+    oracle = AStarOracle(graph, num_landmarks=3, seed=seed)
+    failed = random_failures_from(graph, fail_seed, 6)
+    assert oracle.query(s, t, failed) == pytest.approx(
+        shortest_distance(graph, s, t, failed)
+    )

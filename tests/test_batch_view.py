@@ -1,0 +1,91 @@
+"""Tests for FailureStateView — shared failure state, many queries."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.oracle.batch import FailureStateView
+from repro.oracle.diso import DISO
+from repro.pathing.dijkstra import shortest_distance
+from util import random_failures_from, random_graph
+
+
+class TestFailureStateView:
+    def test_matches_per_query_diso(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        failed = {(0, 1), (40, 41), (90, 91)}
+        view = FailureStateView(oracle, failed)
+        for s, t in [(0, 143), (12, 95), (143, 0), (5, 5)]:
+            assert view.query(s, t) == pytest.approx(
+                oracle.query(s, t, failed)
+            )
+
+    def test_empty_failure_state(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        view = FailureStateView(oracle)
+        assert view.affected == frozenset()
+        assert view.query(0, 100) == pytest.approx(oracle.query(0, 100))
+
+    def test_memo_grows_at_most_once_per_affected_node(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        failed = random_failures_from(small_road, 4, 15)
+        view = FailureStateView(oracle, failed)
+        pairs = [(0, 143), (143, 0), (12, 95), (95, 12), (3, 140)]
+        view.query_many(pairs)
+        assert view.memoized_nodes <= len(view.affected)
+
+    def test_views_are_independent(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        view_a = FailureStateView(oracle, {(0, 1)})
+        view_b = FailureStateView(oracle, {(100, 101)})
+        a = view_a.query(0, 143)
+        b = view_b.query(0, 143)
+        assert a == pytest.approx(oracle.query(0, 143, {(0, 1)}))
+        assert b == pytest.approx(oracle.query(0, 143, {(100, 101)}))
+
+    def test_oracle_index_untouched(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        before = {
+            (t, h): w for t, h, w in oracle.distance_graph.graph.edges()
+        }
+        view = FailureStateView(
+            oracle, random_failures_from(small_road, 9, 20)
+        )
+        view.query_many([(0, 143), (50, 100)])
+        after = {
+            (t, h): w for t, h, w in oracle.distance_graph.graph.edges()
+        }
+        assert before == after
+
+    def test_query_many_order(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        view = FailureStateView(oracle, {(0, 1)})
+        pairs = [(0, 10), (10, 0), (0, 143)]
+        answers = view.query_many(pairs)
+        assert answers == [view.query(s, t) for s, t in pairs]
+
+    def test_stats_report_shared_affected(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        failed = random_failures_from(small_road, 2, 10)
+        view = FailureStateView(oracle, failed)
+        result = view.query_detailed(0, 143)
+        assert result.stats.affected_count == len(view.affected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    fail_seed=st.integers(min_value=0, max_value=10_000),
+    s=st.integers(min_value=0, max_value=29),
+    t=st.integers(min_value=0, max_value=29),
+)
+def test_view_exact_random(seed, fail_seed, s, t):
+    graph = random_graph(seed)
+    oracle = DISO(graph, tau=2, theta=4.0)
+    failed = random_failures_from(graph, fail_seed, 8)
+    view = FailureStateView(oracle, failed)
+    expected = shortest_distance(graph, s, t, failed)
+    assert view.query(s, t) == pytest.approx(expected)
+    # Second pass through the memoized path stays exact.
+    assert view.query(s, t) == pytest.approx(expected)

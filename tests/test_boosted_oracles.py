@@ -1,0 +1,215 @@
+"""Tests for the boosted approximate oracles: DISO-S and ADISO-P.
+
+Approximate oracles must never *under*estimate (their answers are
+distances of real paths avoiding the failures), must be exact in the
+failure-free case whenever their structures permit, and must respect
+their documented error controls (beta for DISO-S).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.oracle.adiso_p import ADISOPartial
+from repro.oracle.base import INFINITY
+from repro.oracle.diso_s import DISOSparse
+from repro.pathing.dijkstra import shortest_distance
+from util import random_failures_from, random_graph
+
+
+class TestDISOSparse:
+    def build(self, graph, beta=1.5):
+        return DISOSparse(graph, beta=beta, tau=2, theta=16.0)
+
+    def test_marked_approximate(self, small_social):
+        assert not self.build(small_social).exact
+
+    def test_never_underestimates(self, small_social):
+        oracle = self.build(small_social)
+        failed = random_failures_from(small_social, 3, 10)
+        for s, t in [(0, 150), (10, 190), (199, 0)]:
+            estimate = oracle.query(s, t, failed)
+            true = shortest_distance(small_social, s, t, failed)
+            assert estimate >= true - 1e-9
+
+    def test_failure_free_within_beta(self, small_social):
+        beta = 1.5
+        oracle = self.build(small_social, beta=beta)
+        for s, t in [(0, 150), (10, 190), (42, 7)]:
+            estimate = oracle.query(s, t)
+            true = shortest_distance(small_social, s, t)
+            assert true - 1e-9 <= estimate <= beta * beta * true + 1e-9
+
+    def test_fallback_on_unreachable_in_sparse_world(self, small_social):
+        oracle = self.build(small_social)
+        # A query whose failures cut the sparsified graph may fall back;
+        # either way the answer must match the original graph's truth or
+        # overestimate it.
+        failed = random_failures_from(small_social, 9, 40)
+        result = oracle.query_detailed(5, 180, failed)
+        true = shortest_distance(small_social, 5, 180, failed)
+        assert result.distance >= true - 1e-9
+
+    def test_sparsified_overlay_not_larger(self, small_social):
+        oracle = self.build(small_social)
+        assert (
+            oracle.distance_graph.num_edges
+            <= oracle.overlay_sparsification.graph.number_of_edges()
+            + len(oracle.overlay_sparsification.removed)
+        )
+
+    def test_invalid_beta_raises(self, small_social):
+        with pytest.raises(ValueError):
+            DISOSparse(small_social, beta=0.9)
+
+
+class TestADISOPartial:
+    def build(self, graph):
+        return ADISOPartial(graph, tau=3, theta=1.0, tau_h=2, num_landmarks=4)
+
+    def test_marked_approximate(self, small_road):
+        assert not self.build(small_road).exact
+
+    def test_failure_free_is_exact(self, small_road):
+        oracle = self.build(small_road)
+        for s, t in [(0, 143), (12, 95), (143, 7)]:
+            assert oracle.query(s, t) == pytest.approx(
+                shortest_distance(small_road, s, t)
+            )
+
+    def test_never_underestimates(self, small_road):
+        oracle = self.build(small_road)
+        failed = random_failures_from(small_road, 5, 8)
+        for s, t in [(0, 143), (12, 95), (100, 3)]:
+            estimate = oracle.query(s, t, failed)
+            true = shortest_distance(small_road, s, t, failed)
+            assert estimate >= true - 1e-9
+
+    def test_same_node(self, small_road):
+        oracle = self.build(small_road)
+        assert oracle.query(4, 4, failed={(4, 5)}) == 0.0
+
+    def test_h_overlay_smaller_than_d(self, small_road):
+        oracle = self.build(small_road)
+        assert oracle.h_overlay.num_nodes <= oracle.distance_graph.num_nodes
+
+    def test_index_entries_include_h(self, small_road):
+        entries = self.build(small_road).index_entries()
+        assert "h_overlay_nodes" in entries
+        assert "h_tree_nodes" in entries
+
+    def test_exit_candidates_never_worse(self, small_road):
+        """More candidate routes can only improve the estimate."""
+        failed = random_failures_from(small_road, 5, 8)
+        single = ADISOPartial(
+            small_road, tau=3, tau_h=2, num_landmarks=4, exit_candidates=1
+        )
+        multi = ADISOPartial(
+            small_road,
+            transit=single.transit,
+            tau_h=2,
+            num_landmarks=4,
+            exit_candidates=3,
+        )
+        for s, t in [(0, 143), (12, 95), (100, 3)]:
+            assert multi.query(s, t, failed) <= (
+                single.query(s, t, failed) + 1e-9
+            )
+
+    def test_avoid_affected_bias_stays_sound(self, small_road):
+        """The selection bias never produces an underestimate."""
+        oracle = ADISOPartial(
+            small_road,
+            tau=3,
+            tau_h=2,
+            num_landmarks=4,
+            avoid_affected_bias=0.5,
+        )
+        failed = random_failures_from(small_road, 7, 10)
+        for s, t in [(0, 143), (12, 95), (100, 3)]:
+            estimate = oracle.query(s, t, failed)
+            true = shortest_distance(small_road, s, t, failed)
+            assert estimate >= true - 1e-9
+
+    def test_bias_exact_without_failures(self, small_road):
+        oracle = ADISOPartial(
+            small_road,
+            tau=3,
+            tau_h=2,
+            num_landmarks=4,
+            avoid_affected_bias=1.0,
+            exit_candidates=3,
+        )
+        for s, t in [(0, 143), (12, 95)]:
+            assert oracle.query(s, t) == pytest.approx(
+                shortest_distance(small_road, s, t)
+            )
+
+    def test_unreachable_target(self):
+        from repro.graph.digraph import DiGraph
+
+        g = DiGraph()
+        # Two rings joined by a single directed bridge.
+        for i in range(5):
+            g.add_edge(i, (i + 1) % 5, 1.0)
+            g.add_edge((i + 1) % 5, i, 1.0)
+        for i in range(5, 10):
+            j = 5 + (i - 4) % 5
+            g.add_edge(i, j, 1.0)
+            g.add_edge(j, i, 1.0)
+        g.add_edge(2, 7, 1.0)
+        oracle = ADISOPartial(g, tau=1, tau_h=1, num_landmarks=2)
+        assert oracle.query(7, 2) == INFINITY
+        # Failing the only bridge makes 7 unreachable from 0.
+        assert oracle.query(0, 7, failed={(2, 7)}) == INFINITY
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    fail_seed=st.integers(min_value=0, max_value=10_000),
+    s=st.integers(min_value=0, max_value=29),
+    t=st.integers(min_value=0, max_value=29),
+)
+def test_diso_sparse_upper_bound_random(seed, fail_seed, s, t):
+    """DISO-S never returns less than the true distance."""
+    graph = random_graph(seed)
+    oracle = DISOSparse(graph, beta=1.5, tau=2, theta=8.0)
+    failed = random_failures_from(graph, fail_seed, 6)
+    true = shortest_distance(graph, s, t, failed)
+    assert oracle.query(s, t, failed) >= true - 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    fail_seed=st.integers(min_value=0, max_value=10_000),
+    s=st.integers(min_value=0, max_value=29),
+    t=st.integers(min_value=0, max_value=29),
+)
+def test_adiso_p_upper_bound_random(seed, fail_seed, s, t):
+    """ADISO-P never returns less than the true distance."""
+    graph = random_graph(seed)
+    oracle = ADISOPartial(
+        graph, tau=2, theta=4.0, tau_h=1, num_landmarks=3, seed=seed
+    )
+    failed = random_failures_from(graph, fail_seed, 5)
+    true = shortest_distance(graph, s, t, failed)
+    assert oracle.query(s, t, failed) >= true - 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    s=st.integers(min_value=0, max_value=29),
+    t=st.integers(min_value=0, max_value=29),
+)
+def test_adiso_p_exact_without_failures_random(seed, s, t):
+    graph = random_graph(seed)
+    oracle = ADISOPartial(
+        graph, tau=2, theta=4.0, tau_h=1, num_landmarks=3, seed=seed
+    )
+    assert oracle.query(s, t) == pytest.approx(
+        shortest_distance(graph, s, t)
+    )

@@ -1,0 +1,168 @@
+"""Tests for the bounded Dijkstra's algorithm and access nodes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.pathing.bounded import (
+    bounded_dijkstra,
+    bounded_tree,
+    in_access_nodes,
+    out_access_nodes,
+)
+from repro.pathing.dijkstra import dijkstra, shortest_distance
+from util import random_failures_from, random_graph
+
+
+def line_graph() -> DiGraph:
+    """0 - 1 - 2 - 3 - 4 bidirectional unit path."""
+    g = DiGraph()
+    for i in range(4):
+        g.add_edge(i, i + 1, 1.0)
+        g.add_edge(i + 1, i, 1.0)
+    return g
+
+
+class TestBoundedSearch:
+    def test_stops_at_transit_nodes(self):
+        g = line_graph()
+        result = bounded_dijkstra(g, 0, transit={2})
+        # Node 3 and 4 lie beyond transit node 2 — never reached.
+        assert 3 not in result.dist
+        assert 4 not in result.dist
+        assert result.access == {2: 2.0}
+
+    def test_source_transit_is_expanded(self):
+        g = line_graph()
+        result = bounded_dijkstra(g, 2, transit={2, 4})
+        # The search from a transit source explores until other transit.
+        assert result.dist[3] == 1.0
+        assert result.access == {2: 0.0, 4: 2.0}
+
+    def test_direction_in(self):
+        g = DiGraph([(0, 1, 1.0), (1, 2, 1.0)])
+        result = bounded_dijkstra(g, 2, transit={0}, direction="in")
+        assert result.access == {0: 2.0}
+        assert result.dist[1] == 1.0
+
+    def test_invalid_direction_raises(self):
+        g = line_graph()
+        with pytest.raises(ValueError):
+            bounded_dijkstra(g, 0, transit=set(), direction="sideways")
+
+    def test_failed_edges_avoided(self):
+        g = line_graph()
+        result = bounded_dijkstra(g, 0, transit={4}, failed={(1, 2)})
+        assert 2 not in result.dist
+        assert result.access == {}
+
+    def test_settled_count(self):
+        g = line_graph()
+        result = bounded_dijkstra(g, 0, transit={1})
+        assert result.settled_count == 2  # 0 and 1
+
+    def test_empty_transit_equals_dijkstra(self, small_road):
+        result = bounded_dijkstra(small_road, 0, transit=set())
+        dist, _ = dijkstra(small_road, 0)
+        assert result.dist == dist
+
+
+class TestAccessNodes:
+    def test_transit_source_is_own_access(self, small_road):
+        access = out_access_nodes(small_road, 5, transit={5, 9})
+        assert access == {5: 0.0}
+
+    def test_out_access_distances_exact(self, small_road):
+        transit = {10, 50, 90, 130}
+        access = out_access_nodes(small_road, 0, transit)
+        for node, d in access.items():
+            # The access distance must be a real distance (>= shortest).
+            assert d >= shortest_distance(small_road, 0, node) - 1e-9
+
+    def test_in_access_distances_exact(self, small_road):
+        transit = {10, 50, 90, 130}
+        access = in_access_nodes(small_road, 0, transit)
+        for node, d in access.items():
+            assert d >= shortest_distance(small_road, node, 0) - 1e-9
+
+    def test_in_access_for_transit_target(self, small_road):
+        assert in_access_nodes(small_road, 7, transit={7}) == {7: 0.0}
+
+
+class TestBoundedTree:
+    def test_tree_matches_search(self, small_road):
+        transit = {10, 50, 90, 130}
+        tree = bounded_tree(small_road, 10, transit)
+        result = bounded_dijkstra(small_road, 10, transit)
+        assert tree.dist == result.dist
+        tree.check_invariants()
+
+    def test_transit_leaves_are_leaves(self, small_road):
+        transit = {10, 50, 90, 130}
+        tree = bounded_tree(small_road, 10, transit)
+        for node in transit:
+            if node in tree and node != 10:
+                assert not tree.children(node)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5000))
+def test_access_superset_property(seed):
+    """A*_out covers the first transit node of every shortest path.
+
+    For every node v whose shortest path from 0 passes a transit node,
+    the first transit node on it must appear in A*_out(0) with exactly
+    the path prefix distance — the superset property of Section 4.1.1.
+    """
+    graph = random_graph(seed)
+    transit = {3, 7, 11, 19, 23}
+    access = out_access_nodes(graph, 0, transit)
+    dist, parent = dijkstra(graph, 0)
+    for node in graph.nodes():
+        if node == 0 or node not in dist:
+            continue
+        # Walk the shortest path from 0 to node, find first transit hit.
+        chain = [node]
+        current = node
+        while parent[current] is not None:
+            current = parent[current]
+            chain.append(current)
+        chain.reverse()  # starts at 0
+        first_transit = next((x for x in chain[1:] if x in transit), None)
+        if first_transit is not None:
+            assert first_transit in access
+            assert access[first_transit] == pytest.approx(
+                dist[first_transit]
+            )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5000),
+    fail_seed=st.integers(min_value=0, max_value=5000),
+)
+def test_bounded_distances_are_transit_free_shortest(seed, fail_seed):
+    """d_hat(s, v, F) equals Dijkstra on the graph minus interior transit.
+
+    The bounded search distance to any settled non-transit node equals
+    the true shortest distance in the graph with other transit nodes
+    removed (they may only appear as the final node).
+    """
+    graph = random_graph(seed)
+    transit = {5, 10, 15, 20, 25}
+    failed = random_failures_from(graph, fail_seed, 5)
+    result = bounded_dijkstra(graph, 0, transit, failed)
+    # Build the comparison graph: remove interior transit nodes.
+    pruned = graph.copy()
+    for node in transit:
+        if node != 0 and pruned.has_node(node):
+            # Keep in-edges (node can be a path end) but cut out-edges.
+            for head in list(pruned.successors(node)):
+                pruned.remove_edge(node, head)
+    expected, _ = dijkstra(pruned, 0, failed=failed)
+    for node, d in result.dist.items():
+        assert d == pytest.approx(expected[node])
+    for node, d in expected.items():
+        assert result.dist.get(node, float("inf")) == pytest.approx(d)

@@ -1,0 +1,164 @@
+"""Tests for the endpoint-caching oracle (paper Example 1 workloads)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.oracle.caching import CachingDISO, _explored_region
+from repro.oracle.diso import DISO
+from repro.pathing.bounded import bounded_dijkstra
+from repro.pathing.dijkstra import shortest_distance
+from repro.workload.queries import generate_queries
+from util import random_failures_from, random_graph
+
+
+class TestExploredRegion:
+    def test_region_covers_relaxed_edges(self, small_road):
+        transit = frozenset({10, 40, 80, 120})
+        result = bounded_dijkstra(small_road, 0, transit)
+        region = _explored_region(small_road, result)
+        # Every tree edge of the search was relaxed: must be in region.
+        for node, parent in result.parent.items():
+            if parent is not None:
+                assert (parent, node) in region
+
+    def test_boundary_out_edges_excluded(self, small_road):
+        transit = frozenset({10, 40, 80, 120})
+        result = bounded_dijkstra(small_road, 0, transit)
+        region = _explored_region(small_road, result)
+        for boundary in result.access:
+            if boundary == 0:
+                continue
+            for head in small_road.successors(boundary):
+                edge = (boundary, head)
+                # Out-edges of pure boundary nodes were never relaxed;
+                # they may appear only if another expanded node shares
+                # the edge (impossible for out-edges keyed by tail).
+                assert edge not in region
+
+
+class TestCachingDISO:
+    def test_exact_like_diso(self, small_road):
+        cached = CachingDISO(small_road, tau=3, theta=1.0)
+        plain = DISO(small_road, transit=cached.transit)
+        queries = generate_queries(small_road, 12, f_gen=3, p=0.003, seed=9)
+        for q in queries:
+            assert cached.query(q.source, q.target, q.failed) == (
+                pytest.approx(plain.query(q.source, q.target, q.failed))
+            )
+
+    def test_repeated_endpoints_hit_cache(self, small_road):
+        oracle = CachingDISO(small_road, tau=3, theta=1.0)
+        oracle.query(0, 143)
+        before = oracle.cache_hits
+        for _ in range(5):
+            oracle.query(0, 143)
+        assert oracle.cache_hits >= before + 10  # 2 searches per query
+
+    def test_cache_hit_with_remote_failures(self, small_road):
+        """Failures outside both endpoint regions reuse the cache."""
+        oracle = CachingDISO(small_road, tau=3, theta=1.0)
+        base = oracle.query(0, 143)
+        hits_before = oracle.cache_hits
+        # An edge deep in the middle of the graph, outside the local
+        # bounded regions of the corners (verified via the region).
+        result = bounded_dijkstra(small_road, 0, oracle.transit)
+        region = _explored_region(small_road, result)
+        middle_edge = next(
+            (t, h)
+            for t, h, _ in small_road.edges()
+            if (t, h) not in region
+        )
+        distance = oracle.query(0, 143, failed={middle_edge})
+        assert distance >= base - 1e-9
+        assert distance == pytest.approx(
+            shortest_distance(small_road, 0, 143, {middle_edge})
+        )
+        assert oracle.cache_hits > hits_before
+
+    def test_cache_bypass_when_failures_touch_region(self, small_road):
+        oracle = CachingDISO(small_road, tau=3, theta=1.0)
+        oracle.query(0, 143)  # warm the cache
+        # Fail an edge right at the source: region definitely touched.
+        local_edge = (0, next(iter(small_road.successors(0))))
+        distance = oracle.query(0, 143, failed={local_edge})
+        assert distance == pytest.approx(
+            shortest_distance(small_road, 0, 143, {local_edge})
+        )
+
+    def test_invalidate_cache(self, small_road):
+        oracle = CachingDISO(small_road, tau=3, theta=1.0)
+        oracle.query(0, 143)
+        oracle.invalidate_cache()
+        misses_before = oracle.cache_misses
+        oracle.query(0, 143)
+        assert oracle.cache_misses > misses_before
+
+    def test_lru_eviction(self, small_road):
+        oracle = CachingDISO(small_road, tau=3, theta=1.0, cache_size=2)
+        oracle.query(0, 143)
+        oracle.query(5, 100)
+        oracle.query(7, 90)
+        assert len(oracle._cache) <= 2
+
+    def test_maintenance_drops_cache_automatically(self, small_road):
+        """OracleMaintainer invalidates the endpoint cache on updates."""
+        from repro.oracle.maintenance import OracleMaintainer
+        from repro.pathing.dijkstra import shortest_distance
+
+        oracle = CachingDISO(small_road, tau=3, theta=1.0)
+        baseline = oracle.query(0, 143)  # warm the cache
+        maintainer = OracleMaintainer(oracle)
+        # Permanently delete an edge near the source so a stale cached
+        # region would give a wrong answer.
+        head = next(iter(small_road.successors(0)))
+        maintainer.delete_edge(0, head)
+        assert len(oracle._cache) == 0
+        assert oracle.query(0, 143) == pytest.approx(
+            shortest_distance(small_road, 0, 143)
+        )
+
+    def test_threaded_caching_queries(self, small_road):
+        """The cache's lock keeps concurrent querying consistent."""
+        import threading
+
+        oracle = CachingDISO(small_road, tau=3, theta=1.0)
+        failed = {(0, 1), (70, 71)}
+        expected = oracle.query(0, 143, failed)
+        results: list[float] = []
+        lock = threading.Lock()
+
+        def worker() -> None:
+            for _ in range(10):
+                value = oracle.query(0, 143, failed)
+                with lock:
+                    results.append(value)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(v == expected for v in results)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    fail_seed=st.integers(min_value=0, max_value=10_000),
+    s=st.integers(min_value=0, max_value=29),
+    t=st.integers(min_value=0, max_value=29),
+)
+def test_caching_diso_exact_random(seed, fail_seed, s, t):
+    """Cache fast path and slow path both stay exact."""
+    graph = random_graph(seed)
+    oracle = CachingDISO(graph, tau=2, theta=4.0)
+    failed = random_failures_from(graph, fail_seed, 6)
+    # Warm the cache failure-free, then query with failures (the case
+    # where a wrong region check would surface as a wrong answer).
+    oracle.query(s, t)
+    expected = shortest_distance(graph, s, t, failed)
+    assert oracle.query(s, t, failed) == pytest.approx(expected)
+    # And again, exercising the post-warm-up lookup path.
+    assert oracle.query(s, t, failed) == pytest.approx(expected)

@@ -1,0 +1,153 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.io import write_edge_list
+from repro.graph.generators import road_network
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.command == "stats"
+        assert args.scale == 0.5
+
+    def test_query_parsing(self):
+        args = build_parser().parse_args(
+            ["query", "3", "9", "--fail", "1,2", "--fail", "4,5"]
+        )
+        assert args.source == 3
+        assert args.target == 9
+        assert args.fail == ["1,2", "4,5"]
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+
+class TestMain:
+    def test_stats(self, capsys):
+        assert main(["stats", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "NY" in out
+
+    def test_query_on_dataset(self, capsys):
+        code = main(
+            [
+                "query", "0", "50",
+                "--dataset", "NY",
+                "--scale", "0.2",
+                "--oracle", "diso",
+                "--fail", "0,1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "distance" in out
+        assert "DISO" in out
+
+    def test_query_on_file(self, tmp_path, capsys):
+        graph = road_network(6, 6, seed=1)
+        path = tmp_path / "g.tsv"
+        write_edge_list(graph, path)
+        code = main(
+            ["query", "0", "35", "--graph-file", str(path), "--tau", "2"]
+        )
+        assert code == 0
+        assert "reachable     : True" in capsys.readouterr().out
+
+    def test_query_dijkstra_oracle(self, capsys):
+        code = main(
+            ["query", "0", "10", "--dataset", "NY", "--scale", "0.2",
+             "--oracle", "dijkstra"]
+        )
+        assert code == 0
+        assert "DI" in capsys.readouterr().out
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2", "--scale", "0.2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_experiment_table6(self, capsys):
+        assert main(["experiment", "table6", "--scale", "0.2"]) == 0
+        assert "Index size" in capsys.readouterr().out
+
+    def test_experiment_theta(self, capsys):
+        code = main(
+            ["experiment", "theta", "--scale", "0.2", "--queries", "3"]
+        )
+        assert code == 0
+        assert "theta" in capsys.readouterr().out
+
+    def test_build_and_query_with_index(self, tmp_path, capsys):
+        index = tmp_path / "index.json"
+        code = main(
+            [
+                "build", str(index),
+                "--dataset", "NY",
+                "--scale", "0.2",
+                "--tau", "3",
+            ]
+        )
+        assert code == 0
+        assert index.exists()
+        capsys.readouterr()
+        code = main(
+            ["query", "0", "40", "--index-file", str(index), "--fail", "0,1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "distance" in out
+
+    def test_malformed_fail_flag(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["query", "0", "1", "--dataset", "NY", "--scale", "0.2",
+                 "--fail", "nonsense"]
+            )
+        with pytest.raises(SystemExit):
+            main(
+                ["query", "0", "1", "--dataset", "NY", "--scale", "0.2",
+                 "--fail", "a,b"]
+            )
+
+    def test_query_dimacs_graph_file(self, tmp_path, capsys):
+        from repro.graph.io import write_dimacs
+
+        graph = road_network(6, 6, seed=1)
+        path = tmp_path / "g.gr"
+        write_dimacs(graph, path)
+        code = main(
+            ["query", "0", "35", "--graph-file", str(path),
+             "--format", "dimacs", "--tau", "2"]
+        )
+        assert code == 0
+        assert "distance" in capsys.readouterr().out
+
+    def test_experiment_replay(self, capsys):
+        code = main(
+            ["experiment", "replay", "--scale", "0.2", "--queries", "4"]
+        )
+        assert code == 0
+        assert "DSO (DISO)" in capsys.readouterr().out
+
+    def test_build_adiso(self, tmp_path, capsys):
+        index = tmp_path / "adiso.json"
+        code = main(
+            [
+                "build", str(index),
+                "--oracle", "adiso",
+                "--dataset", "NY",
+                "--scale", "0.2",
+            ]
+        )
+        assert code == 0
+        assert "ADISO" in capsys.readouterr().out

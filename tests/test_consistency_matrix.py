@@ -1,0 +1,110 @@
+"""Full consistency matrix: every oracle on every dataset family.
+
+Runs the paper's query workload on tiny instances of all six registered
+datasets and checks, per dataset:
+
+* all exact methods agree with Dijkstra,
+* all approximate methods never underestimate,
+* repeated querying leaves every oracle deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.astar_oracle import AStarOracle
+from repro.baselines.dijkstra_oracle import DijkstraOracle
+from repro.baselines.fddo import FDDOOracle
+from repro.oracle.adiso import ADISO
+from repro.oracle.adiso_p import ADISOPartial
+from repro.oracle.diso import DISO
+from repro.oracle.diso_bi import DISOBidirectional
+from repro.oracle.diso_minus import DISOMinus
+from repro.oracle.diso_s import DISOSparse
+from repro.workload.datasets import DATASETS
+from repro.workload.datasets import load_dataset
+from repro.workload.queries import generate_queries
+
+SCALE = 0.18
+QUERIES = 6
+
+
+@pytest.fixture(scope="module")
+def instances():
+    data = {}
+    for name in DATASETS:
+        graph = load_dataset(name, scale=SCALE, seed=3)
+        queries = generate_queries(graph, QUERIES, f_gen=3, p=0.002, seed=5)
+        truth = [
+            DijkstraOracle(graph).query(q.source, q.target, q.failed)
+            for q in queries
+        ]
+        data[name] = (graph, queries, truth)
+    return data
+
+
+def _exact_oracles(graph, spec):
+    return [
+        DISO(graph, tau=spec.tau_diso, theta=spec.theta),
+        DISOBidirectional(graph, tau=spec.tau_diso, theta=spec.theta),
+        DISOMinus(graph, tau=spec.tau_diso, theta=spec.theta),
+        ADISO(
+            graph,
+            tau=spec.tau_adiso,
+            theta=spec.theta,
+            num_landmarks=4,
+            seed=1,
+        ),
+        AStarOracle(graph, num_landmarks=4, seed=1),
+    ]
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+def test_exact_methods_agree(name, instances):
+    graph, queries, truth = instances[name]
+    spec = DATASETS[name]
+    for oracle in _exact_oracles(graph, spec):
+        for query, expected in zip(queries, truth):
+            got = oracle.query(query.source, query.target, query.failed)
+            if expected == float("inf"):
+                assert got == expected, (oracle.name, query)
+            else:
+                assert got == pytest.approx(expected), (oracle.name, query)
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+def test_approximate_methods_upper_bound(name, instances):
+    graph, queries, truth = instances[name]
+    spec = DATASETS[name]
+    if spec.kind == "road":
+        approx = ADISOPartial(
+            graph,
+            tau=spec.tau_adiso,
+            theta=spec.theta,
+            tau_h=1,
+            num_landmarks=4,
+            seed=1,
+        )
+    else:
+        approx = DISOSparse(
+            graph, beta=spec.beta, tau=spec.tau_diso, theta=spec.theta
+        )
+    fddo = FDDOOracle(graph, num_landmarks=6, seed=1)
+    for oracle in (approx, fddo):
+        for query, expected in zip(queries, truth):
+            got = oracle.query(query.source, query.target, query.failed)
+            assert got >= expected - 1e-9, (oracle.name, query)
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+def test_oracles_deterministic(name, instances):
+    graph, queries, _ = instances[name]
+    spec = DATASETS[name]
+    oracle = DISO(graph, tau=spec.tau_diso, theta=spec.theta)
+    first = [
+        oracle.query(q.source, q.target, q.failed) for q in queries
+    ]
+    second = [
+        oracle.query(q.source, q.target, q.failed) for q in queries
+    ]
+    assert first == second

@@ -1,0 +1,185 @@
+"""Tests for k-path cover algorithms: Algorithm 1, ISC, PRU, HPC."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cover.hpc import (
+    hpc_path_cover,
+    lr_deg_independent_set,
+)
+from repro.cover.independent_set import (
+    get_independent_set,
+    is_independent_set,
+    sigma,
+)
+from repro.cover.isc import isc_path_cover, verify_k_path_cover
+from repro.cover.pruning import pru_path_cover
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import path_network, ring_network, road_network
+from util import random_graph
+
+
+class TestSigma:
+    def test_sigma_on_path_middle(self):
+        # Path 0-1-2 (bidirectional): eliminating node 1 adds shortcuts
+        # (0, 2) and (2, 0): sigma = 2 missing pairs - degree 4 = -2.
+        g = path_network(3)
+        assert sigma(g, g.copy(), 1) == -2
+
+    def test_sigma_accounts_existing_edges(self):
+        # Triangle with all edges present: no missing pairs.
+        g = DiGraph()
+        for a in range(3):
+            for b in range(3):
+                if a != b:
+                    g.add_edge(a, b, 1.0)
+        assert sigma(g, g.copy(), 0) == -4  # 0 missing - deg 4
+
+    def test_sigma_hub_is_expensive(self):
+        # Star: center 0 connected both ways to 1..5; eliminating the
+        # center adds 5*4 = 20 shortcuts minus degree 10.
+        g = DiGraph()
+        for i in range(1, 6):
+            g.add_edge(0, i, 1.0)
+            g.add_edge(i, 0, 1.0)
+        assert sigma(g, g.copy(), 0) == 20 - 10
+
+
+class TestGetIndependentSet:
+    def test_result_is_independent(self, small_road):
+        result = get_independent_set(small_road, theta=1.0)
+        assert is_independent_set(small_road, result.independent_set)
+
+    def test_contracted_excludes_eliminated(self, small_road):
+        result = get_independent_set(small_road, theta=1.0)
+        for node in result.independent_set:
+            assert not result.contracted.has_node(node)
+
+    def test_high_theta_eliminates_more(self, small_social):
+        low = get_independent_set(small_social, theta=0.0)
+        high = get_independent_set(small_social, theta=64.0)
+        assert len(high.independent_set) >= len(low.independent_set)
+
+    def test_negative_theta_can_block_everything(self):
+        # On a bidirectional ring, eliminating any node adds 2 shortcuts
+        # and removes 4 edge entries: sigma = -2; theta = -3 blocks all.
+        g = ring_network(8)
+        result = get_independent_set(g, theta=-3.0)
+        assert result.independent_set == set()
+
+    def test_contraction_preserves_reachability(self):
+        g = path_network(5)
+        result = get_independent_set(g, theta=10.0)
+        contracted = result.contracted
+        # Surviving nodes must still reach each other in the contraction.
+        from repro.pathing.dijkstra import dijkstra
+
+        survivors = sorted(contracted.nodes())
+        if len(survivors) > 1:
+            dist, _ = dijkstra(contracted, survivors[0])
+            assert set(dist) == set(survivors)
+
+
+class TestISC:
+    def test_cover_property_small(self, small_road):
+        result = isc_path_cover(small_road, tau=2, theta=1.0)
+        assert verify_k_path_cover(small_road, result.cover, result.k)
+
+    def test_k_is_two_to_tau(self, small_road):
+        assert isc_path_cover(small_road, tau=3, theta=1.0).k == 8
+
+    def test_invalid_tau_raises(self, small_road):
+        with pytest.raises(ValueError):
+            isc_path_cover(small_road, tau=0)
+
+    def test_more_rounds_smaller_cover(self, small_road):
+        one = isc_path_cover(small_road, tau=1, theta=1.0)
+        three = isc_path_cover(small_road, tau=3, theta=1.0)
+        assert len(three.cover) <= len(one.cover)
+
+    def test_rounds_recorded(self, small_road):
+        result = isc_path_cover(small_road, tau=2, theta=1.0)
+        assert len(result.rounds) <= 2
+        assert all(r >= 0 for r in result.rounds)
+
+    def test_topology_nodes_match_cover(self, small_road):
+        result = isc_path_cover(small_road, tau=2, theta=1.0)
+        assert set(result.topology.nodes()) == result.cover
+
+
+class TestPRU:
+    def test_cover_property(self, small_road):
+        result = pru_path_cover(small_road, k=4)
+        assert verify_k_path_cover(small_road, result.cover, 4)
+
+    def test_invalid_k_raises(self, small_road):
+        with pytest.raises(ValueError):
+            pru_path_cover(small_road, k=1)
+
+    def test_prunes_something_on_line(self):
+        g = path_network(10)
+        result = pru_path_cover(g, k=4)
+        assert len(result.cover) < g.number_of_nodes()
+        assert verify_k_path_cover(g, result.cover, 4)
+
+    def test_budget_exhaustion_is_conservative(self, small_social):
+        tight = pru_path_cover(small_social, k=8, budget_per_node=1)
+        # With no budget nothing can be proven prunable: cover stays big
+        # but valid.
+        assert verify_k_path_cover(
+            small_social, tight.cover, 8, sample_limit=30
+        )
+
+
+class TestHPC:
+    def test_lr_deg_is_independent(self, small_road):
+        independent = lr_deg_independent_set(small_road)
+        assert is_independent_set(small_road, independent)
+
+    def test_cover_property(self, small_road):
+        result = hpc_path_cover(small_road, tau=2)
+        assert verify_k_path_cover(small_road, result.cover, result.k)
+
+    def test_invalid_tau_raises(self, small_road):
+        with pytest.raises(ValueError):
+            hpc_path_cover(small_road, tau=0)
+
+    def test_isc_sparser_than_hpc(self, small_road):
+        """The paper's core claim: ISC yields fewer overlay edges."""
+        from repro.overlay.distance_graph import build_distance_graph
+
+        isc = isc_path_cover(small_road, tau=3, theta=1.0)
+        hpc = hpc_path_cover(small_road, tau=3)
+        isc_overlay, _ = build_distance_graph(small_road, isc.cover)
+        hpc_overlay, _ = build_distance_graph(small_road, hpc.cover)
+        assert isc_overlay.num_edges <= hpc_overlay.num_edges
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5000),
+    tau=st.integers(min_value=1, max_value=3),
+)
+def test_isc_cover_property_random(seed, tau):
+    """Lemma 3: V_tau is a 2^tau-path cover on random graphs."""
+    graph = random_graph(seed, n=20, extra=30)
+    result = isc_path_cover(graph, tau=tau, theta=2.0)
+    assert verify_k_path_cover(graph, result.cover, result.k)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5000))
+def test_hpc_cover_property_random(seed):
+    graph = random_graph(seed, n=20, extra=30)
+    result = hpc_path_cover(graph, tau=2)
+    assert verify_k_path_cover(graph, result.cover, result.k)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5000))
+def test_independent_set_never_adjacent_random(seed):
+    graph = random_graph(seed, n=25, extra=50)
+    result = get_independent_set(graph, theta=4.0)
+    assert is_independent_set(graph, result.independent_set)

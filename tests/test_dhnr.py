@@ -1,0 +1,83 @@
+"""Tests for the DHNR-style avoidance baseline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.dhnr import DHNROracle, _ZeroHeuristicTable
+from repro.oracle.base import QueryStats
+from repro.oracle.diso import DISO
+from repro.pathing.dijkstra import shortest_distance
+from util import random_failures_from, random_graph
+
+
+class TestZeroHeuristicTable:
+    def test_bounds_are_zero(self):
+        table = _ZeroHeuristicTable()
+        assert table.lower_bound(1, 2) == 0.0
+        assert table.heuristic_to(5)(3) == 0.0
+        assert len(table) == 0
+        assert table.size_in_entries() == 0
+
+    def test_no_landmarks(self):
+        with pytest.raises(IndexError):
+            _ZeroHeuristicTable().landmark_bound(0, 1, 2)
+
+
+class TestDHNR:
+    def test_exact_on_fixture(self, small_road):
+        oracle = DHNROracle(small_road, tau=3, theta=1.0)
+        failed = {(0, 1), (40, 41), (100, 101)}
+        for target in (3, 60, 143):
+            assert oracle.query(0, target, failed) == pytest.approx(
+                shortest_distance(small_road, 0, target, failed)
+            )
+
+    def test_zero_index_overhead_over_diso(self, small_road):
+        """DHNR carries no landmark data: index equals DISO's."""
+        diso = DISO(small_road, tau=3, theta=1.0)
+        dhnr = DHNROracle(small_road, transit=diso.transit)
+        diso_entries = diso.index_entries()
+        dhnr_entries = dict(dhnr.index_entries())
+        assert dhnr_entries.pop("landmark_entries") == 0
+        assert dhnr_entries == diso_entries
+
+    def test_search_space_grows_with_failures(self, small_road):
+        """The paper's §2 prediction: DHNR degenerates toward Dijkstra.
+
+        With more affected transit nodes, DHNR expands more plain graph
+        nodes (avoidance), while DISO's graph expansion stays bounded
+        by the access searches (repair).
+        """
+        dhnr = DHNROracle(small_road, tau=3, theta=1.0)
+        light = {(0, 1)}
+        heavy = random_failures_from(small_road, 3, 40)
+        light_result = dhnr.query_detailed(0, 143, light)
+        heavy_result = dhnr.query_detailed(0, 143, heavy)
+        assert (
+            heavy_result.stats.graph_settled
+            >= light_result.stats.graph_settled
+        )
+
+    def test_never_recomputes_tree_weights(self, small_road):
+        """Avoidance policy: the lazy recomputation path is never hit."""
+        oracle = DHNROracle(small_road, tau=3, theta=1.0)
+        failed = random_failures_from(small_road, 5, 20)
+        result = oracle.query_detailed(0, 143, failed)
+        assert result.stats.recomputed_nodes == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    fail_seed=st.integers(min_value=0, max_value=10_000),
+    s=st.integers(min_value=0, max_value=29),
+    t=st.integers(min_value=0, max_value=29),
+)
+def test_dhnr_exact_random(seed, fail_seed, s, t):
+    graph = random_graph(seed)
+    oracle = DHNROracle(graph, tau=2, theta=4.0)
+    failed = random_failures_from(graph, fail_seed, 8)
+    expected = shortest_distance(graph, s, t, failed)
+    assert oracle.query(s, t, failed) == pytest.approx(expected)

@@ -1,0 +1,210 @@
+"""Unit tests for the DiGraph representation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    EdgeNotFoundError,
+    NegativeWeightError,
+    NodeNotFoundError,
+)
+from repro.graph.digraph import DiGraph
+
+
+class TestNodes:
+    def test_add_node(self):
+        g = DiGraph()
+        g.add_node(1)
+        assert g.has_node(1)
+        assert g.number_of_nodes() == 1
+
+    def test_add_node_idempotent(self):
+        g = DiGraph([(1, 2, 1.0)])
+        g.add_node(1)
+        assert g.number_of_edges() == 1
+
+    def test_add_nodes_bulk(self):
+        g = DiGraph()
+        g.add_nodes(range(5))
+        assert g.number_of_nodes() == 5
+
+    def test_remove_node_drops_incident_edges(self):
+        g = DiGraph([(0, 1, 1.0), (1, 2, 1.0), (2, 1, 1.0)])
+        g.remove_node(1)
+        assert not g.has_node(1)
+        assert g.number_of_edges() == 0
+        assert g.number_of_nodes() == 2
+
+    def test_remove_missing_node_raises(self):
+        g = DiGraph()
+        with pytest.raises(NodeNotFoundError):
+            g.remove_node(9)
+
+    def test_contains_and_iter(self):
+        g = DiGraph([(0, 1, 1.0)])
+        assert 0 in g
+        assert 2 not in g
+        assert sorted(g) == [0, 1]
+        assert len(g) == 2
+
+
+class TestEdges:
+    def test_add_edge_creates_endpoints(self):
+        g = DiGraph()
+        g.add_edge(3, 7, 2.5)
+        assert g.has_node(3)
+        assert g.has_node(7)
+        assert g.weight(3, 7) == 2.5
+
+    def test_edges_are_directed(self):
+        g = DiGraph([(0, 1, 1.0)])
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_multi_edge_keeps_minimum(self):
+        g = DiGraph()
+        g.add_edge(0, 1, 5.0)
+        g.add_edge(0, 1, 2.0)
+        g.add_edge(0, 1, 9.0)
+        assert g.weight(0, 1) == 2.0
+        assert g.number_of_edges() == 1
+
+    def test_negative_weight_rejected(self):
+        g = DiGraph()
+        with pytest.raises(NegativeWeightError):
+            g.add_edge(0, 1, -0.5)
+
+    def test_zero_weight_allowed(self):
+        g = DiGraph([(0, 1, 0.0)])
+        assert g.weight(0, 1) == 0.0
+
+    def test_set_weight_overrides_upward(self):
+        g = DiGraph([(0, 1, 1.0)])
+        g.set_weight(0, 1, 4.0)
+        assert g.weight(0, 1) == 4.0
+
+    def test_set_weight_missing_edge_raises(self):
+        g = DiGraph()
+        g.add_node(0)
+        g.add_node(1)
+        with pytest.raises(EdgeNotFoundError):
+            g.set_weight(0, 1, 1.0)
+
+    def test_remove_edge(self):
+        g = DiGraph([(0, 1, 1.0), (1, 0, 1.0)])
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert g.number_of_edges() == 1
+
+    def test_remove_missing_edge_raises(self):
+        g = DiGraph([(0, 1, 1.0)])
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(1, 0)
+
+    def test_weight_missing_edge_raises(self):
+        g = DiGraph([(0, 1, 1.0)])
+        with pytest.raises(EdgeNotFoundError):
+            g.weight(1, 0)
+
+    def test_edges_iteration(self):
+        triples = [(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0)]
+        g = DiGraph(triples)
+        assert sorted(g.edges()) == sorted(triples)
+
+    def test_edge_set(self):
+        g = DiGraph([(0, 1, 1.0), (1, 2, 2.0)])
+        assert g.edge_set() == {(0, 1), (1, 2)}
+
+
+class TestNeighborhoods:
+    def test_successors_and_predecessors(self):
+        g = DiGraph([(0, 1, 1.0), (0, 2, 2.0), (2, 1, 3.0)])
+        assert g.successors(0) == {1: 1.0, 2: 2.0}
+        assert g.predecessors(1) == {0: 1.0, 2: 3.0}
+
+    def test_successors_missing_node_raises(self):
+        g = DiGraph()
+        with pytest.raises(NodeNotFoundError):
+            g.successors(0)
+
+    def test_degrees(self):
+        g = DiGraph([(0, 1, 1.0), (2, 1, 1.0), (1, 3, 1.0)])
+        assert g.in_degree(1) == 2
+        assert g.out_degree(1) == 1
+        assert g.degree(1) == 3
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = DiGraph([(0, 1, 1.0)])
+        clone = g.copy()
+        clone.add_edge(1, 0, 2.0)
+        assert not g.has_edge(1, 0)
+        assert clone.has_edge(1, 0)
+
+    def test_copy_preserves_isolated_nodes(self):
+        g = DiGraph()
+        g.add_node(5)
+        assert g.copy().has_node(5)
+
+    def test_reverse(self):
+        g = DiGraph([(0, 1, 1.5), (1, 2, 2.5)])
+        rev = g.reverse()
+        assert rev.weight(1, 0) == 1.5
+        assert rev.weight(2, 1) == 2.5
+        assert not rev.has_edge(0, 1)
+
+    def test_reverse_twice_is_identity(self):
+        g = DiGraph([(0, 1, 1.0), (2, 1, 3.0)])
+        assert g.reverse().reverse() == g
+
+    def test_subgraph(self):
+        g = DiGraph([(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
+        sub = g.subgraph({0, 1})
+        assert sub.has_edge(0, 1)
+        assert not sub.has_node(2)
+        assert sub.number_of_edges() == 1
+
+    def test_subgraph_ignores_unknown_nodes(self):
+        g = DiGraph([(0, 1, 1.0)])
+        sub = g.subgraph({0, 1, 99})
+        assert not sub.has_node(99)
+
+
+class TestStatistics:
+    def test_average_degree(self):
+        g = DiGraph([(0, 1, 1.0), (1, 0, 1.0)])
+        assert g.average_degree() == 1.0
+
+    def test_average_degree_empty(self):
+        assert DiGraph().average_degree() == 0.0
+
+    def test_max_degree(self):
+        g = DiGraph([(0, 1, 1.0), (2, 1, 1.0), (1, 3, 1.0)])
+        assert g.max_degree() == 3
+
+    def test_total_weight(self):
+        g = DiGraph([(0, 1, 1.5), (1, 2, 2.5)])
+        assert g.total_weight() == pytest.approx(4.0)
+
+    def test_repr(self):
+        g = DiGraph([(0, 1, 1.0)])
+        assert "nodes=2" in repr(g)
+        assert "edges=1" in repr(g)
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = DiGraph([(0, 1, 1.0)])
+        b = DiGraph([(0, 1, 1.0)])
+        assert a == b
+
+    def test_weight_difference_breaks_equality(self):
+        a = DiGraph([(0, 1, 1.0)])
+        b = DiGraph([(0, 1, 2.0)])
+        assert a != b
+
+    def test_not_equal_to_other_types(self):
+        assert DiGraph() != 42

@@ -1,0 +1,189 @@
+"""Tests for Dijkstra variants, cross-checked against networkx."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.digraph import DiGraph
+from repro.pathing.dijkstra import (
+    bidirectional_dijkstra,
+    dijkstra,
+    eccentricity,
+    path_distance,
+    reverse_dijkstra,
+    shortest_distance,
+    shortest_path,
+    shortest_path_tree,
+)
+from repro.pathing.spt import INFINITY
+
+from util import random_failures_from, random_graph
+
+
+def to_networkx(graph: DiGraph) -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_nodes_from(graph.nodes())
+    for tail, head, weight in graph.edges():
+        g.add_edge(tail, head, weight=weight)
+    return g
+
+
+class TestDijkstraBasics:
+    def test_triangle(self, triangle):
+        dist, parent = dijkstra(triangle, 0)
+        assert dist == {0: 0.0, 1: 1.0, 2: 2.0}
+        assert parent[2] == 1
+
+    def test_missing_source_raises(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            dijkstra(triangle, 99)
+
+    def test_unreachable_absent_from_dist(self):
+        g = DiGraph([(0, 1, 1.0)])
+        g.add_node(2)
+        dist, _ = dijkstra(g, 0)
+        assert 2 not in dist
+
+    def test_early_exit_at_target(self, small_grid):
+        dist, _ = dijkstra(small_grid, 0, target=1)
+        # target settled; far corners may be unexplored
+        assert dist[1] == 1.0
+
+    def test_failed_edge_avoided(self, triangle):
+        dist, _ = dijkstra(triangle, 0, failed={(0, 1)})
+        assert dist[2] == 5.0
+
+    def test_all_paths_failed(self, triangle):
+        dist, _ = dijkstra(triangle, 0, failed={(0, 1), (0, 2)})
+        assert 2 not in dist
+
+    def test_grid_manhattan(self, small_grid):
+        dist, _ = dijkstra(small_grid, 0)
+        # node 24 is the far corner of the 5x5 grid
+        assert dist[24] == pytest.approx(8.0)
+
+
+class TestShortestPath:
+    def test_path_edges(self, triangle):
+        assert shortest_path(triangle, 0, 2) == [(0, 1), (1, 2)]
+
+    def test_path_unreachable_is_none(self):
+        g = DiGraph([(0, 1, 1.0)])
+        g.add_node(2)
+        assert shortest_path(g, 0, 2) is None
+
+    def test_path_distance_matches(self, small_road):
+        path = shortest_path(small_road, 0, 100)
+        assert path is not None
+        assert path_distance(small_road, path) == pytest.approx(
+            shortest_distance(small_road, 0, 100)
+        )
+
+    def test_path_respects_failures(self, diamond):
+        path = shortest_path(diamond, 0, 3, failed={(0, 1)})
+        assert path == [(0, 2), (2, 3)]
+
+    def test_shortest_distance_unreachable(self):
+        g = DiGraph([(0, 1, 1.0)])
+        g.add_node(5)
+        assert shortest_distance(g, 0, 5) == INFINITY
+
+
+class TestShortestPathTree:
+    def test_tree_distances_match_dijkstra(self, small_road):
+        tree = shortest_path_tree(small_road, 0)
+        dist, _ = dijkstra(small_road, 0)
+        assert tree.dist == dist
+        tree.check_invariants()
+
+    def test_tree_paths_are_shortest(self, small_grid):
+        tree = shortest_path_tree(small_grid, 0)
+        path = tree.path_to(24)
+        assert path is not None
+        assert path_distance(small_grid, path) == tree.dist[24]
+
+
+class TestReverseDijkstra:
+    def test_matches_forward_on_reversed_graph(self, small_road):
+        into = reverse_dijkstra(small_road, 17)
+        fwd_on_rev, _ = dijkstra(small_road.reverse(), 17)
+        assert into == fwd_on_rev
+
+    def test_respects_failures_in_original_orientation(self, triangle):
+        into = reverse_dijkstra(triangle, 2, failed={(1, 2)})
+        assert into[0] == 5.0
+
+
+class TestBidirectional:
+    def test_same_node(self, triangle):
+        assert bidirectional_dijkstra(triangle, 1, 1) == 0.0
+
+    def test_matches_unidirectional(self, small_road):
+        for target in (5, 50, 99, 143):
+            assert bidirectional_dijkstra(small_road, 0, target) == (
+                pytest.approx(shortest_distance(small_road, 0, target))
+            )
+
+    def test_with_failures(self, diamond):
+        assert bidirectional_dijkstra(diamond, 0, 3, failed={(1, 3)}) == (
+            pytest.approx(4.0)
+        )
+
+    def test_unreachable(self):
+        g = DiGraph([(0, 1, 1.0)])
+        g.add_node(2)
+        assert bidirectional_dijkstra(g, 0, 2) == INFINITY
+
+    def test_missing_endpoint_raises(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            bidirectional_dijkstra(triangle, 0, 77)
+
+
+class TestEccentricity:
+    def test_line_eccentricity(self, line):
+        assert eccentricity(line, 0) == pytest.approx(7.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_dijkstra_matches_networkx(seed):
+    """Distances agree with networkx on random strongly connected graphs."""
+    graph = random_graph(seed)
+    nx_graph = to_networkx(graph)
+    dist, _ = dijkstra(graph, 0)
+    expected = nx.single_source_dijkstra_path_length(nx_graph, 0)
+    assert set(dist) == set(expected)
+    for node, d in expected.items():
+        assert dist[node] == pytest.approx(d)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    fail_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_dijkstra_with_failures_matches_networkx(seed, fail_seed):
+    """Failure-avoiding distances equal networkx on the edge-deleted graph."""
+    graph = random_graph(seed)
+    failed = random_failures_from(graph, fail_seed, 8)
+    nx_graph = to_networkx(graph)
+    nx_graph.remove_edges_from(failed)
+    dist, _ = dijkstra(graph, 0, failed=failed)
+    expected = nx.single_source_dijkstra_path_length(nx_graph, 0)
+    assert set(dist) == set(expected)
+    for node, d in expected.items():
+        assert dist[node] == pytest.approx(d)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    target=st.integers(min_value=0, max_value=29),
+)
+def test_bidirectional_matches_unidirectional(seed, target):
+    graph = random_graph(seed)
+    expected = shortest_distance(graph, 0, target)
+    assert bidirectional_dijkstra(graph, 0, target) == pytest.approx(expected)

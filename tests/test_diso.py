@@ -1,0 +1,168 @@
+"""Correctness tests for DISO (Theorem 1: exact answers).
+
+The decisive property: for arbitrary queries (s, t, F) on arbitrary
+strongly connected graphs, DISO's answer equals plain Dijkstra on
+(V, E \\ F).  Exercised both on structured fixtures and on randomized
+graphs via hypothesis.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import QueryError
+from repro.graph.digraph import DiGraph
+from repro.oracle.diso import DISO
+from repro.oracle.base import INFINITY
+from repro.pathing.dijkstra import shortest_distance
+from util import random_failures_from, random_graph
+
+
+class TestConstruction:
+    def test_default_cover(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        assert 0 < len(oracle.transit) < small_road.number_of_nodes()
+        assert oracle.preprocess_seconds > 0
+
+    def test_explicit_transit(self, small_road):
+        transit = {0, 50, 100, 143}
+        oracle = DISO(small_road, transit=transit)
+        assert oracle.transit == frozenset(transit)
+
+    def test_index_entries(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        entries = oracle.index_entries()
+        assert entries["distance_graph_nodes"] == len(oracle.transit)
+        assert entries["tree_nodes"] > 0
+        assert entries["inverted_index_entries"] > 0
+
+
+class TestQueryBasics:
+    def test_same_node(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        assert oracle.query(7, 7) == 0.0
+        assert oracle.query(7, 7, failed={(7, 8)}) == 0.0
+
+    def test_unknown_endpoint_raises(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        with pytest.raises(QueryError):
+            oracle.query(0, 99_999)
+        with pytest.raises(QueryError):
+            oracle.query(99_999, 0)
+
+    def test_malformed_failure_raises(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        with pytest.raises(QueryError):
+            oracle.query(0, 1, failed={(1, 2, 3)})  # type: ignore[arg-type]
+
+    def test_failure_free_matches_dijkstra(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        for target in (1, 40, 77, 143):
+            assert oracle.query(0, target) == pytest.approx(
+                shortest_distance(small_road, 0, target)
+            )
+
+    def test_unreachable_after_failures(self):
+        g = DiGraph([(0, 1, 1.0), (1, 2, 1.0), (1, 3, 1.0)])
+        g.add_edge(2, 1, 1.0)
+        g.add_edge(3, 1, 1.0)
+        g.add_edge(1, 0, 1.0)
+        oracle = DISO(g, transit={1})
+        assert oracle.query(0, 2, failed={(1, 2)}) == INFINITY
+
+    def test_nonexistent_failed_edges_are_ignored(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        base = oracle.query(0, 100)
+        assert oracle.query(0, 100, failed={(-5, -9)}) == pytest.approx(base)
+
+    def test_transit_endpoints(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        transit = sorted(oracle.transit)
+        s, t = transit[0], transit[-1]
+        assert oracle.query(s, t) == pytest.approx(
+            shortest_distance(small_road, s, t)
+        )
+        failed = {(s, next(iter(small_road.successors(s))))}
+        assert oracle.query(s, t, failed) == pytest.approx(
+            shortest_distance(small_road, s, t, failed)
+        )
+
+
+class TestStats:
+    def test_detailed_result_fields(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        failed = {(0, 1), (50, 51)}
+        result = oracle.query_detailed(0, 143, failed)
+        assert result.distance == pytest.approx(
+            shortest_distance(small_road, 0, 143, failed)
+        )
+        assert result.stats.total_seconds > 0
+        assert result.stats.access_seconds >= 0
+        assert result.stats.affected_count >= 0
+        assert result.reachable
+
+    def test_affected_count_zero_without_failures(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        result = oracle.query_detailed(0, 143)
+        assert result.stats.affected_count == 0
+        assert result.stats.recomputed_nodes == 0
+
+
+class TestStallAvoidance:
+    def test_query_does_not_mutate_index(self, small_road):
+        """Section 4.2: answering never writes to the shared index."""
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        overlay_before = {
+            (t, h): w for t, h, w in oracle.distance_graph.graph.edges()
+        }
+        tree_dists_before = {
+            root: dict(oracle.trees.tree(root).dist)
+            for root in oracle.trees.roots()
+        }
+        failed = {(0, 1), (20, 21), (100, 101)}
+        oracle.query(0, 143, failed)
+        overlay_after = {
+            (t, h): w for t, h, w in oracle.distance_graph.graph.edges()
+        }
+        assert overlay_after == overlay_before
+        for root in oracle.trees.roots():
+            assert oracle.trees.tree(root).dist == tree_dists_before[root]
+
+    def test_repeated_queries_consistent(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        failed = {(10, 11), (60, 61)}
+        first = oracle.query(0, 140, failed)
+        for _ in range(3):
+            assert oracle.query(0, 140, failed) == first
+        # Interleave an unrelated query; answers must not drift.
+        oracle.query(5, 30)
+        assert oracle.query(0, 140, failed) == first
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=20_000),
+    fail_seed=st.integers(min_value=0, max_value=20_000),
+    fail_count=st.integers(min_value=0, max_value=10),
+    s=st.integers(min_value=0, max_value=29),
+    t=st.integers(min_value=0, max_value=29),
+)
+def test_diso_exact_random(seed, fail_seed, fail_count, s, t):
+    """Theorem 1 on random graphs with random failure sets."""
+    graph = random_graph(seed)
+    oracle = DISO(graph, tau=2, theta=4.0)
+    failed = random_failures_from(graph, fail_seed, fail_count)
+    expected = shortest_distance(graph, s, t, failed)
+    assert oracle.query(s, t, failed) == pytest.approx(expected)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5000))
+def test_diso_exact_with_many_failures(seed):
+    """Stress: a third of all edges failing at once stays exact."""
+    graph = random_graph(seed)
+    oracle = DISO(graph, tau=2, theta=4.0)
+    failed = random_failures_from(graph, seed + 1, 30)
+    expected = shortest_distance(graph, 0, 15, failed)
+    assert oracle.query(0, 15, failed) == pytest.approx(expected)

@@ -1,0 +1,29 @@
+"""Run the executable examples embedded in docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import repro
+import repro.graph.digraph
+import repro.pathing.heap
+
+
+def _run(module) -> None:
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in {module.__name__}"
+    )
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"
+
+
+def test_package_quickstart_doctest():
+    _run(repro)
+
+
+def test_digraph_doctests():
+    _run(repro.graph.digraph)
+
+
+def test_heap_doctests():
+    _run(repro.pathing.heap)

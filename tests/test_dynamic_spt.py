@@ -1,0 +1,169 @@
+"""Tests for DynDijkstra-style shortest path tree repair."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.pathing.bounded import bounded_dijkstra
+from repro.pathing.dijkstra import dijkstra, shortest_path_tree
+from repro.pathing.dynamic_spt import (
+    affected_subtree_nodes,
+    apply_failures,
+    recompute_boundary_distances,
+    recompute_distances,
+)
+from util import random_failures_from, random_graph
+
+
+class TestAffectedDetection:
+    def test_non_tree_edge_has_no_effect(self, diamond):
+        tree = shortest_path_tree(diamond, 0)
+        # (2, 3) is not a tree edge (path via 1 is shorter).
+        assert affected_subtree_nodes(tree, {(2, 3)}) == set()
+
+    def test_tree_edge_invalidates_subtree(self, diamond):
+        tree = shortest_path_tree(diamond, 0)
+        assert affected_subtree_nodes(tree, {(0, 1)}) == {1, 3}
+
+    def test_nested_failures(self, line):
+        tree = shortest_path_tree(line, 0)
+        affected = affected_subtree_nodes(tree, {(2, 3), (5, 6)})
+        assert affected == {3, 4, 5, 6, 7}
+
+
+class TestRecomputeDistances:
+    def test_no_tree_failures_returns_original(self, diamond):
+        tree = shortest_path_tree(diamond, 0)
+        result = recompute_distances(diamond, tree, {(2, 3)})
+        assert result == tree.dist
+
+    def test_reroute_through_alternative(self, diamond):
+        tree = shortest_path_tree(diamond, 0)
+        result = recompute_distances(diamond, tree, {(1, 3)})
+        assert result[3] == pytest.approx(4.0)  # rerouted via node 2
+        assert result[1] == pytest.approx(1.0)  # node 1 itself unaffected
+
+    def test_unreachable_nodes_dropped(self):
+        g = DiGraph([(0, 1, 1.0), (1, 2, 1.0)])
+        tree = shortest_path_tree(g, 0)
+        result = recompute_distances(g, tree, {(1, 2)})
+        assert 2 not in result
+        assert result[1] == 1.0
+
+    def test_tree_not_mutated(self, diamond):
+        tree = shortest_path_tree(diamond, 0)
+        before = dict(tree.dist)
+        recompute_distances(diamond, tree, {(0, 1)})
+        assert tree.dist == before
+        tree.check_invariants()
+
+    def test_bounded_variant_respects_transit(self):
+        # 0 -> 1 -> 2 and 0 -> 3 -> 2 with 3 transit: after failing
+        # (1, 2), node 2 cannot be re-reached through transit node 3.
+        g = DiGraph(
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 3, 1.0),
+                (3, 2, 1.0),
+            ]
+        )
+        transit = frozenset({0, 2, 3})
+        tree = bounded_dijkstra(g, 0, transit).to_tree()
+        result = recompute_distances(g, tree, {(1, 2)}, transit)
+        assert 2 not in result
+
+
+class TestBoundaryDistances:
+    def test_matches_fresh_bounded_run(self, small_road):
+        transit = frozenset({10, 40, 80, 120})
+        tree = bounded_dijkstra(small_road, 10, transit).to_tree()
+        failed = {(10, 11), (25, 26)}
+        repaired = recompute_boundary_distances(
+            small_road, tree, failed, transit
+        )
+        fresh = bounded_dijkstra(small_road, 10, transit, failed)
+        expected = {v: d for v, d in fresh.access.items() if v != 10}
+        assert set(repaired) == set(expected)
+        for node, d in expected.items():
+            assert repaired[node] == pytest.approx(d)
+
+
+class TestApplyFailures:
+    def test_mutates_to_post_failure_tree(self, diamond):
+        tree = shortest_path_tree(diamond, 0)
+        apply_failures(diamond, tree, {(1, 3)})
+        assert tree.dist[3] == pytest.approx(4.0)
+        assert tree.parent[3] == 2
+        tree.check_invariants()
+
+    def test_unreachable_nodes_removed(self):
+        g = DiGraph([(0, 1, 1.0), (1, 2, 1.0)])
+        tree = shortest_path_tree(g, 0)
+        apply_failures(g, tree, {(0, 1)})
+        assert 1 not in tree
+        assert 2 not in tree
+
+    def test_noop_without_tree_failures(self, diamond):
+        tree = shortest_path_tree(diamond, 0)
+        before = dict(tree.dist)
+        changed = apply_failures(diamond, tree, {(2, 3)})
+        assert changed == set()
+        assert tree.dist == before
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5000),
+    fail_seed=st.integers(min_value=0, max_value=5000),
+    fail_count=st.integers(min_value=1, max_value=12),
+)
+def test_recompute_matches_from_scratch(seed, fail_seed, fail_count):
+    """Repair equals rebuilding the SPT from scratch under failures."""
+    graph = random_graph(seed)
+    tree = shortest_path_tree(graph, 0)
+    failed = random_failures_from(graph, fail_seed, fail_count)
+    repaired = recompute_distances(graph, tree, failed)
+    expected, _ = dijkstra(graph, 0, failed=failed)
+    assert set(repaired) == set(expected)
+    for node, d in expected.items():
+        assert repaired[node] == pytest.approx(d)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5000),
+    fail_seed=st.integers(min_value=0, max_value=5000),
+)
+def test_bounded_recompute_matches_fresh_bounded(seed, fail_seed):
+    """Bounded repair equals a fresh bounded Dijkstra under failures."""
+    graph = random_graph(seed)
+    transit = frozenset({4, 9, 14, 19, 24, 29})
+    root = 4
+    tree = bounded_dijkstra(graph, root, transit).to_tree()
+    failed = random_failures_from(graph, fail_seed, 6)
+    repaired = recompute_distances(graph, tree, failed, transit)
+    fresh = bounded_dijkstra(graph, root, transit, failed)
+    assert set(repaired) == set(fresh.dist)
+    for node, d in fresh.dist.items():
+        assert repaired[node] == pytest.approx(d)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5000),
+    fail_seed=st.integers(min_value=0, max_value=5000),
+)
+def test_apply_failures_matches_fresh_tree(seed, fail_seed):
+    """Mutating repair produces a valid SPT with correct distances."""
+    graph = random_graph(seed)
+    tree = shortest_path_tree(graph, 0)
+    failed = random_failures_from(graph, fail_seed, 6)
+    apply_failures(graph, tree, failed)
+    expected, _ = dijkstra(graph, 0, failed=failed)
+    assert set(tree.dist) == set(expected)
+    for node, d in expected.items():
+        assert tree.dist[node] == pytest.approx(d)
+    tree.check_invariants()

@@ -1,0 +1,190 @@
+"""Edge-case tests across the whole stack.
+
+Exotic-but-legal inputs: zero weights, self loops, duplicate/unknown
+failures, degenerate transit sets, disconnected graphs, and empty
+structures — the inputs a downstream user will eventually feed in.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import path_network
+from repro.cover.isc import isc_path_cover
+from repro.oracle.adiso import ADISO
+from repro.oracle.base import INFINITY
+from repro.oracle.diso import DISO
+from repro.pathing.bounded import bounded_dijkstra
+from repro.pathing.dijkstra import dijkstra, shortest_distance
+from repro.overlay.sparsify import sparsify_graph
+
+
+class TestZeroWeights:
+    def test_dijkstra_handles_zero_edges(self):
+        g = DiGraph([(0, 1, 0.0), (1, 2, 0.0), (0, 2, 1.0)])
+        dist, _ = dijkstra(g, 0)
+        assert dist[2] == 0.0
+
+    def test_diso_with_zero_weights(self):
+        g = DiGraph(
+            [
+                (0, 1, 0.0), (1, 2, 0.0), (2, 3, 1.0),
+                (3, 2, 1.0), (2, 1, 0.0), (1, 0, 0.0),
+                (0, 3, 5.0), (3, 0, 5.0),
+            ]
+        )
+        oracle = DISO(g, transit={1, 2})
+        assert oracle.query(0, 3) == pytest.approx(1.0)
+        assert oracle.query(0, 3, failed={(2, 3)}) == pytest.approx(5.0)
+
+
+class TestSelfLoops:
+    def test_self_loop_never_helps(self):
+        g = DiGraph([(0, 0, 0.5), (0, 1, 1.0), (1, 0, 1.0)])
+        oracle = DISO(g, transit={0})
+        assert oracle.query(0, 1) == pytest.approx(1.0)
+
+    def test_isc_ignores_self_loops(self):
+        g = path_network(6)
+        g.add_edge(2, 2, 1.0)
+        result = isc_path_cover(g, tau=1, theta=5.0)
+        assert result.cover  # no crash, valid cover
+
+
+class TestFailureSets:
+    def test_duplicate_failures_equivalent(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        a = oracle.query(0, 100, failed={(0, 1)})
+        b = oracle.query(0, 100, failed=frozenset({(0, 1)}))
+        assert a == b
+
+    def test_failing_every_edge(self):
+        g = DiGraph([(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)])
+        oracle = DISO(g, transit={1})
+        everything = g.edge_set()
+        assert oracle.query(0, 2, everything) == INFINITY
+
+    def test_failing_reverse_direction_only(self):
+        g = DiGraph([(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)])
+        oracle = DISO(g, transit={1})
+        # Failing (1, 0) must not affect the 0 -> 2 direction.
+        assert oracle.query(0, 2, failed={(1, 0)}) == pytest.approx(2.0)
+
+    def test_empty_failure_set_variants(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        base = oracle.query(0, 100)
+        assert oracle.query(0, 100, failed=set()) == base
+        assert oracle.query(0, 100, failed=frozenset()) == base
+        assert oracle.query(0, 100, failed=None) == base
+
+
+class TestDegenerateTransitSets:
+    def test_single_transit_node(self, small_road):
+        oracle = DISO(small_road, transit={70})
+        for target in (1, 70, 140):
+            assert oracle.query(0, target) == pytest.approx(
+                shortest_distance(small_road, 0, target)
+            )
+
+    def test_all_nodes_transit(self):
+        g = path_network(6)
+        oracle = DISO(g, transit=set(g.nodes()))
+        assert oracle.query(0, 5) == pytest.approx(5.0)
+        assert oracle.query(0, 5, failed={(2, 3)}) == INFINITY
+
+    def test_endpoints_as_transit(self, small_road):
+        oracle = DISO(small_road, transit={0, 143})
+        assert oracle.query(0, 143) == pytest.approx(
+            shortest_distance(small_road, 0, 143)
+        )
+
+
+class TestDisconnectedGraphs:
+    def build_two_islands(self):
+        g = DiGraph()
+        for i in range(3):
+            g.add_edge(i, (i + 1) % 3, 1.0)
+            g.add_edge((i + 1) % 3, i, 1.0)
+        for i in range(10, 13):
+            j = 10 + (i - 9) % 3
+            g.add_edge(i, j, 1.0)
+            g.add_edge(j, i, 1.0)
+        return g
+
+    def test_cross_island_unreachable(self):
+        g = self.build_two_islands()
+        oracle = DISO(g, transit={1, 11})
+        assert oracle.query(0, 12) == INFINITY
+        assert oracle.query(12, 0) == INFINITY
+
+    def test_within_island_fine(self):
+        g = self.build_two_islands()
+        oracle = DISO(g, transit={1, 11})
+        assert oracle.query(0, 2) == pytest.approx(1.0)
+
+    def test_bounded_search_stays_on_island(self):
+        g = self.build_two_islands()
+        result = bounded_dijkstra(g, 0, transit={1})
+        assert all(node < 10 for node in result.dist)
+
+
+class TestTinyGraphs:
+    def test_two_node_graph(self):
+        g = DiGraph([(0, 1, 2.0), (1, 0, 3.0)])
+        oracle = DISO(g, transit={0})
+        assert oracle.query(0, 1) == 2.0
+        assert oracle.query(1, 0) == 3.0
+        assert oracle.query(0, 1, failed={(0, 1)}) == INFINITY
+
+    def test_adiso_two_node_graph(self):
+        g = DiGraph([(0, 1, 2.0), (1, 0, 3.0)])
+        oracle = ADISO(g, transit={0}, landmarks=[0])
+        assert oracle.query(0, 1) == 2.0
+        assert oracle.query(1, 0, failed={(1, 0)}) == INFINITY
+
+
+class TestSparsifyEdgeCases:
+    def test_empty_graph(self):
+        result = sparsify_graph(DiGraph(), beta=1.5, degree_floor=0)
+        assert result.removed == {}
+        assert result.removal_ratio == 0.0
+
+    def test_single_edge_graph(self):
+        g = DiGraph([(0, 1, 1.0)])
+        result = sparsify_graph(g, beta=2.0, degree_floor=0)
+        # No alternative path exists; the edge must survive.
+        assert result.graph.has_edge(0, 1)
+
+    def test_parallel_paths_all_but_one_removable(self):
+        # Three equal 2-hop routes plus direct edges between hubs.
+        g = DiGraph()
+        for mid in (1, 2, 3):
+            g.add_edge(0, mid, 1.0)
+            g.add_edge(mid, 4, 1.0)
+        g.add_edge(0, 4, 2.0)
+        result = sparsify_graph(g, beta=1.0, degree_floor=0)
+        # The direct (0, 4) has an exactly-equal witness: removable.
+        assert (0, 4) in result.removed
+
+
+class TestOracleReuseAcrossQueries:
+    def test_thousand_mixed_queries_no_drift(self, small_road):
+        """A long mixed query stream never corrupts shared state."""
+        import random
+
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        rng = random.Random(0)
+        nodes = sorted(small_road.nodes())
+        edges = sorted(small_road.edge_set())
+        probes = [
+            (0, 143, frozenset({(0, 1)})),
+            (50, 100, frozenset()),
+        ]
+        expected = [oracle.query(s, t, set(f)) for s, t, f in probes]
+        for _ in range(300):
+            s, t = rng.sample(nodes, 2)
+            failed = set(rng.sample(edges, rng.randrange(0, 6)))
+            oracle.query(s, t, failed)
+        for (s, t, f), want in zip(probes, expected):
+            assert oracle.query(s, t, set(f)) == want

@@ -1,0 +1,202 @@
+"""Smoke tests for the experiment layer: every table/figure runs end to
+end at tiny scale and produces the paper's row/series structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.dijkstra_oracle import DijkstraOracle
+from repro.experiments.accuracy import format_accuracy, run_accuracy
+from repro.experiments.figure4 import format_figure4, run_figure4
+from repro.experiments.figure5 import format_figure5, run_figure5
+from repro.experiments.figure6 import format_figure6, run_figure6
+from repro.experiments.harness import (
+    compare_methods,
+    exact_answers,
+    run_batch,
+    time_call,
+)
+from repro.experiments.report import (
+    human_count,
+    human_ms,
+    human_seconds,
+    render_series,
+    render_table,
+)
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.table3 import format_table3, run_table3
+from repro.experiments.table4 import format_table4, run_table4
+from repro.experiments.table5 import format_table5, run_table5
+from repro.experiments.table6 import format_table6, run_table6
+from repro.oracle.diso import DISO
+from repro.workload.queries import generate_queries
+
+TINY = dict(scale=0.25, seed=7)
+
+
+class TestHarness:
+    def test_run_batch_measures(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        queries = generate_queries(small_road, 5, f_gen=2, p=0.001, seed=1)
+        truth = exact_answers(small_road, queries)
+        batch = run_batch(oracle, queries, truth)
+        assert batch.query_count == 5
+        assert batch.query_ms > 0
+        assert batch.error_pct == pytest.approx(0.0)  # DISO is exact
+
+    def test_compare_methods(self, small_road):
+        queries = generate_queries(small_road, 4, f_gen=2, p=0.0, seed=1)
+        results = compare_methods(
+            small_road,
+            {
+                "DISO": lambda g: DISO(g, tau=3, theta=1.0),
+                "DI": DijkstraOracle,
+            },
+            queries,
+        )
+        assert set(results) == {"DISO", "DI"}
+        assert results["DISO"].method == "DISO"
+
+    def test_time_call(self):
+        value, seconds = time_call(lambda: 42)
+        assert value == 42
+        assert seconds >= 0
+
+
+class TestReportFormatting:
+    def test_human_count(self):
+        assert human_count(42) == "42"
+        assert human_count(42_960) == "42.96k"
+        assert human_count(310_000) == "310.00k"
+        assert human_count(12_930_000) == "12.93M"
+        assert human_count(1_080_000_000) == "1.08G"
+        assert human_count(None) == "-"
+
+    def test_human_ms(self):
+        assert human_ms(14.713) == "14.71"
+        assert human_ms(1170.0) == "1.17k"
+        assert human_ms(120_000.0) == "120.00k"
+
+    def test_human_seconds(self):
+        assert human_seconds(3.37) == "3.37"
+        assert human_seconds(6520.0) == "6.52k"
+
+    def test_render_table_alignment(self):
+        text = render_table(
+            [{"a": "1", "b": "x"}, {"a": "22", "b": "yy"}],
+            [("a", "A"), ("b", "B")],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1]
+        assert all(len(line) == len(lines[1]) for line in lines[2:])
+
+    def test_render_series(self):
+        text = render_series(
+            "fig", "x", [1, 2], {"m": [10.0, 20.0]}
+        )
+        assert "fig" in text
+        assert "10.00" in text
+
+
+class TestTables:
+    def test_table2(self):
+        rows = run_table2(datasets=("NY", "DBLP"), **TINY)
+        assert len(rows) == 2
+        out = format_table2(rows)
+        assert "NY" in out and "DBLP" in out
+
+    def test_table3(self):
+        rows = run_table3(
+            datasets=("NY",), query_count=4, methods=("ISC", "HPC"), **TINY
+        )
+        assert {row["method"] for row in rows} == {"ISC", "HPC"}
+        out = format_table3(rows)
+        assert "|E_D|" in out
+
+    def test_table4(self):
+        rows = run_table4(
+            datasets=("NY",),
+            parts=8,
+            query_count=4,
+            methods=("ISC", "UNIFORM"),
+            **TINY,
+        )
+        assert len(rows) == 2
+        assert "QT(ms)" in format_table4(rows)
+
+    def test_table5(self):
+        rows = run_table5(
+            datasets=("NY",), query_count=3, fddo_landmarks=6, **TINY
+        )
+        methods = {row["method"] for row in rows}
+        assert {"DISO-", "DISO", "ADISO", "ADISO-P", "FDDO", "A*", "DI"} == (
+            methods
+        )
+        exact_rows = [
+            r for r in rows if r["method"] in ("DISO", "ADISO", "A*", "DI")
+        ]
+        assert all(r["error_pct"] == pytest.approx(0.0) for r in exact_rows)
+        assert "Prep(s)" in format_table5(rows)
+
+    def test_table5_social_uses_diso_s(self):
+        rows = run_table5(
+            datasets=("DBLP",), query_count=3, fddo_landmarks=6, **TINY
+        )
+        methods = {row["method"] for row in rows}
+        assert "DISO-S" in methods
+        assert "ADISO-P" not in methods
+
+    def test_table6(self):
+        rows = run_table6(datasets=("NY",), fddo_landmarks=6, **TINY)
+        sizes = {row["method"]: row["size_mb"] for row in rows}
+        assert set(sizes) == {"DISO", "ADISO", "FDDO", "A*"}
+        assert all(size > 0 for size in sizes.values())
+        # The paper's shape: ADISO = DISO + landmarks.
+        assert sizes["ADISO"] > sizes["DISO"]
+        assert "Index size" in format_table6(rows)
+
+
+class TestFigures:
+    def test_figure4(self):
+        data = run_figure4(
+            dataset="NY", taus=(2, 3), query_count=3, **TINY
+        )
+        assert data["taus"] == [2, 3]
+        assert len(data["query_ms"]["ISC"]) == 2
+        assert "Figure 4a" in format_figure4(data)
+
+    def test_figure5(self):
+        data = run_figure5(
+            dataset="NY",
+            landmark_counts=(2, 4),
+            query_count=3,
+            methods=("SLS", "RAND"),
+            **TINY,
+        )
+        assert len(data["query_ms"]["SLS"]) == 2
+        assert "Figure 5a" in format_figure5(data)
+
+    def test_figure6(self):
+        data = run_figure6(
+            dataset="NY",
+            f_gen_values=(0, 3),
+            p_values=(0.0, 0.002),
+            query_count=3,
+            methods=("DISO", "DISO-", "DI"),
+            **TINY,
+        )
+        assert len(data["query_ms_vs_fgen"]["DISO"]) == 2
+        assert len(data["query_ms_vs_p"]["DISO-"]) == 2
+        assert "f_gen" in format_figure6(data)
+
+    def test_accuracy(self):
+        rows = run_accuracy(
+            query_count=3, fddo_landmarks=6, **TINY
+        )
+        methods = [row["method"] for row in rows]
+        assert methods.count("FDDO") == 2
+        assert "ADISO-P" in methods and "DISO-S" in methods
+        assert all(row["error_pct"] >= 0 for row in rows)
+        assert "Avg rel err" in format_accuracy(rows)

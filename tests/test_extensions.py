@@ -1,0 +1,265 @@
+"""Tests for the library extensions: DISO-B, node failures, paths,
+serialization, and the parallel query engine."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.fddo import FDDOOracle
+from repro.exceptions import FormatError, QueryError
+from repro.oracle.adiso import ADISO
+from repro.oracle.base import INFINITY
+from repro.oracle.diso import DISO
+from repro.oracle.diso_bi import DISOBidirectional
+from repro.oracle.parallel import QueryEngine
+from repro.oracle.paths import query_path, validate_path
+from repro.oracle.serialize import load_index, save_index
+from repro.pathing.dijkstra import shortest_distance
+from repro.workload.queries import generate_queries
+from util import random_failures_from, random_graph
+
+
+class TestDISOBidirectional:
+    def test_exact_on_fixture(self, small_road):
+        oracle = DISOBidirectional(small_road, tau=3, theta=1.0)
+        failed = {(0, 1), (40, 41), (100, 101)}
+        for target in (3, 60, 143):
+            assert oracle.query(0, target, failed) == pytest.approx(
+                shortest_distance(small_road, 0, target, failed)
+            )
+
+    def test_matches_unidirectional_diso(self, small_road):
+        uni = DISO(small_road, tau=3, theta=1.0)
+        bi = DISOBidirectional(small_road, transit=uni.transit)
+        queries = generate_queries(small_road, 10, f_gen=3, p=0.002, seed=4)
+        for q in queries:
+            assert bi.query(q.source, q.target, q.failed) == pytest.approx(
+                uni.query(q.source, q.target, q.failed)
+            )
+
+    def test_no_index_mutation(self, small_road):
+        oracle = DISOBidirectional(small_road, tau=3, theta=1.0)
+        before = {
+            (t, h): w for t, h, w in oracle.distance_graph.graph.edges()
+        }
+        oracle.query(0, 143, failed={(0, 1), (70, 71)})
+        after = {
+            (t, h): w for t, h, w in oracle.distance_graph.graph.edges()
+        }
+        assert before == after
+
+
+class TestNodeFailures:
+    def test_matches_incident_edge_failures(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        victim = 55
+        incident = {(victim, h) for h in small_road.successors(victim)}
+        incident |= {(t, victim) for t in small_road.predecessors(victim)}
+        assert oracle.query_avoiding_nodes(0, 120, {victim}) == (
+            pytest.approx(
+                shortest_distance(small_road, 0, 120, incident)
+            )
+        )
+
+    def test_failed_endpoint_raises(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        with pytest.raises(QueryError):
+            oracle.query_avoiding_nodes(0, 120, {0})
+        with pytest.raises(QueryError):
+            oracle.query_avoiding_nodes(0, 120, {120})
+
+    def test_mixed_node_and_edge_failures(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        victim = 55
+        extra = {(0, 1)}
+        incident = {(victim, h) for h in small_road.successors(victim)}
+        incident |= {(t, victim) for t in small_road.predecessors(victim)}
+        assert oracle.query_avoiding_nodes(
+            0, 120, {victim}, failed=extra
+        ) == pytest.approx(
+            shortest_distance(small_road, 0, 120, incident | extra)
+        )
+
+    def test_unknown_failed_node_ignored(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        base = oracle.query(0, 120)
+        assert oracle.query_avoiding_nodes(0, 120, {99_999}) == (
+            pytest.approx(base)
+        )
+
+
+class TestQueryPath:
+    def test_same_node(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        distance, path = query_path(oracle, 9, 9)
+        assert distance == 0.0
+        assert path == []
+
+    def test_path_matches_distance(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        failed = {(0, 1), (50, 51), (99, 100)}
+        distance, path = query_path(oracle, 0, 143, failed)
+        assert distance == pytest.approx(
+            shortest_distance(small_road, 0, 143, failed)
+        )
+        assert path is not None
+        assert validate_path(oracle, path, 0, 143, failed) == (
+            pytest.approx(distance)
+        )
+
+    def test_unreachable_returns_none(self):
+        from repro.graph.digraph import DiGraph
+
+        g = DiGraph([(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)])
+        oracle = DISO(g, transit={1})
+        distance, path = query_path(oracle, 0, 2, {(1, 2)})
+        assert distance == INFINITY
+        assert path is None
+
+    def test_validate_rejects_bad_paths(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        with pytest.raises(ValueError):
+            validate_path(oracle, [], 0, 1)
+        with pytest.raises(ValueError):
+            validate_path(oracle, [(5, 6)], 0, 6)
+        with pytest.raises(ValueError):
+            validate_path(oracle, [(-1, -2)], -1, -2)
+
+
+class TestSerialization:
+    def roundtrip(self, oracle):
+        buffer = io.StringIO()
+        save_index(oracle, buffer)
+        buffer.seek(0)
+        return load_index(buffer)
+
+    def test_diso_roundtrip(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        loaded = self.roundtrip(oracle)
+        assert isinstance(loaded, DISO)
+        assert loaded.transit == oracle.transit
+        assert loaded.distance_graph.graph == oracle.distance_graph.graph
+        failed = {(0, 1), (70, 71)}
+        assert loaded.query(0, 143, failed) == pytest.approx(
+            oracle.query(0, 143, failed)
+        )
+
+    def test_adiso_roundtrip(self, small_road):
+        oracle = ADISO(small_road, tau=3, num_landmarks=4, seed=1)
+        loaded = self.roundtrip(oracle)
+        assert isinstance(loaded, ADISO)
+        assert loaded.landmarks.landmarks == oracle.landmarks.landmarks
+        failed = {(0, 1), (70, 71)}
+        assert loaded.query(0, 143, failed) == pytest.approx(
+            oracle.query(0, 143, failed)
+        )
+
+    def test_bidirectional_roundtrip(self, small_road):
+        oracle = DISOBidirectional(small_road, tau=3, theta=1.0)
+        loaded = self.roundtrip(oracle)
+        assert isinstance(loaded, DISOBidirectional)
+        assert loaded.query(0, 143) == pytest.approx(oracle.query(0, 143))
+
+    def test_file_roundtrip(self, tmp_path, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        path = tmp_path / "index.json"
+        save_index(oracle, path)
+        loaded = load_index(path)
+        assert loaded.query(0, 100) == pytest.approx(oracle.query(0, 100))
+
+    def test_version_check(self):
+        with pytest.raises(FormatError):
+            load_index(io.StringIO('{"format_version": 999}'))
+
+    def test_unknown_class_check(self):
+        document = '{"format_version": 1, "oracle": "Nonsense"}'
+        with pytest.raises(FormatError):
+            load_index(io.StringIO(document))
+
+
+class TestQueryEngine:
+    def test_parallel_matches_sequential(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        engine = QueryEngine(oracle, threads=4)
+        queries = generate_queries(small_road, 16, f_gen=3, p=0.002, seed=6)
+        parallel = engine.run(queries)
+        sequential = engine.run_sequential(queries)
+        assert parallel.answers == pytest.approx(sequential.answers)
+        assert parallel.threads == 4
+        assert sequential.threads == 1
+        assert parallel.queries_per_second > 0
+
+    def test_rejects_fddo(self, small_road):
+        oracle = FDDOOracle(small_road, num_landmarks=4, seed=1)
+        with pytest.raises(ValueError):
+            QueryEngine(oracle)
+
+    def test_rejects_bad_thread_count(self, small_road):
+        oracle = DISO(small_road, tau=3, theta=1.0)
+        with pytest.raises(ValueError):
+            QueryEngine(oracle, threads=0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    fail_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_serialization_roundtrip_random(seed, fail_seed):
+    """Round-tripped indices answer like the original on random inputs."""
+    graph = random_graph(seed)
+    oracle = DISO(graph, tau=2, theta=4.0)
+    buffer = io.StringIO()
+    save_index(oracle, buffer)
+    buffer.seek(0)
+    loaded = load_index(buffer)
+    failed = random_failures_from(graph, fail_seed, 6)
+    for s, t in [(0, 15), (15, 0), (7, 23)]:
+        assert loaded.query(s, t, failed) == pytest.approx(
+            oracle.query(s, t, failed)
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    fail_seed=st.integers(min_value=0, max_value=10_000),
+    s=st.integers(min_value=0, max_value=29),
+    t=st.integers(min_value=0, max_value=29),
+)
+def test_diso_bidirectional_exact_random(seed, fail_seed, s, t):
+    graph = random_graph(seed)
+    oracle = DISOBidirectional(graph, tau=2, theta=4.0)
+    failed = random_failures_from(graph, fail_seed, 7)
+    expected = shortest_distance(graph, s, t, failed)
+    assert oracle.query(s, t, failed) == pytest.approx(expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    fail_seed=st.integers(min_value=0, max_value=10_000),
+    s=st.integers(min_value=0, max_value=29),
+    t=st.integers(min_value=0, max_value=29),
+)
+def test_query_path_random(seed, fail_seed, s, t):
+    """Witness paths exist, avoid F, and sum to the exact distance."""
+    graph = random_graph(seed)
+    oracle = DISO(graph, tau=2, theta=4.0)
+    failed = random_failures_from(graph, fail_seed, 6)
+    expected = shortest_distance(graph, s, t, failed)
+    distance, path = query_path(oracle, s, t, failed)
+    if expected == INFINITY:
+        assert distance == INFINITY
+        assert path is None
+        return
+    assert distance == pytest.approx(expected)
+    if s == t:
+        assert path == []
+    else:
+        assert validate_path(oracle, path, s, t, failed) == (
+            pytest.approx(expected)
+        )

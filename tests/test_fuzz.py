@@ -1,0 +1,52 @@
+"""Cross-oracle fuzz: every exact oracle against Dijkstra, one sweep.
+
+A trimmed in-suite version of the offline fuzz used during development
+(250 seeds x 4 queries x 6 oracles, zero disagreements).  Keeps a
+representative slice running on every CI pass.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.dhnr import DHNROracle
+from repro.oracle.adiso import ADISO
+from repro.oracle.caching import CachingDISO
+from repro.oracle.diso import DISO
+from repro.oracle.diso_bi import DISOBidirectional
+from repro.oracle.hierarchy import HierarchicalDISO
+from repro.oracle.diso_minus import DISOMinus
+from repro.pathing.dijkstra import shortest_distance
+from util import random_failures_from, random_graph
+
+
+@pytest.mark.parametrize("seed", range(0, 40, 4))
+def test_all_exact_oracles_agree(seed):
+    graph = random_graph(seed, n=24 + seed % 14, extra=40 + seed % 50)
+    oracles = [
+        DISO(graph, tau=2, theta=float(seed % 7)),
+        DISOBidirectional(graph, tau=2, theta=4.0),
+        DISOMinus(graph, tau=2, theta=4.0),
+        ADISO(graph, tau=2, theta=4.0, num_landmarks=3, seed=seed),
+        CachingDISO(graph, tau=2, theta=4.0),
+        DHNROracle(graph, tau=2, theta=4.0),
+        HierarchicalDISO(graph, tau=2, theta=4.0, extra_level_taus=(1, 1)),
+    ]
+    rng = random.Random(seed * 31)
+    n = graph.number_of_nodes()
+    for _ in range(3):
+        failed = random_failures_from(
+            graph, rng.randrange(10_000), rng.randrange(0, 14)
+        )
+        s, t = rng.randrange(n), rng.randrange(n)
+        expected = shortest_distance(graph, s, t, failed)
+        for oracle in oracles:
+            got = oracle.query(s, t, failed)
+            if expected == float("inf"):
+                assert got == expected, (oracle.name, s, t, failed)
+            else:
+                assert got == pytest.approx(expected), (
+                    oracle.name, s, t, failed,
+                )

@@ -1,0 +1,131 @@
+"""Tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import (
+    complete_network,
+    gnm_random_graph,
+    grid_network,
+    path_network,
+    ring_network,
+    road_network,
+    scale_free_network,
+)
+from repro.graph.transforms import is_strongly_connected
+
+
+class TestRoadNetwork:
+    def test_deterministic(self):
+        a = road_network(8, 8, seed=3)
+        b = road_network(8, 8, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert road_network(8, 8, seed=1) != road_network(8, 8, seed=2)
+
+    def test_strongly_connected(self):
+        assert is_strongly_connected(road_network(10, 10, seed=5))
+
+    def test_bounded_degree(self):
+        g = road_network(15, 15, seed=1)
+        # Max total degree stays small (paper's road regime: <= 9 per
+        # direction; ours: 4 axis + 4 diagonal both ways = 16 cap).
+        assert g.max_degree() <= 16
+
+    def test_average_degree_in_road_band(self):
+        g = road_network(20, 20, seed=2)
+        assert 2.0 <= g.average_degree() <= 3.2
+
+    def test_positive_weights(self):
+        g = road_network(8, 8, seed=1)
+        assert all(w > 0 for _, _, w in g.edges())
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            road_network(1, 5)
+
+
+class TestScaleFreeNetwork:
+    def test_deterministic(self):
+        a = scale_free_network(100, attach=3, seed=1)
+        b = scale_free_network(100, attach=3, seed=1)
+        assert a == b
+
+    def test_strongly_connected(self):
+        assert is_strongly_connected(scale_free_network(150, seed=4))
+
+    def test_has_hubs(self):
+        g = scale_free_network(300, attach=3, seed=1)
+        assert g.max_degree() > 10 * g.average_degree() / 2
+
+    def test_average_degree_tracks_attach(self):
+        g = scale_free_network(400, attach=3, seed=1)
+        # Each attachment contributes 2 directed edges: avg ~ 2 * attach.
+        assert 4.0 <= g.average_degree() <= 8.0
+
+    def test_dense_variant(self):
+        g = scale_free_network(300, attach=9, seed=1)
+        assert g.average_degree() >= 14.0
+
+    def test_weights_in_unit_interval(self):
+        g = scale_free_network(100, seed=1)
+        assert all(0 < w <= 1.0 for _, _, w in g.edges())
+
+    def test_no_spread_gives_min_degree(self):
+        g = scale_free_network(100, attach=3, seed=1, attach_spread=False)
+        degrees = [g.degree(node) for node in g.nodes()]
+        assert min(degrees) >= 2 * 3
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            scale_free_network(2, attach=3)
+        with pytest.raises(ValueError):
+            scale_free_network(10, attach=0)
+
+
+class TestSimpleGenerators:
+    def test_grid_counts(self):
+        g = grid_network(4, 3)
+        assert g.number_of_nodes() == 12
+        # 2 * (horizontal 3*3 + vertical 4*2) = 34 directed edges
+        assert g.number_of_edges() == 34
+
+    def test_ring(self):
+        g = ring_network(6)
+        assert g.number_of_edges() == 12
+        assert is_strongly_connected(g)
+
+    def test_ring_directed_only(self):
+        g = ring_network(6, bidirectional=False)
+        assert g.number_of_edges() == 6
+        assert is_strongly_connected(g)
+
+    def test_path(self):
+        g = path_network(5)
+        assert g.number_of_edges() == 8
+
+    def test_path_one_way(self):
+        g = path_network(5, bidirectional=False)
+        assert not is_strongly_connected(g)
+
+    def test_complete(self):
+        g = complete_network(5)
+        assert g.number_of_edges() == 20
+
+    def test_gnm(self):
+        g = gnm_random_graph(20, 60, seed=3)
+        assert g.number_of_nodes() == 20
+        assert g.number_of_edges() == 60
+        assert is_strongly_connected(g)
+
+    def test_gnm_too_few_edges_raises(self):
+        with pytest.raises(ValueError):
+            gnm_random_graph(10, 5)
+
+    def test_small_generators_raise(self):
+        with pytest.raises(ValueError):
+            ring_network(1)
+        with pytest.raises(ValueError):
+            path_network(1)

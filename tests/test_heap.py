@@ -1,0 +1,176 @@
+"""Unit and property tests for the addressable binary heap."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pathing.heap import AddressableHeap
+
+
+class TestBasics:
+    def test_push_pop_order(self):
+        heap = AddressableHeap()
+        heap.push("a", 3.0)
+        heap.push("b", 1.0)
+        heap.push("c", 2.0)
+        assert heap.pop() == ("b", 1.0)
+        assert heap.pop() == ("c", 2.0)
+        assert heap.pop() == ("a", 3.0)
+
+    def test_duplicate_push_raises(self):
+        heap = AddressableHeap()
+        heap.push("a", 1.0)
+        with pytest.raises(KeyError):
+            heap.push("a", 2.0)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            AddressableHeap().pop()
+
+    def test_peek_keeps_item(self):
+        heap = AddressableHeap()
+        heap.push(1, 5.0)
+        assert heap.peek() == (1, 5.0)
+        assert len(heap) == 1
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            AddressableHeap().peek()
+
+    def test_peek_priority_empty_is_inf(self):
+        assert AddressableHeap().peek_priority() == float("inf")
+
+    def test_peek_priority(self):
+        heap = AddressableHeap()
+        heap.push("x", 7.0)
+        assert heap.peek_priority() == 7.0
+
+    def test_contains_and_len(self):
+        heap = AddressableHeap()
+        heap.push("a", 1.0)
+        assert "a" in heap
+        assert "b" not in heap
+        assert len(heap) == 1
+        assert bool(heap)
+
+    def test_iter_yields_all_items(self):
+        heap = AddressableHeap()
+        for i in range(5):
+            heap.push(i, float(i))
+        assert sorted(heap) == [0, 1, 2, 3, 4]
+
+    def test_fifo_tiebreak(self):
+        heap = AddressableHeap()
+        heap.push("first", 1.0)
+        heap.push("second", 1.0)
+        assert heap.pop()[0] == "first"
+        assert heap.pop()[0] == "second"
+
+
+class TestUpdate:
+    def test_decrease_key(self):
+        heap = AddressableHeap()
+        heap.push("a", 5.0)
+        heap.push("b", 2.0)
+        heap.update("a", 1.0)
+        assert heap.pop() == ("a", 1.0)
+
+    def test_increase_key(self):
+        heap = AddressableHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        heap.update("a", 3.0)
+        assert heap.pop() == ("b", 2.0)
+
+    def test_update_absent_inserts(self):
+        heap = AddressableHeap()
+        heap.update("a", 1.0)
+        assert heap.pop() == ("a", 1.0)
+
+    def test_update_if_lower(self):
+        heap = AddressableHeap()
+        heap.push("a", 3.0)
+        assert heap.update_if_lower("a", 2.0)
+        assert not heap.update_if_lower("a", 5.0)
+        assert heap.priority("a") == 2.0
+
+    def test_update_if_lower_inserts(self):
+        heap = AddressableHeap()
+        assert heap.update_if_lower("new", 1.0)
+        assert "new" in heap
+
+    def test_remove_returns_priority(self):
+        heap = AddressableHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 2.0)
+        assert heap.remove("a") == 1.0
+        assert "a" not in heap
+        assert heap.pop() == ("b", 2.0)
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            AddressableHeap().remove("x")
+
+    def test_priority_lookup(self):
+        heap = AddressableHeap()
+        heap.push("a", 9.5)
+        assert heap.priority("a") == 9.5
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), max_size=100))
+def test_heapsort_matches_sorted(values):
+    """Pushing everything and popping yields non-decreasing priorities."""
+    heap = AddressableHeap()
+    for index, value in enumerate(values):
+        heap.push(index, value)
+    popped = []
+    while heap:
+        popped.append(heap.pop()[1])
+    assert popped == sorted(values)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["push", "update", "remove", "pop"]),
+            st.integers(min_value=0, max_value=20),
+            st.floats(min_value=0, max_value=100),
+        ),
+        max_size=200,
+    )
+)
+def test_heap_model_check(operations):
+    """Random operation sequences agree with a dict+min reference model."""
+    heap = AddressableHeap()
+    model: dict[int, float] = {}
+    order: dict[int, int] = {}
+    counter = 0
+    for op, key, value in operations:
+        if op == "push":
+            if key in model:
+                continue
+            heap.push(key, value)
+            model[key] = value
+            order[key] = counter
+            counter += 1
+        elif op == "update":
+            heap.update(key, value)
+            if key not in model:
+                order[key] = counter
+                counter += 1
+            model[key] = value
+        elif op == "remove":
+            if key not in model:
+                continue
+            assert heap.remove(key) == model.pop(key)
+            del order[key]
+        elif op == "pop":
+            if not model:
+                continue
+            item, priority = heap.pop()
+            expected = min(model, key=lambda k: (model[k], order[k]))
+            assert item == expected
+            assert priority == model.pop(item)
+            del order[item]
+    assert len(heap) == len(model)

@@ -1,0 +1,126 @@
+"""Tests for the multi-level hierarchical DISO."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.oracle.base import QueryStats
+from repro.oracle.diso import DISO
+from repro.oracle.hierarchy import HierarchicalDISO
+from repro.pathing.dijkstra import shortest_distance
+from util import random_failures_from, random_graph
+
+
+class TestConstruction:
+    def test_levels_built(self, small_road):
+        oracle = HierarchicalDISO(
+            small_road, tau=3, theta=1.0, extra_level_taus=(2, 2)
+        )
+        assert oracle.level_count >= 2
+
+    def test_covers_are_nested(self, small_road):
+        oracle = HierarchicalDISO(
+            small_road, tau=3, theta=1.0, extra_level_taus=(2, 2)
+        )
+        previous = oracle.transit
+        for level in oracle.levels:
+            assert level.overlay.transit <= previous
+            previous = level.overlay.transit
+
+    def test_degenerate_levels_skipped(self):
+        from repro.graph.generators import path_network
+
+        # A tiny path graph cannot support further reduction forever.
+        g = path_network(6)
+        oracle = HierarchicalDISO(
+            g, tau=1, theta=5.0, extra_level_taus=(2, 2, 2, 2)
+        )
+        assert oracle.level_count >= 1  # never crashes
+
+    def test_index_entries_include_levels(self, small_road):
+        oracle = HierarchicalDISO(
+            small_road, tau=3, theta=1.0, extra_level_taus=(2,)
+        )
+        if oracle.levels:
+            assert oracle.index_entries()["h_overlay_nodes"] > 0
+
+
+class TestQueries:
+    def test_matches_diso(self, small_road):
+        base = DISO(small_road, tau=3, theta=1.0)
+        oracle = HierarchicalDISO(
+            small_road, transit=base.transit, extra_level_taus=(2, 2)
+        )
+        failed = {(0, 1), (40, 41), (100, 101)}
+        for s, t in [(0, 143), (12, 95), (143, 7)]:
+            assert oracle.query(s, t, failed) == pytest.approx(
+                base.query(s, t, failed)
+            )
+
+    def test_no_index_mutation(self, small_road):
+        oracle = HierarchicalDISO(
+            small_road, tau=3, theta=1.0, extra_level_taus=(2,)
+        )
+        snapshots = [
+            {(t, h): w for t, h, w in level.overlay.graph.edges()}
+            for level in oracle.levels
+        ]
+        oracle.query(0, 143, failed={(0, 1), (50, 51)})
+        for level, before in zip(oracle.levels, snapshots):
+            after = {(t, h): w for t, h, w in level.overlay.graph.edges()}
+            assert after == before
+
+
+class TestAffectedPropagation:
+    def test_no_failures_nothing_affected(self, small_road):
+        oracle = HierarchicalDISO(
+            small_road, tau=3, theta=1.0, extra_level_taus=(2,)
+        )
+        per_level = oracle._affected_by_level(frozenset(), QueryStats())
+        assert all(not level for level in per_level)
+
+    def test_propagation_is_monotone_in_failures(self, small_road):
+        oracle = HierarchicalDISO(
+            small_road, tau=3, theta=1.0, extra_level_taus=(2,)
+        )
+        few = frozenset(random_failures_from(small_road, 1, 3))
+        many = frozenset(few | random_failures_from(small_road, 2, 15))
+        per_few = oracle._affected_by_level(few, QueryStats())
+        per_many = oracle._affected_by_level(many, QueryStats())
+        for a, b in zip(per_few, per_many):
+            assert a <= b
+
+    def test_level2_covers_level1_dependencies(self, small_road):
+        """Every level-2 node whose tree touches an affected level-1
+        node is marked affected (soundness of the skip rule)."""
+        oracle = HierarchicalDISO(
+            small_road, tau=3, theta=1.0, extra_level_taus=(2,)
+        )
+        if not oracle.levels:
+            pytest.skip("graph too small for a second level")
+        failed = frozenset(random_failures_from(small_road, 5, 10))
+        per_level = oracle._affected_by_level(failed, QueryStats())
+        level = oracle.levels[0]
+        for lower in per_level[0]:
+            for root in level.node_to_roots.get(lower, ()):
+                assert root in per_level[1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=20_000),
+    fail_seed=st.integers(min_value=0, max_value=20_000),
+    fail_count=st.integers(min_value=0, max_value=12),
+    s=st.integers(min_value=0, max_value=29),
+    t=st.integers(min_value=0, max_value=29),
+)
+def test_hierarchical_exact_random(seed, fail_seed, fail_count, s, t):
+    """Exactness with arbitrary failures across the whole hierarchy."""
+    graph = random_graph(seed)
+    oracle = HierarchicalDISO(
+        graph, tau=2, theta=4.0, extra_level_taus=(1, 1)
+    )
+    failed = random_failures_from(graph, fail_seed, fail_count)
+    expected = shortest_distance(graph, s, t, failed)
+    assert oracle.query(s, t, failed) == pytest.approx(expected)

@@ -1,0 +1,151 @@
+"""Cross-oracle integration tests.
+
+All exact methods must agree with each other on shared query batches,
+on both dataset families and under the paper's query generation model;
+approximate methods must sandwich between the truth and a sane bound.
+Also exercises the no-stall concurrency claim with real threads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.baselines.astar_oracle import AStarOracle
+from repro.baselines.dijkstra_oracle import DijkstraOracle
+from repro.baselines.fddo import FDDOOracle
+from repro.oracle.adiso import ADISO
+from repro.oracle.adiso_p import ADISOPartial
+from repro.oracle.diso import DISO
+from repro.oracle.diso_minus import DISOMinus
+from repro.oracle.diso_s import DISOSparse
+from repro.workload.datasets import load_dataset
+from repro.workload.queries import generate_queries
+
+
+@pytest.fixture(scope="module")
+def road():
+    return load_dataset("NY", scale=0.3, seed=7)
+
+
+@pytest.fixture(scope="module")
+def social():
+    return load_dataset("DBLP", scale=0.3, seed=7)
+
+
+@pytest.fixture(scope="module")
+def road_queries(road):
+    return generate_queries(road, 12, f_gen=4, p=0.002, seed=11)
+
+
+@pytest.fixture(scope="module")
+def social_queries(social):
+    return generate_queries(social, 12, f_gen=4, p=0.002, seed=11)
+
+
+class TestExactAgreementRoad:
+    def test_all_exact_methods_agree(self, road, road_queries):
+        reference = DijkstraOracle(road)
+        oracles = [
+            DISO(road, tau=3, theta=1.0),
+            DISOMinus(road, tau=3, theta=1.0),
+            ADISO(road, tau=3, theta=1.0, num_landmarks=5, seed=1),
+            AStarOracle(road, num_landmarks=5, seed=1),
+        ]
+        for query in road_queries:
+            expected = reference.query(query.source, query.target, query.failed)
+            for oracle in oracles:
+                got = oracle.query(query.source, query.target, query.failed)
+                assert got == pytest.approx(expected), oracle.name
+
+
+class TestExactAgreementSocial:
+    def test_all_exact_methods_agree(self, social, social_queries):
+        reference = DijkstraOracle(social)
+        oracles = [
+            DISO(social, tau=3, theta=16.0),
+            ADISO(social, tau=2, theta=16.0, num_landmarks=5, seed=1),
+        ]
+        for query in social_queries:
+            expected = reference.query(query.source, query.target, query.failed)
+            for oracle in oracles:
+                got = oracle.query(query.source, query.target, query.failed)
+                assert got == pytest.approx(expected), oracle.name
+
+
+class TestApproximateSandwich:
+    def test_adiso_p_road(self, road, road_queries):
+        reference = DijkstraOracle(road)
+        oracle = ADISOPartial(
+            road, tau=3, theta=1.0, tau_h=2, num_landmarks=5, seed=1
+        )
+        for query in road_queries:
+            truth = reference.query(query.source, query.target, query.failed)
+            estimate = oracle.query(query.source, query.target, query.failed)
+            assert estimate >= truth - 1e-9
+
+    def test_diso_s_social(self, social, social_queries):
+        reference = DijkstraOracle(social)
+        oracle = DISOSparse(social, beta=1.5, tau=3, theta=16.0)
+        for query in social_queries:
+            truth = reference.query(query.source, query.target, query.failed)
+            estimate = oracle.query(query.source, query.target, query.failed)
+            assert estimate >= truth - 1e-9
+
+    def test_fddo_social(self, social, social_queries):
+        reference = DijkstraOracle(social)
+        oracle = FDDOOracle(social, num_landmarks=10, seed=1)
+        for query in social_queries:
+            truth = reference.query(query.source, query.target, query.failed)
+            estimate = oracle.query(query.source, query.target, query.failed)
+            assert estimate >= truth - 1e-9
+
+
+class TestThreadedQueries:
+    def test_concurrent_queries_on_shared_index(self, road, road_queries):
+        """The no-stall design: one index, many querying threads.
+
+        Every thread answers its own failed-edge queries on the shared
+        DISO index; results must equal the single-threaded answers.
+        """
+        oracle = DISO(road, tau=3, theta=1.0)
+        expected = [
+            oracle.query(q.source, q.target, q.failed)
+            for q in road_queries
+        ]
+        results: list[list[float]] = [[] for _ in range(4)]
+        errors: list[BaseException] = []
+
+        def worker(slot: int) -> None:
+            try:
+                for q in road_queries:
+                    results[slot].append(
+                        oracle.query(q.source, q.target, q.failed)
+                    )
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,)) for slot in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for slot in range(4):
+            assert results[slot] == pytest.approx(expected)
+
+
+class TestNodeFailureModelling:
+    def test_node_failure_as_edge_set(self, road):
+        """Section 3.1: node failures reduce to failing incident edges."""
+        reference = DijkstraOracle(road)
+        oracle = DISO(road, tau=3, theta=1.0)
+        victim = 50
+        incident = {(victim, h) for h in road.successors(victim)}
+        incident |= {(t, victim) for t in road.predecessors(victim)}
+        got = oracle.query(0, 100, incident)
+        expected = reference.query(0, 100, incident)
+        assert got == pytest.approx(expected)

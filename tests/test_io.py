@@ -1,0 +1,113 @@
+"""Tests for DIMACS and edge-list graph I/O."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.exceptions import FormatError
+from repro.graph.io import (
+    graph_from_string,
+    read_dimacs,
+    read_edge_list,
+    write_dimacs,
+    write_edge_list,
+)
+
+
+DIMACS_SAMPLE = """\
+c example network
+p sp 4 5
+a 1 2 3
+a 2 3 4
+a 3 4 5
+a 4 1 2
+a 1 3 10
+"""
+
+
+class TestDimacsReader:
+    def test_parse_sample(self):
+        graph = read_dimacs(io.StringIO(DIMACS_SAMPLE))
+        assert graph.number_of_nodes() == 4
+        assert graph.number_of_edges() == 5
+        assert graph.weight(1, 2) == 3.0
+        assert graph.weight(1, 3) == 10.0
+
+    def test_comments_ignored(self):
+        text = "c hello\nc world\np sp 2 1\na 1 2 7\n"
+        graph = read_dimacs(io.StringIO(text))
+        assert graph.weight(1, 2) == 7.0
+
+    def test_arc_before_problem_raises(self):
+        with pytest.raises(FormatError):
+            read_dimacs(io.StringIO("a 1 2 3\n"))
+
+    def test_malformed_problem_raises(self):
+        with pytest.raises(FormatError):
+            read_dimacs(io.StringIO("p max 2 1\n"))
+
+    def test_malformed_arc_raises(self):
+        with pytest.raises(FormatError):
+            read_dimacs(io.StringIO("p sp 2 1\na 1 2\n"))
+
+    def test_unknown_line_kind_raises(self):
+        with pytest.raises(FormatError) as excinfo:
+            read_dimacs(io.StringIO("p sp 2 1\nz 1 2 3\n"))
+        assert excinfo.value.line_number == 2
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(FormatError):
+            read_dimacs(io.StringIO("p sp 2 1\na 1 two 3\n"))
+
+    def test_file_roundtrip(self, tmp_path, small_road):
+        path = tmp_path / "graph.gr"
+        write_dimacs(small_road, path)
+        back = read_dimacs(path)
+        assert back.number_of_edges() == small_road.number_of_edges()
+        for tail, head, weight in small_road.edges():
+            assert back.weight(tail, head) == pytest.approx(weight)
+
+
+class TestEdgeListReader:
+    def test_parse_with_weights(self):
+        graph = read_edge_list(io.StringIO("0 1 2.5\n1 2 3.5\n"))
+        assert graph.weight(0, 1) == 2.5
+        assert graph.weight(1, 2) == 3.5
+
+    def test_default_weight(self):
+        graph = read_edge_list(io.StringIO("0 1\n"), default_weight=4.0)
+        assert graph.weight(0, 1) == 4.0
+
+    def test_comments_and_blank_lines(self):
+        graph = read_edge_list(io.StringIO("# snap header\n\n0 1 1.0\n"))
+        assert graph.number_of_edges() == 1
+
+    def test_short_line_raises(self):
+        with pytest.raises(FormatError):
+            read_edge_list(io.StringIO("7\n"))
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(FormatError):
+            read_edge_list(io.StringIO("a b\n"))
+
+    def test_file_roundtrip(self, tmp_path, small_social):
+        path = tmp_path / "edges.tsv"
+        write_edge_list(small_social, path)
+        back = read_edge_list(path)
+        assert back == small_social
+
+
+class TestGraphFromString:
+    def test_edgelist_format(self):
+        graph = graph_from_string("0 1 1.0\n1 0 2.0\n")
+        assert graph.number_of_edges() == 2
+
+    def test_dimacs_format(self):
+        graph = graph_from_string(DIMACS_SAMPLE, fmt="dimacs")
+        assert graph.number_of_edges() == 5
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError):
+            graph_from_string("", fmt="graphml")

@@ -1,0 +1,124 @@
+"""Tests for landmark tables and all four selection strategies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.generators import road_network
+from repro.landmarks.base import LandmarkTable
+from repro.landmarks.selection import (
+    best_cover_landmarks,
+    max_cover_landmarks,
+    random_landmarks,
+    sls_landmarks,
+)
+from repro.pathing.dijkstra import shortest_distance
+from util import random_graph
+
+
+class TestLandmarkTable:
+    def test_len(self, small_road):
+        table = LandmarkTable(small_road, [0, 1, 2])
+        assert len(table) == 3
+
+    def test_self_bound_is_zero(self, small_road):
+        table = LandmarkTable(small_road, [0])
+        assert table.lower_bound(5, 5) == 0.0
+
+    def test_bound_from_landmark_itself_is_exact(self, small_road):
+        table = LandmarkTable(small_road, [7])
+        # l_7(7, v) = d(7, v) - d(7, 7) = d(7, v): exact at the landmark.
+        assert table.lower_bound(7, 50) == pytest.approx(
+            shortest_distance(small_road, 7, 50)
+        )
+
+    def test_landmark_bound_component(self, small_road):
+        table = LandmarkTable(small_road, [3, 99])
+        combined = table.lower_bound(10, 120)
+        parts = [table.landmark_bound(i, 10, 120) for i in range(2)]
+        assert combined == pytest.approx(max(parts))
+
+    def test_heuristic_closure_matches_lower_bound(self, small_road):
+        table = LandmarkTable(small_road, [0, 143])
+        h = table.heuristic_to(120)
+        for node in (0, 5, 90, 120):
+            assert h(node) == pytest.approx(table.lower_bound(node, 120))
+
+    def test_size_in_entries(self, small_road):
+        table = LandmarkTable(small_road, [0, 1])
+        n = small_road.number_of_nodes()
+        assert table.size_in_entries() == 4 * n  # 2 dirs x 2 landmarks
+
+
+class TestSelectors:
+    def test_random_is_deterministic(self, small_road):
+        a = random_landmarks(small_road, 5, seed=3)
+        b = random_landmarks(small_road, 5, seed=3)
+        assert a == b
+
+    def test_random_count(self, small_road):
+        assert len(random_landmarks(small_road, 7, seed=0)) == 7
+
+    def test_random_all_nodes_when_count_exceeds(self):
+        g = road_network(3, 3, seed=1)
+        assert len(random_landmarks(g, 99)) == g.number_of_nodes()
+
+    def test_sls_count_and_membership(self, small_road):
+        landmarks = sls_landmarks(small_road, 6, seed=1)
+        assert len(landmarks) == 6
+        assert len(set(landmarks)) == 6
+        for node in landmarks:
+            assert small_road.has_node(node)
+
+    def test_sls_deterministic(self, small_road):
+        assert sls_landmarks(small_road, 4, seed=5) == sls_landmarks(
+            small_road, 4, seed=5
+        )
+
+    def test_max_cover_count(self, small_road):
+        landmarks = max_cover_landmarks(
+            small_road, 5, seed=1, sample_pairs=60
+        )
+        assert len(landmarks) == 5
+        assert len(set(landmarks)) == 5
+
+    def test_best_cover_count(self, small_road):
+        landmarks = best_cover_landmarks(small_road, 5, seed=1, sample_pairs=60)
+        assert len(landmarks) == 5
+        assert len(set(landmarks)) == 5
+
+    def test_best_cover_prefers_path_nodes(self):
+        # On a line every shortest path passes the middle: best-cover
+        # must pick a central node first.
+        from repro.graph.generators import path_network
+
+        g = path_network(9)
+        landmarks = best_cover_landmarks(g, 1, seed=0, sample_pairs=100)
+        assert landmarks[0] in {2, 3, 4, 5, 6}
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5000),
+    u=st.integers(min_value=0, max_value=29),
+    v=st.integers(min_value=0, max_value=29),
+)
+def test_lower_bound_is_admissible(seed, u, v):
+    """h(u, v) <= d(u, v) for all pairs — the ALT soundness property."""
+    graph = random_graph(seed)
+    table = LandmarkTable(graph, [0, 9, 21])
+    bound = table.lower_bound(u, v)
+    true = shortest_distance(graph, u, v)
+    assert bound <= true + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=5000))
+def test_heuristic_is_consistent(seed):
+    """h(u) <= w(u, v) + h(v) along every edge — required for settling."""
+    graph = random_graph(seed)
+    table = LandmarkTable(graph, [4, 18])
+    h = table.heuristic_to(25)
+    for tail, head, weight in graph.edges():
+        assert h(tail) <= weight + h(head) + 1e-9

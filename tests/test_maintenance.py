@@ -1,0 +1,179 @@
+"""Tests for permanent-update maintenance of DISO/ADISO indices.
+
+The acceptance criterion throughout: after any sequence of updates, the
+maintained oracle answers every query exactly like a freshly built
+oracle over the updated graph — verified against plain Dijkstra.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import EdgeNotFoundError, GraphError
+from repro.oracle.adiso import ADISO
+from repro.oracle.diso import DISO
+from repro.oracle.maintenance import OracleMaintainer
+from repro.overlay.distance_graph import verify_distance_graph
+from repro.pathing.dijkstra import shortest_distance
+from util import random_graph
+
+
+def assert_oracle_exact(oracle, graph, pairs, failed=None):
+    for s, t in pairs:
+        expected = shortest_distance(graph, s, t, failed)
+        assert oracle.query(s, t, failed) == pytest.approx(expected)
+
+
+PAIRS = [(0, 25), (3, 18), (29, 1), (7, 7)]
+
+
+class TestDeleteEdge:
+    def test_delete_and_query(self):
+        graph = random_graph(1)
+        oracle = DISO(graph, tau=2, theta=4.0)
+        maintainer = OracleMaintainer(oracle)
+        edge = next(iter(sorted(graph.edge_set())))
+        maintainer.delete_edge(*edge)
+        assert not graph.has_edge(*edge)
+        assert_oracle_exact(oracle, graph, PAIRS)
+
+    def test_delete_missing_raises(self):
+        graph = random_graph(2)
+        maintainer = OracleMaintainer(DISO(graph, tau=2, theta=4.0))
+        with pytest.raises(EdgeNotFoundError):
+            maintainer.delete_edge(-1, -2)
+
+    def test_overlay_stays_consistent(self):
+        graph = random_graph(3)
+        oracle = DISO(graph, tau=2, theta=4.0)
+        maintainer = OracleMaintainer(oracle)
+        for edge in sorted(graph.edge_set())[:5]:
+            if graph.has_edge(*edge):
+                maintainer.delete_edge(*edge)
+        assert verify_distance_graph(graph, oracle.distance_graph) == []
+
+    def test_rebuild_counter(self):
+        graph = random_graph(4)
+        oracle = DISO(graph, tau=2, theta=4.0)
+        maintainer = OracleMaintainer(oracle)
+        # Delete a tree edge of some stored tree: must rebuild >= 1 tree.
+        root = next(iter(oracle.trees.roots()))
+        tree = oracle.trees.tree(root)
+        edge = next(iter(tree.tree_edges()))
+        maintainer.delete_edge(*edge)
+        assert maintainer.rebuilt_trees >= 1
+
+
+class TestInsertEdge:
+    def test_insert_and_query(self):
+        graph = random_graph(5)
+        oracle = DISO(graph, tau=2, theta=4.0)
+        maintainer = OracleMaintainer(oracle)
+        # A new cheap shortcut between two far nodes.
+        maintainer.insert_edge(0, 15, 0.01)
+        assert_oracle_exact(oracle, graph, PAIRS)
+
+    def test_insert_existing_raises(self):
+        graph = random_graph(6)
+        maintainer = OracleMaintainer(DISO(graph, tau=2, theta=4.0))
+        edge = next(iter(sorted(graph.edge_set())))
+        with pytest.raises(GraphError):
+            maintainer.insert_edge(edge[0], edge[1], 1.0)
+
+    def test_insert_improving_edge_updates_overlay(self):
+        graph = random_graph(7)
+        oracle = DISO(graph, tau=2, theta=4.0)
+        maintainer = OracleMaintainer(oracle)
+        transit = sorted(oracle.transit)
+        u, v = transit[0], transit[1]
+        before = oracle.query(u, v)
+        if not graph.has_edge(u, v):
+            maintainer.insert_edge(u, v, before / 10)
+            assert oracle.query(u, v) == pytest.approx(
+                shortest_distance(graph, u, v)
+            )
+
+
+class TestChangeWeight:
+    def test_increase_and_query(self):
+        graph = random_graph(8)
+        oracle = DISO(graph, tau=2, theta=4.0)
+        maintainer = OracleMaintainer(oracle)
+        edge = next(iter(sorted(graph.edge_set())))
+        maintainer.change_weight(edge[0], edge[1], 50.0)
+        assert_oracle_exact(oracle, graph, PAIRS)
+
+    def test_decrease_and_query(self):
+        graph = random_graph(9)
+        oracle = DISO(graph, tau=2, theta=4.0)
+        maintainer = OracleMaintainer(oracle)
+        edge = next(iter(sorted(graph.edge_set())))
+        maintainer.change_weight(edge[0], edge[1], 0.001)
+        assert_oracle_exact(oracle, graph, PAIRS)
+
+    def test_missing_edge_raises(self):
+        graph = random_graph(10)
+        maintainer = OracleMaintainer(DISO(graph, tau=2, theta=4.0))
+        with pytest.raises(EdgeNotFoundError):
+            maintainer.change_weight(-1, -2, 1.0)
+
+
+class TestADISOMaintenance:
+    def test_landmarks_refreshed(self):
+        graph = random_graph(11)
+        oracle = ADISO(graph, tau=2, theta=4.0, num_landmarks=3, seed=1)
+        maintainer = OracleMaintainer(oracle)
+        edge = next(iter(sorted(graph.edge_set())))
+        maintainer.delete_edge(*edge)
+        assert maintainer.landmark_refreshes == 1
+        assert_oracle_exact(oracle, graph, PAIRS)
+
+    def test_adiso_exact_after_mixed_updates(self):
+        graph = random_graph(12)
+        oracle = ADISO(graph, tau=2, theta=4.0, num_landmarks=3, seed=1)
+        maintainer = OracleMaintainer(oracle)
+        edges = sorted(graph.edge_set())
+        maintainer.delete_edge(*edges[0])
+        maintainer.change_weight(*edges[5], 25.0)
+        maintainer.insert_edge(2, 27, 0.05)
+        assert_oracle_exact(oracle, graph, PAIRS)
+        # Queries with temporary failures still exact after maintenance.
+        failed = {edges[10]}
+        assert_oracle_exact(oracle, graph, PAIRS, failed)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=5000),
+    ops_seed=st.integers(min_value=0, max_value=5000),
+)
+def test_maintenance_matches_fresh_oracle(seed, ops_seed):
+    """After random updates, answers equal a freshly built oracle's."""
+    import random as _random
+
+    graph = random_graph(seed)
+    oracle = DISO(graph, tau=2, theta=4.0)
+    maintainer = OracleMaintainer(oracle)
+    rng = _random.Random(ops_seed)
+    for _ in range(5):
+        op = rng.choice(["delete", "increase", "decrease", "insert"])
+        edges = sorted(graph.edge_set())
+        if op == "delete" and len(edges) > 35:
+            maintainer.delete_edge(*rng.choice(edges))
+        elif op == "increase":
+            edge = rng.choice(edges)
+            maintainer.change_weight(*edge, graph.weight(*edge) * 3)
+        elif op == "decrease":
+            edge = rng.choice(edges)
+            maintainer.change_weight(*edge, graph.weight(*edge) / 3)
+        else:
+            a = rng.randrange(30)
+            b = rng.randrange(30)
+            if a != b and not graph.has_edge(a, b):
+                maintainer.insert_edge(a, b, rng.random() + 0.05)
+    fresh = DISO(graph, transit=oracle.transit)
+    for s, t in PAIRS:
+        assert oracle.query(s, t) == pytest.approx(fresh.query(s, t))
+        expected = shortest_distance(graph, s, t)
+        assert oracle.query(s, t) == pytest.approx(expected)

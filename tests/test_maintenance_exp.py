@@ -1,0 +1,40 @@
+"""Smoke tests for the supplemental maintenance experiment harness."""
+
+from __future__ import annotations
+
+from repro.experiments.maintenance_exp import (
+    format_maintenance_experiment,
+    run_maintenance_experiment,
+)
+
+
+class TestMaintenanceExperiment:
+    def test_runs_and_formats(self):
+        data = run_maintenance_experiment(
+            dataset="NY",
+            scale=0.25,
+            operations_per_kind=2,
+            query_count=4,
+            seed=7,
+        )
+        assert set(data["update_ms"]) == {
+            "delete",
+            "insert",
+            "increase",
+            "decrease",
+        }
+        assert all(ms >= 0 for ms in data["update_ms"].values())
+        assert data["rebuilt_trees"] >= 0
+        text = format_maintenance_experiment(data)
+        assert "maintenance update cost" in text
+        assert "fresh rebuild" in text
+
+    def test_maintained_index_stays_exact(self):
+        data = run_maintenance_experiment(
+            dataset="NY",
+            scale=0.25,
+            operations_per_kind=3,
+            query_count=5,
+            seed=11,
+        )
+        assert data["maintained_error_pct"] < 1e-6

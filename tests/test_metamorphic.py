@@ -1,0 +1,151 @@
+"""Metamorphic tests: answer invariances under input transformations.
+
+Rather than comparing against a reference implementation, these
+properties state how the *answer itself* must respond to controlled
+changes of the input — a complementary correctness net that would catch
+bugs a shared-reference comparison cannot (e.g. a mistake replicated in
+both implementations).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.transforms import scale_weights
+from repro.oracle.adiso import ADISO
+from repro.oracle.diso import DISO
+from repro.pathing.dijkstra import shortest_path
+from util import random_failures_from, random_graph
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    s=st.integers(min_value=0, max_value=29),
+    t=st.integers(min_value=0, max_value=29),
+)
+def test_irrelevant_failure_does_not_change_answer(seed, s, t):
+    """Failing an edge not on any s-t path leaves the answer alone.
+
+    Construction: fail an edge, ask; then additionally fail an edge
+    that lies on no shortest path of the already-failed instance *and*
+    is not on the witness path — the answer must not increase beyond
+    the original (it cannot decrease either: failures only remove
+    options).
+    """
+    graph = random_graph(seed)
+    oracle = DISO(graph, tau=2, theta=4.0)
+    base_failed = random_failures_from(graph, seed + 1, 4)
+    base = oracle.query(s, t, base_failed)
+    witness = shortest_path(graph, s, t, base_failed)
+    if witness is None:
+        return
+    witness_edges = set(witness)
+    extra = next(
+        (
+            (a, b)
+            for a, b, _ in sorted(graph.edges())
+            if (a, b) not in witness_edges and (a, b) not in base_failed
+        ),
+        None,
+    )
+    if extra is None:
+        return
+    with_extra = oracle.query(s, t, base_failed | {extra})
+    # The witness survives, so the distance cannot get worse...
+    assert with_extra <= base + 1e-9
+    # ...and failures never make anything shorter.
+    assert with_extra >= base - 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    factor=st.floats(min_value=0.1, max_value=10.0),
+    s=st.integers(min_value=0, max_value=29),
+    t=st.integers(min_value=0, max_value=29),
+)
+def test_weight_scaling_scales_answers(seed, factor, s, t):
+    """d is homogeneous: scaling all weights by c scales d(s,t,F) by c."""
+    graph = random_graph(seed)
+    scaled = scale_weights(graph, factor)
+    failed = random_failures_from(graph, seed + 2, 5)
+    original = DISO(graph, tau=2, theta=4.0)
+    rescaled = DISO(scaled, transit=original.transit)
+    a = original.query(s, t, failed)
+    b = rescaled.query(s, t, failed)
+    if a == float("inf"):
+        assert b == float("inf")
+    else:
+        assert b == pytest.approx(a * factor, rel=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    s=st.integers(min_value=0, max_value=29),
+    t=st.integers(min_value=0, max_value=29),
+)
+def test_disconnected_component_is_inert(seed, s, t):
+    """Grafting an unreachable component changes no answer."""
+    graph = random_graph(seed)
+    augmented = graph.copy()
+    # A small ring far away in the id space, unconnected to the rest.
+    for i in range(1000, 1005):
+        augmented.add_edge(i, 1000 + (i - 999) % 5, 1.0)
+    failed = random_failures_from(graph, seed + 3, 5)
+    base = DISO(graph, tau=2, theta=4.0)
+    bigger = DISO(augmented, tau=2, theta=4.0)
+    assert bigger.query(s, t, failed) == pytest.approx(
+        base.query(s, t, failed)
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    s=st.integers(min_value=0, max_value=29),
+    t=st.integers(min_value=0, max_value=29),
+)
+def test_failures_are_monotone(seed, s, t):
+    """More failures never shorten the distance (F ⊆ F' ⟹ d ≤ d')."""
+    graph = random_graph(seed)
+    oracle = ADISO(graph, tau=2, theta=4.0, num_landmarks=3, seed=seed)
+    small = random_failures_from(graph, seed + 4, 3)
+    large = small | random_failures_from(graph, seed + 5, 6)
+    assert oracle.query(s, t, small) <= oracle.query(s, t, large) + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    s=st.integers(min_value=0, max_value=29),
+    t=st.integers(min_value=0, max_value=29),
+)
+def test_parallel_cheaper_edge_only_helps(seed, s, t):
+    """Adding a strictly better edge never makes any query worse."""
+    graph = random_graph(seed)
+    base = DISO(graph, tau=2, theta=4.0)
+    before = base.query(s, t)
+    improved = graph.copy()
+    tail, head, weight = next(iter(sorted(improved.edges())))
+    improved.set_weight(tail, head, weight / 2)
+    after_oracle = DISO(improved, transit=base.transit)
+    assert after_oracle.query(s, t) <= before + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_triangle_inequality_of_answers(seed):
+    """d(a,c,F) ≤ d(a,b,F) + d(b,c,F) for the oracle's own answers."""
+    graph = random_graph(seed)
+    oracle = DISO(graph, tau=2, theta=4.0)
+    failed = random_failures_from(graph, seed + 6, 5)
+    a, b, c = 0, 10, 20
+    d_ab = oracle.query(a, b, failed)
+    d_bc = oracle.query(b, c, failed)
+    d_ac = oracle.query(a, c, failed)
+    if d_ab < float("inf") and d_bc < float("inf"):
+        assert d_ac <= d_ab + d_bc + 1e-9

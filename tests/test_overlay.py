@@ -1,0 +1,180 @@
+"""Tests for the two-level fault-tolerant index components."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cover.isc import isc_path_cover
+from repro.exceptions import PreprocessingError
+from repro.graph.digraph import DiGraph
+from repro.overlay.bsp_tree import BoundedTreeStore
+from repro.overlay.distance_graph import (
+    build_distance_graph,
+    verify_distance_graph,
+)
+from repro.overlay.inverted_index import InvertedTreeIndex
+from repro.pathing.bounded import bounded_dijkstra
+from repro.pathing.dijkstra import dijkstra, shortest_distance
+from util import random_failures_from, random_graph
+
+
+class TestDistanceGraphConstruction:
+    def test_definition_holds(self, small_road):
+        cover = isc_path_cover(small_road, tau=2, theta=1.0).cover
+        overlay, _ = build_distance_graph(small_road, cover)
+        assert verify_distance_graph(small_road, overlay) == []
+
+    def test_empty_transit_raises(self, small_road):
+        with pytest.raises(PreprocessingError):
+            build_distance_graph(small_road, set())
+
+    def test_unknown_transit_node_raises(self, small_road):
+        with pytest.raises(PreprocessingError):
+            build_distance_graph(small_road, {10_000})
+
+    def test_node_and_edge_counts(self, small_road):
+        cover = isc_path_cover(small_road, tau=2, theta=1.0).cover
+        overlay, _ = build_distance_graph(small_road, cover)
+        assert overlay.num_nodes == len(cover)
+        assert overlay.num_edges == overlay.graph.number_of_edges()
+
+    def test_trees_rooted_at_transit(self, small_road):
+        cover = isc_path_cover(small_road, tau=2, theta=1.0).cover
+        _, trees = build_distance_graph(small_road, cover)
+        assert set(trees) == cover
+        for root, tree in trees.items():
+            assert tree.root == root
+            tree.check_invariants()
+
+    def test_membership(self, small_road):
+        cover = isc_path_cover(small_road, tau=2, theta=1.0).cover
+        overlay, _ = build_distance_graph(small_road, cover)
+        member = next(iter(cover))
+        assert member in overlay
+
+
+class TestLemma1:
+    """Shortest distances on D equal shortest distances on G (Lemma 1)."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_failure_free(self, seed):
+        graph = random_graph(seed)
+        cover = isc_path_cover(graph, tau=2, theta=4.0).cover
+        overlay, _ = build_distance_graph(graph, cover)
+        nodes = sorted(cover)[:6]
+        for u in nodes:
+            overlay_dist, _ = dijkstra(overlay.graph, u)
+            for v in nodes:
+                if u == v:
+                    continue
+                expected = shortest_distance(graph, u, v)
+                got = overlay_dist.get(v, float("inf"))
+                assert got == pytest.approx(expected)
+
+
+class TestInvertedIndex:
+    def build(self, graph, cover):
+        overlay, trees = build_distance_graph(graph, cover)
+        return overlay, trees, InvertedTreeIndex.from_trees(trees)
+
+    def test_indexed_edges_are_tree_edges(self, small_road):
+        cover = isc_path_cover(small_road, tau=2, theta=1.0).cover
+        _, trees, index = self.build(small_road, cover)
+        for root, tree in trees.items():
+            for edge in tree.tree_edges():
+                assert root in index.trees_containing(edge)
+
+    def test_affected_nodes_exact(self, small_road):
+        cover = isc_path_cover(small_road, tau=2, theta=1.0).cover
+        _, trees, index = self.build(small_road, cover)
+        # Pick a tree edge of some tree: its root must be affected.
+        root, tree = next(iter(trees.items()))
+        edge = next(iter(tree.tree_edges()), None)
+        if edge is not None:
+            assert root in index.affected_nodes([edge])
+
+    def test_unknown_edge_not_affected(self, small_road):
+        cover = isc_path_cover(small_road, tau=2, theta=1.0).cover
+        _, _, index = self.build(small_road, cover)
+        assert index.affected_nodes([(-1, -2)]) == set()
+
+    def test_remove_tree(self, small_road):
+        cover = isc_path_cover(small_road, tau=2, theta=1.0).cover
+        _, trees, index = self.build(small_road, cover)
+        root, tree = next(iter(trees.items()))
+        before = index.tree_count
+        index.remove_tree(root, tree)
+        assert index.tree_count == before - 1
+        for edge in tree.tree_edges():
+            assert root not in index.trees_containing(edge)
+
+    def test_entry_count(self, small_road):
+        cover = isc_path_cover(small_road, tau=2, theta=1.0).cover
+        _, trees, index = self.build(small_road, cover)
+        expected = sum(
+            len(list(tree.tree_edges())) for tree in trees.values()
+        )
+        assert index.entry_count() == expected
+
+    def test_len_counts_distinct_edges(self, small_road):
+        cover = isc_path_cover(small_road, tau=2, theta=1.0).cover
+        _, trees, index = self.build(small_road, cover)
+        distinct = set()
+        for tree in trees.values():
+            distinct.update(tree.tree_edges())
+        assert len(index) == len(distinct)
+
+
+class TestBoundedTreeStore:
+    def build_store(self, graph, cover):
+        overlay, trees = build_distance_graph(graph, cover)
+        return overlay, BoundedTreeStore(trees, overlay.transit)
+
+    def test_basic_accessors(self, small_road):
+        cover = isc_path_cover(small_road, tau=2, theta=1.0).cover
+        overlay, store = self.build_store(small_road, cover)
+        assert len(store) == len(cover)
+        assert store.roots() == frozenset(cover)
+        root = next(iter(cover))
+        assert root in store
+        assert store.tree(root).root == root
+        assert store.average_size() > 0
+
+    def test_recomputed_weights_match_overlay_when_no_failures(
+        self, small_road
+    ):
+        cover = isc_path_cover(small_road, tau=2, theta=1.0).cover
+        overlay, store = self.build_store(small_road, cover)
+        root = next(iter(cover))
+        weights = store.recomputed_out_weights(small_road, root, set())
+        assert weights == overlay.out_edges(root)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=5000),
+        fail_seed=st.integers(min_value=0, max_value=5000),
+    )
+    def test_recomputed_weights_match_fresh_bounded(self, seed, fail_seed):
+        graph = random_graph(seed)
+        cover = isc_path_cover(graph, tau=2, theta=4.0).cover
+        overlay, trees = build_distance_graph(graph, cover)
+        store = BoundedTreeStore(trees, overlay.transit)
+        failed = random_failures_from(graph, fail_seed, 6)
+        for root in sorted(cover)[:4]:
+            repaired = store.recomputed_out_weights(graph, root, failed)
+            fresh = bounded_dijkstra(graph, root, overlay.transit, failed)
+            expected = {v: d for v, d in fresh.access.items() if v != root}
+            assert set(repaired) == set(expected)
+            for node, d in expected.items():
+                assert repaired[node] == pytest.approx(d)
+
+    def test_rebuild_tree_returns_old(self, small_road):
+        cover = isc_path_cover(small_road, tau=2, theta=1.0).cover
+        _, store = self.build_store(small_road, cover)
+        root = next(iter(cover))
+        old = store.tree(root)
+        returned = store.rebuild_tree(small_road, root)
+        assert returned is old
+        assert store.tree(root).root == root

@@ -1,0 +1,108 @@
+"""Tests for the partitioning-based transit set competitors (Table 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cover.partitioning import (
+    border_nodes,
+    edge_cut,
+    metis_like_partition,
+    spectral_partition,
+    uniform_partition,
+)
+from repro.graph.generators import grid_network
+
+
+class TestUniform:
+    def test_covers_all_nodes(self, small_road):
+        assignment = uniform_partition(small_road, 4, seed=1)
+        assert set(assignment) == set(small_road.nodes())
+        assert set(assignment.values()) <= set(range(4))
+
+    def test_deterministic(self, small_road):
+        a = uniform_partition(small_road, 4, seed=1)
+        b = uniform_partition(small_road, 4, seed=1)
+        assert a == b
+
+    def test_invalid_parts_raises(self, small_road):
+        with pytest.raises(ValueError):
+            uniform_partition(small_road, 0)
+
+
+class TestMetisLike:
+    def test_covers_all_nodes(self, small_road):
+        assignment = metis_like_partition(small_road, 4, seed=1)
+        assert set(assignment) == set(small_road.nodes())
+
+    def test_uses_requested_parts(self, small_road):
+        assignment = metis_like_partition(small_road, 4, seed=1)
+        assert len(set(assignment.values())) <= 4
+
+    def test_beats_uniform_on_cut(self):
+        g = grid_network(12, 12)
+        uniform = uniform_partition(g, 4, seed=1)
+        metis = metis_like_partition(g, 4, seed=1)
+        assert edge_cut(g, metis) < edge_cut(g, uniform)
+
+    def test_invalid_parts_raises(self, small_road):
+        with pytest.raises(ValueError):
+            metis_like_partition(small_road, 0)
+
+
+class TestSpectral:
+    def test_covers_all_nodes(self, small_road):
+        assignment = spectral_partition(small_road, 4, seed=1)
+        assert set(assignment) == set(small_road.nodes())
+
+    def test_beats_uniform_on_cut(self):
+        g = grid_network(12, 12)
+        uniform = uniform_partition(g, 4, seed=1)
+        spectral = spectral_partition(g, 4, seed=1)
+        assert edge_cut(g, spectral) < edge_cut(g, uniform)
+
+    def test_single_part(self, small_road):
+        assignment = spectral_partition(small_road, 1, seed=1)
+        assert set(assignment.values()) == {0}
+
+
+class TestBorderNodes:
+    def test_borders_have_cross_partition_neighbors(self, small_road):
+        assignment = metis_like_partition(small_road, 4, seed=1)
+        borders = border_nodes(small_road, assignment)
+        for node in borders:
+            neighbors = set(small_road.successors(node)) | set(
+                small_road.predecessors(node)
+            )
+            assert any(
+                assignment[other] != assignment[node] for other in neighbors
+            )
+
+    def test_non_borders_are_interior(self, small_road):
+        assignment = metis_like_partition(small_road, 4, seed=1)
+        borders = border_nodes(small_road, assignment)
+        for node in small_road.nodes():
+            if node in borders:
+                continue
+            neighbors = set(small_road.successors(node)) | set(
+                small_road.predecessors(node)
+            )
+            assert all(
+                assignment[other] == assignment[node] for other in neighbors
+            )
+
+    def test_single_partition_has_no_borders(self, small_road):
+        assignment = {node: 0 for node in small_road.nodes()}
+        assert border_nodes(small_road, assignment) == set()
+
+
+class TestEdgeCut:
+    def test_zero_for_single_partition(self, small_road):
+        assignment = {node: 0 for node in small_road.nodes()}
+        assert edge_cut(small_road, assignment) == 0
+
+    def test_counts_cross_edges(self):
+        g = grid_network(2, 2)  # nodes 0,1,2,3; bidirectional edges
+        assignment = {0: 0, 1: 0, 2: 1, 3: 1}
+        # Crossing pairs: (0,2) both directions and (1,3) both = 4 edges.
+        assert edge_cut(g, assignment) == 4

@@ -1,0 +1,123 @@
+"""Tests for temporal failure scenarios and the replay experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.replay import format_replay, run_replay
+from repro.workload.scenarios import (
+    FAIL,
+    RECOVER,
+    FailureSchedule,
+    FailureEvent,
+    generate_failure_schedule,
+    sample_query_times,
+)
+from repro.graph.digraph import DiGraph
+
+
+class TestScheduleGeneration:
+    def test_deterministic(self, small_road):
+        a = generate_failure_schedule(small_road, seed=3)
+        b = generate_failure_schedule(small_road, seed=3)
+        assert a.events == b.events
+
+    def test_every_failure_recovers(self, small_road):
+        schedule = generate_failure_schedule(small_road, seed=1)
+        balance: dict = {}
+        for event in schedule.events:
+            delta = 1 if event.kind == FAIL else -1
+            balance[event.edge] = balance.get(event.edge, 0) + delta
+            assert balance[event.edge] in (0, 1)
+        # Past the full timeline everything is recovered.
+        assert all(v == 0 for v in balance.values())
+
+    def test_events_sorted(self, small_road):
+        schedule = generate_failure_schedule(small_road, seed=2)
+        times = [event.time for event in schedule.events]
+        assert times == sorted(times)
+
+    def test_rate_scales_event_count(self, small_road):
+        low = generate_failure_schedule(
+            small_road, failures_per_unit=0.2, seed=1
+        )
+        high = generate_failure_schedule(
+            small_road, failures_per_unit=2.0, seed=1
+        )
+        assert high.changes() > low.changes()
+
+    def test_edgeless_graph_raises(self):
+        g = DiGraph()
+        g.add_node(0)
+        with pytest.raises(ValueError):
+            generate_failure_schedule(g)
+
+    def test_bad_rates_raise(self, small_road):
+        with pytest.raises(ValueError):
+            generate_failure_schedule(small_road, failures_per_unit=0)
+        with pytest.raises(ValueError):
+            generate_failure_schedule(small_road, mean_downtime=-1)
+
+
+class TestScheduleQueries:
+    def build_manual(self) -> FailureSchedule:
+        return FailureSchedule(
+            events=[
+                FailureEvent(1.0, (0, 1), FAIL),
+                FailureEvent(3.0, (2, 3), FAIL),
+                FailureEvent(4.0, (0, 1), RECOVER),
+                FailureEvent(9.0, (2, 3), RECOVER),
+            ],
+            duration=10.0,
+        )
+
+    def test_active_at(self):
+        schedule = self.build_manual()
+        assert schedule.active_at(0.5) == frozenset()
+        assert schedule.active_at(2.0) == {(0, 1)}
+        assert schedule.active_at(3.5) == {(0, 1), (2, 3)}
+        assert schedule.active_at(5.0) == {(2, 3)}
+        assert schedule.active_at(9.5) == frozenset()
+
+    def test_peak_failures(self):
+        assert self.build_manual().peak_failures() == 2
+
+    def test_changes(self):
+        assert self.build_manual().changes() == 4
+
+    def test_sample_query_times(self):
+        times = sample_query_times(10, 50.0, seed=1)
+        assert len(times) == 10
+        assert times == sorted(times)
+        assert all(0 <= t < 50.0 for t in times)
+
+
+class TestReplayExperiment:
+    def test_runs_and_formats(self):
+        data = run_replay(
+            dataset="NY",
+            scale=0.2,
+            duration=20.0,
+            query_count=8,
+            seed=7,
+            fddo_landmarks=5,
+        )
+        assert data["events"] > 0
+        assert data["dso_total_seconds"] > 0
+        assert data["fdd_total_seconds"] > 0
+        text = format_replay(data)
+        assert "DSO (DISO)" in text
+        assert "FDD (FDDO)" in text
+
+    def test_dso_total_beats_fdd_total(self):
+        """The paper's motivation, quantified: updates dominate."""
+        data = run_replay(
+            dataset="NY",
+            scale=0.25,
+            duration=30.0,
+            failures_per_unit=0.8,
+            query_count=10,
+            seed=3,
+            fddo_landmarks=6,
+        )
+        assert data["dso_total_seconds"] < data["fdd_total_seconds"]

@@ -1,0 +1,72 @@
+"""Smoke tests for the supplemental sensitivity experiments."""
+
+from __future__ import annotations
+
+from repro.experiments.sensitivity import (
+    format_affected_nodes_sweep,
+    format_alpha_sweep,
+    format_theta_sweep,
+    format_throughput_scaling,
+    run_affected_nodes_sweep,
+    run_alpha_sweep,
+    run_theta_sweep,
+    run_throughput_scaling,
+)
+
+TINY = dict(scale=0.25, seed=7)
+
+
+class TestThetaSweep:
+    def test_runs_and_formats(self):
+        data = run_theta_sweep(
+            dataset="DBLP", thetas=(0.0, 16.0), query_count=4, **TINY
+        )
+        assert len(data["cover_sizes"]) == 2
+        assert "theta" in format_theta_sweep(data)
+
+    def test_larger_theta_smaller_cover(self):
+        data = run_theta_sweep(
+            dataset="DBLP", thetas=(0.0, 64.0), query_count=3, **TINY
+        )
+        assert data["cover_sizes"][1] <= data["cover_sizes"][0]
+
+
+class TestAlphaSweep:
+    def test_runs_and_formats(self):
+        data = run_alpha_sweep(
+            dataset="NY",
+            alphas=(0.1, 0.5),
+            num_landmarks=3,
+            query_count=4,
+            **TINY,
+        )
+        assert len(data["query_ms"]) == 2
+        assert "alpha" in format_alpha_sweep(data)
+
+
+class TestAffectedNodesSweep:
+    def test_runs_and_formats(self):
+        data = run_affected_nodes_sweep(
+            dataset="NY", p_values=(0.0, 0.01), query_count=4, **TINY
+        )
+        assert len(data["affected_avg"]) == 2
+        assert data["transit_size"] > 0
+        assert "affected" in format_affected_nodes_sweep(data)
+
+    def test_more_failures_more_affected(self):
+        data = run_affected_nodes_sweep(
+            dataset="NY", p_values=(0.0, 0.05), query_count=5, **TINY
+        )
+        assert data["affected_avg"][0] <= data["affected_avg"][1]
+
+
+class TestThroughputScaling:
+    def test_runs_and_formats(self):
+        data = run_throughput_scaling(
+            dataset="NY",
+            thread_counts=(1, 2),
+            query_count=8,
+            **TINY,
+        )
+        assert len(data["queries_per_second"]) == 2
+        assert "threads" in format_throughput_scaling(data)

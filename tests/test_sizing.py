@@ -1,0 +1,46 @@
+"""Tests for index size accounting (Table 6 support)."""
+
+from __future__ import annotations
+
+from repro.baselines.astar_oracle import AStarOracle
+from repro.baselines.dijkstra_oracle import DijkstraOracle
+from repro.baselines.fddo import FDDOOracle
+from repro.oracle.adiso import ADISO
+from repro.oracle.diso import DISO
+from repro.oracle.sizing import index_size_bytes, index_size_megabytes
+
+
+class TestSizing:
+    def test_dijkstra_has_no_index(self, small_road):
+        assert index_size_bytes(DijkstraOracle(small_road)) == 0
+
+    def test_diso_positive(self, small_road):
+        assert index_size_bytes(DISO(small_road, tau=3, theta=1.0)) > 0
+
+    def test_adiso_larger_than_diso(self, small_road):
+        diso = DISO(small_road, tau=3, theta=1.0)
+        adiso = ADISO(
+            small_road, tau=3, theta=1.0, num_landmarks=4, seed=1
+        )
+        assert index_size_bytes(adiso) > index_size_bytes(diso)
+
+    def test_fddo_scales_with_landmarks(self, small_road):
+        small = FDDOOracle(small_road, num_landmarks=4, seed=1)
+        large = FDDOOracle(small_road, num_landmarks=12, seed=1)
+        assert index_size_bytes(large) > index_size_bytes(small)
+
+    def test_megabytes_conversion(self, small_road):
+        oracle = AStarOracle(small_road, num_landmarks=4, seed=1)
+        assert index_size_megabytes(oracle) == (
+            index_size_bytes(oracle) / (1024.0 * 1024.0)
+        )
+
+    def test_paper_shape_fddo_largest(self, small_road):
+        """Table 6 shape: FDDO > ADISO > DISO at paper-like settings."""
+        diso = DISO(small_road, tau=3, theta=1.0)
+        adiso = ADISO(
+            small_road, tau=3, theta=1.0, num_landmarks=10, seed=1
+        )
+        fddo = FDDOOracle(small_road, num_landmarks=50, seed=1)
+        assert index_size_bytes(fddo) > index_size_bytes(adiso)
+        assert index_size_bytes(adiso) > index_size_bytes(diso)

@@ -1,0 +1,119 @@
+"""Tests for distance graph sparsification (Section 6.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.overlay.sparsify import (
+    default_degree_floor,
+    sparsify_graph,
+    verify_sparsification,
+)
+from repro.pathing.dijkstra import shortest_distance
+from util import random_graph
+
+
+class TestDegreeFloor:
+    def test_low_degree_graph(self, small_road):
+        assert default_degree_floor(small_road) == 3
+
+    def test_high_degree_graph(self):
+        g = DiGraph()
+        for a in range(14):
+            for b in range(14):
+                if a != b:
+                    g.add_edge(a, b, 1.0)
+        assert default_degree_floor(g) == 5
+
+
+class TestSparsifyBasics:
+    def test_invalid_beta_raises(self, small_road):
+        with pytest.raises(ValueError):
+            sparsify_graph(small_road, beta=0.5)
+
+    def test_original_untouched(self, small_social):
+        before = small_social.number_of_edges()
+        sparsify_graph(small_social, beta=2.0, degree_floor=1)
+        assert small_social.number_of_edges() == before
+
+    def test_removes_redundant_edge(self):
+        # Heavy direct edge with a cheap 2-hop alternative.
+        g = DiGraph(
+            [
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (0, 2, 2.0),
+                # padding so degree floor does not protect (0, 2)
+                (0, 3, 1.0), (0, 4, 1.0), (0, 5, 1.0),
+                (3, 2, 9.0), (4, 2, 9.0), (5, 2, 9.0),
+            ]
+        )
+        result = sparsify_graph(g, beta=1.5, degree_floor=2)
+        assert (0, 2) in result.removed
+        assert not result.graph.has_edge(0, 2)
+
+    def test_degree_floor_respected(self, small_social):
+        result = sparsify_graph(small_social, beta=3.0, degree_floor=2)
+        for node in result.graph.nodes():
+            original_out = small_social.out_degree(node)
+            if original_out >= 2:
+                assert result.graph.out_degree(node) >= 2
+
+    def test_removal_ratio(self, small_social):
+        result = sparsify_graph(small_social, beta=2.0, degree_floor=1)
+        assert 0.0 <= result.removal_ratio < 1.0
+
+    def test_no_removal_when_beta_one_and_unique_paths(self, line):
+        # On a bare path there is never an alternative route.
+        result = sparsify_graph(line, beta=2.0, degree_floor=0)
+        assert result.removed == {}
+
+
+class TestBetaBound:
+    def test_verify_reports_no_violations(self, small_social):
+        result = sparsify_graph(small_social, beta=1.5)
+        assert verify_sparsification(small_social, result) == []
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=5000),
+        beta=st.floats(min_value=1.0, max_value=3.0),
+    )
+    def test_beta_bound_random(self, seed, beta):
+        """Every removed edge keeps a witness within beta (cascade-safe)."""
+        graph = random_graph(seed)
+        result = sparsify_graph(graph, beta=beta, degree_floor=1)
+        assert verify_sparsification(graph, result) == []
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_pairwise_stretch_without_failures(self, seed):
+        """Failure-free distances stretch by at most beta overall.
+
+        Because every removed edge has a beta-witness and witnesses are
+        protected, any shortest path's removed edges can be replaced by
+        their witnesses: total stretch <= beta.
+        """
+        beta = 1.6
+        graph = random_graph(seed)
+        result = sparsify_graph(graph, beta=beta, degree_floor=1)
+        for target in (5, 12, 25):
+            original = shortest_distance(graph, 0, target)
+            sparsed = shortest_distance(result.graph, 0, target)
+            assert sparsed <= beta * original + 1e-9
+            assert sparsed >= original - 1e-9  # never shorter
+
+
+class TestWitnessProtection:
+    def test_protected_edges_survive(self, small_social):
+        result = sparsify_graph(small_social, beta=2.0, degree_floor=1)
+        for edge in result.protected:
+            assert result.graph.has_edge(*edge), (
+                f"witness edge {edge} was removed"
+            )
+
+    def test_removed_and_protected_disjoint(self, small_social):
+        result = sparsify_graph(small_social, beta=2.0, degree_floor=1)
+        assert not (set(result.removed) & result.protected)

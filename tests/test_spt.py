@@ -1,0 +1,144 @@
+"""Unit tests for the ShortestPathTree structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pathing.spt import INFINITY, ShortestPathTree
+
+
+def build_sample_tree() -> ShortestPathTree:
+    """Root 0 with two branches: 0-1-2-3 and 0-4."""
+    tree = ShortestPathTree(0)
+    tree.attach(1, 0, 1.0)
+    tree.attach(2, 1, 2.0)
+    tree.attach(3, 2, 3.0)
+    tree.attach(4, 0, 1.5)
+    return tree
+
+
+class TestConstruction:
+    def test_root_properties(self):
+        tree = ShortestPathTree(7)
+        assert tree.root == 7
+        assert tree.distance(7) == 0.0
+        assert tree.parent[7] is None
+        assert len(tree) == 1
+
+    def test_attach_basic(self):
+        tree = build_sample_tree()
+        assert tree.distance(3) == 3.0
+        assert tree.parent[3] == 2
+        assert 3 in tree.children(2)
+
+    def test_attach_missing_parent_raises(self):
+        tree = ShortestPathTree(0)
+        with pytest.raises(KeyError):
+            tree.attach(2, 1, 1.0)
+
+    def test_reattach_moves_node(self):
+        tree = build_sample_tree()
+        tree.attach(4, 1, 2.0)
+        assert tree.parent[4] == 1
+        assert 4 not in tree.children(0)
+        assert 4 in tree.children(1)
+
+    def test_cannot_reparent_root(self):
+        tree = build_sample_tree()
+        with pytest.raises(ValueError):
+            tree.attach(0, 1, 1.0)
+
+
+class TestQueries:
+    def test_contains(self):
+        tree = build_sample_tree()
+        assert 3 in tree
+        assert 9 not in tree
+
+    def test_distance_missing_is_inf(self):
+        tree = build_sample_tree()
+        assert tree.distance(42) == INFINITY
+
+    def test_tree_edges(self):
+        tree = build_sample_tree()
+        assert sorted(tree.tree_edges()) == [
+            (0, 1),
+            (0, 4),
+            (1, 2),
+            (2, 3),
+        ]
+
+    def test_path_to(self):
+        tree = build_sample_tree()
+        assert tree.path_to(3) == [(0, 1), (1, 2), (2, 3)]
+        assert tree.path_to(0) == []
+        assert tree.path_to(99) is None
+
+    def test_path_nodes_to(self):
+        tree = build_sample_tree()
+        assert tree.path_nodes_to(3) == [0, 1, 2, 3]
+        assert tree.path_nodes_to(99) is None
+
+    def test_subtree_nodes(self):
+        tree = build_sample_tree()
+        assert set(tree.subtree_nodes(1)) == {1, 2, 3}
+        assert set(tree.subtree_nodes(0)) == {0, 1, 2, 3, 4}
+
+    def test_subtree_missing_raises(self):
+        tree = build_sample_tree()
+        with pytest.raises(KeyError):
+            list(tree.subtree_nodes(9))
+
+    def test_depth(self):
+        tree = build_sample_tree()
+        assert tree.depth(0) == 0
+        assert tree.depth(3) == 3
+        assert tree.depth(4) == 1
+
+
+class TestDetach:
+    def test_detach_subtree(self):
+        tree = build_sample_tree()
+        removed = tree.detach_subtree(2)
+        assert removed == {2, 3}
+        assert 2 not in tree
+        assert 3 not in tree
+        assert 1 in tree
+        tree.check_invariants()
+
+    def test_detach_root_raises(self):
+        tree = build_sample_tree()
+        with pytest.raises(ValueError):
+            tree.detach_subtree(0)
+
+    def test_detach_missing_raises(self):
+        tree = build_sample_tree()
+        with pytest.raises(KeyError):
+            tree.detach_subtree(42)
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        tree = build_sample_tree()
+        clone = tree.copy()
+        clone.detach_subtree(1)
+        assert 2 in tree
+        assert 2 not in clone
+        tree.check_invariants()
+        clone.check_invariants()
+
+    def test_repr(self):
+        tree = build_sample_tree()
+        assert "root=0" in repr(tree)
+
+
+class TestInvariants:
+    def test_invariants_pass_on_valid_tree(self):
+        build_sample_tree().check_invariants()
+
+    def test_invariants_catch_distance_violation(self):
+        tree = ShortestPathTree(0)
+        tree.attach(1, 0, 5.0)
+        tree.attach(2, 1, 1.0)  # closer than its parent: invalid SPT
+        with pytest.raises(AssertionError):
+            tree.check_invariants()

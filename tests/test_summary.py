@@ -1,0 +1,35 @@
+"""Smoke test for the run-everything experiment driver."""
+
+from __future__ import annotations
+
+from repro.experiments.summary import format_all, run_all
+
+
+def test_run_all_produces_every_section():
+    progress: list[str] = []
+    sections = run_all(
+        scale=0.18, query_count=3, seed=7, progress=progress.append
+    )
+    names = [name for name, _ in sections]
+    assert names == [
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "figure4",
+        "figure5",
+        "figure6",
+        "accuracy",
+        "theta",
+        "alpha",
+        "affected",
+        "throughput",
+        "maintenance",
+        "replay",
+    ]
+    assert progress == names
+    report = format_all(sections)
+    for name in names:
+        assert f"# {name}" in report
+    assert all(text.strip() for _, text in sections)

@@ -1,0 +1,121 @@
+"""Tie-handling stress tests.
+
+The paper assumes unique shortest paths "for simplicity" but notes all
+techniques apply with ties.  Integer-weighted random graphs maximise
+the number of equal-length alternatives; these properties pin down that
+every oracle stays exact when shortest paths are massively non-unique.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.oracle.adiso import ADISO
+from repro.oracle.diso import DISO
+from repro.oracle.diso_bi import DISOBidirectional
+from repro.pathing.dijkstra import shortest_distance
+
+
+def integer_grid_graph(seed: int, n: int = 25) -> DiGraph:
+    """Random strongly connected graph with weights in {1, 2, 3}."""
+    rng = random.Random(seed)
+    graph = DiGraph()
+    order = list(range(n))
+    rng.shuffle(order)
+    for i in range(n):
+        graph.add_edge(order[i], order[(i + 1) % n], float(rng.randint(1, 3)))
+    for _ in range(n * 3):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b and not graph.has_edge(a, b):
+            graph.add_edge(a, b, float(rng.randint(1, 3)))
+    return graph
+
+
+def unit_weight_graph(seed: int, n: int = 25) -> DiGraph:
+    """All weights 1.0 — every hop count tie is a distance tie."""
+    rng = random.Random(seed)
+    graph = DiGraph()
+    order = list(range(n))
+    rng.shuffle(order)
+    for i in range(n):
+        graph.add_edge(order[i], order[(i + 1) % n], 1.0)
+    for _ in range(n * 3):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b and not graph.has_edge(a, b):
+            graph.add_edge(a, b, 1.0)
+    return graph
+
+
+def pick_failures(graph: DiGraph, seed: int, count: int):
+    rng = random.Random(seed)
+    edges = sorted(graph.edge_set())
+    return set(rng.sample(edges, min(count, len(edges) - 1)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    fail_seed=st.integers(min_value=0, max_value=10_000),
+    s=st.integers(min_value=0, max_value=24),
+    t=st.integers(min_value=0, max_value=24),
+)
+def test_diso_exact_with_integer_ties(seed, fail_seed, s, t):
+    graph = integer_grid_graph(seed)
+    oracle = DISO(graph, tau=2, theta=4.0)
+    failed = pick_failures(graph, fail_seed, 8)
+    expected = shortest_distance(graph, s, t, failed)
+    assert oracle.query(s, t, failed) == pytest.approx(expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    fail_seed=st.integers(min_value=0, max_value=10_000),
+    s=st.integers(min_value=0, max_value=24),
+    t=st.integers(min_value=0, max_value=24),
+)
+def test_adiso_exact_with_unit_weights(seed, fail_seed, s, t):
+    graph = unit_weight_graph(seed)
+    oracle = ADISO(graph, tau=2, theta=4.0, num_landmarks=3, seed=seed)
+    failed = pick_failures(graph, fail_seed, 6)
+    expected = shortest_distance(graph, s, t, failed)
+    assert oracle.query(s, t, failed) == pytest.approx(expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    fail_seed=st.integers(min_value=0, max_value=10_000),
+    s=st.integers(min_value=0, max_value=24),
+    t=st.integers(min_value=0, max_value=24),
+)
+def test_bidirectional_exact_with_unit_weights(seed, fail_seed, s, t):
+    graph = unit_weight_graph(seed)
+    oracle = DISOBidirectional(graph, tau=2, theta=4.0)
+    failed = pick_failures(graph, fail_seed, 6)
+    expected = shortest_distance(graph, s, t, failed)
+    assert oracle.query(s, t, failed) == pytest.approx(expected)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_path_retrieval_with_ties(seed):
+    """Witness paths stay valid when many equal-length paths exist."""
+    from repro.oracle.paths import query_path, validate_path
+
+    graph = unit_weight_graph(seed)
+    oracle = DISO(graph, tau=2, theta=4.0)
+    failed = pick_failures(graph, seed + 1, 5)
+    expected = shortest_distance(graph, 0, 12, failed)
+    distance, path = query_path(oracle, 0, 12, failed)
+    if expected == float("inf"):
+        assert path is None
+        return
+    assert distance == pytest.approx(expected)
+    assert validate_path(oracle, path, 0, 12, failed) == (
+        pytest.approx(expected)
+    )

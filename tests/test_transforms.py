@@ -1,0 +1,127 @@
+"""Tests for graph transforms: symmetrisation, SCCs, weight assignment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import road_network
+from repro.graph.transforms import (
+    assign_uniform_weights,
+    induced_weight_map,
+    is_strongly_connected,
+    largest_strongly_connected_subgraph,
+    remove_self_loops,
+    scale_weights,
+    strongly_connected_components,
+    symmetrize,
+    without_edges,
+)
+
+
+class TestSymmetrize:
+    def test_adds_reverse_edges(self):
+        g = DiGraph([(0, 1, 2.0)])
+        sym = symmetrize(g)
+        assert sym.weight(1, 0) == 2.0
+        assert sym.weight(0, 1) == 2.0
+
+    def test_keeps_minimum_when_both_exist(self):
+        g = DiGraph([(0, 1, 2.0), (1, 0, 5.0)])
+        sym = symmetrize(g)
+        assert sym.weight(1, 0) == 2.0
+
+    def test_original_untouched(self):
+        g = DiGraph([(0, 1, 2.0)])
+        symmetrize(g)
+        assert not g.has_edge(1, 0)
+
+
+class TestWeights:
+    def test_uniform_weights_in_range(self, small_road):
+        weighted = assign_uniform_weights(small_road, seed=1)
+        assert all(0 < w <= 1.0 for _, _, w in weighted.edges())
+        assert weighted.number_of_edges() == small_road.number_of_edges()
+
+    def test_uniform_weights_deterministic(self, small_road):
+        a = assign_uniform_weights(small_road, seed=1)
+        b = assign_uniform_weights(small_road, seed=1)
+        assert a == b
+
+    def test_scale_weights(self):
+        g = DiGraph([(0, 1, 2.0)])
+        assert scale_weights(g, 3.0).weight(0, 1) == 6.0
+
+    def test_scale_negative_raises(self):
+        with pytest.raises(ValueError):
+            scale_weights(DiGraph(), -1.0)
+
+    def test_induced_weight_map(self):
+        g = DiGraph([(0, 1, 2.0), (1, 2, 3.0)])
+        assert induced_weight_map(g) == {(0, 1): 2.0, (1, 2): 3.0}
+
+
+class TestSelfLoops:
+    def test_removed(self):
+        g = DiGraph([(0, 0, 1.0), (0, 1, 1.0)])
+        cleaned = remove_self_loops(g)
+        assert not cleaned.has_edge(0, 0)
+        assert cleaned.has_edge(0, 1)
+
+
+class TestSCC:
+    def test_single_component(self, ring):
+        components = strongly_connected_components(ring)
+        assert len(components) == 1
+        assert components[0] == set(ring.nodes())
+
+    def test_two_components(self):
+        g = DiGraph([(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 2, 1.0)])
+        components = strongly_connected_components(g)
+        assert sorted(sorted(c) for c in components) == [[0, 1], [2, 3]]
+
+    def test_singletons_in_dag(self):
+        g = DiGraph([(0, 1, 1.0), (1, 2, 1.0)])
+        components = strongly_connected_components(g)
+        assert all(len(c) == 1 for c in components)
+        assert len(components) == 3
+
+    def test_largest_scc_subgraph(self):
+        g = DiGraph(
+            [
+                (0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0),  # triangle
+                (2, 3, 1.0),  # tail
+            ]
+        )
+        sub = largest_strongly_connected_subgraph(g)
+        assert set(sub.nodes()) == {0, 1, 2}
+        assert is_strongly_connected(sub)
+
+    def test_empty_graph(self):
+        assert not is_strongly_connected(DiGraph())
+        assert largest_strongly_connected_subgraph(DiGraph()).number_of_nodes() == 0
+
+    def test_deep_graph_no_recursion_error(self):
+        # A long directed cycle would blow a recursive Tarjan.
+        g = DiGraph()
+        n = 5000
+        for i in range(n):
+            g.add_edge(i, (i + 1) % n, 1.0)
+        components = strongly_connected_components(g)
+        assert len(components) == 1
+
+    def test_road_network_strongly_connected(self):
+        assert is_strongly_connected(road_network(9, 9, seed=0))
+
+
+class TestWithoutEdges:
+    def test_removes_present_edges(self):
+        g = DiGraph([(0, 1, 1.0), (1, 2, 1.0)])
+        cut = without_edges(g, [(0, 1)])
+        assert not cut.has_edge(0, 1)
+        assert cut.has_edge(1, 2)
+
+    def test_missing_edges_ignored(self):
+        g = DiGraph([(0, 1, 1.0)])
+        cut = without_edges(g, [(5, 6)])
+        assert cut == g

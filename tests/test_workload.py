@@ -1,0 +1,162 @@
+"""Tests for query workload generation and the dataset registry."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.pathing.dijkstra import shortest_distance, shortest_path
+from repro.workload.datasets import (
+    DATASETS,
+    ROAD_DATASETS,
+    SOCIAL_DATASETS,
+    dataset_statistics,
+    load_dataset,
+)
+from repro.workload.queries import (
+    essential_failures,
+    generate_queries,
+    generate_query,
+    random_failures,
+)
+
+
+class TestEssentialFailures:
+    def test_failures_lie_on_evolving_shortest_paths(self, small_road):
+        rng = random.Random(3)
+        failed = essential_failures(small_road, 0, 140, 4, rng)
+        assert len(failed) == 4
+        for edge in failed:
+            assert small_road.has_edge(*edge)
+
+    def test_each_failure_changes_the_answer(self, small_road):
+        """Every essential failure strictly constrains the path."""
+        rng = random.Random(5)
+        failed = essential_failures(small_road, 0, 140, 5, rng)
+        unrestricted = shortest_distance(small_road, 0, 140)
+        restricted = shortest_distance(small_road, 0, 140, failed)
+        assert restricted >= unrestricted
+
+    def test_stops_when_disconnected(self):
+        from repro.graph.generators import path_network
+
+        g = path_network(4, bidirectional=False)
+        rng = random.Random(1)
+        failed = essential_failures(g, 0, 3, 10, rng)
+        # The single path has 3 edges; after one failure 3 is
+        # unreachable, so at most 1 essential failure is generated.
+        assert len(failed) == 1
+
+    def test_final_path_avoids_failures(self, small_road):
+        rng = random.Random(9)
+        failed = essential_failures(small_road, 5, 130, 3, rng)
+        path = shortest_path(small_road, 5, 130, failed)
+        if path is not None:
+            assert not (set(path) & failed)
+
+
+class TestRandomFailures:
+    def test_zero_probability(self, small_road):
+        rng = random.Random(1)
+        assert random_failures(small_road, 0.0, rng) == set()
+
+    def test_all_edges_exist(self, small_road):
+        rng = random.Random(1)
+        failed = random_failures(small_road, 0.05, rng)
+        for edge in failed:
+            assert small_road.has_edge(*edge)
+
+    def test_probability_scales_count(self, small_road):
+        rng = random.Random(1)
+        low = len(random_failures(small_road, 0.01, rng))
+        rng = random.Random(1)
+        high = len(random_failures(small_road, 0.2, rng))
+        assert high > low
+
+    def test_exclusion(self, small_road):
+        rng = random.Random(2)
+        exclude = set(list(small_road.edge_set())[:50])
+        failed = random_failures(small_road, 0.5, rng, exclude=exclude)
+        assert not (failed & exclude)
+
+    def test_expected_count_reasonable(self, small_social):
+        # Binomial(m, 0.1) should land near m * 0.1.
+        m = small_social.number_of_edges()
+        counts = []
+        for seed in range(20):
+            rng = random.Random(seed)
+            counts.append(len(random_failures(small_social, 0.1, rng)))
+        mean = sum(counts) / len(counts)
+        assert 0.06 * m <= mean <= 0.14 * m
+
+
+class TestGenerateQueries:
+    def test_deterministic(self, small_road):
+        a = generate_queries(small_road, 5, seed=3)
+        b = generate_queries(small_road, 5, seed=3)
+        assert a == b
+
+    def test_count_and_distinct_endpoints(self, small_road):
+        queries = generate_queries(small_road, 10, seed=1)
+        assert len(queries) == 10
+        for q in queries:
+            assert q.source != q.target
+
+    def test_essential_count_recorded(self, small_road):
+        query = generate_queries(small_road, 1, f_gen=3, p=0.0, seed=4)[0]
+        assert query.essential_count <= 3
+        assert query.num_failures == query.essential_count
+
+    def test_generate_query_direct(self, small_road):
+        query = generate_query(small_road, random.Random(4), f_gen=2, p=0.0)
+        assert query.source != query.target
+        assert query.essential_count <= 2
+
+    def test_zero_failures(self, small_road):
+        queries = generate_queries(small_road, 3, f_gen=0, p=0.0, seed=1)
+        assert all(q.num_failures == 0 for q in queries)
+
+    def test_node_restriction(self, small_road):
+        nodes = [0, 1, 2, 3]
+        queries = generate_queries(small_road, 8, seed=2, nodes=nodes)
+        for q in queries:
+            assert q.source in nodes
+            assert q.target in nodes
+
+
+class TestDatasets:
+    def test_registry_families(self):
+        for name in ROAD_DATASETS:
+            assert DATASETS[name].kind == "road"
+        for name in SOCIAL_DATASETS:
+            assert DATASETS[name].kind == "social"
+
+    def test_load_road(self):
+        g = load_dataset("NY", scale=0.3)
+        stats = dataset_statistics(g)
+        assert stats["avg_degree"] <= 3.5
+        assert stats["max_degree"] <= 16
+
+    def test_load_social(self):
+        g = load_dataset("DBLP", scale=0.3)
+        stats = dataset_statistics(g)
+        assert stats["max_degree"] > 3 * stats["avg_degree"]
+
+    def test_poke_is_dense(self):
+        g = load_dataset("POKE", scale=0.3)
+        assert g.average_degree() > 10
+
+    def test_scale_grows_graph(self):
+        small = load_dataset("NY", scale=0.2)
+        large = load_dataset("NY", scale=0.6)
+        assert large.number_of_nodes() > small.number_of_nodes()
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("MARS")
+
+    def test_deterministic(self):
+        assert load_dataset("CAL", scale=0.2) == load_dataset(
+            "CAL", scale=0.2
+        )

@@ -1,0 +1,39 @@
+"""Shared helpers for property tests (importable, unlike conftest)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.digraph import DiGraph
+
+
+def random_graph(seed: int, n: int = 30, extra: int = 60) -> DiGraph:
+    """Strongly connected random weighted digraph for property tests.
+
+    A random Hamiltonian cycle guarantees strong connectivity; ``extra``
+    additional random edges are layered on top.  Deterministic per seed.
+    """
+    rng = random.Random(seed)
+    graph = DiGraph()
+    order = list(range(n))
+    rng.shuffle(order)
+    for i in range(n):
+        graph.add_edge(order[i], order[(i + 1) % n], rng.random() * 4 + 0.1)
+    added = 0
+    while added < extra:
+        a = rng.randrange(n)
+        b = rng.randrange(n)
+        if a != b and not graph.has_edge(a, b):
+            graph.add_edge(a, b, rng.random() * 4 + 0.1)
+            added += 1
+    return graph
+
+
+def random_failures_from(
+    graph: DiGraph, seed: int, count: int
+) -> set[tuple[int, int]]:
+    """Pick ``count`` random existing edges as a failure set."""
+    rng = random.Random(seed)
+    edges = sorted((t, h) for t, h, _ in graph.edges())
+    count = min(count, len(edges) - 1)
+    return set(rng.sample(edges, count))

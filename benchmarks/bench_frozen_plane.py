@@ -1,0 +1,183 @@
+"""Bench: frozen query plane vs dict engines (DISO and ADISO).
+
+Measures per-query latency of the dict engines against their
+``freeze()`` counterparts on a road network and a scale-free network in
+the paper's standard 10^3-10^4 node range, with the paper's failure
+workload (f_gen=5, p=0.0005).  Engines are timed in interleaved rounds
+(dict batch, frozen batch, repeat) so machine-load drift hits both
+sides equally; the reported number is the median over all rounds.
+
+Every run first asserts exact answer parity between the two planes over
+the whole batch — a benchmark of a wrong answer is worthless.
+
+Standalone usage (writes ``results/frozen_plane.txt`` and merges the
+repo-root ``BENCH_query_latency.json``)::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_frozen_plane.py
+    PYTHONPATH=src:benchmarks python benchmarks/bench_frozen_plane.py --smoke
+
+``--smoke`` runs tiny graphs and two rounds — a CI-sized end-to-end
+check of build, freeze, parity, and the reporting path (no files
+written, no speedup asserted; micro-graph timings are pure noise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import time
+
+from repro.graph.generators import road_network, scale_free_network
+from repro.oracle.adiso import ADISO
+from repro.oracle.diso import DISO
+from repro.workload.queries import generate_queries
+
+from bench_util import latency_summary, merge_latency_json, write_result
+
+SEED = 7
+QUERY_COUNT = 25
+ROUNDS = 10
+
+#: (name, builder) — both inside the paper's standard evaluation range.
+GRAPHS = (
+    ("road2k", lambda: road_network(48, 48, seed=SEED)),
+    ("scalefree1k5", lambda: scale_free_network(1500, seed=SEED)),
+)
+SMOKE_GRAPHS = (
+    ("road-smoke", lambda: road_network(8, 8, seed=SEED)),
+    ("scalefree-smoke", lambda: scale_free_network(100, seed=SEED)),
+)
+
+ORACLES = (
+    ("DISO", lambda g: DISO(g, tau=4, theta=1.0)),
+    ("ADISO", lambda g: ADISO(g, tau=4, theta=1.0, seed=SEED)),
+)
+
+
+def timed_batch(oracle, batch) -> list[float]:
+    """Per-query wall-clock seconds for one pass over ``batch``."""
+    samples = []
+    for query in batch:
+        started = time.perf_counter()
+        oracle.query(query.source, query.target, query.failed)
+        samples.append(time.perf_counter() - started)
+    return samples
+
+
+def compare_planes(graph, oracle_factory, rounds: int, query_count: int):
+    """Build dict + frozen engines, assert parity, time both.
+
+    Returns ``(dict_samples, frozen_samples, frozen_oracle)``.
+    """
+    dict_oracle = oracle_factory(graph)
+    frozen_oracle = dict_oracle.freeze()
+    batch = generate_queries(
+        graph, query_count, f_gen=5, p=0.0005, seed=SEED
+    )
+    for query in batch:
+        expected = dict_oracle.query(query.source, query.target, query.failed)
+        got = frozen_oracle.query(query.source, query.target, query.failed)
+        assert got == expected, (
+            f"frozen/dict mismatch on {query}: {got} != {expected}"
+        )
+    dict_samples: list[float] = []
+    frozen_samples: list[float] = []
+    for _ in range(rounds):
+        dict_samples.extend(timed_batch(dict_oracle, batch))
+        frozen_samples.extend(timed_batch(frozen_oracle, batch))
+    return dict_samples, frozen_samples, frozen_oracle
+
+
+def run(smoke: bool = False, rounds: int | None = None) -> list[dict]:
+    """Run every (graph, oracle) cell; return result rows."""
+    graphs = SMOKE_GRAPHS if smoke else GRAPHS
+    rounds = rounds or (2 if smoke else ROUNDS)
+    query_count = 10 if smoke else QUERY_COUNT
+    rows = []
+    for graph_name, build in graphs:
+        graph = build()
+        for oracle_name, factory in ORACLES:
+            dict_s, frozen_s, frozen_oracle = compare_planes(
+                graph, factory, rounds, query_count
+            )
+            dict_median = statistics.median(dict_s)
+            frozen_median = statistics.median(frozen_s)
+            rows.append(
+                {
+                    "graph": graph_name,
+                    "oracle": oracle_name,
+                    "dict_samples": dict_s,
+                    "frozen_samples": frozen_s,
+                    "dict_median_us": 1e6 * dict_median,
+                    "frozen_median_us": 1e6 * frozen_median,
+                    "speedup": dict_median / frozen_median,
+                    "build_s": frozen_oracle.preprocess_seconds
+                    - frozen_oracle.freeze_seconds,
+                    "freeze_s": frozen_oracle.freeze_seconds,
+                }
+            )
+            print(
+                f"{graph_name:>16} {oracle_name:>6}: "
+                f"dict {rows[-1]['dict_median_us']:8.1f}us  "
+                f"frozen {rows[-1]['frozen_median_us']:8.1f}us  "
+                f"speedup {rows[-1]['speedup']:.2f}x  "
+                f"(freeze {rows[-1]['freeze_s']:.3f}s)"
+            )
+    return rows
+
+
+def format_rows(rows: list[dict]) -> str:
+    lines = [
+        "Frozen query plane vs dict engines "
+        "(median per-query latency, interleaved rounds)",
+        f"{'graph':>16} {'oracle':>8} {'dict(us)':>10} "
+        f"{'frozen(us)':>10} {'speedup':>8} {'freeze(s)':>10}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['graph']:>16} {row['oracle']:>8} "
+            f"{row['dict_median_us']:>10.1f} {row['frozen_median_us']:>10.1f} "
+            f"{row['speedup']:>7.2f}x {row['freeze_s']:>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny graphs, two rounds, no files written",
+    )
+    parser.add_argument("--rounds", type=int, default=None)
+    args = parser.parse_args()
+    rows = run(smoke=args.smoke, rounds=args.rounds)
+    if args.smoke:
+        print("smoke run OK (parity held on every cell)")
+        return
+    write_result("frozen_plane", format_rows(rows))
+    entries = {}
+    for row in rows:
+        build = row["build_s"]
+        entries[f"{row['oracle']}@{row['graph']}"] = latency_summary(
+            build, row["dict_samples"]
+        )
+        entries[f"{row['oracle']}-F@{row['graph']}"] = latency_summary(
+            build + row["freeze_s"], row["frozen_samples"]
+        )
+    path = merge_latency_json(entries)
+    print(f"wrote {path}")
+    print(format_rows(rows))
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (small scale; the standalone main is the real run)
+# ----------------------------------------------------------------------
+def test_frozen_plane_parity_and_speed():
+    rows = run(smoke=True)
+    assert len(rows) == 4
+    for row in rows:
+        assert row["frozen_median_us"] > 0.0
+
+
+if __name__ == "__main__":
+    main()

@@ -26,7 +26,16 @@ from repro.oracle.diso_minus import DISOMinus
 from repro.oracle.diso_s import DISOSparse
 from repro.workload.datasets import DATASETS
 
-from bench_util import SCALE, SEED, dataset, queries, run_query_batch, write_result
+from bench_util import (
+    SCALE,
+    SEED,
+    dataset,
+    latency_summary,
+    merge_latency_json,
+    queries,
+    run_query_batch,
+    write_result,
+)
 
 
 @lru_cache(maxsize=None)
@@ -92,6 +101,14 @@ def test_table5_full(benchmark):
         iterations=1,
     )
     write_result("table5", format_table5(rows))
+    merge_latency_json(
+        {
+            f"{row['method']}@{row['dataset']}": latency_summary(
+                row["preprocess_seconds"], row["query_seconds"]
+            )
+            for row in rows
+        }
+    )
     by_key = {(row["dataset"], row["method"]): row for row in rows}
     # The paper's robust shape: FDDO is the slowest method everywhere.
     for name in ("NY", "CAL", "DBLP", "POKE"):

@@ -10,6 +10,9 @@ it.
 
 from __future__ import annotations
 
+import json
+import math
+import statistics
 from functools import lru_cache
 from pathlib import Path
 
@@ -17,6 +20,8 @@ from repro.workload.datasets import load_dataset
 from repro.workload.queries import generate_queries
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
+LATENCY_JSON = REPO_ROOT / "BENCH_query_latency.json"
 
 #: Benchmark scale: large enough to show the paper's separations,
 #: small enough for a pure-Python suite to finish in minutes.
@@ -46,6 +51,39 @@ def write_result(name: str, text: str) -> Path:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
     return path
+
+
+def latency_summary(build_s: float, query_seconds: list[float]) -> dict:
+    """Collapse per-query wall-clock samples into the checked-in schema.
+
+    ``p99`` is the nearest-rank 99th percentile, which degrades to the
+    maximum for small sample counts instead of extrapolating.
+    """
+    ordered = sorted(query_seconds)
+    rank = min(len(ordered) - 1, math.ceil(0.99 * len(ordered)) - 1)
+    return {
+        "build_s": round(build_s, 6),
+        "median_query_us": round(1e6 * statistics.median(ordered), 3),
+        "p99_query_us": round(1e6 * ordered[rank], 3),
+    }
+
+
+def merge_latency_json(entries: dict[str, dict]) -> Path:
+    """Merge ``{oracle: {build_s, median_query_us, p99_query_us}}`` into
+    the repo-root ``BENCH_query_latency.json``.
+
+    Merging (rather than overwriting) lets the table-5 bench and the
+    frozen-plane bench each contribute their own oracles to one file.
+    """
+    merged: dict[str, dict] = {}
+    if LATENCY_JSON.exists():
+        merged = json.loads(LATENCY_JSON.read_text(encoding="utf-8"))
+    merged.update(entries)
+    LATENCY_JSON.write_text(
+        json.dumps(dict(sorted(merged.items())), indent=2) + "\n",
+        encoding="utf-8",
+    )
+    return LATENCY_JSON
 
 
 def run_query_batch(oracle, batch) -> float:

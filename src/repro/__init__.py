@@ -43,6 +43,7 @@ from repro.exceptions import (
 from repro.graph import (
     DiGraph,
     FrozenGraph,
+    SearchArena,
     gnm_random_graph,
     read_dimacs,
     read_edge_list,
@@ -66,6 +67,8 @@ from repro.oracle import (
     DISOSparse,
     DistanceSensitivityOracle,
     FailureStateView,
+    FrozenADISO,
+    FrozenDISO,
     HierarchicalDISO,
     OracleMaintainer,
     QueryEngine,
@@ -89,6 +92,7 @@ __all__ = [
     "scale_free_network",
     "gnm_random_graph",
     "FrozenGraph",
+    "SearchArena",
     "read_dimacs",
     "read_edge_list",
     # Covers
@@ -113,6 +117,8 @@ __all__ = [
     "ADISO",
     "DISOSparse",
     "ADISOPartial",
+    "FrozenDISO",
+    "FrozenADISO",
     "OracleMaintainer",
     "FailureStateView",
     "QueryEngine",

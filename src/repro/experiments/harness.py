@@ -39,6 +39,7 @@ class BatchResult:
     fallback_count: int
     query_count: int
     distances: list[float] = field(default_factory=list)
+    query_seconds: list[float] = field(default_factory=list)
 
 
 def exact_answers(
@@ -77,11 +78,14 @@ def run_batch(
     error_sum = 0.0
     error_count = 0
     distances: list[float] = []
+    query_seconds: list[float] = []
 
     for index, query in enumerate(queries):
         started = time.perf_counter()
         result = oracle.query_detailed(query.source, query.target, query.failed)
-        total_time += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        total_time += elapsed
+        query_seconds.append(elapsed)
         distances.append(result.distance)
         access_time += result.stats.access_seconds
         recompute_time += result.stats.recompute_seconds
@@ -104,6 +108,7 @@ def run_batch(
         error_pct=100.0 * error_sum / max(1, error_count),
         fallback_count=fallbacks,
         query_count=len(queries),
+        query_seconds=query_seconds,
     )
 
 

@@ -97,6 +97,7 @@ def run_table5(
                     "query_ms": batch.query_ms,
                     "preprocess_seconds": batch.preprocess_seconds,
                     "error_pct": batch.error_pct,
+                    "query_seconds": batch.query_seconds,
                 }
             )
     return rows

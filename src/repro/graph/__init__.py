@@ -1,6 +1,11 @@
 """Graph substrate: representation, I/O, generators, and transforms."""
 
-from repro.graph.csr import FrozenGraph, csr_dijkstra, csr_distance
+from repro.graph.csr import (
+    FrozenGraph,
+    SearchArena,
+    csr_dijkstra,
+    csr_distance,
+)
 from repro.graph.digraph import DiGraph, Edge, WeightedEdge
 from repro.graph.generators import (
     complete_network,
@@ -32,6 +37,7 @@ from repro.graph.transforms import (
 __all__ = [
     "DiGraph",
     "FrozenGraph",
+    "SearchArena",
     "csr_dijkstra",
     "csr_distance",
     "Edge",

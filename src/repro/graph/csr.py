@@ -25,6 +25,78 @@ from repro.graph.digraph import DiGraph
 INFINITY = float("inf")
 
 
+class SearchArena:
+    """Reusable, generation-stamped search state for one thread.
+
+    Dijkstra-style searches need O(n) scratch state (distances, settled
+    flags, parents).  Allocating it per query dominates small-query cost,
+    and clearing it per query is just as bad.  The arena sidesteps both
+    with the classic *generation stamp* trick: every array entry carries
+    the generation that last wrote it, and :meth:`begin` invalidates the
+    whole arena by incrementing a counter — O(1), no clearing.  An entry
+    is live only while its stamp equals the current generation.
+
+    One arena serves one thread; concurrent searches must use separate
+    arenas (the frozen query engines keep one set per thread via
+    ``threading.local``, preserving the paper's no-locking concurrency
+    claim).
+
+    Attributes
+    ----------
+    size:
+        Number of addressable slots (``|V|`` of the search space).
+    dist:
+        Tentative distances; ``dist[i]`` is meaningful only when
+        ``seen[i]`` equals the current generation.
+    aux:
+        A second float lane (A* costs); same validity rule as ``dist``.
+    parent:
+        Predecessor indices (``-1`` for roots); validity as ``dist``.
+    seen:
+        Generation stamp marking labelled slots.
+    done:
+        Generation stamp marking settled slots.
+    """
+
+    __slots__ = ("size", "dist", "aux", "parent", "seen", "done", "generation")
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError("arena size must be non-negative")
+        self.size = size
+        self.dist: list[float] = [INFINITY] * size
+        self.aux: list[float] = [INFINITY] * size
+        self.parent: list[int] = [-1] * size
+        self.seen: list[int] = [0] * size
+        self.done: list[int] = [0] * size
+        self.generation = 0
+
+    def begin(self) -> int:
+        """Invalidate all state and return the fresh generation stamp."""
+        self.generation += 1
+        return self.generation
+
+    def is_seen(self, index: int) -> bool:
+        """Whether ``index`` was labelled in the current generation."""
+        return self.seen[index] == self.generation
+
+    def is_done(self, index: int) -> bool:
+        """Whether ``index`` was settled in the current generation."""
+        return self.done[index] == self.generation
+
+    def distance(self, index: int) -> float:
+        """Current-generation distance of ``index`` (``inf`` if unseen)."""
+        if self.seen[index] == self.generation:
+            return self.dist[index]
+        return INFINITY
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(size={self.size}, "
+            f"generation={self.generation})"
+        )
+
+
 class FrozenGraph:
     """An immutable CSR snapshot of a directed weighted graph.
 
@@ -44,6 +116,7 @@ class FrozenGraph:
         "_weights",
         "_edge_index",
         "_adjacency",
+        "_radjacency",
     )
 
     def __init__(
@@ -64,12 +137,26 @@ class FrozenGraph:
         # indexes into arrays, so the search loops run over these while
         # the flat arrays remain the storage of record.
         self._adjacency: list[tuple[tuple[int, float, int], ...]] = []
+        # Reverse adjacency mirrors the forward layout: per head, the
+        # (tail, weight, edge_id) triples of all in-edges.  Edge ids are
+        # the *forward* positions, so failure sets translate once and
+        # work in both directions (backward bounded searches check the
+        # same integer ids).
+        reverse_rows: list[list[tuple[int, float, int]]] = [
+            [] for _ in node_ids
+        ]
         for tail in range(len(node_ids)):
             row = []
             for pos in range(offsets[tail], offsets[tail + 1]):
-                self._edge_index[(tail, heads[pos])] = pos
-                row.append((heads[pos], weights[pos], pos))
+                head = heads[pos]
+                weight = weights[pos]
+                self._edge_index[(tail, head)] = pos
+                row.append((head, weight, pos))
+                reverse_rows[head].append((tail, weight, pos))
             self._adjacency.append(tuple(row))
+        self._radjacency: list[tuple[tuple[int, float, int], ...]] = [
+            tuple(row) for row in reverse_rows
+        ]
 
     @classmethod
     def from_digraph(cls, graph: DiGraph) -> "FrozenGraph":
@@ -113,6 +200,18 @@ class FrozenGraph:
         return [
             (self.node_ids[self._heads[pos]], self._weights[pos])
             for pos in range(self._offsets[index], self._offsets[index + 1])
+        ]
+
+    def in_degree(self, label: int) -> int:
+        """In-degree of the node with original ``label``."""
+        return len(self._radjacency[self._require(label)])
+
+    def predecessors(self, label: int) -> list[tuple[int, float]]:
+        """``[(tail_label, weight), ...]`` of the node with ``label``."""
+        index = self._require(label)
+        return [
+            (self.node_ids[tail], weight)
+            for tail, weight, _ in self._radjacency[index]
         ]
 
     def edge_id(self, tail_label: int, head_label: int) -> int:
@@ -163,17 +262,22 @@ def csr_dijkstra(
     source_label: int,
     failed_edge_ids: frozenset[int] | None = None,
     target_label: int | None = None,
+    arena: SearchArena | None = None,
 ) -> dict[int, float]:
     """Dijkstra over a CSR snapshot; distances keyed by original labels.
 
     The inner loop runs over flat arrays with local-variable aliases —
     the standard CPython micro-optimisation — and checks failures
-    against an integer set.
+    against an integer set.  Passing a :class:`SearchArena` (sized
+    ``frozen.number_of_nodes()``) reuses its scratch arrays instead of
+    allocating fresh O(n) state, which is what batch workloads want.
 
     Raises
     ------
     NodeNotFoundError
         If ``source_label`` (or ``target_label``) is not in the graph.
+    ValueError
+        If ``arena`` is sized for a different graph.
     """
     source = frozen._require(source_label)
     target = frozen._require(target_label) if target_label is not None else -1
@@ -181,34 +285,69 @@ def csr_dijkstra(
     adjacency = frozen._adjacency
     n = len(frozen.node_ids)
     check_failed = bool(failed_edge_ids)
-
-    dist = [INFINITY] * n
-    dist[source] = 0.0
-    settled = bytearray(n)
-    heap: list[tuple[float, int]] = [(0.0, source)]
     push = heappush
     pop = heappop
+    heap: list[tuple[float, int]] = [(0.0, source)]
+
+    if arena is None:
+        dist = [INFINITY] * n
+        dist[source] = 0.0
+        settled = bytearray(n)
+        while heap:
+            d, node = pop(heap)
+            if settled[node]:
+                continue
+            settled[node] = 1
+            if node == target:
+                break
+            for head, weight, pos in adjacency[node]:
+                if settled[head]:
+                    continue
+                if check_failed and pos in failed_edge_ids:
+                    continue
+                candidate = d + weight
+                if candidate < dist[head]:
+                    dist[head] = candidate
+                    push(heap, (candidate, head))
+        node_ids = frozen.node_ids
+        return {
+            node_ids[i]: dist[i] for i in range(n) if dist[i] < INFINITY
+        }
+
+    if arena.size != n:
+        raise ValueError(
+            f"arena size {arena.size} does not match graph size {n}"
+        )
+    gen = arena.begin()
+    dist = arena.dist
+    seen = arena.seen
+    done = arena.done
+    touched = [source]
+    seen[source] = gen
+    dist[source] = 0.0
     while heap:
         d, node = pop(heap)
-        if settled[node]:
+        if done[node] == gen:
             continue
-        settled[node] = 1
+        done[node] = gen
         if node == target:
             break
         for head, weight, pos in adjacency[node]:
-            if settled[head]:
+            if done[head] == gen:
                 continue
             if check_failed and pos in failed_edge_ids:
                 continue
             candidate = d + weight
-            if candidate < dist[head]:
+            if seen[head] != gen:
+                seen[head] = gen
+                dist[head] = candidate
+                touched.append(head)
+                push(heap, (candidate, head))
+            elif candidate < dist[head]:
                 dist[head] = candidate
                 push(heap, (candidate, head))
-
     node_ids = frozen.node_ids
-    return {
-        node_ids[i]: dist[i] for i in range(n) if dist[i] < INFINITY
-    }
+    return {node_ids[i]: dist[i] for i in touched}
 
 
 def csr_distance(
@@ -216,34 +355,72 @@ def csr_distance(
     source_label: int,
     target_label: int,
     failed_edge_ids: frozenset[int] | None = None,
+    arena: SearchArena | None = None,
 ) -> float:
-    """Point-to-point distance over a CSR snapshot (``inf`` if cut off)."""
+    """Point-to-point distance over a CSR snapshot (``inf`` if cut off).
+
+    With a :class:`SearchArena` the query allocates nothing but the
+    heap, turning the per-query cost from O(n + search) into O(search).
+    """
     source = frozen._require(source_label)
     target = frozen._require(target_label)
     adjacency = frozen._adjacency
     n = len(frozen.node_ids)
     check_failed = bool(failed_edge_ids)
-
-    dist = [INFINITY] * n
-    dist[source] = 0.0
-    settled = bytearray(n)
-    heap: list[tuple[float, int]] = [(0.0, source)]
     push = heappush
     pop = heappop
+    heap: list[tuple[float, int]] = [(0.0, source)]
+
+    if arena is None:
+        dist = [INFINITY] * n
+        dist[source] = 0.0
+        settled = bytearray(n)
+        while heap:
+            d, node = pop(heap)
+            if settled[node]:
+                continue
+            if node == target:
+                return d
+            settled[node] = 1
+            for head, weight, pos in adjacency[node]:
+                if settled[head]:
+                    continue
+                if check_failed and pos in failed_edge_ids:
+                    continue
+                candidate = d + weight
+                if candidate < dist[head]:
+                    dist[head] = candidate
+                    push(heap, (candidate, head))
+        return INFINITY
+
+    if arena.size != n:
+        raise ValueError(
+            f"arena size {arena.size} does not match graph size {n}"
+        )
+    gen = arena.begin()
+    dist = arena.dist
+    seen = arena.seen
+    done = arena.done
+    seen[source] = gen
+    dist[source] = 0.0
     while heap:
         d, node = pop(heap)
-        if settled[node]:
+        if done[node] == gen:
             continue
         if node == target:
             return d
-        settled[node] = 1
+        done[node] = gen
         for head, weight, pos in adjacency[node]:
-            if settled[head]:
+            if done[head] == gen:
                 continue
             if check_failed and pos in failed_edge_ids:
                 continue
             candidate = d + weight
-            if candidate < dist[head]:
+            if seen[head] != gen:
+                seen[head] = gen
+                dist[head] = candidate
+                push(heap, (candidate, head))
+            elif candidate < dist[head]:
                 dist[head] = candidate
                 push(heap, (candidate, head))
     return INFINITY

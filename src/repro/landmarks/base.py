@@ -148,3 +148,78 @@ class LandmarkTable:
         return sum(len(d) for d in self._outbound) + sum(
             len(d) for d in self._inbound
         )
+
+    def compile(self, frozen) -> "FrozenLandmarkTable":
+        """Compile the table to dense arrays over a CSR snapshot.
+
+        ``frozen`` is a :class:`repro.graph.csr.FrozenGraph` of the same
+        graph; the result serves ``h`` lookups by dense node index for
+        the frozen query plane.
+        """
+        return FrozenLandmarkTable(self, frozen)
+
+
+class FrozenLandmarkTable:
+    """Landmark distances as dense arrays, indexed by CSR node index.
+
+    Produces bitwise-identical lower bounds to :class:`LandmarkTable`
+    (same landmarks, same evaluation order); unreachable entries are
+    stored as ``inf`` and guarded exactly like the dict version's
+    missing keys.
+    """
+
+    __slots__ = ("landmarks", "_outbound", "_inbound")
+
+    def __init__(self, table: LandmarkTable, frozen) -> None:
+        self.landmarks = table.landmarks
+        index_of = frozen.index_of
+        n = len(frozen.node_ids)
+
+        def densify(dist_map: dict[int, float]) -> list[float]:
+            row = [INFINITY] * n
+            for label, d in dist_map.items():
+                index = index_of.get(label)
+                if index is not None:
+                    row[index] = d
+            return row
+
+        self._outbound = [densify(d) for d in table._outbound]
+        self._inbound = [densify(d) for d in table._inbound]
+
+    def __len__(self) -> int:
+        return len(self.landmarks)
+
+    def heuristic_to(self, target: int):
+        """Unary ``h(index) = lower_bound(index, target)`` closure.
+
+        ``target`` is a dense index; mirrors
+        :meth:`LandmarkTable.heuristic_to` arithmetic exactly.
+        """
+        outbound = self._outbound
+        inbound = self._inbound
+        target_out = [row[target] for row in outbound]
+        target_in = [row[target] for row in inbound]
+        count = len(outbound)
+
+        def heuristic(node: int) -> float:
+            if node == target:
+                return 0.0
+            best = 0.0
+            for i in range(count):
+                to_t = target_out[i]
+                if to_t < INFINITY:
+                    from_x = outbound[i][node]
+                    if from_x < INFINITY:
+                        diff = to_t - from_x
+                        if diff > best:
+                            best = diff
+                t_to_x = target_in[i]
+                if t_to_x < INFINITY:
+                    u_to_x = inbound[i][node]
+                    if u_to_x < INFINITY:
+                        diff = u_to_x - t_to_x
+                        if diff > best:
+                            best = diff
+            return best
+
+        return heuristic

@@ -14,6 +14,7 @@ from repro.oracle.base import (
 )
 from repro.oracle.diso import DISO
 from repro.oracle.diso_bi import DISOBidirectional
+from repro.oracle.frozen import FrozenADISO, FrozenDISO
 from repro.oracle.hierarchy import HierarchicalDISO
 from repro.oracle.diso_minus import DISOMinus
 from repro.oracle.diso_s import DISOSparse
@@ -31,6 +32,8 @@ __all__ = [
     "normalize_failures",
     "DISO",
     "DISOBidirectional",
+    "FrozenDISO",
+    "FrozenADISO",
     "HierarchicalDISO",
     "CachingDISO",
     "FailureStateView",

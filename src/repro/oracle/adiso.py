@@ -102,6 +102,19 @@ class ADISO(DISO):
         self.preprocess_seconds += time.perf_counter() - started
 
     # ------------------------------------------------------------------
+    # Frozen query plane
+    # ------------------------------------------------------------------
+    def freeze(self):
+        """Compile index + landmark table for flat-array query serving.
+
+        Returns a :class:`repro.oracle.frozen.FrozenADISO` running
+        Algorithm 2 on integers with reusable search arenas.
+        """
+        from repro.oracle.frozen import FrozenADISO
+
+        return FrozenADISO(self)
+
+    # ------------------------------------------------------------------
     # Query
     # ------------------------------------------------------------------
     def query_detailed(

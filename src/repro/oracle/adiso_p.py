@@ -131,6 +131,21 @@ class ADISOPartial(ADISO):
         self.preprocess_seconds += time.perf_counter() - started
 
     # ------------------------------------------------------------------
+    # Frozen query plane
+    # ------------------------------------------------------------------
+    def freeze(self):
+        """Compile to a :class:`FrozenADISO` serving *exact* answers.
+
+        Partial detouring's approximation lives in the query algorithm
+        (repairing a failure-free initial route), not in the index, so
+        the frozen plane serves the exact Algorithm 2 from the same
+        compiled index instead — answers match ``ADISO``, not the
+        approximate ADISO-P path.  The second overlay ``H`` is not
+        compiled.
+        """
+        return super().freeze()
+
+    # ------------------------------------------------------------------
     # Query
     # ------------------------------------------------------------------
     def query_detailed(

@@ -93,6 +93,23 @@ class DISO(DistanceSensitivityOracle):
         self.preprocess_seconds = time.perf_counter() - started
 
     # ------------------------------------------------------------------
+    # Frozen query plane
+    # ------------------------------------------------------------------
+    def freeze(self):
+        """Compile the finished index for flat-array query serving.
+
+        Returns a :class:`repro.oracle.frozen.FrozenDISO` answering the
+        exact same queries from CSR-compiled structures with reusable
+        search arenas — the representation to serve from once the graph
+        stops changing.  The dict oracle remains usable (and is the one
+        :mod:`repro.oracle.maintenance` can update; re-freeze after
+        maintenance).
+        """
+        from repro.oracle.frozen import FrozenDISO
+
+        return FrozenDISO(self)
+
+    # ------------------------------------------------------------------
     # Failure handling hooks (overridden by the DISO- ablation)
     # ------------------------------------------------------------------
     def _find_affected_nodes(

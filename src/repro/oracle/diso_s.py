@@ -80,6 +80,20 @@ class DISOSparse(DISO):
         )
         self.preprocess_seconds = time.perf_counter() - started
 
+    def freeze(self):
+        """Compile for flat-array serving, keeping DISO-S semantics.
+
+        The compiled overlay is the sparsified ``D-hat`` (the frozen
+        recomputation filter keeps removed edges removed), failures
+        naming sparsified-away edges drop out during edge-id
+        translation, and the Dijkstra safety net answers on the
+        *original* graph — so frozen answers match the dict path
+        exactly, including its bounded approximation error.
+        """
+        from repro.oracle.frozen import FrozenDISO
+
+        return FrozenDISO(self, fallback_graph=self.original_graph)
+
     def _recomputed_weights(
         self,
         node: int,

@@ -1,0 +1,512 @@
+"""The frozen query plane — DISO/ADISO queries compiled to integers.
+
+The oracles' indexes are read-only after preprocessing, yet the dict
+engines (:class:`DISO`, :class:`ADISO`) run every hot phase — bounded
+searches, inverted-index lookups, the overlay search with lazy
+DynDijkstra repair — over dict-of-dict structures, allocating fresh
+O(n) state per query.  ``freeze()`` compiles the finished index once
+(:class:`repro.overlay.frozen_index.FrozenIndex` + a
+:class:`repro.graph.csr.FrozenGraph` with a reverse CSR) and this module
+serves the *exact same query algorithms* from flat arrays:
+
+* nodes are dense indices, failures are integer edge-id sets,
+  transit-stop flags are one ``bytearray`` probe;
+* the overlay search runs in dense transit-rank space over a
+  ``|T|``-sized arena;
+* all O(n)/O(|T|) scratch state comes from generation-stamped
+  :class:`~repro.graph.csr.SearchArena` instances — preallocated once,
+  invalidated per query by a counter bump, never cleared;
+* each *thread* gets its own arena set via ``threading.local``, so the
+  paper's no-locking concurrency claim survives: concurrent queries on
+  one shared frozen index never touch shared mutable state.
+
+Answer parity is exact, not approximate: every relaxation performs the
+same float additions in the same order as the dict engines, so frozen
+and dict paths return identical distances (property-tested in
+``tests/test_frozen_plane.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from heapq import heappop, heappush
+
+from repro.graph.csr import FrozenGraph, SearchArena, csr_distance
+from repro.graph.digraph import DiGraph, Edge
+from repro.oracle.base import (
+    INFINITY,
+    DistanceSensitivityOracle,
+    QueryResult,
+    QueryStats,
+    normalize_failures,
+)
+from repro.overlay.frozen_index import FrozenIndex
+from repro.pathing.csr_bounded import csr_bounded_dijkstra
+
+
+class _ArenaSet:
+    """Per-thread scratch state for one frozen engine."""
+
+    __slots__ = ("forward", "backward", "overlay", "search")
+
+    def __init__(self, num_nodes: int, num_transit: int) -> None:
+        self.forward = SearchArena(num_nodes)
+        self.backward = SearchArena(num_nodes)
+        self.overlay = SearchArena(num_transit)
+        self.search = SearchArena(num_nodes)
+
+
+class FrozenDISO(DistanceSensitivityOracle):
+    """DISO's 4-step query served from a compiled flat-array index.
+
+    Built via ``DISO.freeze()`` (also from DISO-S, whose sparsified
+    overlay and Dijkstra fallback are preserved).  The source oracle's
+    index is compiled once; the source itself is not retained.
+
+    Parameters
+    ----------
+    oracle:
+        A fully built :class:`repro.oracle.diso.DISO` (or subclass).
+    fallback_graph:
+        Original unsparsified graph for the DISO-S safety net: when the
+        compiled index reports the target unreachable, the answer is
+        recomputed exactly on this graph (CSR Dijkstra).  ``None`` for
+        exact oracles, which need no net.
+    """
+
+    exact = True
+
+    def __init__(
+        self,
+        oracle,
+        fallback_graph: DiGraph | None = None,
+    ) -> None:
+        super().__init__(oracle.graph)
+        started = time.perf_counter()
+        self.name = f"{oracle.name}-F"
+        self.exact = oracle.exact
+        self.frozen = FrozenGraph.from_digraph(oracle.graph)
+        trees = {
+            root: oracle.trees.tree(root) for root in oracle.trees.roots()
+        }
+        self.index = FrozenIndex.compile(
+            self.frozen, oracle.distance_graph, trees, oracle.transit
+        )
+        self._fallback: FrozenGraph | None = (
+            FrozenGraph.from_digraph(fallback_graph)
+            if fallback_graph is not None
+            else None
+        )
+        self._local = threading.local()
+        self.freeze_seconds = time.perf_counter() - started
+        self.preprocess_seconds = oracle.preprocess_seconds + self.freeze_seconds
+
+    # ------------------------------------------------------------------
+    # Arenas
+    # ------------------------------------------------------------------
+    def _arenas(self) -> _ArenaSet:
+        """This thread's arena set (created on first use, then reused)."""
+        arenas = getattr(self._local, "arenas", None)
+        if arenas is None:
+            arenas = _ArenaSet(
+                self.frozen.number_of_nodes(), self.index.num_transit()
+            )
+            self._local.arenas = arenas
+        return arenas
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def query_detailed(
+        self,
+        source: int,
+        target: int,
+        failed: set[Edge] | frozenset[Edge] | None = None,
+    ) -> QueryResult:
+        self._validate_endpoints(source, target)
+        fail_set = normalize_failures(failed)
+        stats = QueryStats()
+        started = time.perf_counter()
+        if source == target:
+            stats.total_seconds = time.perf_counter() - started
+            return QueryResult(distance=0.0, stats=stats)
+
+        frozen = self.frozen
+        index = self.index
+        failed_ids = frozen.edge_ids(fail_set) if fail_set else frozenset()
+        affected = index.affected_ranks(failed_ids)
+        stats.affected_count = len(affected)
+
+        arenas = self._arenas()
+        source_index = frozen.index_of[source]
+        target_index = frozen.index_of[target]
+        access_start = time.perf_counter()
+        forward = csr_bounded_dijkstra(
+            frozen, source_index, index.transit_flags, failed_ids,
+            "out", arenas.forward,
+        )
+        backward = csr_bounded_dijkstra(
+            frozen, target_index, index.transit_flags, failed_ids,
+            "in", arenas.backward,
+        )
+        stats.access_seconds = time.perf_counter() - access_start
+        stats.graph_settled = forward.settled_count + backward.settled_count
+
+        # Locality-filter answer: d_hat(s, t, F) when t lies in s's
+        # transit-free region.
+        best = forward.distance(target_index)
+
+        overlay_best = self._overlay_search(
+            forward.access, backward.access, failed_ids, affected, stats,
+            best, arenas.overlay,
+        )
+        if overlay_best < best:
+            best = overlay_best
+
+        if best == INFINITY and self._fallback is not None:
+            # DISO-S safety net: answer exactly on the original graph.
+            fallback_start = time.perf_counter()
+            fallback_ids = self._fallback.edge_ids(fail_set)
+            best = csr_distance(
+                self._fallback, source, target, fallback_ids, arenas.search
+            )
+            stats.used_fallback = True
+            stats.total_seconds = time.perf_counter() - started
+            return QueryResult(distance=best, stats=stats)
+
+        stats.total_seconds = time.perf_counter() - started
+        return QueryResult(distance=best, stats=stats)
+
+    def _overlay_search(
+        self,
+        seeds: dict[int, float],
+        into_target: dict[int, float],
+        failed_ids: frozenset[int],
+        affected: set[int],
+        stats: QueryStats,
+        upper_bound: float,
+        arena: SearchArena,
+    ) -> float:
+        """The Dijkstra-like procedure on ``D``, in transit-rank space.
+
+        ``seeds`` and ``into_target`` are the access maps in
+        *graph-index* space; both are converted to ranks inline.  The
+        tail distances live in the arena's ``aux``/``done`` lanes, so no
+        per-query dict survives the conversion.
+        """
+        index = self.index
+        overlay = index.overlay_rank_rows
+        min_weight = index.overlay_min_weight
+        rank_of = index.rank_of
+        push = heappush
+        pop = heappop
+        best = upper_bound
+        gen = arena.begin()
+        dist = arena.dist
+        seen = arena.seen
+        tails = arena.aux
+        tail_seen = arena.done
+        for node_index, d in into_target.items():
+            rank = rank_of[node_index]
+            tail_seen[rank] = gen
+            tails[rank] = d
+        heap: list[tuple[float, int]] = []
+        for node_index, d in seeds.items():
+            rank = rank_of[node_index]
+            seen[rank] = gen
+            dist[rank] = d
+            push(heap, (d, rank))
+            # Seeding the incumbent with direct seed→tail candidates is
+            # answer-preserving (each is a candidate the search itself
+            # would generate on settling) and arms the pruning below
+            # from the very first pop.
+            if tail_seen[rank] == gen:
+                candidate = d + tails[rank]
+                if candidate < best:
+                    best = candidate
+
+        settled_count = 0
+        recompute_seconds = 0.0
+        recomputed_nodes = 0
+        # No ``done`` lane: with strict-improvement pushes every stale
+        # entry satisfies ``d > dist[rank]``, and a settled rank can
+        # never be re-pushed (no relaxation improves on a settled
+        # distance), so the stale test below doubles as the done test.
+        while heap:
+            d, rank = pop(heap)
+            if d >= best:
+                break
+            if d > dist[rank]:
+                continue
+            settled_count += 1
+            if tail_seen[rank] == gen:
+                candidate = d + tails[rank]
+                if candidate < best:
+                    best = candidate
+            if rank in affected:
+                # A repaired weight is a shortest path in a subgraph, so
+                # it never undercuts the stored one: when even the
+                # lightest stored edge cannot beat the incumbent, no
+                # fresh edge can either — skip the repair outright.
+                if d + min_weight[rank] >= best:
+                    continue
+                tick = time.perf_counter()
+                changed = index.recomputed_out_weights(
+                    rank, failed_ids, d, best
+                )
+                recompute_seconds += time.perf_counter() - tick
+                recomputed_nodes += 1
+                if changed:
+                    # Scan the stored weight-sorted row, patching the
+                    # few heads the repair actually moved.  The stored
+                    # weight lower-bounds the repaired one, so breaking
+                    # on it is still safe; a patched head just falls
+                    # back to a skip when its fresh weight no longer
+                    # beats the incumbent.
+                    changed_get = changed.get
+                    for head, weight in overlay[rank]:
+                        candidate = d + weight
+                        if candidate >= best:
+                            break
+                        patched = changed_get(head)
+                        if patched is not None:
+                            candidate = d + patched
+                            if candidate >= best:
+                                continue
+                        if seen[head] != gen:
+                            seen[head] = gen
+                            dist[head] = candidate
+                            push(heap, (candidate, head))
+                        elif candidate < dist[head]:
+                            dist[head] = candidate
+                            push(heap, (candidate, head))
+                    continue
+                # ``{}``/``None``: no surviving head moved — the stored
+                # row is exact; fall through to the common scan.
+            rows = overlay[rank]
+            for head, weight in rows:
+                candidate = d + weight
+                # Rows are weight-sorted, so the first relaxation that
+                # reaches the incumbent bound ends the scan: every later
+                # edge is at least as heavy and tails are non-negative.
+                if candidate >= best:
+                    break
+                if seen[head] != gen:
+                    seen[head] = gen
+                    dist[head] = candidate
+                    push(heap, (candidate, head))
+                elif candidate < dist[head]:
+                    dist[head] = candidate
+                    push(heap, (candidate, head))
+        stats.overlay_settled += settled_count
+        stats.recompute_seconds += recompute_seconds
+        stats.recomputed_nodes += recomputed_nodes
+        return best
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+    def index_entries(self) -> dict[str, int]:
+        return self.index.index_entries()
+
+
+class FrozenADISO(FrozenDISO):
+    """ADISO's Algorithm 2 served from the compiled index.
+
+    Built via ``ADISO.freeze()``.  The landmark table is densified to
+    flat arrays (:class:`repro.landmarks.base.FrozenLandmarkTable`), the
+    merged two-queue A* runs on dense indices with arena-backed
+    ``d_o`` / ``cost`` lanes, and affected transit nodes relax raw graph
+    edges exactly as in the dict engine (improved lazy recomputation).
+    """
+
+    def __init__(self, oracle) -> None:
+        super().__init__(oracle)
+        started = time.perf_counter()
+        self.landmarks = oracle.landmarks.compile(self.frozen)
+        self._landmark_entries = oracle.landmarks.size_in_entries()
+        self.freeze_seconds += time.perf_counter() - started
+        self.preprocess_seconds += time.perf_counter() - started
+
+    def query_detailed(
+        self,
+        source: int,
+        target: int,
+        failed: set[Edge] | frozenset[Edge] | None = None,
+    ) -> QueryResult:
+        self._validate_endpoints(source, target)
+        fail_set = normalize_failures(failed)
+        stats = QueryStats()
+        started = time.perf_counter()
+        if source == target:
+            stats.total_seconds = time.perf_counter() - started
+            return QueryResult(distance=0.0, stats=stats)
+
+        frozen = self.frozen
+        index = self.index
+        failed_ids = frozen.edge_ids(fail_set) if fail_set else frozenset()
+        affected_ranks = index.affected_ranks(failed_ids)
+        stats.affected_count = len(affected_ranks)
+
+        arenas = self._arenas()
+        source_index = frozen.index_of[source]
+        target_index = frozen.index_of[target]
+        access_start = time.perf_counter()
+        forward = csr_bounded_dijkstra(
+            frozen, source_index, index.transit_flags, failed_ids,
+            "out", arenas.forward,
+        )
+        backward = csr_bounded_dijkstra(
+            frozen, target_index, index.transit_flags, failed_ids,
+            "in", arenas.backward,
+        )
+        stats.access_seconds = time.perf_counter() - access_start
+        stats.graph_settled += forward.settled_count + backward.settled_count
+
+        local = forward.distance(target_index)
+        overlay = self._merged_search(
+            forward.access,
+            backward.access,
+            failed_ids,
+            affected_ranks,
+            target_index,
+            stats,
+            local,
+            arenas.search,
+        )
+        best = min(local, overlay)
+        stats.total_seconds = time.perf_counter() - started
+        return QueryResult(distance=best, stats=stats)
+
+    def _merged_search(
+        self,
+        seeds: dict[int, float],
+        into_target: dict[int, float],
+        failed_ids: frozenset[int],
+        affected_ranks: set[int],
+        target: int,
+        stats: QueryStats,
+        upper_bound: float,
+        arena: SearchArena,
+    ) -> float:
+        """Algorithm 2 on dense indices with arena-backed state."""
+        index = self.index
+        frozen = self.frozen
+        adjacency = frozen._adjacency
+        overlay = index.overlay_node_rows
+        rank_of = index.rank_of
+        transit_flags = index.transit_flags
+        heuristic = self.landmarks.heuristic_to(target)
+        affected = {index.transit_nodes[rank] for rank in affected_ranks}
+
+        gen = arena.begin()
+        d_o = arena.dist
+        cost = arena.aux
+        seen = arena.seen
+        done = arena.done
+        queue_d: list[tuple[float, int]] = []
+        queue_g: list[tuple[float, int]] = []
+
+        best_known = upper_bound
+        into_target_get = into_target.get
+        for node, d in seeds.items():
+            seen[node] = gen
+            d_o[node] = d
+            c = d + heuristic(node)
+            cost[node] = c
+            heappush(queue_d, (c, node))
+
+        def clean(heap: list[tuple[float, int]]) -> None:
+            while heap:
+                c, node = heap[0]
+                if done[node] == gen:
+                    heappop(heap)
+                    continue
+                node_cost = cost[node] if seen[node] == gen else INFINITY
+                if c > node_cost + 1e-12:
+                    heappop(heap)
+                else:
+                    return
+
+        settled_count = 0
+        graph_settled = 0
+        target_seen = seen[target] == gen  # seeds may include the target
+        while True:
+            clean(queue_d)
+            clean(queue_g)
+            top_d = queue_d[0][0] if queue_d else INFINITY
+            top_g = queue_g[0][0] if queue_g else INFINITY
+            if top_d == INFINITY and top_g == INFINITY:
+                break
+            target_dist = d_o[target] if target_seen else INFINITY
+            current_best = (
+                best_known if best_known < target_dist else target_dist
+            )
+            if min(top_d, top_g) >= current_best:
+                # Every remaining label's completion is at least its A*
+                # cost, so nothing can improve the answer.
+                break
+            heap = queue_d if top_d <= top_g else queue_g
+            _, node = heappop(heap)
+            done[node] = gen
+            settled_count += 1
+            if node == target:
+                break
+            node_dist = d_o[node]
+
+            tail_distance = into_target_get(node)
+            if tail_distance is not None:
+                candidate = node_dist + tail_distance
+                target_dist = d_o[target] if target_seen else INFINITY
+                if candidate < target_dist:
+                    seen[target] = gen
+                    target_seen = True
+                    d_o[target] = candidate
+                    cost[target] = candidate  # h(t, t) = 0
+                    heappush(queue_d, (candidate, target))
+
+            node_in_transit = transit_flags[node]
+            use_overlay = node_in_transit and node not in affected
+            if use_overlay:
+                for head, weight in overlay[rank_of[node]]:
+                    if done[head] == gen or head == node:
+                        continue
+                    candidate = node_dist + weight
+                    if seen[head] != gen or candidate < d_o[head]:
+                        seen[head] = gen
+                        if head == target:
+                            target_seen = True
+                        d_o[head] = candidate
+                        c = candidate + heuristic(head)
+                        cost[head] = c
+                        # An overlay tail is a transit node, so its
+                        # relaxations always go to Q_G (lines 19-20).
+                        heappush(queue_g, (c, head))
+            else:
+                graph_settled += 1
+                for head, weight, edge_id in adjacency[node]:
+                    if done[head] == gen or head == node:
+                        continue
+                    if edge_id in failed_ids:
+                        continue
+                    candidate = node_dist + weight
+                    if seen[head] != gen or candidate < d_o[head]:
+                        seen[head] = gen
+                        if head == target:
+                            target_seen = True
+                        d_o[head] = candidate
+                        c = candidate + heuristic(head)
+                        cost[head] = c
+                        if not node_in_transit and transit_flags[head]:
+                            heappush(queue_d, (c, head))
+                        else:
+                            heappush(queue_g, (c, head))
+        stats.overlay_settled += settled_count
+        stats.graph_settled += graph_settled
+        return d_o[target] if target_seen else INFINITY
+
+    def index_entries(self) -> dict[str, int]:
+        entries = super().index_entries()
+        entries["landmark_entries"] = self._landmark_entries
+        return entries

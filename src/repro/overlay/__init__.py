@@ -7,6 +7,7 @@ from repro.overlay.distance_graph import (
     build_distance_graph,
     verify_distance_graph,
 )
+from repro.overlay.frozen_index import FrozenIndex, FrozenTree
 from repro.overlay.inverted_index import InvertedTreeIndex
 from repro.overlay.sparsify import (
     SparsificationResult,
@@ -21,6 +22,8 @@ __all__ = [
     "verify_distance_graph",
     "BoundedTreeStore",
     "InvertedTreeIndex",
+    "FrozenIndex",
+    "FrozenTree",
     "SparsificationResult",
     "sparsify_graph",
     "verify_sparsification",

@@ -1,0 +1,445 @@
+"""The frozen index — DISO's two-level index compiled to flat arrays.
+
+After preprocessing finishes, the oracle index never changes again (the
+paper's stall-avoidance design: queries only read).  That makes it a
+perfect candidate for ahead-of-time compilation into the representation
+query serving wants:
+
+* **Dense transit ranks.**  Transit nodes get contiguous ranks
+  ``0..|T|-1``; the overlay search runs over ranks so its arena is
+  ``|T|``-sized, not ``|V|``-sized.
+* **Distance graph as CSR.**  Per rank, a materialised tuple of
+  ``(head_rank, head_index, weight)`` rows — one sequential scan per
+  relaxation, no dict-of-dict hops.
+* **Inverted tree index keyed by edge ids.**  ``{edge_id: (ranks...)}``
+  — affected-set lookup is ``|F|`` dict probes on integers.
+* **Bounded trees in preorder.**  Each stored tree is flattened into
+  parallel arrays in *preorder*, with subtree sizes, so the DynDijkstra
+  invalidation step ("the subtree below a failed tree edge") is a
+  contiguous slice ``[pos, pos + size[pos])`` instead of a pointer
+  chase.  ``{edge_id: child_position}`` finds failed tree edges in O(1).
+
+:meth:`FrozenIndex.recomputed_out_weights` mirrors
+:func:`repro.pathing.dynamic_spt.recompute_boundary_distances` exactly
+(same seeding, same bounded expansion rule, same arithmetic), returning
+the repaired distance-graph out-edge weights keyed by transit rank —
+only for heads inside an invalidated subtree, since no other weight can
+change.  Results are always restricted to the compiled overlay's
+out-edges — a no-op for plain DISO (a transit leaf of ``G_u`` is by
+definition an overlay neighbour of ``u``) and exactly DISO-S's
+surviving-edge filter when the compiled overlay is the sparsified
+``D-hat``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Mapping
+from heapq import heappop, heappush
+
+from repro.graph.csr import INFINITY, FrozenGraph
+from repro.overlay.distance_graph import DistanceGraph
+from repro.pathing.spt import ShortestPathTree
+
+
+class FrozenTree:
+    """One bounded shortest path tree flattened to preorder arrays.
+
+    Attributes
+    ----------
+    root:
+        Dense graph index of the tree's root (position 0).
+    order:
+        Dense graph index per preorder position.
+    dist:
+        Stored root distance per preorder position.
+    size:
+        Subtree size per preorder position; the subtree of the node at
+        ``pos`` occupies positions ``[pos, pos + size[pos])``.
+    edge_pos:
+        ``{edge_id: child_position}`` for every tree edge, keyed by the
+        input graph's dense edge id.
+    pos_of:
+        ``{node_index: position}`` — the inverse of ``order``.
+    transit_pos / transit_ranks:
+        Parallel tuples: the preorder positions of the tree's transit
+        leaves (ascending) and their transit ranks (filled by
+        :meth:`FrozenIndex.compile`, which knows the rank mapping).
+        Sorted positions make "which overlay heads sit inside this
+        invalidated subtree slice" a bisect instead of a full scan.
+    """
+
+    __slots__ = (
+        "root", "order", "dist", "size", "edge_pos", "pos_of",
+        "transit_pos", "transit_ranks",
+    )
+
+    def __init__(
+        self,
+        root: int,
+        order: list[int],
+        dist: list[float],
+        size: list[int],
+        edge_pos: dict[int, int],
+    ) -> None:
+        self.root = root
+        self.order = order
+        self.dist = dist
+        self.size = size
+        self.edge_pos = edge_pos
+        self.pos_of = {node: pos for pos, node in enumerate(order)}
+        self.transit_pos: tuple[int, ...] = ()
+        self.transit_ranks: tuple[int, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    @classmethod
+    def from_tree(
+        cls, tree: ShortestPathTree, frozen: FrozenGraph
+    ) -> "FrozenTree":
+        """Flatten ``tree`` (children visited in sorted label order)."""
+        index_of = frozen.index_of
+        edge_index = frozen._edge_index
+        order: list[int] = []
+        dist: list[float] = []
+        size: list[int] = []
+        edge_pos: dict[int, int] = {}
+        # Iterative preorder; a sentinel entry closes each subtree so
+        # sizes can be filled on the way out.
+        stack: list[tuple[int, int]] = [(tree.root, -1)]
+        open_positions: list[int] = []
+        while stack:
+            node, marker = stack.pop()
+            if marker >= 0:
+                size[marker] = len(order) - marker
+                continue
+            pos = len(order)
+            node_index = index_of[node]
+            order.append(node_index)
+            dist.append(tree.dist[node])
+            size.append(1)
+            parent = tree.parent[node]
+            if parent is not None:
+                edge_pos[edge_index[(index_of[parent], node_index)]] = pos
+            stack.append((node, pos))
+            for child in sorted(tree.children(node), reverse=True):
+                stack.append((child, -1))
+        return cls(order[0], order, dist, size, edge_pos)
+
+
+class FrozenIndex:
+    """DISO's finished index compiled for integer-only query serving.
+
+    Attributes
+    ----------
+    frozen:
+        The CSR snapshot of the input graph the index was built on.
+    transit_nodes:
+        Dense graph index per transit rank (sorted, deterministic).
+    rank_of:
+        Transit rank per dense graph index (-1 for non-transit nodes).
+    transit_flags:
+        ``bytearray(|V|)`` with 1 at transit indices — the bounded
+        searches' stop test.
+    overlay:
+        Per rank, a tuple of ``(head_rank, head_index, weight)`` rows of
+        the compiled distance graph.
+    overlay_rank_rows / overlay_node_rows:
+        The same rows pre-projected to ``(head_rank, weight)`` and
+        ``(head_index, weight)`` pairs — the shapes the DISO overlay
+        search and the ADISO merged search actually consume.
+    overlay_min_weight:
+        Per rank, the lightest stored out-edge weight (``inf`` for an
+        empty row).  Because a repaired weight is a shortest path in a
+        subgraph of the stored tree's graph, it can never undercut the
+        stored weight — so this is a valid lower bound on *fresh* rows
+        too, letting the overlay search skip whole repairs.
+    overlay_head_ranks:
+        Per rank, the frozenset of out-neighbour ranks (the surviving-
+        edge filter for lazy recomputation).
+    inverted:
+        ``{edge_id: (affected_ranks...)}`` — the inverted tree index.
+    trees:
+        :class:`FrozenTree` per rank.
+    """
+
+    __slots__ = (
+        "frozen",
+        "transit_nodes",
+        "rank_of",
+        "transit_flags",
+        "overlay",
+        "overlay_rank_rows",
+        "overlay_node_rows",
+        "overlay_min_weight",
+        "overlay_head_ranks",
+        "inverted",
+        "trees",
+    )
+
+    def __init__(
+        self,
+        frozen: FrozenGraph,
+        transit_nodes: list[int],
+        rank_of: list[int],
+        transit_flags: bytearray,
+        overlay: list[tuple[tuple[int, int, float], ...]],
+        inverted: dict[int, tuple[int, ...]],
+        trees: list[FrozenTree],
+    ) -> None:
+        self.frozen = frozen
+        self.transit_nodes = transit_nodes
+        self.rank_of = rank_of
+        self.transit_flags = transit_flags
+        self.overlay = overlay
+        # Rank rows are sorted by ascending weight so the overlay search
+        # can stop scanning a row the moment one relaxation reaches the
+        # incumbent bound (every later edge is at least as heavy).
+        self.overlay_rank_rows: list[tuple[tuple[int, float], ...]] = [
+            tuple(
+                sorted(
+                    ((head_rank, weight) for head_rank, _, weight in rows),
+                    key=lambda row: row[1],
+                )
+            )
+            for rows in overlay
+        ]
+        self.overlay_node_rows: list[tuple[tuple[int, float], ...]] = [
+            tuple((head_index, weight) for _, head_index, weight in rows)
+            for rows in overlay
+        ]
+        self.overlay_min_weight: list[float] = [
+            rows[0][1] if rows else INFINITY
+            for rows in self.overlay_rank_rows
+        ]
+        self.overlay_head_ranks: list[frozenset[int]] = [
+            frozenset(row[0] for row in rows) for rows in overlay
+        ]
+        self.inverted = inverted
+        self.trees = trees
+        for tree in trees:
+            pairs = [
+                (pos, rank_of[node_index])
+                for pos, node_index in enumerate(tree.order)
+                if transit_flags[node_index] and node_index != tree.root
+            ]
+            tree.transit_pos = tuple(pos for pos, _ in pairs)
+            tree.transit_ranks = tuple(rank for _, rank in pairs)
+
+    @classmethod
+    def compile(
+        cls,
+        frozen: FrozenGraph,
+        distance_graph: DistanceGraph,
+        trees: Mapping[int, ShortestPathTree],
+        transit: frozenset[int] | set[int],
+    ) -> "FrozenIndex":
+        """Compile a finished dict-based index into flat-array form.
+
+        ``distance_graph`` may be the plain ``D`` or a sparsified
+        ``D-hat``; ``trees`` are the stored bounded trees (always the
+        unsparsified ones).
+        """
+        index_of = frozen.index_of
+        transit_nodes = sorted(index_of[label] for label in transit)
+        n = len(frozen.node_ids)
+        rank_of = [-1] * n
+        transit_flags = bytearray(n)
+        for rank, node_index in enumerate(transit_nodes):
+            rank_of[node_index] = rank
+            transit_flags[node_index] = 1
+
+        node_ids = frozen.node_ids
+        overlay: list[tuple[tuple[int, int, float], ...]] = []
+        for node_index in transit_nodes:
+            rows = []
+            for head_label, weight in sorted(
+                distance_graph.graph.successors(node_ids[node_index]).items()
+            ):
+                head_index = index_of[head_label]
+                rows.append((rank_of[head_index], head_index, weight))
+            overlay.append(tuple(rows))
+
+        frozen_trees: list[FrozenTree] = []
+        inverted: dict[int, tuple[int, ...]] = {}
+        members: dict[int, list[int]] = {}
+        for rank, node_index in enumerate(transit_nodes):
+            tree = FrozenTree.from_tree(trees[node_ids[node_index]], frozen)
+            frozen_trees.append(tree)
+            for edge_id in tree.edge_pos:
+                members.setdefault(edge_id, []).append(rank)
+        for edge_id, ranks in members.items():
+            inverted[edge_id] = tuple(ranks)
+
+        return cls(
+            frozen=frozen,
+            transit_nodes=transit_nodes,
+            rank_of=rank_of,
+            transit_flags=transit_flags,
+            overlay=overlay,
+            inverted=inverted,
+            trees=frozen_trees,
+        )
+
+    # ------------------------------------------------------------------
+    # Query-time lookups
+    # ------------------------------------------------------------------
+    def num_transit(self) -> int:
+        """``|T|`` — the overlay search space (arena size)."""
+        return len(self.transit_nodes)
+
+    def affected_ranks(
+        self, failed_edge_ids: frozenset[int] | set[int]
+    ) -> set[int]:
+        """Transit ranks whose stored tree contains a failed edge."""
+        affected: set[int] = set()
+        inverted = self.inverted
+        for edge_id in failed_edge_ids:
+            ranks = inverted.get(edge_id)
+            if ranks:
+                affected.update(ranks)
+        return affected
+
+    def recomputed_out_weights(
+        self,
+        rank: int,
+        failed_edge_ids: frozenset[int] | set[int],
+        base: float = 0.0,
+        limit: float = INFINITY,
+    ) -> dict[int, float] | None:
+        """Repaired overlay out-edge weights of ``rank`` under failures.
+
+        Returns ``{head_rank: d_hat(root, head, F)}`` for the overlay
+        out-edges whose head sits inside an invalidated subtree — only
+        those weights can differ from the stored row (``INFINITY`` marks
+        a head the repair could not reach).  Heads absent from the dict
+        keep their stored weight, which is simultaneously a valid lower
+        bound on every returned value (a repair is a shortest path in a
+        subgraph), so a weight-sorted scan of the stored row stays a
+        correct traversal order with per-head patching.  Returns ``None``
+        when no failed edge is a tree edge of this rank's tree.
+
+        Mirrors the dict path's DynDijkstra repair: invalidate the
+        subtrees below failed tree edges, seed the affected nodes from
+        surviving entry edges, repair with a Dijkstra confined to the
+        affected set, never expanding non-root transit nodes.
+
+        ``base``/``limit`` let the overlay search thread its incumbent
+        bound into the repair: any label ``d`` with ``base + d >= limit``
+        is dropped.  This is answer-preserving — along a shortest path
+        labels only grow (non-negative weights) and float addition is
+        monotone, so every head whose fresh weight the caller could still
+        use keeps exactly the value an unbounded repair would compute;
+        dropped heads read ``INFINITY``, which the caller would have
+        discarded against the incumbent anyway.
+        """
+        tree = self.trees[rank]
+        edge_pos = tree.edge_pos
+        hits = [
+            edge_pos[edge_id]
+            for edge_id in failed_edge_ids
+            if edge_id in edge_pos
+        ]
+        if not hits:
+            return None
+        order = tree.order
+        stored = tree.dist
+        size = tree.size
+        pos_of = tree.pos_of
+        # Ancestors precede descendants in preorder and subtree slices
+        # are nested-or-disjoint, so walking sorted hits with a running
+        # end position yields the disjoint cover intervals; the affected
+        # node set then comes from C-speed slice updates.
+        affected_idx: set[int] = set()
+        intervals: list[tuple[int, int]] = []
+        last_end = -1
+        for pos in sorted(hits):
+            if pos < last_end:
+                continue
+            last_end = pos + size[pos]
+            intervals.append((pos, last_end))
+            affected_idx.update(order[pos:last_end])
+        root = tree.root
+        # Repair state is kept ONLY for affected nodes; unaffected tree
+        # nodes answer from the stored preorder arrays, so the whole
+        # repair is O(|affected subtree| + incident edges) rather than
+        # O(|tree|) per settled affected rank.
+        new_dist: dict[int, float] = {}
+
+        frozen = self.frozen
+        radjacency = frozen._radjacency
+        adjacency = frozen._adjacency
+        transit_flags = self.transit_flags
+        heap: list[tuple[float, int]] = []
+        # Seed: best surviving edge from an unaffected tree node into
+        # each affected node.
+        for node in affected_idx:
+            best = INFINITY
+            for pred, weight, edge_id in radjacency[node]:
+                if pred in affected_idx:
+                    continue
+                if edge_id in failed_edge_ids:
+                    continue
+                pred_pos = pos_of.get(pred)
+                if pred_pos is None:
+                    continue
+                if transit_flags[pred] and pred != root:
+                    continue
+                candidate = stored[pred_pos] + weight
+                if candidate < best:
+                    best = candidate
+            if best < INFINITY and base + best < limit:
+                heappush(heap, (best, node))
+                new_dist[node] = best
+
+        settled: set[int] = set()
+        while heap:
+            d, node = heappop(heap)
+            if node in settled:
+                continue
+            if d > new_dist.get(node, INFINITY):
+                continue
+            settled.add(node)
+            if transit_flags[node] and node != root:
+                continue
+            for head, weight, edge_id in adjacency[node]:
+                if head not in affected_idx or head in settled:
+                    continue
+                if edge_id in failed_edge_ids:
+                    continue
+                candidate = d + weight
+                if base + candidate >= limit:
+                    continue
+                if candidate < new_dist.get(head, INFINITY):
+                    new_dist[head] = candidate
+                    heappush(heap, (candidate, head))
+
+        surviving = self.overlay_head_ranks[rank]
+        tpos = tree.transit_pos
+        tranks = tree.transit_ranks
+        count = len(tpos)
+        new_dist_get = new_dist.get
+        changed: dict[int, float] = {}
+        for start, end in intervals:
+            i = bisect_left(tpos, start)
+            while i < count and tpos[i] < end:
+                head_rank = tranks[i]
+                if head_rank in surviving:
+                    changed[head_rank] = new_dist_get(order[tpos[i]], INFINITY)
+                i += 1
+        return changed
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+    def index_entries(self) -> dict[str, int]:
+        """Entry counts of the compiled structures (Table 6 style)."""
+        return {
+            "distance_graph_nodes": len(self.transit_nodes),
+            "distance_graph_edges": sum(len(rows) for rows in self.overlay),
+            "tree_nodes": sum(len(tree) for tree in self.trees),
+            "inverted_index_entries": sum(
+                len(ranks) for ranks in self.inverted.values()
+            ),
+        }

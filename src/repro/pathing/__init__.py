@@ -23,6 +23,7 @@ from repro.pathing.dijkstra import (
     shortest_path,
     shortest_path_tree,
 )
+from repro.pathing.csr_bounded import CSRBoundedResult, csr_bounded_dijkstra
 from repro.pathing.dynamic_spt import (
     affected_subtree_nodes,
     apply_failures,
@@ -46,6 +47,8 @@ __all__ = [
     "eccentricity",
     "bounded_dijkstra",
     "BoundedSearchResult",
+    "csr_bounded_dijkstra",
+    "CSRBoundedResult",
     "bounded_tree",
     "out_access_nodes",
     "in_access_nodes",

@@ -1,0 +1,273 @@
+"""The frozen query plane must agree exactly with the dict engines.
+
+The contract of ``freeze()`` is bitwise answer parity: the compiled
+engines perform the same float additions in the same order as the dict
+engines, so distances are ``==``-equal, not just approximately equal.
+These tests sweep randomized graphs, endpoints and failure sets —
+including failures inside stored trees, disconnecting cuts and s == t —
+plus the bounded-search substrate, arena reuse, and the no-locking
+concurrency claim.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.csr import FrozenGraph, SearchArena, csr_dijkstra
+from repro.oracle.adiso import ADISO
+from repro.oracle.diso import DISO
+from repro.oracle.diso_s import DISOSparse
+from repro.oracle.frozen import FrozenADISO, FrozenDISO
+from repro.oracle.parallel import QueryEngine
+from repro.pathing.bounded import bounded_dijkstra
+from repro.pathing.csr_bounded import csr_bounded_dijkstra
+from repro.pathing.spt import INFINITY
+from repro.workload.queries import Query
+from util import random_failures_from, random_graph
+
+
+def _random_cases(graph, seed: int, count: int):
+    """Random (source, target, failures) cases, failure sizes 0..6."""
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes())
+    edges = sorted((t, h) for t, h, _ in graph.edges())
+    for index in range(count):
+        source = rng.choice(nodes)
+        target = source if index % 9 == 0 else rng.choice(nodes)
+        k = rng.randint(0, 6)
+        failed = set(rng.sample(edges, k)) if k else None
+        yield source, target, failed
+
+
+class TestBoundedSearchParity:
+    """csr_bounded_dijkstra must mirror bounded_dijkstra exactly."""
+
+    @given(seed=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_forward_access_sets_match(self, seed):
+        graph = random_graph(seed)
+        frozen = FrozenGraph.from_digraph(graph)
+        rng = random.Random(seed + 1)
+        transit = frozenset(rng.sample(sorted(graph.nodes()), 6))
+        flags = bytearray(frozen.number_of_nodes())
+        for label in transit:
+            flags[frozen.index_of[label]] = 1
+        failed = random_failures_from(graph, seed + 2, 3)
+        failed_ids = frozen.edge_ids(failed)
+        source = rng.choice(sorted(graph.nodes()))
+
+        expected = bounded_dijkstra(graph, source, transit, failed)
+        got = csr_bounded_dijkstra(
+            frozen, frozen.index_of[source], flags, failed_ids, "out"
+        )
+        expected_access = {
+            frozen.index_of[label]: d for label, d in expected.access.items()
+        }
+        assert got.access == expected_access
+        for label, d in expected.dist.items():
+            assert got.distance(frozen.index_of[label]) == d
+
+    @given(seed=st.integers(min_value=0, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_backward_access_sets_match(self, seed):
+        graph = random_graph(seed)
+        frozen = FrozenGraph.from_digraph(graph)
+        rng = random.Random(seed + 3)
+        transit = frozenset(rng.sample(sorted(graph.nodes()), 6))
+        flags = bytearray(frozen.number_of_nodes())
+        for label in transit:
+            flags[frozen.index_of[label]] = 1
+        failed = random_failures_from(graph, seed + 4, 3)
+        source = rng.choice(sorted(graph.nodes()))
+
+        expected = bounded_dijkstra(
+            graph, source, transit, failed, direction="in"
+        )
+        got = csr_bounded_dijkstra(
+            frozen,
+            frozen.index_of[source],
+            flags,
+            frozen.edge_ids(failed),
+            "in",
+        )
+        expected_access = {
+            frozen.index_of[label]: d for label, d in expected.access.items()
+        }
+        assert got.access == expected_access
+
+    def test_stale_result_raises(self):
+        graph = random_graph(0)
+        frozen = FrozenGraph.from_digraph(graph)
+        flags = bytearray(frozen.number_of_nodes())
+        arena = SearchArena(frozen.number_of_nodes())
+        first = csr_bounded_dijkstra(frozen, 0, flags, None, "out", arena)
+        csr_bounded_dijkstra(frozen, 1, flags, None, "out", arena)
+        with pytest.raises(RuntimeError):
+            first.distance(0)
+
+
+class TestFrozenDISOParity:
+    @given(seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=12, deadline=None)
+    def test_random_graphs_endpoints_failures(self, seed):
+        graph = random_graph(seed)
+        oracle = DISO(graph, tau=3, theta=1.0)
+        frozen = oracle.freeze()
+        for source, target, failed in _random_cases(graph, seed, 24):
+            expected = oracle.query(source, target, failed=failed)
+            assert frozen.query(source, target, failed=failed) == expected
+
+    def test_failures_inside_stored_trees(self):
+        graph = random_graph(11)
+        oracle = DISO(graph, tau=3, theta=1.0)
+        frozen = oracle.freeze()
+        # Failure sets drawn from stored tree edges, so every query
+        # exercises the lazy recompute path.
+        tree_edges = sorted(
+            {
+                (parent, node)
+                for root in oracle.trees.roots()
+                for node, parent in oracle.trees.tree(root).parent.items()
+                if parent is not None
+            }
+        )
+        rng = random.Random(99)
+        nodes = sorted(graph.nodes())
+        for _ in range(40):
+            failed = set(rng.sample(tree_edges, min(4, len(tree_edges))))
+            source, target = rng.choice(nodes), rng.choice(nodes)
+            expected = oracle.query(source, target, failed=failed)
+            got = frozen.query(source, target, failed=failed)
+            assert got == expected
+
+    def test_disconnecting_failures(self):
+        # A path graph: cutting both directions of one link disconnects.
+        from repro.graph.generators import path_network
+
+        graph = path_network(10)
+        oracle = DISO(graph, tau=2, theta=1.0)
+        frozen = oracle.freeze()
+        failed = {(4, 5), (5, 4)}
+        assert oracle.query(0, 9, failed=failed) == INFINITY
+        assert frozen.query(0, 9, failed=failed) == INFINITY
+        assert frozen.query(0, 4, failed=failed) == oracle.query(
+            0, 4, failed=failed
+        )
+
+    def test_source_equals_target(self):
+        graph = random_graph(3)
+        frozen = DISO(graph, tau=3, theta=1.0).freeze()
+        assert frozen.query(5, 5) == 0.0
+        assert frozen.query(5, 5, failed={(5, 6)}) == 0.0
+
+    def test_arena_reuse_is_consistent(self):
+        """Back-to-back queries on one thread reuse arenas unchanged."""
+        graph = random_graph(17)
+        oracle = DISO(graph, tau=3, theta=1.0)
+        frozen = oracle.freeze()
+        cases = list(_random_cases(graph, 23, 30))
+        first = [frozen.query(s, t, failed=f) for s, t, f in cases]
+        second = [frozen.query(s, t, failed=f) for s, t, f in cases]
+        assert first == second
+        expected = [oracle.query(s, t, failed=f) for s, t, f in cases]
+        assert first == expected
+
+    def test_name_and_metadata(self):
+        graph = random_graph(2)
+        oracle = DISO(graph, tau=3, theta=1.0)
+        frozen = oracle.freeze()
+        assert isinstance(frozen, FrozenDISO)
+        assert frozen.name == "DISO-F"
+        assert frozen.exact
+        assert frozen.freeze_seconds > 0.0
+        assert frozen.preprocess_seconds >= oracle.preprocess_seconds
+
+
+class TestFrozenADISOParity:
+    @given(seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=10, deadline=None)
+    def test_random_graphs_endpoints_failures(self, seed):
+        graph = random_graph(seed)
+        oracle = ADISO(graph, tau=3, theta=1.0, seed=seed)
+        frozen = oracle.freeze()
+        assert isinstance(frozen, FrozenADISO)
+        for source, target, failed in _random_cases(graph, seed + 7, 20):
+            expected = oracle.query(source, target, failed=failed)
+            assert frozen.query(source, target, failed=failed) == expected
+
+
+class TestFrozenDISOSparseParity:
+    @given(seed=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=8, deadline=None)
+    def test_sparsified_oracle_parity_including_fallback(self, seed):
+        graph = random_graph(seed, n=24, extra=40)
+        oracle = DISOSparse(graph, beta=2.0, tau=3, theta=1.0)
+        frozen = oracle.freeze()
+        for source, target, failed in _random_cases(graph, seed + 13, 20):
+            expected = oracle.query(source, target, failed=failed)
+            assert frozen.query(source, target, failed=failed) == expected
+
+
+class TestConcurrency:
+    def test_concurrent_queries_match_sequential(self):
+        """QueryEngine over one shared frozen index: no cross-thread
+        interference despite each thread's private arena reuse."""
+        graph = random_graph(29)
+        frozen = DISO(graph, tau=3, theta=1.0).freeze()
+        cases = list(_random_cases(graph, 31, 60))
+        sequential = [frozen.query(s, t, failed=f) for s, t, f in cases]
+
+        engine = QueryEngine(frozen, threads=4)
+        queries = [
+            Query(source=s, target=t, failed=frozenset(f) if f else frozenset())
+            for s, t, f in cases
+        ]
+        report = engine.run(queries)
+        assert report.answers == sequential
+
+    def test_threads_get_private_arenas(self):
+        graph = random_graph(7)
+        frozen = DISO(graph, tau=3, theta=1.0).freeze()
+        arenas = {}
+
+        def grab(key):
+            frozen.query(0, 1)
+            arenas[key] = frozen._arenas()
+
+        threads = [
+            threading.Thread(target=grab, args=(i,)) for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        grab("main")
+        distinct = {id(a) for a in arenas.values()}
+        assert len(distinct) == len(arenas)
+
+
+class TestArenaDijkstra:
+    """Satellite: arena-aware csr_dijkstra answers never drift."""
+
+    @given(seed=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_arena_matches_arenaless(self, seed):
+        graph = random_graph(seed)
+        frozen = FrozenGraph.from_digraph(graph)
+        arena = SearchArena(frozen.number_of_nodes())
+        failed = random_failures_from(graph, seed + 1, 3)
+        failed_ids = frozen.edge_ids(failed)
+        for source in list(graph.nodes())[:4]:
+            plain = csr_dijkstra(frozen, source, failed_ids)
+            arenaed = csr_dijkstra(frozen, source, failed_ids, arena=arena)
+            assert arenaed == plain
+
+    def test_size_mismatch_raises(self):
+        graph = random_graph(1)
+        frozen = FrozenGraph.from_digraph(graph)
+        with pytest.raises(ValueError):
+            csr_dijkstra(frozen, 0, arena=SearchArena(3))

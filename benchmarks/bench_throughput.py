@@ -1,0 +1,175 @@
+"""Bench: process-pool serving throughput over a frozen-index snapshot.
+
+Freezes a DISO over the paper's standard road-network scale, saves the
+index as a binary snapshot (:mod:`repro.oracle.snapshot`), and measures
+aggregate query throughput three ways:
+
+* sequential — the in-memory frozen oracle answering the batch alone
+  (the single-core reference);
+* ``QueryService`` at 1, 2, and 4 workers — each worker a separate
+  process mapping the same snapshot read-only.
+
+Every pool run first asserts exact answer parity with the sequential
+baseline.  Results merge into the repo-root ``BENCH_throughput.json``;
+``cpu_count`` is recorded alongside the numbers because process-level
+speed-up is physically bounded by the cores actually present — on a
+single-core container the 4-worker row documents dispatch overhead,
+not scaling.
+
+Standalone usage::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_throughput.py
+    PYTHONPATH=src:benchmarks python benchmarks/bench_throughput.py --smoke
+
+``--smoke`` serves a tiny graph with 2 workers only — a CI-sized
+end-to-end check of snapshot, worker bootstrap, sharding, and parity
+(no files written, no speedup asserted).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.graph.generators import road_network
+from repro.oracle.diso import DISO
+from repro.oracle.parallel import latency_percentile
+from repro.oracle.snapshot import save_snapshot, snapshot_info
+from repro.serving import QueryService
+from repro.workload.queries import generate_queries
+
+from bench_util import THROUGHPUT_JSON, merge_json, write_result
+
+SEED = 7
+QUERY_COUNT = 300
+WORKER_COUNTS = (1, 2, 4)
+
+GRAPH_NAME = "road2k"
+
+
+def build_graph(smoke: bool):
+    if smoke:
+        return road_network(8, 8, seed=SEED)
+    return road_network(48, 48, seed=SEED)
+
+
+def sequential_row(oracle, batch) -> dict:
+    """Time the in-memory frozen oracle answering the batch alone."""
+    latencies = []
+    answers = []
+    started = time.perf_counter()
+    for query in batch:
+        tick = time.perf_counter()
+        answers.append(oracle.query(query.source, query.target, query.failed))
+        latencies.append(time.perf_counter() - tick)
+    wall = time.perf_counter() - started
+    return {
+        "answers": answers,
+        "qps": round(len(batch) / wall, 2) if wall > 0 else float("inf"),
+        "p50_us": round(1e6 * latency_percentile(latencies, 0.50), 3),
+        "p99_us": round(1e6 * latency_percentile(latencies, 0.99), 3),
+    }
+
+
+def run(smoke: bool = False, query_count: int | None = None) -> dict:
+    """Snapshot a frozen DISO, serve it at each pool size, return rows."""
+    graph = build_graph(smoke)
+    count = query_count or (20 if smoke else QUERY_COUNT)
+    worker_counts = (2,) if smoke else WORKER_COUNTS
+
+    oracle = DISO(graph, tau=4, theta=1.0).freeze()
+    batch = generate_queries(graph, count, f_gen=5, p=0.0005, seed=SEED)
+
+    result: dict = {
+        "graph": GRAPH_NAME if not smoke else "road-smoke",
+        "oracle": oracle.name,
+        "queries": count,
+        "cpu_count": os.cpu_count(),
+    }
+    with tempfile.TemporaryDirectory(prefix="dso-bench-") as tmp:
+        path = Path(tmp) / "oracle.dsosnap"
+        save_snapshot(oracle, path)
+        result["snapshot_bytes"] = snapshot_info(path)["file_bytes"]
+
+        seq = sequential_row(oracle, batch)
+        expected = seq.pop("answers")
+        result["sequential"] = seq
+        print(
+            f"{'sequential':>12}: qps {seq['qps']:>9.1f}  "
+            f"p50 {seq['p50_us']:>7.1f}us  p99 {seq['p99_us']:>7.1f}us"
+        )
+
+        result["workers"] = {}
+        for workers in worker_counts:
+            with QueryService(path, workers=workers) as service:
+                report = service.run(batch)
+            assert report.answers == expected, (
+                f"{workers}-worker answers diverge from sequential baseline"
+            )
+            row = report.summary()
+            row["speedup_vs_sequential"] = round(
+                report.queries_per_second / seq["qps"], 3
+            )
+            result["workers"][str(workers)] = row
+            print(
+                f"{workers:>9} wkr: qps {row['qps']:>9.1f}  "
+                f"p50 {row['p50_us']:>7.1f}us  p99 {row['p99_us']:>7.1f}us  "
+                f"speedup {row['speedup_vs_sequential']:.2f}x"
+            )
+    return result
+
+
+def format_result(result: dict) -> str:
+    lines = [
+        "Process-pool serving throughput over a frozen-index snapshot",
+        f"graph={result['graph']}  oracle={result['oracle']}  "
+        f"queries={result['queries']}  cpu_count={result['cpu_count']}  "
+        f"snapshot={result['snapshot_bytes']}B",
+        f"{'backend':>12} {'qps':>10} {'p50 us':>9} {'p99 us':>9} "
+        f"{'speedup':>8}",
+        f"{'sequential':>12} {result['sequential']['qps']:>10.1f} "
+        f"{result['sequential']['p50_us']:>9.1f} "
+        f"{result['sequential']['p99_us']:>9.1f} {'1.00':>8}",
+    ]
+    for workers, row in result["workers"].items():
+        lines.append(
+            f"{workers + ' wkr':>12} {row['qps']:>10.1f} "
+            f"{row['p50_us']:>9.1f} {row['p99_us']:>9.1f} "
+            f"{row['speedup_vs_sequential']:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny graph, 2 workers only, no files written",
+    )
+    parser.add_argument("--queries", type=int, default=None)
+    args = parser.parse_args()
+    result = run(smoke=args.smoke, query_count=args.queries)
+    if args.smoke:
+        print("smoke run OK (parity held at every pool size)")
+        return
+    write_result("throughput", format_result(result))
+    key = f"{result['oracle']}@{result['graph']}"
+    path = merge_json({key: result}, THROUGHPUT_JSON)
+    print(f"wrote {path}")
+    print(format_result(result))
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (small scale; the standalone main is the real run)
+# ----------------------------------------------------------------------
+def test_throughput_smoke():
+    result = run(smoke=True)
+    assert result["workers"]["2"]["queries"] == result["queries"]
+    assert result["workers"]["2"]["qps"] > 0.0
+
+
+if __name__ == "__main__":
+    main()

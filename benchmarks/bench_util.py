@@ -22,6 +22,7 @@ from repro.workload.queries import generate_queries
 RESULTS_DIR = Path(__file__).parent / "results"
 REPO_ROOT = Path(__file__).parent.parent
 LATENCY_JSON = REPO_ROOT / "BENCH_query_latency.json"
+THROUGHPUT_JSON = REPO_ROOT / "BENCH_throughput.json"
 
 #: Benchmark scale: large enough to show the paper's separations,
 #: small enough for a pure-Python suite to finish in minutes.
@@ -68,22 +69,52 @@ def latency_summary(build_s: float, query_seconds: list[float]) -> dict:
     }
 
 
-def merge_latency_json(entries: dict[str, dict]) -> Path:
-    """Merge ``{oracle: {build_s, median_query_us, p99_query_us}}`` into
-    the repo-root ``BENCH_query_latency.json``.
+def _load_merge_base(path: Path) -> dict:
+    """Read an existing merge target, quarantining it if unusable.
 
-    Merging (rather than overwriting) lets the table-5 bench and the
-    frozen-plane bench each contribute their own oracles to one file.
+    A truncated or hand-mangled results file must not brick every
+    future bench run: anything that fails to parse as a JSON object is
+    moved aside to ``<name>.corrupt`` (preserved for inspection) and
+    the merge starts from an empty dict.
     """
-    merged: dict[str, dict] = {}
-    if LATENCY_JSON.exists():
-        merged = json.loads(LATENCY_JSON.read_text(encoding="utf-8"))
+    if not path.exists():
+        return {}
+    try:
+        merged = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+        merged = None
+    if isinstance(merged, dict):
+        return merged
+    backup = path.with_name(path.name + ".corrupt")
+    try:
+        path.replace(backup)
+    except OSError:
+        pass
+    return {}
+
+
+def merge_json(entries: dict[str, dict], path: Path) -> Path:
+    """Merge ``entries`` into the JSON object stored at ``path``.
+
+    Merging (rather than overwriting) lets independent benches each
+    contribute their own keys to one checked-in file.  Corrupt existing
+    files are backed up and replaced instead of aborting the run.
+    """
+    merged = _load_merge_base(path)
     merged.update(entries)
-    LATENCY_JSON.write_text(
+    path.write_text(
         json.dumps(dict(sorted(merged.items())), indent=2) + "\n",
         encoding="utf-8",
     )
-    return LATENCY_JSON
+    return path
+
+
+def merge_latency_json(
+    entries: dict[str, dict], path: Path | None = None
+) -> Path:
+    """Merge ``{oracle: {build_s, median_query_us, p99_query_us}}`` into
+    the repo-root ``BENCH_query_latency.json`` (or ``path``)."""
+    return merge_json(entries, path or LATENCY_JSON)
 
 
 def run_query_batch(oracle, batch) -> float:

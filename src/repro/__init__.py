@@ -76,10 +76,14 @@ from repro.oracle import (
     QueryStats,
     index_size_megabytes,
     load_index,
+    load_snapshot,
     query_path,
     save_index,
+    save_snapshot,
+    snapshot_info,
     validate_path,
 )
+from repro.serving import QueryService, ServeReport
 from repro.workload import Query, generate_queries, load_dataset
 
 __version__ = "1.0.0"
@@ -126,6 +130,11 @@ __all__ = [
     "validate_path",
     "save_index",
     "load_index",
+    "save_snapshot",
+    "load_snapshot",
+    "snapshot_info",
+    "QueryService",
+    "ServeReport",
     "index_size_megabytes",
     # Baselines
     "DijkstraOracle",

@@ -101,7 +101,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build.add_argument("index_file", help="output path for the JSON index")
     build.add_argument(
-        "--oracle", choices=("diso", "adiso", "diso-b"), default="diso"
+        "--oracle",
+        choices=("diso", "adiso", "diso-b", "diso-s", "adiso-p"),
+        default="diso",
     )
     build.add_argument(
         "--dataset", choices=sorted(DATASETS), default="NY"
@@ -122,6 +124,44 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", type=float, default=0.5)
     experiment.add_argument("--queries", type=int, default=20)
     experiment.add_argument("--seed", type=int, default=7)
+
+    snapshot = sub.add_parser(
+        "snapshot",
+        help="freeze an oracle and save a binary snapshot for serving",
+    )
+    snapshot.add_argument(
+        "snapshot_file", help="output path (convention: .dsosnap)"
+    )
+    snapshot.add_argument(
+        "--oracle", choices=("diso", "adiso"), default="diso"
+    )
+    snapshot.add_argument(
+        "--dataset", choices=sorted(DATASETS), default="NY"
+    )
+    snapshot.add_argument("--graph-file", help="edge list or DIMACS .gr file")
+    snapshot.add_argument(
+        "--format", choices=("edgelist", "dimacs"), default="edgelist"
+    )
+    snapshot.add_argument("--scale", type=float, default=0.5)
+    snapshot.add_argument("--tau", type=int, default=3)
+    snapshot.add_argument("--theta", type=float, default=1.0)
+    snapshot.add_argument("--seed", type=int, default=7)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="benchmark the process-pool query service over a snapshot",
+    )
+    serve.add_argument("snapshot_file", help="a file written by `snapshot`")
+    serve.add_argument(
+        "--workers",
+        default="1,2",
+        help="comma-separated pool sizes to benchmark (default 1,2)",
+    )
+    serve.add_argument("--queries", type=int, default=200)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--chunk-size", type=int, default=None, help="queries per dispatch"
+    )
 
     return parser
 
@@ -187,7 +227,13 @@ def _run_build(args) -> int:
     from repro.oracle.serialize import save_index
 
     graph = _load_graph(args)
-    classes = {"diso": DISO, "adiso": ADISO, "diso-b": DISOBidirectional}
+    classes = {
+        "diso": DISO,
+        "adiso": ADISO,
+        "diso-b": DISOBidirectional,
+        "diso-s": DISOSparse,
+        "adiso-p": ADISOPartial,
+    }
     oracle_cls = classes[args.oracle]
     oracle = oracle_cls(graph, tau=args.tau, theta=args.theta)
     save_index(oracle, args.index_file)
@@ -196,6 +242,81 @@ def _run_build(args) -> int:
     print(f"overlay edges : {oracle.distance_graph.num_edges}")
     print(f"preprocess s  : {oracle.preprocess_seconds:.3f}")
     print(f"index written : {args.index_file}")
+    return 0
+
+
+def _run_snapshot(args) -> int:
+    from repro.oracle.snapshot import save_snapshot, snapshot_info
+
+    graph = _load_graph(args)
+    classes = {"diso": DISO, "adiso": ADISO}
+    oracle = classes[args.oracle](graph, tau=args.tau, theta=args.theta)
+    frozen = oracle.freeze()
+    save_snapshot(frozen, args.snapshot_file)
+    info = snapshot_info(args.snapshot_file)
+    meta = info["meta"]
+    print(f"oracle        : {meta['name']}")
+    print(f"engine        : {info['engine']}")
+    print(f"nodes / edges : {meta['num_nodes']} / {meta['num_edges']}")
+    print(f"transit nodes : {meta['num_transit']}")
+    print(f"preprocess s  : {meta['preprocess_seconds']:.3f}")
+    print(f"freeze s      : {meta['freeze_seconds']:.3f}")
+    print(f"file bytes    : {info['file_bytes']}")
+    print(f"sections      : {len(info['sections'])}")
+    print(f"snapshot      : {args.snapshot_file}")
+    return 0
+
+
+def _run_serve_bench(args) -> int:
+    from repro.oracle.snapshot import load_snapshot
+    from repro.serving import QueryService
+    from repro.workload.queries import generate_queries
+
+    try:
+        worker_counts = [
+            int(text) for text in args.workers.split(",") if text.strip()
+        ]
+    except ValueError:
+        raise SystemExit(
+            f"error: --workers expects comma-separated ints "
+            f"(got {args.workers!r})"
+        ) from None
+    if not worker_counts or min(worker_counts) < 1:
+        raise SystemExit("error: --workers needs at least one value >= 1")
+
+    oracle = load_snapshot(args.snapshot_file)
+    queries = generate_queries(oracle.graph, args.queries, seed=args.seed)
+
+    import time
+
+    started = time.perf_counter()
+    baseline = [
+        oracle.query(q.source, q.target, q.failed) for q in queries
+    ]
+    base_wall = time.perf_counter() - started
+    base_qps = len(queries) / base_wall if base_wall > 0 else float("inf")
+
+    print(f"snapshot  : {args.snapshot_file} ({oracle.name})")
+    print(f"queries   : {len(queries)}  (seed {args.seed})")
+    print(f"{'workers':>8} {'qps':>10} {'p50 us':>9} {'p99 us':>9} "
+          f"{'speedup':>8}")
+    print(f"{'seq':>8} {base_qps:>10.1f} {'-':>9} {'-':>9} {1.0:>8.2f}")
+    for workers in worker_counts:
+        with QueryService(
+            args.snapshot_file, workers=workers, chunk_size=args.chunk_size
+        ) as service:
+            report = service.run(queries)
+        if report.answers != baseline:
+            raise SystemExit(
+                f"error: {workers}-worker answers diverge from the "
+                "sequential baseline"
+            )
+        print(
+            f"{workers:>8} {report.queries_per_second:>10.1f} "
+            f"{1e6 * report.p50_seconds:>9.1f} "
+            f"{1e6 * report.p99_seconds:>9.1f} "
+            f"{report.queries_per_second / base_qps:>8.2f}"
+        )
     return 0
 
 
@@ -314,6 +435,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_query(args)
     if args.command == "build":
         return _run_build(args)
+    if args.command == "snapshot":
+        return _run_snapshot(args)
+    if args.command == "serve-bench":
+        return _run_serve_bench(args)
     if args.command == "experiment":
         return _run_experiment(args)
     parser.error(f"unknown command {args.command!r}")

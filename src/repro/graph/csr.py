@@ -214,6 +214,23 @@ class FrozenGraph:
             for tail, weight, _ in self._radjacency[index]
         ]
 
+    def to_digraph(self) -> DiGraph:
+        """Reconstruct a mutable :class:`DiGraph` with original labels.
+
+        The inverse of :meth:`from_digraph` up to ordering: node and
+        edge sets, labels, and weights round-trip exactly.  Used by the
+        snapshot loader, which must hand restored oracles a ``DiGraph``
+        for endpoint validation and node-failure expansion.
+        """
+        graph = DiGraph()
+        graph.add_nodes(self.node_ids)
+        node_ids = self.node_ids
+        for tail, row in enumerate(self._adjacency):
+            tail_label = node_ids[tail]
+            for head, weight, _ in row:
+                graph.add_edge(tail_label, node_ids[head], weight)
+        return graph
+
     def edge_id(self, tail_label: int, head_label: int) -> int:
         """Dense edge id of ``(tail, head)``; the failure-set currency.
 

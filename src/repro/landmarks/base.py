@@ -186,6 +186,20 @@ class FrozenLandmarkTable:
         self._outbound = [densify(d) for d in table._outbound]
         self._inbound = [densify(d) for d in table._inbound]
 
+    @classmethod
+    def _restore(cls, landmarks, outbound, inbound) -> "FrozenLandmarkTable":
+        """Rebuild a table from already-dense rows (snapshot loading).
+
+        ``outbound``/``inbound`` are sequences of per-landmark dense
+        rows indexed by CSR node index — lists or zero-copy memoryviews
+        over a mapped snapshot; both serve ``h`` lookups identically.
+        """
+        table = cls.__new__(cls)
+        table.landmarks = tuple(landmarks)
+        table._outbound = list(outbound)
+        table._inbound = list(inbound)
+        return table
+
     def __len__(self) -> int:
         return len(self.landmarks)
 

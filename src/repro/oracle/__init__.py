@@ -23,6 +23,11 @@ from repro.oracle.parallel import QueryEngine, ThroughputReport
 from repro.oracle.paths import query_path, validate_path
 from repro.oracle.serialize import load_index, save_index
 from repro.oracle.sizing import index_size_bytes, index_size_megabytes
+from repro.oracle.snapshot import (
+    load_snapshot,
+    save_snapshot,
+    snapshot_info,
+)
 
 __all__ = [
     "DistanceSensitivityOracle",
@@ -49,6 +54,9 @@ __all__ = [
     "validate_path",
     "save_index",
     "load_index",
+    "save_snapshot",
+    "load_snapshot",
+    "snapshot_info",
     "index_size_bytes",
     "index_size_megabytes",
 ]

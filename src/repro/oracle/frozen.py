@@ -102,6 +102,37 @@ class FrozenDISO(DistanceSensitivityOracle):
         self.freeze_seconds = time.perf_counter() - started
         self.preprocess_seconds = oracle.preprocess_seconds + self.freeze_seconds
 
+    @classmethod
+    def _restore(
+        cls,
+        graph: DiGraph,
+        frozen: FrozenGraph,
+        index: FrozenIndex,
+        fallback: FrozenGraph | None,
+        name: str,
+        exact: bool,
+        preprocess_seconds: float,
+        freeze_seconds: float,
+    ) -> "FrozenDISO":
+        """Rebuild an engine from already-compiled parts.
+
+        The snapshot loader (:mod:`repro.oracle.snapshot`) constructs
+        the compiled structures directly over mapped buffers; this
+        bypasses ``__init__`` (which compiles from a dict oracle) and
+        wires the finished parts together.
+        """
+        oracle = cls.__new__(cls)
+        DistanceSensitivityOracle.__init__(oracle, graph)
+        oracle.name = name
+        oracle.exact = exact
+        oracle.frozen = frozen
+        oracle.index = index
+        oracle._fallback = fallback
+        oracle._local = threading.local()
+        oracle.freeze_seconds = freeze_seconds
+        oracle.preprocess_seconds = preprocess_seconds
+        return oracle
+
     # ------------------------------------------------------------------
     # Arenas
     # ------------------------------------------------------------------
@@ -328,6 +359,19 @@ class FrozenADISO(FrozenDISO):
         self._landmark_entries = oracle.landmarks.size_in_entries()
         self.freeze_seconds += time.perf_counter() - started
         self.preprocess_seconds += time.perf_counter() - started
+
+    @classmethod
+    def _restore_adiso(
+        cls,
+        landmarks,
+        landmark_entries: int,
+        **parts,
+    ) -> "FrozenADISO":
+        """ADISO variant of :meth:`FrozenDISO._restore`."""
+        oracle = cls._restore(**parts)
+        oracle.landmarks = landmarks
+        oracle._landmark_entries = landmark_entries
+        return oracle
 
     def query_detailed(
         self,

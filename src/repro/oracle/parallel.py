@@ -5,23 +5,42 @@ algorithms never write to the index, "they can handle multiple queries
 in parallel, each of which is processed with a separate thread on the
 same index structure", linearly increasing throughput.
 
-:class:`QueryEngine` packages that pattern: a thread pool over a single
-oracle.  In CPython the GIL bounds the speed-up for pure-Python
-workloads, but the *correctness* claim — concurrent failure queries on
-one index, no locking, no cross-talk — holds and is what the tests
-verify.  On free-threaded builds (or with the hot loops compiled) the
-same code scales.
+:class:`QueryEngine` packages that pattern with two backends:
+
+* ``threads`` — a thread pool over a single in-memory oracle.  In
+  CPython the GIL bounds the speed-up for pure-Python workloads, but
+  the *correctness* claim — concurrent failure queries on one index, no
+  locking, no cross-talk — holds and is what the tests verify.
+* ``processes`` — for frozen oracles, the index is written once as a
+  binary snapshot (:mod:`repro.oracle.snapshot`) and served by a
+  :class:`repro.serving.QueryService` process pool, sidestepping the
+  GIL entirely: each worker maps the same read-only file and answers
+  its shard with a private interpreter.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from concurrent.futures import ThreadPoolExecutor
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.oracle.base import DistanceSensitivityOracle
 from repro.workload.queries import Query
+
+
+def latency_percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples``; 0.0 when empty.
+
+    >>> latency_percentile([3.0, 1.0, 2.0], 0.5)
+    2.0
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
 
 
 @dataclass
@@ -31,6 +50,7 @@ class ThroughputReport:
     answers: list[float]
     wall_seconds: float
     threads: int
+    latencies: list[float] = field(default_factory=list)
 
     @property
     def queries_per_second(self) -> float:
@@ -39,9 +59,19 @@ class ThroughputReport:
             return float("inf")
         return len(self.answers) / self.wall_seconds
 
+    @property
+    def p50_seconds(self) -> float:
+        """Median per-query latency."""
+        return latency_percentile(self.latencies, 0.50)
+
+    @property
+    def p99_seconds(self) -> float:
+        """Nearest-rank 99th percentile per-query latency."""
+        return latency_percentile(self.latencies, 0.99)
+
 
 class QueryEngine:
-    """A thread pool answering distance sensitivity queries.
+    """A worker pool answering distance sensitivity queries.
 
     Parameters
     ----------
@@ -51,7 +81,14 @@ class QueryEngine:
         performs update-then-rollback per query.  Passing an FDDO
         raises immediately rather than racing silently.
     threads:
-        Pool size.
+        Thread-pool size for the default in-process backend.
+    processes:
+        When > 0, batches run on a process pool instead: the oracle is
+        snapshotted to a temporary file on first use and served by
+        ``processes`` snapshot-mapped workers.  Requires a frozen
+        oracle (``DISO(...).freeze()`` or ``ADISO(...).freeze()``).
+        Call :meth:`close` (or use the engine as a context manager) to
+        reap the workers and the temporary snapshot.
 
     Examples
     --------
@@ -68,6 +105,7 @@ class QueryEngine:
         self,
         oracle: DistanceSensitivityOracle,
         threads: int = 4,
+        processes: int = 0,
     ) -> None:
         from repro.baselines.fddo import FDDOOracle
 
@@ -78,29 +116,105 @@ class QueryEngine:
             )
         if threads < 1:
             raise ValueError("threads must be >= 1")
+        if processes < 0:
+            raise ValueError("processes must be >= 0")
+        if processes:
+            from repro.oracle.frozen import FrozenDISO
+
+            if not isinstance(oracle, FrozenDISO):
+                raise ValueError(
+                    "the process backend serves snapshot files and needs a "
+                    "frozen oracle — call .freeze() on the DISO/ADISO first"
+                )
         self.oracle = oracle
         self.threads = threads
+        self.processes = processes
+        self._service = None
+        self._snapshot_dir = None
 
+    # ------------------------------------------------------------------
+    # Process backend plumbing
+    # ------------------------------------------------------------------
+    def _ensure_service(self):
+        """Snapshot the oracle and start the worker pool (first use)."""
+        if self._service is None:
+            import tempfile
+            from pathlib import Path
+
+            from repro.oracle.snapshot import save_snapshot
+            from repro.serving import QueryService
+
+            self._snapshot_dir = tempfile.TemporaryDirectory(
+                prefix="dso-engine-"
+            )
+            path = Path(self._snapshot_dir.name) / "oracle.dsosnap"
+            save_snapshot(self.oracle, path)
+            self._service = QueryService(path, workers=self.processes)
+            self._service.start()
+        return self._service
+
+    def close(self) -> None:
+        """Stop process-backend workers and delete the temp snapshot."""
+        if self._service is not None:
+            self._service.stop()
+            self._service = None
+        if self._snapshot_dir is not None:
+            self._snapshot_dir.cleanup()
+            self._snapshot_dir = None
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
     def run(self, queries: Sequence[Query]) -> ThroughputReport:
         """Answer ``queries`` concurrently; results keep input order."""
+        if self.processes:
+            report = self._ensure_service().run(queries)
+            return ThroughputReport(
+                answers=report.answers,
+                wall_seconds=report.wall_seconds,
+                threads=self.processes,
+                latencies=report.latencies,
+            )
         oracle = self.oracle
+        perf = time.perf_counter
 
-        def answer(query: Query) -> float:
-            return oracle.query(query.source, query.target, query.failed)
+        def answer(query: Query) -> tuple[float, float]:
+            tick = perf()
+            value = oracle.query(query.source, query.target, query.failed)
+            return value, perf() - tick
 
-        started = time.perf_counter()
+        started = perf()
         with ThreadPoolExecutor(max_workers=self.threads) as pool:
-            answers = list(pool.map(answer, queries))
-        wall = time.perf_counter() - started
+            results = list(pool.map(answer, queries))
+        wall = perf() - started
         return ThroughputReport(
-            answers=answers, wall_seconds=wall, threads=self.threads
+            answers=[value for value, _ in results],
+            wall_seconds=wall,
+            threads=self.threads,
+            latencies=[lat for _, lat in results],
         )
 
     def run_sequential(self, queries: Sequence[Query]) -> ThroughputReport:
         """Single-threaded reference run for comparing throughput."""
-        started = time.perf_counter()
-        answers = [
-            self.oracle.query(q.source, q.target, q.failed) for q in queries
-        ]
-        wall = time.perf_counter() - started
-        return ThroughputReport(answers=answers, wall_seconds=wall, threads=1)
+        oracle = self.oracle
+        perf = time.perf_counter
+        answers: list[float] = []
+        latencies: list[float] = []
+        started = perf()
+        for q in queries:
+            tick = perf()
+            answers.append(oracle.query(q.source, q.target, q.failed))
+            latencies.append(perf() - tick)
+        wall = perf() - started
+        return ThroughputReport(
+            answers=answers,
+            wall_seconds=wall,
+            threads=1,
+            latencies=latencies,
+        )

@@ -4,7 +4,11 @@ Preprocessing dominates oracle cost (one bounded Dijkstra per transit
 node plus landmark Dijkstras), so a production deployment builds the
 index once and ships it.  The format is a single JSON document holding
 the graph, the transit set, the overlay with weights, every bounded
-tree (parents + distances), and — for ADISO — the landmark tables.
+tree (parents + distances), and per-family extras: landmark tables
+(ADISO and descendants), sparsification bookkeeping plus the original
+graph (DISO-S), and the second overlay ``H`` with its trees (ADISO-P).
+The oracle class travels by name and resolves through a registry on
+load.
 The inverted tree index is *not* stored: it is derivable from the trees
 in linear time and rebuilding it on load is cheaper than parsing it.
 
@@ -69,13 +73,58 @@ def _tree_from_obj(obj: dict[str, Any]) -> ShortestPathTree:
     return tree
 
 
-def save_index(oracle: DISO, target: str | Path | TextIO) -> None:
-    """Serialize ``oracle`` (DISO, DISO-B, or ADISO) to JSON.
+def _registry() -> dict[str, type]:
+    """Name -> class for every serializable oracle family.
 
-    The approximate variants (DISO-S, ADISO-P) hold extra derived
-    structures and original-graph references; persist their base
-    parameters and rebuild instead.
+    Imported lazily: the boosted variants import pathing/cover modules
+    that in turn import this package.
     """
+    from repro.oracle.adiso_p import ADISOPartial
+    from repro.oracle.diso_bi import DISOBidirectional
+    from repro.oracle.diso_s import DISOSparse
+
+    return {
+        "DISO": DISO,
+        "DISOBidirectional": DISOBidirectional,
+        "ADISO": ADISO,
+        "DISOSparse": DISOSparse,
+        "ADISOPartial": ADISOPartial,
+    }
+
+
+def _sparsification_to_obj(result) -> dict[str, Any]:
+    # The sparsified graph itself is stored elsewhere in the document
+    # (as the oracle's graph or overlay); only the bookkeeping travels.
+    return {
+        "removed": [[t, h, w] for (t, h), w in sorted(result.removed.items())],
+        "protected": [list(edge) for edge in sorted(result.protected)],
+        "beta": result.beta,
+    }
+
+
+def _sparsification_from_obj(obj: dict[str, Any], graph: DiGraph):
+    from repro.overlay.sparsify import SparsificationResult
+
+    return SparsificationResult(
+        graph=graph,
+        removed={(t, h): w for t, h, w in obj["removed"]},
+        protected={(t, h) for t, h in obj["protected"]},
+        beta=obj["beta"],
+    )
+
+
+def save_index(oracle: DISO, target: str | Path | TextIO) -> None:
+    """Serialize ``oracle`` to JSON.
+
+    Every persistent family is supported: DISO, DISO-B, ADISO, and the
+    boosted variants DISO-S (plus its sparsification bookkeeping and
+    original-graph fallback) and ADISO-P (plus the second overlay ``H``
+    and its trees).  The class travels by name and is resolved through
+    a registry on load.
+    """
+    from repro.oracle.adiso_p import ADISOPartial
+    from repro.oracle.diso_s import DISOSparse
+
     document: dict[str, Any] = {
         "format_version": FORMAT_VERSION,
         "oracle": type(oracle).__name__,
@@ -99,6 +148,24 @@ def save_index(oracle: DISO, target: str | Path | TextIO) -> None:
                 {str(k): v for k, v in table.items()}
                 for table in oracle.landmarks._inbound
             ],
+        }
+    if isinstance(oracle, DISOSparse):
+        document["sparse"] = {
+            "original_graph": _graph_to_obj(oracle.original_graph),
+            "beta": oracle.beta,
+            "input": _sparsification_to_obj(oracle.input_sparsification),
+            "overlay": _sparsification_to_obj(oracle.overlay_sparsification),
+        }
+    if isinstance(oracle, ADISOPartial):
+        document["partial"] = {
+            "h_overlay": _graph_to_obj(oracle.h_overlay.graph),
+            "h_transit": sorted(oracle.h_overlay.transit),
+            "h_trees": [
+                _tree_to_obj(oracle.h_trees[root])
+                for root in sorted(oracle.h_trees)
+            ],
+            "exit_candidates": oracle.exit_candidates,
+            "avoid_affected_bias": oracle.avoid_affected_bias,
         }
 
     close_after = False
@@ -144,14 +211,7 @@ def load_index(source: str | Path | TextIO) -> DISO:
             f"(expected {FORMAT_VERSION})"
         )
     class_name = document.get("oracle")
-    from repro.oracle.diso_bi import DISOBidirectional
-
-    classes = {
-        "DISO": DISO,
-        "DISOBidirectional": DISOBidirectional,
-        "ADISO": ADISO,
-    }
-    oracle_cls = classes.get(class_name)
+    oracle_cls = _registry().get(class_name)
     if oracle_cls is None:
         raise FormatError(f"unknown oracle class {class_name!r}")
 
@@ -173,7 +233,7 @@ def load_index(source: str | Path | TextIO) -> DISO:
     oracle.inverted_index = InvertedTreeIndex.from_trees(trees)
     oracle.preprocess_seconds = document.get("preprocess_seconds", 0.0)
 
-    if oracle_cls is ADISO:
+    if issubclass(oracle_cls, ADISO):
         landmark_obj = document["landmarks"]
         table = LandmarkTable.__new__(LandmarkTable)
         table.landmarks = tuple(landmark_obj["nodes"])
@@ -186,4 +246,35 @@ def load_index(source: str | Path | TextIO) -> DISO:
             for entry in landmark_obj["inbound"]
         ]
         oracle.landmarks = table
+
+    from repro.oracle.adiso_p import ADISOPartial
+    from repro.oracle.diso_s import DISOSparse
+
+    if issubclass(oracle_cls, DISOSparse):
+        sparse_obj = document["sparse"]
+        oracle.original_graph = _graph_from_obj(sparse_obj["original_graph"])
+        oracle.beta = sparse_obj["beta"]
+        oracle.input_sparsification = _sparsification_from_obj(
+            sparse_obj["input"], oracle.graph
+        )
+        oracle.overlay_sparsification = _sparsification_from_obj(
+            sparse_obj["overlay"], oracle.distance_graph.graph
+        )
+    if issubclass(oracle_cls, ADISOPartial):
+        partial_obj = document["partial"]
+        oracle.h_overlay = DistanceGraph(
+            graph=_graph_from_obj(partial_obj["h_overlay"]),
+            transit=frozenset(partial_obj["h_transit"]),
+        )
+        oracle.h_trees = {
+            obj["root"]: _tree_from_obj(obj)
+            for obj in partial_obj["h_trees"]
+        }
+        node_to_h: dict[int, set[int]] = {}
+        for root, tree in oracle.h_trees.items():
+            for node in tree.nodes():
+                node_to_h.setdefault(node, set()).add(root)
+        oracle._node_to_h_roots = node_to_h
+        oracle.exit_candidates = partial_obj["exit_candidates"]
+        oracle.avoid_affected_bias = partial_obj["avoid_affected_bias"]
     return oracle

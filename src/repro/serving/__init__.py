@@ -1,0 +1,16 @@
+"""Multi-core serving plane: process-pool query service over snapshots.
+
+One preprocessed oracle, frozen and saved as a binary snapshot
+(:mod:`repro.oracle.snapshot`), is mapped read-only by N worker
+processes; a dispatcher shards query batches across them over pipes and
+aggregates answers with latency statistics.  Because queries never
+write to the index (the paper's stall-avoidance design), workers share
+the mapped pages without any locking — throughput scales with cores
+instead of being GIL-capped like the thread pool in
+:class:`repro.oracle.parallel.QueryEngine`.
+"""
+
+from repro.serving.service import QueryService, ServeReport, WorkerStats
+from repro.serving.worker import worker_main
+
+__all__ = ["QueryService", "ServeReport", "WorkerStats", "worker_main"]

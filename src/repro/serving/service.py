@@ -1,0 +1,385 @@
+"""The dispatcher: shard query batches across snapshot-mapped workers.
+
+:class:`QueryService` owns a pool of worker processes
+(:func:`repro.serving.worker.worker_main`), each of which maps the same
+snapshot file read-only.  ``run()`` splits a query batch into
+contiguous chunks, deals them round-robin across the pool, and streams
+results back over pipes — restoring input order, aggregating per-query
+latencies, and keeping per-worker accounting.  A worker that dies
+mid-batch is replaced and its outstanding chunks are resubmitted to the
+replacement, so one crash costs one chunk of rework, not the run.
+
+The dispatcher itself never loads the oracle: the only artifacts it
+touches are the snapshot path (a string) and the query/answer tuples on
+the pipes.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from pathlib import Path
+from collections.abc import Sequence
+
+from repro.oracle.parallel import latency_percentile
+from repro.serving.worker import worker_main
+from repro.workload.queries import Query
+
+#: Seconds to wait for a freshly spawned worker to map the snapshot.
+_READY_TIMEOUT = 60.0
+#: Poll interval while waiting for batch results (liveness checks).
+_POLL_SECONDS = 0.5
+
+
+@dataclass
+class WorkerStats:
+    """Accounting for one worker slot across a ``run()`` call."""
+
+    index: int
+    pid: int = 0
+    queries: int = 0
+    batches: int = 0
+    busy_seconds: float = 0.0
+    load_seconds: float = 0.0
+    restarts: int = 0
+
+
+@dataclass
+class ServeReport:
+    """Aggregate outcome of one sharded batch run."""
+
+    answers: list[float]
+    latencies: list[float]
+    wall_seconds: float
+    workers: int
+    per_worker: list[WorkerStats] = field(default_factory=list)
+    restarts: int = 0
+
+    @property
+    def queries_per_second(self) -> float:
+        """Aggregate observed throughput."""
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return len(self.answers) / self.wall_seconds
+
+    @property
+    def p50_seconds(self) -> float:
+        """Median per-query latency (inside-worker, excludes transport)."""
+        return latency_percentile(self.latencies, 0.50)
+
+    @property
+    def p99_seconds(self) -> float:
+        """Nearest-rank 99th percentile per-query latency."""
+        return latency_percentile(self.latencies, 0.99)
+
+    def summary(self) -> dict:
+        """The comparison row shared with ``ThroughputReport``."""
+        return {
+            "workers": self.workers,
+            "queries": len(self.answers),
+            "qps": round(self.queries_per_second, 2),
+            "p50_us": round(1e6 * self.p50_seconds, 3),
+            "p99_us": round(1e6 * self.p99_seconds, 3),
+            "restarts": self.restarts,
+        }
+
+
+class _WorkerHandle:
+    """One live worker process plus its pipe and outstanding chunks."""
+
+    __slots__ = ("index", "process", "conn", "outstanding", "load_seconds",
+                 "pid")
+
+    def __init__(self, index, process, conn, load_seconds, pid) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.load_seconds = load_seconds
+        self.pid = pid
+        #: ``{batch_id: (start, queries)}`` sent but not yet answered.
+        self.outstanding: dict[int, tuple[int, list]] = {}
+
+
+def _wire_query(query) -> tuple:
+    """Normalize a Query / (s, t, F) triple to the pipe representation."""
+    if isinstance(query, Query):
+        failed = tuple(query.failed) if query.failed else None
+        return (query.source, query.target, failed)
+    source, target, failed = query
+    return (source, target, tuple(failed) if failed else None)
+
+
+class QueryService:
+    """A process pool serving DISO/ADISO queries from one snapshot.
+
+    Parameters
+    ----------
+    snapshot_path:
+        File written by :func:`repro.oracle.snapshot.save_snapshot`.
+        Every worker maps it independently; the OS shares the pages.
+    workers:
+        Pool size (>= 1).
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork``
+        (instant worker startup) and falls back to ``spawn``.
+    chunk_size:
+        Queries per dispatched chunk; default splits each batch into
+        roughly four chunks per worker to smooth load imbalance.
+    max_restarts:
+        Worker replacements tolerated within one ``run()`` before
+        giving up with ``RuntimeError``.
+
+    Examples
+    --------
+    >>> from repro import DISO, road_network, generate_queries
+    >>> from repro.oracle.snapshot import save_snapshot
+    >>> from repro.serving import QueryService
+    >>> g = road_network(8, 8, seed=1)
+    >>> path = save_snapshot(DISO(g, tau=3).freeze(), "/tmp/doc.dsosnap")
+    >>> with QueryService(path, workers=2) as service:
+    ...     report = service.run(generate_queries(g, 6, seed=2))
+    >>> len(report.answers)
+    6
+    """
+
+    def __init__(
+        self,
+        snapshot_path: str | Path,
+        workers: int = 2,
+        start_method: str | None = None,
+        chunk_size: int | None = None,
+        max_restarts: int | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.snapshot_path = str(snapshot_path)
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.max_restarts = (
+            max_restarts if max_restarts is not None else 3 * workers
+        )
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self._pool: list[_WorkerHandle] = []
+        self._restart_counts: list[int] = [0] * workers
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "QueryService":
+        """Spawn the pool; blocks until every worker mapped the snapshot."""
+        if self._started:
+            return self
+        self._pool = [self._spawn(index) for index in range(self.workers)]
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Shut the pool down, terminating any unresponsive worker."""
+        for handle in self._pool:
+            try:
+                handle.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for handle in self._pool:
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+            handle.conn.close()
+        self._pool = []
+        self._started = False
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _spawn(self, index: int) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(self.snapshot_path, child_conn, index),
+            daemon=True,
+            name=f"dso-worker-{index}",
+        )
+        process.start()
+        child_conn.close()
+        if not parent_conn.poll(_READY_TIMEOUT):
+            process.terminate()
+            raise RuntimeError(
+                f"worker {index} did not become ready within "
+                f"{_READY_TIMEOUT:.0f}s"
+            )
+        message = parent_conn.recv()
+        if message[0] == "error":
+            process.join(timeout=5.0)
+            raise RuntimeError(
+                f"worker {index} failed to load snapshot "
+                f"{self.snapshot_path!r}: {message[2]}"
+            )
+        info = message[2]
+        return _WorkerHandle(
+            index=index,
+            process=process,
+            conn=parent_conn,
+            load_seconds=info.get("load_seconds", 0.0),
+            pid=info.get("pid", process.pid or 0),
+        )
+
+    def _replace(self, handle: _WorkerHandle) -> _WorkerHandle:
+        """Spawn a replacement and re-dispatch the dead worker's chunks."""
+        handle.conn.close()
+        if handle.process.is_alive():
+            handle.process.terminate()
+        handle.process.join(timeout=5.0)
+        replacement = self._spawn(handle.index)
+        self._restart_counts[handle.index] += 1
+        for batch_id, (start, chunk) in handle.outstanding.items():
+            replacement.outstanding[batch_id] = (start, chunk)
+            replacement.conn.send(("batch", batch_id, chunk))
+        self._pool[handle.index] = replacement
+        return replacement
+
+    @property
+    def total_restarts(self) -> int:
+        """Worker replacements since ``start()``, across all runs."""
+        return sum(self._restart_counts)
+
+    def _ensure_alive(self) -> None:
+        """Replace any worker that died while the service was idle."""
+        for handle in list(self._pool):
+            if not handle.process.is_alive():
+                self._replace(handle)
+
+    # ------------------------------------------------------------------
+    # Test hook
+    # ------------------------------------------------------------------
+    def inject_crash(self, worker_index: int) -> None:
+        """Ask one worker to die (exercises the replacement path)."""
+        self._pool[worker_index].conn.send(("crash",))
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def run(
+        self, queries: Sequence, chunk_size: int | None = None
+    ) -> ServeReport:
+        """Answer ``queries`` across the pool; results keep input order.
+
+        ``queries`` may be :class:`~repro.workload.queries.Query`
+        objects or plain ``(source, target, failed)`` triples.
+
+        Raises
+        ------
+        RuntimeError
+            If worker replacements exceed ``max_restarts`` during this
+            run (e.g. a snapshot that crashes every worker).
+        """
+        if not self._started:
+            self.start()
+        self._ensure_alive()
+        wire = [_wire_query(query) for query in queries]
+        total = len(wire)
+        answers: list[float] = [float("nan")] * total
+        latencies: list[float] = [0.0] * total
+        stats = [
+            WorkerStats(
+                index=handle.index,
+                pid=handle.pid,
+                load_seconds=handle.load_seconds,
+            )
+            for handle in self._pool
+        ]
+        started = time.perf_counter()
+        if total:
+            size = chunk_size or self.chunk_size
+            if size is None:
+                size = max(1, math.ceil(total / (self.workers * 4)))
+            pending: dict[int, int] = {}  # batch_id -> worker slot
+            batch_id = 0
+            for start in range(0, total, size):
+                chunk = wire[start : start + size]
+                slot = batch_id % self.workers
+                handle = self._pool[slot]
+                handle.outstanding[batch_id] = (start, chunk)
+                handle.conn.send(("batch", batch_id, chunk))
+                pending[batch_id] = slot
+                batch_id += 1
+
+            restarts_this_run = 0
+            while pending:
+                conns = {
+                    handle.conn: handle
+                    for handle in self._pool
+                    if handle.outstanding
+                }
+                ready = connection_wait(list(conns), timeout=_POLL_SECONDS)
+                if not ready:
+                    # Nothing arrived: check for silent deaths.
+                    for handle in list(conns.values()):
+                        if not handle.process.is_alive():
+                            restarts_this_run += self._check_restart_budget(
+                                restarts_this_run
+                            )
+                            replacement = self._replace(handle)
+                            for bid in replacement.outstanding:
+                                pending[bid] = replacement.index
+                            stats[handle.index].restarts += 1
+                    continue
+                for conn in ready:
+                    handle = conns[conn]
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        restarts_this_run += self._check_restart_budget(
+                            restarts_this_run
+                        )
+                        replacement = self._replace(handle)
+                        for bid in replacement.outstanding:
+                            pending[bid] = replacement.index
+                        stats[handle.index].restarts += 1
+                        continue
+                    if message[0] == "error":
+                        raise RuntimeError(
+                            f"worker {handle.index}: {message[2]}"
+                        )
+                    if message[0] != "result":
+                        continue
+                    _, bid, _, chunk_answers, chunk_latencies, busy = message
+                    start, _chunk = handle.outstanding.pop(bid)
+                    pending.pop(bid, None)
+                    answers[start : start + len(chunk_answers)] = chunk_answers
+                    latencies[start : start + len(chunk_latencies)] = (
+                        chunk_latencies
+                    )
+                    slot_stats = stats[handle.index]
+                    slot_stats.queries += len(chunk_answers)
+                    slot_stats.batches += 1
+                    slot_stats.busy_seconds += busy
+        wall = time.perf_counter() - started
+        return ServeReport(
+            answers=answers,
+            latencies=latencies,
+            wall_seconds=wall,
+            workers=self.workers,
+            per_worker=stats,
+            restarts=sum(s.restarts for s in stats),
+        )
+
+    def _check_restart_budget(self, restarts_this_run: int) -> int:
+        """Increment-or-raise: returns 1 while under budget."""
+        if restarts_this_run + 1 > self.max_restarts:
+            self.stop()
+            raise RuntimeError(
+                f"exceeded {self.max_restarts} worker restarts in one run; "
+                f"snapshot {self.snapshot_path!r} appears to crash workers"
+            )
+        return 1

@@ -1,0 +1,96 @@
+"""Worker-process bootstrap for the query service.
+
+Each worker maps the snapshot file exactly once at startup (sharing the
+read-only pages with every sibling), keeps its warm per-thread
+:class:`~repro.graph.csr.SearchArena` set through the restored engine,
+and then answers query batches received over its pipe until told to
+stop.  Queries travel as plain ``(source, target, failed_edges)``
+tuples and answers as float lists — the index itself never crosses the
+pipe.
+
+Message protocol (tuples, first element is the kind):
+
+``("batch", batch_id, queries)``
+    Answer ``queries`` (a list of ``(s, t, failed)`` with ``failed`` a
+    tuple of edge pairs or ``None``); reply
+    ``("result", batch_id, worker_id, answers, latencies, busy_seconds)``.
+``("ping",)``
+    Reply ``("pong", worker_id)`` — liveness probe.
+``("crash",)``
+    Exit immediately without replying (test hook for the dispatcher's
+    worker-replacement path).
+``("stop",)``
+    Close the pipe and exit cleanly.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def answer_batch(oracle, queries) -> tuple[list[float], list[float]]:
+    """Answer ``queries`` on ``oracle``; return (answers, latencies)."""
+    answers: list[float] = []
+    latencies: list[float] = []
+    query = oracle.query
+    perf = time.perf_counter
+    for source, target, failed in queries:
+        started = perf()
+        answers.append(
+            query(source, target, frozenset(failed) if failed else None)
+        )
+        latencies.append(perf() - started)
+    return answers, latencies
+
+
+def worker_main(snapshot_path: str, conn, worker_id: int) -> None:
+    """Run one worker: map the snapshot, then serve batches until stop."""
+    from repro.oracle.snapshot import load_snapshot
+
+    try:
+        started = time.perf_counter()
+        oracle = load_snapshot(snapshot_path)
+        load_seconds = time.perf_counter() - started
+    except Exception as exc:  # surface load failures to the dispatcher
+        try:
+            conn.send(("error", worker_id, f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+
+    conn.send(
+        (
+            "ready",
+            worker_id,
+            {
+                "pid": os.getpid(),
+                "load_seconds": load_seconds,
+                "oracle": oracle.name,
+            },
+        )
+    )
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "batch":
+                _, batch_id, queries = message
+                tick = time.perf_counter()
+                answers, latencies = answer_batch(oracle, queries)
+                busy = time.perf_counter() - tick
+                conn.send(
+                    ("result", batch_id, worker_id, answers, latencies, busy)
+                )
+            elif kind == "ping":
+                conn.send(("pong", worker_id))
+            elif kind == "crash":
+                os._exit(13)
+            elif kind == "stop":
+                break
+            else:
+                conn.send(("error", worker_id, f"unknown message {kind!r}"))
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+        pass
+    finally:
+        conn.close()

@@ -1,0 +1,75 @@
+"""The bench result emitter must survive corrupt checked-in files.
+
+``merge_json`` (and ``merge_latency_json`` on top of it) read-merge-
+write a repo-root JSON file.  A truncated or hand-mangled file must not
+brick every future bench run: the bad file is quarantined to
+``<name>.corrupt`` and the merge starts fresh.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+
+from bench_util import merge_json, merge_latency_json  # noqa: E402
+
+
+def test_merge_into_fresh_file(tmp_path):
+    target = tmp_path / "out.json"
+    merge_json({"a": {"x": 1}}, target)
+    assert json.loads(target.read_text()) == {"a": {"x": 1}}
+
+
+def test_merge_preserves_existing_keys(tmp_path):
+    target = tmp_path / "out.json"
+    merge_json({"a": {"x": 1}}, target)
+    merge_json({"b": {"y": 2}}, target)
+    assert json.loads(target.read_text()) == {"a": {"x": 1}, "b": {"y": 2}}
+
+
+def test_merge_overwrites_same_key(tmp_path):
+    target = tmp_path / "out.json"
+    merge_json({"a": {"x": 1}}, target)
+    merge_json({"a": {"x": 9}}, target)
+    assert json.loads(target.read_text()) == {"a": {"x": 9}}
+
+
+@pytest.mark.parametrize(
+    "bad_content",
+    [
+        '{"a": {"x": 1}',          # truncated mid-object
+        "not json at all",
+        '["a", "list", "not", "a", "dict"]',
+        "",                        # empty file
+        b"\xff\xfe garbage bytes".decode("latin-1"),
+    ],
+)
+def test_corrupt_file_is_quarantined_not_fatal(tmp_path, bad_content):
+    target = tmp_path / "out.json"
+    target.write_text(bad_content, encoding="utf-8")
+    merge_json({"fresh": {"x": 1}}, target)
+    assert json.loads(target.read_text()) == {"fresh": {"x": 1}}
+    backup = tmp_path / "out.json.corrupt"
+    assert backup.exists()
+    assert backup.read_text(encoding="utf-8") == bad_content
+
+
+def test_merge_latency_json_takes_explicit_path(tmp_path):
+    target = tmp_path / "latency.json"
+    merge_latency_json({"DISO@road": {"median_query_us": 5.0}}, target)
+    merge_latency_json({"ADISO@road": {"median_query_us": 7.0}}, target)
+    merged = json.loads(target.read_text())
+    assert set(merged) == {"DISO@road", "ADISO@road"}
+
+
+def test_output_is_sorted_and_newline_terminated(tmp_path):
+    target = tmp_path / "out.json"
+    merge_json({"zeta": {}, "alpha": {}}, target)
+    text = target.read_text()
+    assert text.endswith("\n")
+    assert text.index('"alpha"') < text.index('"zeta"')

@@ -151,3 +151,61 @@ class TestMain:
         )
         assert code == 0
         assert "ADISO" in capsys.readouterr().out
+
+
+class TestServingCommands:
+    def test_snapshot_then_serve_bench(self, tmp_path, capsys):
+        snap = tmp_path / "ny.dsosnap"
+        code = main(
+            ["snapshot", str(snap), "--dataset", "NY", "--scale", "0.1",
+             "--tau", "3"]
+        )
+        assert code == 0
+        assert snap.exists()
+        out = capsys.readouterr().out
+        assert "engine        : FrozenDISO" in out
+        assert "sections" in out
+
+        code = main(
+            ["serve-bench", str(snap), "--workers", "1,2", "--queries", "30"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "seq" in out
+        assert "speedup" in out
+
+    def test_snapshot_adiso(self, tmp_path, capsys):
+        snap = tmp_path / "ny-adiso.dsosnap"
+        code = main(
+            ["snapshot", str(snap), "--dataset", "NY", "--scale", "0.1",
+             "--oracle", "adiso", "--tau", "3"]
+        )
+        assert code == 0
+        assert "FrozenADISO" in capsys.readouterr().out
+
+    def test_serve_bench_rejects_bad_workers(self, tmp_path):
+        snap = tmp_path / "x.dsosnap"
+        main(
+            ["snapshot", str(snap), "--dataset", "NY", "--scale", "0.1",
+             "--tau", "3"]
+        )
+        with pytest.raises(SystemExit):
+            main(["serve-bench", str(snap), "--workers", "zero"])
+        with pytest.raises(SystemExit):
+            main(["serve-bench", str(snap), "--workers", "0"])
+
+    def test_build_boosted_families(self, tmp_path, capsys):
+        for name in ("diso-s", "adiso-p"):
+            index = tmp_path / f"{name}.json"
+            code = main(
+                ["build", str(index), "--oracle", name, "--dataset", "NY",
+                 "--scale", "0.1", "--tau", "3"]
+            )
+            assert code == 0
+            assert index.exists()
+        capsys.readouterr()
+        code = main(
+            ["query", "0", "20", "--index-file", str(tmp_path / "diso-s.json")]
+        )
+        assert code == 0
+        assert "DISO-S" in capsys.readouterr().out

@@ -1,0 +1,178 @@
+"""The process-pool serving plane must agree with in-process queries.
+
+Workers map the snapshot independently, so parity across the pipe —
+same answers, same order, for Query objects and plain tuples — is the
+core contract.  On top of that: chunk sharding must restore input
+order, a crashed worker must be replaced without losing answers, and
+the ``processes=`` backend of :class:`QueryEngine` must behave like its
+thread backend.  Pools stay at 2 workers and graphs small: this suite
+runs on one core in CI.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.oracle.diso import DISO
+from repro.oracle.parallel import (
+    QueryEngine,
+    ThroughputReport,
+    latency_percentile,
+)
+from repro.oracle.snapshot import save_snapshot
+from repro.serving import QueryService
+from repro.workload.queries import generate_queries
+from util import random_failures_from, random_graph
+
+
+@pytest.fixture(scope="module")
+def served():
+    """One frozen DISO, its snapshot on disk, and a generated batch."""
+    graph = random_graph(11, n=40, extra=90)
+    frozen = DISO(graph, tau=3).freeze()
+    batch = generate_queries(graph, 24, f_gen=3, p=0.01, seed=4)
+    expected = [frozen.query(q.source, q.target, q.failed) for q in batch]
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_snapshot(frozen, Path(tmp) / "o.dsosnap")
+        yield graph, frozen, path, batch, expected
+
+
+class TestQueryService:
+    def test_parity_and_order_two_workers(self, served):
+        _, _, path, batch, expected = served
+        with QueryService(path, workers=2) as service:
+            report = service.run(batch)
+        assert report.answers == expected
+        assert report.workers == 2
+        assert len(report.latencies) == len(batch)
+        assert all(latency >= 0.0 for latency in report.latencies)
+
+    def test_accepts_plain_tuples_and_failure_sets(self, served):
+        graph, frozen, path, _, _ = served
+        failed = random_failures_from(graph, 5, 3)
+        triples = [(0, 9, None), (3, 3, None), (1, 17, tuple(failed))]
+        expected = [
+            frozen.query(s, t, frozenset(f) if f else None)
+            for s, t, f in triples
+        ]
+        with QueryService(path, workers=2) as service:
+            assert service.run(triples).answers == expected
+
+    def test_tiny_chunks_exercise_many_batches(self, served):
+        _, _, path, batch, expected = served
+        with QueryService(path, workers=2, chunk_size=1) as service:
+            report = service.run(batch)
+        assert report.answers == expected
+        assert sum(s.batches for s in report.per_worker) == len(batch)
+        # Round-robin dealing touches both workers.
+        assert all(s.queries > 0 for s in report.per_worker)
+
+    def test_empty_batch(self, served):
+        _, _, path, _, _ = served
+        with QueryService(path, workers=2) as service:
+            report = service.run([])
+        assert report.answers == []
+        assert report.queries_per_second == pytest.approx(0.0)
+
+    def test_crashed_worker_is_replaced(self, served):
+        _, _, path, batch, expected = served
+        with QueryService(path, workers=2) as service:
+            first = service.run(batch)
+            assert first.answers == expected
+            victim = service._pool[0].process
+            service.inject_crash(0)
+            for _ in range(200):
+                if not victim.is_alive():
+                    break
+                time.sleep(0.05)
+            assert not victim.is_alive()
+            report = service.run(batch)
+        assert report.answers == expected
+
+    def test_crash_mid_run_resends_outstanding_chunks(self, served):
+        _, _, path, batch, expected = served
+        with QueryService(path, workers=2) as service:
+            # The crash message is queued ahead of this run's chunks;
+            # depending on timing the worker dies either just before the
+            # run (replaced by the idle liveness check) or mid-run while
+            # holding chunks (replaced and its work re-dispatched).
+            # Either way the service must replace it and answer fully.
+            service.inject_crash(1)
+            report = service.run(batch)
+            assert service.total_restarts >= 1
+        assert report.answers == expected
+
+    def test_missing_snapshot_fails_fast(self, tmp_path):
+        with pytest.raises(RuntimeError, match="failed to load"):
+            QueryService(tmp_path / "nope.dsosnap", workers=1).start()
+
+    def test_rejects_bad_worker_count(self, served):
+        _, _, path, _, _ = served
+        with pytest.raises(ValueError):
+            QueryService(path, workers=0)
+
+    def test_report_summary_schema(self, served):
+        _, _, path, batch, _ = served
+        with QueryService(path, workers=1) as service:
+            summary = service.run(batch).summary()
+        assert set(summary) == {
+            "workers", "queries", "qps", "p50_us", "p99_us", "restarts",
+        }
+
+
+class TestQueryEngineProcessBackend:
+    def test_parity_with_thread_backend(self, served):
+        _, frozen, _, batch, expected = served
+        with QueryEngine(frozen, processes=2) as engine:
+            report = engine.run(batch)
+        assert report.answers == expected
+        assert report.threads == 2
+        assert len(report.latencies) == len(batch)
+
+    def test_requires_frozen_oracle(self):
+        dict_oracle = DISO(random_graph(12), tau=3)
+        with pytest.raises(ValueError, match="frozen"):
+            QueryEngine(dict_oracle, processes=2)
+
+    def test_close_is_idempotent(self, served):
+        _, frozen, _, batch, _ = served
+        engine = QueryEngine(frozen, processes=1)
+        engine.run(batch[:4])
+        engine.close()
+        engine.close()
+
+
+class TestThroughputPercentiles:
+    def test_latency_percentile_nearest_rank(self):
+        samples = [0.004, 0.001, 0.002, 0.003]
+        assert latency_percentile(samples, 0.50) == 0.002
+        assert latency_percentile(samples, 0.99) == 0.004
+        assert latency_percentile([], 0.99) == 0.0
+        assert latency_percentile([7.0], 0.50) == 7.0
+
+    def test_report_properties(self):
+        report = ThroughputReport(
+            answers=[1.0, 2.0, 3.0],
+            wall_seconds=0.5,
+            threads=2,
+            latencies=[0.010, 0.030, 0.020],
+        )
+        assert report.queries_per_second == pytest.approx(6.0)
+        assert report.p50_seconds == pytest.approx(0.020)
+        assert report.p99_seconds == pytest.approx(0.030)
+
+    def test_thread_and_sequential_runs_record_latencies(self):
+        graph = random_graph(13)
+        engine = QueryEngine(DISO(graph, tau=3), threads=2)
+        batch = generate_queries(graph, 6, f_gen=2, p=0.01, seed=1)
+        threaded = engine.run(batch)
+        sequential = engine.run_sequential(batch)
+        assert threaded.answers == sequential.answers
+        assert len(threaded.latencies) == len(batch)
+        assert len(sequential.latencies) == len(batch)
+        assert sequential.p99_seconds >= sequential.p50_seconds > 0.0

@@ -109,6 +109,10 @@ def run(smoke: bool = False, query_count: int | None = None) -> dict:
             assert report.answers == expected, (
                 f"{workers}-worker answers diverge from sequential baseline"
             )
+            assert report.error_count == 0, (
+                f"{workers}-worker run reported per-query errors on a "
+                f"clean workload: {report.error_indices[:5]}"
+            )
             row = report.summary()
             row["speedup_vs_sequential"] = round(
                 report.queries_per_second / seq["qps"], 3
@@ -117,7 +121,8 @@ def run(smoke: bool = False, query_count: int | None = None) -> dict:
             print(
                 f"{workers:>9} wkr: qps {row['qps']:>9.1f}  "
                 f"p50 {row['p50_us']:>7.1f}us  p99 {row['p99_us']:>7.1f}us  "
-                f"speedup {row['speedup_vs_sequential']:.2f}x"
+                f"speedup {row['speedup_vs_sequential']:.2f}x  "
+                f"errors {row['errors']}  restarts {row['restarts']}"
             )
     return result
 

@@ -299,24 +299,36 @@ def _run_serve_bench(args) -> int:
     print(f"snapshot  : {args.snapshot_file} ({oracle.name})")
     print(f"queries   : {len(queries)}  (seed {args.seed})")
     print(f"{'workers':>8} {'qps':>10} {'p50 us':>9} {'p99 us':>9} "
-          f"{'speedup':>8}")
-    print(f"{'seq':>8} {base_qps:>10.1f} {'-':>9} {'-':>9} {1.0:>8.2f}")
+          f"{'speedup':>8} {'errors':>7} {'restarts':>9}")
+    print(f"{'seq':>8} {base_qps:>10.1f} {'-':>9} {'-':>9} {1.0:>8.2f} "
+          f"{'-':>7} {'-':>9}")
     for workers in worker_counts:
         with QueryService(
             args.snapshot_file, workers=workers, chunk_size=args.chunk_size
         ) as service:
             report = service.run(queries)
-        if report.answers != baseline:
+        # Errored queries answer NaN by design; parity holds on the rest.
+        diverged = [
+            position
+            for position, (got, want) in enumerate(
+                zip(report.answers, baseline)
+            )
+            if report.errors[position] is None and got != want
+        ]
+        if diverged:
             raise SystemExit(
                 f"error: {workers}-worker answers diverge from the "
-                "sequential baseline"
+                f"sequential baseline at positions {diverged[:5]}"
             )
         print(
             f"{workers:>8} {report.queries_per_second:>10.1f} "
             f"{1e6 * report.p50_seconds:>9.1f} "
             f"{1e6 * report.p99_seconds:>9.1f} "
-            f"{report.queries_per_second / base_qps:>8.2f}"
+            f"{report.queries_per_second / base_qps:>8.2f} "
+            f"{report.error_count:>7} {report.restarts:>9}"
         )
+        for position in report.error_indices[:5]:
+            print(f"  query {position} error: {report.errors[position]}")
     return 0
 
 

@@ -51,6 +51,11 @@ class ThroughputReport:
     wall_seconds: float
     threads: int
     latencies: list[float] = field(default_factory=list)
+    #: Per-query error messages (process backend only), aligned with
+    #: ``answers``; ``None`` for a query that succeeded.  The thread
+    #: backend shares one in-process oracle and lets query exceptions
+    #: propagate, so this stays empty there.
+    errors: list[str | None] = field(default_factory=list)
 
     @property
     def queries_per_second(self) -> float:
@@ -68,6 +73,11 @@ class ThroughputReport:
     def p99_seconds(self) -> float:
         """Nearest-rank 99th percentile per-query latency."""
         return latency_percentile(self.latencies, 0.99)
+
+    @property
+    def error_count(self) -> int:
+        """Number of queries that came back as per-query errors."""
+        return sum(1 for message in self.errors if message is not None)
 
 
 class QueryEngine:
@@ -180,6 +190,7 @@ class QueryEngine:
                 wall_seconds=report.wall_seconds,
                 threads=self.processes,
                 latencies=report.latencies,
+                errors=report.errors,
             )
         oracle = self.oracle
         perf = time.perf_counter

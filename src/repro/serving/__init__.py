@@ -10,7 +10,23 @@ instead of being GIL-capped like the thread pool in
 :class:`repro.oracle.parallel.QueryEngine`.
 """
 
+from repro.serving.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
 from repro.serving.service import QueryService, ServeReport, WorkerStats
-from repro.serving.worker import worker_main
+from repro.serving.worker import QUERY_ERROR, worker_main
 
-__all__ = ["QueryService", "ServeReport", "WorkerStats", "worker_main"]
+__all__ = [
+    "QueryService",
+    "ServeReport",
+    "WorkerStats",
+    "worker_main",
+    "QUERY_ERROR",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "InjectedFault",
+]

@@ -5,9 +5,27 @@
 snapshot file read-only.  ``run()`` splits a query batch into
 contiguous chunks, deals them round-robin across the pool, and streams
 results back over pipes — restoring input order, aggregating per-query
-latencies, and keeping per-worker accounting.  A worker that dies
-mid-batch is replaced and its outstanding chunks are resubmitted to the
-replacement, so one crash costs one chunk of rework, not the run.
+latencies, and keeping per-worker accounting.
+
+Failure semantics (v2, spec in DESIGN.md §8) — an oracle built to keep
+answering under edge failures should itself degrade per-query, not
+per-run:
+
+* a query that raises inside a worker comes back as a per-query error
+  (NaN answer + message in :attr:`ServeReport.errors`) with **zero**
+  worker restarts — poison queries cannot start a crash-replace-resend
+  loop;
+* a worker that dies mid-batch is replaced and its outstanding chunks
+  are re-sent to the replacement, so one crash costs one chunk of
+  rework, not the run;
+* every ``run()`` is fenced by a monotonically increasing *epoch*
+  stamped into each batch id; results echoing a stale epoch (a
+  previous, possibly aborted, run) are dropped instead of spliced into
+  the wrong positions, and outstanding bookkeeping is cleared on every
+  raise path so an aborted run never poisons the next one;
+* a worker silent past ``batch_timeout`` is pinged: if it answers the
+  pong (alive, but a result was lost) its chunks are re-sent; if it
+  stays silent past ``ping_timeout`` (hung or wedged) it is replaced.
 
 The dispatcher itself never loads the oracle: the only artifacts it
 touches are the snapshot path (a string) and the query/answer tuples on
@@ -30,13 +48,21 @@ from repro.workload.queries import Query
 
 #: Seconds to wait for a freshly spawned worker to map the snapshot.
 _READY_TIMEOUT = 60.0
-#: Poll interval while waiting for batch results (liveness checks).
+#: Ceiling on the result-wait poll interval (liveness/deadline checks).
 _POLL_SECONDS = 0.5
+#: Floor on the poll interval so tiny test timeouts cannot spin-wait.
+_MIN_POLL_SECONDS = 0.02
 
 
 @dataclass
 class WorkerStats:
-    """Accounting for one worker slot across a ``run()`` call."""
+    """Accounting for one worker *slot* across a ``run()`` call.
+
+    A slot survives replacement: when the process crashes mid-run,
+    ``pid`` moves to the replacement's pid, ``load_seconds``
+    accumulates the replacement's snapshot-load time on top of the
+    original's, and ``restarts`` counts the swaps.
+    """
 
     index: int
     pid: int = 0
@@ -57,6 +83,9 @@ class ServeReport:
     workers: int
     per_worker: list[WorkerStats] = field(default_factory=list)
     restarts: int = 0
+    #: Per-query error messages, aligned with ``answers``; ``None`` for
+    #: a query that succeeded.  An errored query's answer is NaN.
+    errors: list[str | None] = field(default_factory=list)
 
     @property
     def queries_per_second(self) -> float:
@@ -75,6 +104,27 @@ class ServeReport:
         """Nearest-rank 99th percentile per-query latency."""
         return latency_percentile(self.latencies, 0.99)
 
+    @property
+    def error_count(self) -> int:
+        """Number of queries that came back as per-query errors."""
+        return sum(1 for message in self.errors if message is not None)
+
+    @property
+    def error_indices(self) -> list[int]:
+        """Input positions of the errored queries."""
+        return [
+            position
+            for position, message in enumerate(self.errors)
+            if message is not None
+        ]
+
+    @property
+    def statuses(self) -> list[str]:
+        """Per-query ``"ok"`` / ``"error"``, aligned with ``answers``."""
+        return [
+            "ok" if message is None else "error" for message in self.errors
+        ]
+
     def summary(self) -> dict:
         """The comparison row shared with ``ThroughputReport``."""
         return {
@@ -84,6 +134,7 @@ class ServeReport:
             "p50_us": round(1e6 * self.p50_seconds, 3),
             "p99_us": round(1e6 * self.p99_seconds, 3),
             "restarts": self.restarts,
+            "errors": self.error_count,
         }
 
 
@@ -91,7 +142,7 @@ class _WorkerHandle:
     """One live worker process plus its pipe and outstanding chunks."""
 
     __slots__ = ("index", "process", "conn", "outstanding", "load_seconds",
-                 "pid")
+                 "pid", "last_progress", "ping_sent_at")
 
     def __init__(self, index, process, conn, load_seconds, pid) -> None:
         self.index = index
@@ -99,8 +150,12 @@ class _WorkerHandle:
         self.conn = conn
         self.load_seconds = load_seconds
         self.pid = pid
-        #: ``{batch_id: (start, queries)}`` sent but not yet answered.
-        self.outstanding: dict[int, tuple[int, list]] = {}
+        #: ``{(epoch, seq): (start, queries)}`` sent but not yet answered.
+        self.outstanding: dict[tuple[int, int], tuple[int, list]] = {}
+        #: When this worker last produced evidence of progress.
+        self.last_progress = time.perf_counter()
+        #: When a deadline ping went out; ``None`` while healthy.
+        self.ping_sent_at: float | None = None
 
 
 def _wire_query(query) -> tuple:
@@ -131,6 +186,18 @@ class QueryService:
     max_restarts:
         Worker replacements tolerated within one ``run()`` before
         giving up with ``RuntimeError``.
+    batch_timeout:
+        Seconds a worker holding outstanding chunks may stay silent
+        before the dispatcher pings it.  A pong triggers a re-send of
+        its chunks (result lost in transit); silence past
+        ``ping_timeout`` triggers replacement (worker hung).  Size this
+        above the worst-case time to answer one chunk.
+    ping_timeout:
+        Seconds to wait for the pong before declaring the worker hung.
+    fault_plan:
+        Optional :class:`repro.serving.faults.FaultPlan` shipped to
+        every spawned worker — the deterministic fault-injection rig
+        used by the test suite.  Leave ``None`` in production.
 
     Examples
     --------
@@ -143,6 +210,8 @@ class QueryService:
     ...     report = service.run(generate_queries(g, 6, seed=2))
     >>> len(report.answers)
     6
+    >>> report.error_count
+    0
     """
 
     def __init__(
@@ -152,15 +221,23 @@ class QueryService:
         start_method: str | None = None,
         chunk_size: int | None = None,
         max_restarts: int | None = None,
+        batch_timeout: float = 30.0,
+        ping_timeout: float = 5.0,
+        fault_plan=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if batch_timeout <= 0 or ping_timeout <= 0:
+            raise ValueError("batch_timeout and ping_timeout must be > 0")
         self.snapshot_path = str(snapshot_path)
         self.workers = workers
         self.chunk_size = chunk_size
         self.max_restarts = (
             max_restarts if max_restarts is not None else 3 * workers
         )
+        self.batch_timeout = batch_timeout
+        self.ping_timeout = ping_timeout
+        self.fault_plan = fault_plan
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
@@ -168,6 +245,13 @@ class QueryService:
         self._pool: list[_WorkerHandle] = []
         self._restart_counts: list[int] = [0] * workers
         self._started = False
+        #: Monotonic run counter; stamped into every batch id so the
+        #: dispatcher can fence out results from aborted past runs.
+        self._epoch = 0
+        self._poll_seconds = max(
+            _MIN_POLL_SECONDS,
+            min(_POLL_SECONDS, batch_timeout / 5.0, ping_timeout / 5.0),
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -206,7 +290,13 @@ class QueryService:
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
             target=worker_main,
-            args=(self.snapshot_path, child_conn, index),
+            args=(
+                self.snapshot_path,
+                child_conn,
+                index,
+                self.fault_plan,
+                self._restart_counts[index],
+            ),
             daemon=True,
             name=f"dso-worker-{index}",
         )
@@ -240,17 +330,26 @@ class QueryService:
         if handle.process.is_alive():
             handle.process.terminate()
         handle.process.join(timeout=5.0)
-        replacement = self._spawn(handle.index)
+        # Count the restart before spawning so the replacement sees its
+        # own spawn generation (the fault rig targets generations).
         self._restart_counts[handle.index] += 1
+        replacement = self._spawn(handle.index)
         for batch_id, (start, chunk) in handle.outstanding.items():
             replacement.outstanding[batch_id] = (start, chunk)
             replacement.conn.send(("batch", batch_id, chunk))
+        replacement.last_progress = time.perf_counter()
         self._pool[handle.index] = replacement
         return replacement
 
     @property
     def total_restarts(self) -> int:
-        """Worker replacements since ``start()``, across all runs."""
+        """Worker replacements since ``start()``, across all runs.
+
+        Includes replacements made by the idle liveness sweep at the
+        top of ``run()`` (``_ensure_alive``) for workers that died
+        *between* runs, so this can exceed the sum of per-run
+        ``ServeReport.restarts``.
+        """
         return sum(self._restart_counts)
 
     def _ensure_alive(self) -> None:
@@ -277,19 +376,30 @@ class QueryService:
         ``queries`` may be :class:`~repro.workload.queries.Query`
         objects or plain ``(source, target, failed)`` triples.
 
+        A query that raises inside a worker does not abort the run (or
+        restart anything): its slot in ``answers`` is NaN and
+        ``ServeReport.errors`` carries the message at the same index.
+
         Raises
         ------
         RuntimeError
             If worker replacements exceed ``max_restarts`` during this
-            run (e.g. a snapshot that crashes every worker).
+            run (e.g. a snapshot that crashes every worker), or a
+            worker reports a protocol-level ``"error"``.  Every raise
+            path clears outstanding-chunk bookkeeping and the epoch
+            fence discards any late results, so a subsequent ``run()``
+            or ``stop()`` sees a consistent pool.
         """
         if not self._started:
             self.start()
         self._ensure_alive()
+        self._epoch += 1
+        epoch = self._epoch
         wire = [_wire_query(query) for query in queries]
         total = len(wire)
         answers: list[float] = [float("nan")] * total
         latencies: list[float] = [0.0] * total
+        errors: list[str | None] = [None] * total
         stats = [
             WorkerStats(
                 index=handle.index,
@@ -299,71 +409,19 @@ class QueryService:
             for handle in self._pool
         ]
         started = time.perf_counter()
-        if total:
-            size = chunk_size or self.chunk_size
-            if size is None:
-                size = max(1, math.ceil(total / (self.workers * 4)))
-            pending: dict[int, int] = {}  # batch_id -> worker slot
-            batch_id = 0
-            for start in range(0, total, size):
-                chunk = wire[start : start + size]
-                slot = batch_id % self.workers
-                handle = self._pool[slot]
-                handle.outstanding[batch_id] = (start, chunk)
-                handle.conn.send(("batch", batch_id, chunk))
-                pending[batch_id] = slot
-                batch_id += 1
-
-            restarts_this_run = 0
-            while pending:
-                conns = {
-                    handle.conn: handle
-                    for handle in self._pool
-                    if handle.outstanding
-                }
-                ready = connection_wait(list(conns), timeout=_POLL_SECONDS)
-                if not ready:
-                    # Nothing arrived: check for silent deaths.
-                    for handle in list(conns.values()):
-                        if not handle.process.is_alive():
-                            restarts_this_run += self._check_restart_budget(
-                                restarts_this_run
-                            )
-                            replacement = self._replace(handle)
-                            for bid in replacement.outstanding:
-                                pending[bid] = replacement.index
-                            stats[handle.index].restarts += 1
-                    continue
-                for conn in ready:
-                    handle = conns[conn]
-                    try:
-                        message = conn.recv()
-                    except (EOFError, OSError):
-                        restarts_this_run += self._check_restart_budget(
-                            restarts_this_run
-                        )
-                        replacement = self._replace(handle)
-                        for bid in replacement.outstanding:
-                            pending[bid] = replacement.index
-                        stats[handle.index].restarts += 1
-                        continue
-                    if message[0] == "error":
-                        raise RuntimeError(
-                            f"worker {handle.index}: {message[2]}"
-                        )
-                    if message[0] != "result":
-                        continue
-                    _, bid, _, chunk_answers, chunk_latencies, busy = message
-                    start, _chunk = handle.outstanding.pop(bid)
-                    pending.pop(bid, None)
-                    answers[start : start + len(chunk_answers)] = chunk_answers
-                    latencies[start : start + len(chunk_latencies)] = (
-                        chunk_latencies
-                    )
-                    slot_stats = stats[handle.index]
-                    slot_stats.queries += len(chunk_answers)
-                    slot_stats.batches += 1
-                    slot_stats.busy_seconds += busy
+        try:
+            if total:
+                self._dispatch_epoch(
+                    epoch, wire, total, chunk_size, answers, latencies,
+                    errors, stats,
+                )
+        except BaseException:
+            # Leave the pool consistent: forget every in-flight chunk.
+            # The epoch fence makes any late results for them inert.
+            for handle in self._pool:
+                handle.outstanding.clear()
+                handle.ping_sent_at = None
+            raise
         wall = time.perf_counter() - started
         return ServeReport(
             answers=answers,
@@ -372,7 +430,141 @@ class QueryService:
             workers=self.workers,
             per_worker=stats,
             restarts=sum(s.restarts for s in stats),
+            errors=errors,
         )
+
+    def _dispatch_epoch(
+        self, epoch, wire, total, chunk_size, answers, latencies, errors,
+        stats,
+    ) -> None:
+        """Deal chunks for one epoch and collect until none are pending."""
+        size = chunk_size or self.chunk_size
+        if size is None:
+            size = max(1, math.ceil(total / (self.workers * 4)))
+        pending: dict[tuple[int, int], int] = {}  # batch id -> worker slot
+        restarts_this_run = 0
+        seq = 0
+        for start in range(0, total, size):
+            chunk = wire[start : start + size]
+            slot = seq % self.workers
+            handle = self._pool[slot]
+            batch_id = (epoch, seq)
+            handle.outstanding[batch_id] = (start, chunk)
+            pending[batch_id] = slot
+            try:
+                handle.conn.send(("batch", batch_id, chunk))
+            except (BrokenPipeError, OSError):
+                restarts_this_run += self._check_restart_budget(
+                    restarts_this_run
+                )
+                self._replace_and_requeue(handle, pending, stats)
+            else:
+                handle.last_progress = time.perf_counter()
+            seq += 1
+
+        while pending:
+            conns = {
+                handle.conn: handle
+                for handle in self._pool
+                if handle.outstanding
+            }
+            ready = connection_wait(list(conns), timeout=self._poll_seconds)
+            now = time.perf_counter()
+            for conn in ready:
+                handle = conns[conn]
+                if handle is not self._pool[handle.index]:
+                    continue  # replaced earlier in this ready sweep
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    restarts_this_run += self._check_restart_budget(
+                        restarts_this_run
+                    )
+                    self._replace_and_requeue(handle, pending, stats)
+                    continue
+                kind = message[0]
+                if kind == "error":
+                    raise RuntimeError(
+                        f"worker {handle.index}: {message[2]}"
+                    )
+                if kind == "pong":
+                    if handle.ping_sent_at is not None and handle.outstanding:
+                        # Alive but its results never arrived: re-send.
+                        self._resend_outstanding(handle)
+                    handle.ping_sent_at = None
+                    handle.last_progress = now
+                    continue
+                if kind != "result":
+                    continue
+                batch_id = message[1]
+                if batch_id[0] != epoch:
+                    continue  # stale epoch (aborted past run): drop
+                if batch_id not in handle.outstanding:
+                    continue  # duplicate after a re-send: drop
+                _, _, _, chunk_answers, chunk_latencies, busy, chunk_errors \
+                    = message
+                start, _chunk = handle.outstanding.pop(batch_id)
+                pending.pop(batch_id, None)
+                handle.last_progress = now
+                handle.ping_sent_at = None
+                answers[start : start + len(chunk_answers)] = chunk_answers
+                latencies[start : start + len(chunk_latencies)] = (
+                    chunk_latencies
+                )
+                for position, message_text in chunk_errors:
+                    errors[start + position] = message_text
+                slot_stats = stats[handle.index]
+                slot_stats.queries += len(chunk_answers)
+                slot_stats.batches += 1
+                slot_stats.busy_seconds += busy
+
+            # Health sweep: silent deaths, deadlines, unanswered pings.
+            for handle in list(self._pool):
+                if not handle.outstanding:
+                    continue
+                if not handle.process.is_alive():
+                    restarts_this_run += self._check_restart_budget(
+                        restarts_this_run
+                    )
+                    self._replace_and_requeue(handle, pending, stats)
+                    continue
+                if handle.ping_sent_at is not None:
+                    if now - handle.ping_sent_at > self.ping_timeout:
+                        # Pinged and silent: hung inside a query.
+                        restarts_this_run += self._check_restart_budget(
+                            restarts_this_run
+                        )
+                        self._replace_and_requeue(handle, pending, stats)
+                elif now - handle.last_progress > self.batch_timeout:
+                    try:
+                        handle.conn.send(("ping",))
+                        handle.ping_sent_at = now
+                    except (BrokenPipeError, OSError):
+                        restarts_this_run += self._check_restart_budget(
+                            restarts_this_run
+                        )
+                        self._replace_and_requeue(handle, pending, stats)
+
+    def _resend_outstanding(self, handle: _WorkerHandle) -> None:
+        """Re-send a responsive worker's outstanding chunks (lost results)."""
+        for batch_id, (start, chunk) in handle.outstanding.items():
+            handle.conn.send(("batch", batch_id, chunk))
+        handle.last_progress = time.perf_counter()
+
+    def _replace_and_requeue(
+        self,
+        handle: _WorkerHandle,
+        pending: dict,
+        stats: list[WorkerStats],
+    ) -> None:
+        """Replace ``handle`` mid-run, updating pending + slot stats."""
+        replacement = self._replace(handle)
+        for batch_id in replacement.outstanding:
+            pending[batch_id] = replacement.index
+        slot_stats = stats[handle.index]
+        slot_stats.restarts += 1
+        slot_stats.pid = replacement.pid
+        slot_stats.load_seconds += replacement.load_seconds
 
     def _check_restart_budget(self, restarts_this_run: int) -> int:
         """Increment-or-raise: returns 1 while under budget."""

@@ -8,19 +8,36 @@ stop.  Queries travel as plain ``(source, target, failed_edges)``
 tuples and answers as float lists — the index itself never crosses the
 pipe.
 
-Message protocol (tuples, first element is the kind):
+Message protocol v2 (tuples, first element is the kind; the full
+specification lives in DESIGN.md §8):
 
 ``("batch", batch_id, queries)``
-    Answer ``queries`` (a list of ``(s, t, failed)`` with ``failed`` a
-    tuple of edge pairs or ``None``); reply
-    ``("result", batch_id, worker_id, answers, latencies, busy_seconds)``.
+    ``batch_id`` is an ``(epoch, seq)`` pair stamped by the dispatcher;
+    the worker treats it as opaque and echoes it back.  Answer
+    ``queries`` (a list of ``(s, t, failed)`` with ``failed`` a tuple
+    of edge pairs or ``None``); reply ``("result", batch_id, worker_id,
+    answers, latencies, busy_seconds, errors)``.  A query that raises
+    does **not** kill the worker: its answer slot carries the
+    :data:`QUERY_ERROR` sentinel (NaN) and ``errors`` lists
+    ``(position, "ExcType: message")`` for every failed position —
+    the per-query error channel.
 ``("ping",)``
-    Reply ``("pong", worker_id)`` — liveness probe.
+    Reply ``("pong", worker_id)`` — liveness probe.  A worker blocked
+    inside a query (hung or genuinely slow past the dispatcher's
+    deadline) cannot answer it and is presumed dead.
 ``("crash",)``
     Exit immediately without replying (test hook for the dispatcher's
     worker-replacement path).
 ``("stop",)``
     Close the pipe and exit cleanly.
+
+Unknown kinds get ``("error", worker_id, message)`` back, which the
+dispatcher treats as a protocol failure and raises on.
+
+``worker_main`` optionally carries a
+:class:`~repro.serving.faults.FaultPlan` plus the slot's spawn
+``generation`` so the fault-injection rig can misbehave
+deterministically (see :mod:`repro.serving.faults`).
 """
 
 from __future__ import annotations
@@ -28,25 +45,59 @@ from __future__ import annotations
 import os
 import time
 
+#: Answer slot sentinel for a query that raised inside the worker.
+QUERY_ERROR = float("nan")
 
-def answer_batch(oracle, queries) -> tuple[list[float], list[float]]:
-    """Answer ``queries`` on ``oracle``; return (answers, latencies)."""
+
+def answer_batch(
+    oracle, queries, injector=None
+) -> tuple[list[float], list[float], list[tuple[int, str]]]:
+    """Answer ``queries`` on ``oracle``; return (answers, latencies, errors).
+
+    A query that raises contributes :data:`QUERY_ERROR` to ``answers``
+    (its latency still measured) and a ``(position, message)`` entry to
+    the sparse ``errors`` list — the batch always completes and the
+    worker survives.  ``injector`` is an optional
+    :class:`~repro.serving.faults.FaultInjector` whose ``before_query``
+    hook runs inside the per-query try block, so an injected raise is
+    indistinguishable from a poison query.
+    """
     answers: list[float] = []
     latencies: list[float] = []
+    errors: list[tuple[int, str]] = []
     query = oracle.query
     perf = time.perf_counter
-    for source, target, failed in queries:
+    for position, (source, target, failed) in enumerate(queries):
         started = perf()
-        answers.append(
-            query(source, target, frozenset(failed) if failed else None)
-        )
+        try:
+            if injector is not None:
+                injector.before_query()
+            value = query(
+                source, target, frozenset(failed) if failed else None
+            )
+        except Exception as exc:
+            value = QUERY_ERROR
+            errors.append((position, f"{type(exc).__name__}: {exc}"))
+        answers.append(value)
         latencies.append(perf() - started)
-    return answers, latencies
+    return answers, latencies, errors
 
 
-def worker_main(snapshot_path: str, conn, worker_id: int) -> None:
+def worker_main(
+    snapshot_path: str,
+    conn,
+    worker_id: int,
+    fault_plan=None,
+    generation: int = 0,
+) -> None:
     """Run one worker: map the snapshot, then serve batches until stop."""
     from repro.oracle.snapshot import load_snapshot
+
+    injector = None
+    if fault_plan:
+        from repro.serving.faults import FaultInjector
+
+        injector = FaultInjector(fault_plan, worker_id, generation)
 
     try:
         started = time.perf_counter()
@@ -67,6 +118,7 @@ def worker_main(snapshot_path: str, conn, worker_id: int) -> None:
                 "pid": os.getpid(),
                 "load_seconds": load_seconds,
                 "oracle": oracle.name,
+                "generation": generation,
             },
         )
     )
@@ -76,12 +128,26 @@ def worker_main(snapshot_path: str, conn, worker_id: int) -> None:
             kind = message[0]
             if kind == "batch":
                 _, batch_id, queries = message
+                if injector is not None:
+                    injector.on_batch(conn, batch_id)
                 tick = time.perf_counter()
-                answers, latencies = answer_batch(oracle, queries)
-                busy = time.perf_counter() - tick
-                conn.send(
-                    ("result", batch_id, worker_id, answers, latencies, busy)
+                answers, latencies, errors = answer_batch(
+                    oracle, queries, injector
                 )
+                busy = time.perf_counter() - tick
+                reply = (
+                    "result",
+                    batch_id,
+                    worker_id,
+                    answers,
+                    latencies,
+                    busy,
+                    errors,
+                )
+                if injector is not None:
+                    reply = injector.outgoing_reply(batch_id, reply)
+                if reply is not None:
+                    conn.send(reply)
             elif kind == "ping":
                 conn.send(("pong", worker_id))
             elif kind == "crash":

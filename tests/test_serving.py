@@ -3,14 +3,20 @@
 Workers map the snapshot independently, so parity across the pipe —
 same answers, same order, for Query objects and plain tuples — is the
 core contract.  On top of that: chunk sharding must restore input
-order, a crashed worker must be replaced without losing answers, and
-the ``processes=`` backend of :class:`QueryEngine` must behave like its
-thread backend.  Pools stay at 2 workers and graphs small: this suite
-runs on one core in CI.
+order, a crashed worker must be replaced without losing answers, a
+poison query must come back as a *per-query* error (zero restarts),
+and the ``processes=`` backend of :class:`QueryEngine` must behave
+like its thread backend.  Pools stay at 2 workers and graphs small:
+this suite runs on one core in CI.
+
+Set ``DSO_SERVING_START_METHOD=spawn`` (or ``fork``) to pin the
+multiprocessing start method — CI runs this file under both.
 """
 
 from __future__ import annotations
 
+import math
+import os
 import time
 
 import pytest
@@ -25,6 +31,14 @@ from repro.oracle.snapshot import save_snapshot
 from repro.serving import QueryService
 from repro.workload.queries import generate_queries
 from util import random_failures_from, random_graph
+
+START_METHOD = os.environ.get("DSO_SERVING_START_METHOD") or None
+
+
+def make_service(path, **kwargs) -> QueryService:
+    """A QueryService honouring the CI start-method override."""
+    kwargs.setdefault("start_method", START_METHOD)
+    return QueryService(path, **kwargs)
 
 
 @pytest.fixture(scope="module")
@@ -45,7 +59,7 @@ def served():
 class TestQueryService:
     def test_parity_and_order_two_workers(self, served):
         _, _, path, batch, expected = served
-        with QueryService(path, workers=2) as service:
+        with make_service(path, workers=2) as service:
             report = service.run(batch)
         assert report.answers == expected
         assert report.workers == 2
@@ -60,12 +74,12 @@ class TestQueryService:
             frozen.query(s, t, frozenset(f) if f else None)
             for s, t, f in triples
         ]
-        with QueryService(path, workers=2) as service:
+        with make_service(path, workers=2) as service:
             assert service.run(triples).answers == expected
 
     def test_tiny_chunks_exercise_many_batches(self, served):
         _, _, path, batch, expected = served
-        with QueryService(path, workers=2, chunk_size=1) as service:
+        with make_service(path, workers=2, chunk_size=1) as service:
             report = service.run(batch)
         assert report.answers == expected
         assert sum(s.batches for s in report.per_worker) == len(batch)
@@ -74,14 +88,14 @@ class TestQueryService:
 
     def test_empty_batch(self, served):
         _, _, path, _, _ = served
-        with QueryService(path, workers=2) as service:
+        with make_service(path, workers=2) as service:
             report = service.run([])
         assert report.answers == []
         assert report.queries_per_second == pytest.approx(0.0)
 
     def test_crashed_worker_is_replaced(self, served):
         _, _, path, batch, expected = served
-        with QueryService(path, workers=2) as service:
+        with make_service(path, workers=2) as service:
             first = service.run(batch)
             assert first.answers == expected
             victim = service._pool[0].process
@@ -96,7 +110,7 @@ class TestQueryService:
 
     def test_crash_mid_run_resends_outstanding_chunks(self, served):
         _, _, path, batch, expected = served
-        with QueryService(path, workers=2) as service:
+        with make_service(path, workers=2) as service:
             # The crash message is queued ahead of this run's chunks;
             # depending on timing the worker dies either just before the
             # run (replaced by the idle liveness check) or mid-run while
@@ -109,7 +123,7 @@ class TestQueryService:
 
     def test_missing_snapshot_fails_fast(self, tmp_path):
         with pytest.raises(RuntimeError, match="failed to load"):
-            QueryService(tmp_path / "nope.dsosnap", workers=1).start()
+            make_service(tmp_path / "nope.dsosnap", workers=1).start()
 
     def test_rejects_bad_worker_count(self, served):
         _, _, path, _, _ = served
@@ -118,11 +132,40 @@ class TestQueryService:
 
     def test_report_summary_schema(self, served):
         _, _, path, batch, _ = served
-        with QueryService(path, workers=1) as service:
+        with make_service(path, workers=1) as service:
             summary = service.run(batch).summary()
         assert set(summary) == {
             "workers", "queries", "qps", "p50_us", "p99_us", "restarts",
+            "errors",
         }
+        assert summary["errors"] == 0
+
+    def test_clean_run_reports_no_errors(self, served):
+        _, _, path, batch, _ = served
+        with make_service(path, workers=2) as service:
+            report = service.run(batch)
+        assert report.errors == [None] * len(batch)
+        assert report.error_count == 0
+        assert report.error_indices == []
+        assert report.statuses == ["ok"] * len(batch)
+
+    def test_poison_query_is_per_query_error_zero_restarts(self, served):
+        """The acceptance bar: one poison query -> exactly one error,
+        zero restarts, bitwise-identical answers everywhere else."""
+        _, _, path, batch, expected = served
+        poisoned = list(batch)
+        poisoned.insert(5, (10**9, 0, None))  # node id not in the graph
+        with make_service(path, workers=2, chunk_size=3) as service:
+            report = service.run(poisoned)
+            assert service.total_restarts == 0
+        assert report.restarts == 0
+        assert report.error_count == 1
+        assert report.error_indices == [5]
+        assert "QueryError" in report.errors[5]
+        assert math.isnan(report.answers[5])
+        assert report.statuses[5] == "error"
+        clean = [a for i, a in enumerate(report.answers) if i != 5]
+        assert clean == expected
 
 
 class TestQueryEngineProcessBackend:
@@ -145,6 +188,18 @@ class TestQueryEngineProcessBackend:
         engine.run(batch[:4])
         engine.close()
         engine.close()
+
+    def test_process_backend_surfaces_per_query_errors(self, served):
+        from repro.workload.queries import Query
+
+        _, frozen, _, batch, expected = served
+        poisoned = list(batch[:6]) + [Query(10**9, 0, None)]
+        with QueryEngine(frozen, processes=1) as engine:
+            report = engine.run(poisoned)
+        assert report.error_count == 1
+        assert report.errors[-1] is not None
+        assert math.isnan(report.answers[-1])
+        assert report.answers[:6] == expected[:6]
 
 
 class TestThroughputPercentiles:

@@ -1,0 +1,150 @@
+"""Bench: parallel build plane vs the sequential oracle constructor.
+
+Builds a DISO over the paper's standard road-network scale two ways —
+the classic sequential constructor and ``repro.build.build_parallel``
+at 1, 2, and 4 worker processes — and records wall time plus the
+per-phase profile (landmark selection, SPT fan-out, assembly) for each.
+
+Every parallel build first asserts bitwise snapshot parity with the
+sequential baseline: the build plane's whole claim is that process
+fan-out changes only *when* the work happens, never the result.
+Results merge into the repo-root ``BENCH_build.json``; the centrally
+stamped ``cpu_count`` matters here more than in any other bench —
+on a single-core container the multi-job rows document dispatch
+overhead, not scaling.
+
+Standalone usage::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_build.py
+    PYTHONPATH=src:benchmarks python benchmarks/bench_build.py --smoke
+
+``--smoke`` builds a tiny graph at jobs=2 only — a CI-sized
+end-to-end check of container packing, worker bootstrap, shard merge,
+and byte parity (no files written, no speedup asserted).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.build import build_parallel, canonical_snapshot_bytes
+from repro.graph.generators import road_network
+from repro.oracle.diso import DISO
+
+from bench_util import BUILD_JSON, merge_json, write_result
+
+SEED = 7
+JOB_COUNTS = (1, 2, 4)
+
+GRAPH_NAME = "road2k"
+
+
+def build_graph(smoke: bool):
+    if smoke:
+        return road_network(8, 8, seed=SEED)
+    return road_network(48, 48, seed=SEED)
+
+
+def run(smoke: bool = False) -> dict:
+    """Build sequentially and at each pool size; return timing rows."""
+    graph = build_graph(smoke)
+    job_counts = (2,) if smoke else JOB_COUNTS
+
+    started = time.perf_counter()
+    baseline = DISO(graph, tau=4, theta=1.0)
+    sequential_s = time.perf_counter() - started
+    expected_bytes = canonical_snapshot_bytes(baseline.freeze())
+
+    result: dict = {
+        "graph": GRAPH_NAME if not smoke else "road-smoke",
+        "oracle": baseline.name,
+        "nodes": graph.number_of_nodes(),
+        "transit": len(baseline.transit),
+        "sequential": {"build_s": round(sequential_s, 6)},
+        "jobs": {},
+    }
+    print(f"{'sequential':>12}: build {sequential_s:>8.3f}s")
+
+    for jobs in job_counts:
+        built = build_parallel(graph, family="diso", jobs=jobs, seed=SEED)
+        assert canonical_snapshot_bytes(built.oracle.freeze()) == (
+            expected_bytes
+        ), f"jobs={jobs} snapshot diverges from the sequential build"
+        report = built.report
+        row = {
+            "build_s": round(report.wall_seconds, 6),
+            "speedup_vs_sequential": round(
+                sequential_s / report.wall_seconds, 3
+            )
+            if report.wall_seconds > 0
+            else float("inf"),
+            "phases_s": {
+                phase: round(seconds, 6)
+                for phase, seconds in report.phase_seconds.items()
+            },
+            "units": report.total_units,
+            "shard_bytes": report.shard_stats()["total_bytes"],
+            "worker_utilization": {
+                str(index): round(fraction, 4)
+                for index, fraction in report.utilization().items()
+            },
+        }
+        result["jobs"][str(jobs)] = row
+        fanout = report.phase_seconds.get("spt_fanout", 0.0)
+        print(
+            f"{jobs:>9} job: build {report.wall_seconds:>8.3f}s  "
+            f"fanout {fanout:>7.3f}s  "
+            f"speedup {row['speedup_vs_sequential']:.2f}x  "
+            f"units {report.total_units}  parity ok"
+        )
+    return result
+
+
+def format_result(result: dict) -> str:
+    lines = [
+        "Parallel build plane vs the sequential constructor",
+        f"graph={result['graph']}  oracle={result['oracle']}  "
+        f"nodes={result['nodes']}  transit={result['transit']}",
+        f"{'backend':>12} {'build s':>9} {'fanout s':>9} {'speedup':>8}",
+        f"{'sequential':>12} {result['sequential']['build_s']:>9.3f} "
+        f"{'-':>9} {'1.00':>8}",
+    ]
+    for jobs, row in result["jobs"].items():
+        lines.append(
+            f"{jobs + ' job':>12} {row['build_s']:>9.3f} "
+            f"{row['phases_s'].get('spt_fanout', 0.0):>9.3f} "
+            f"{row['speedup_vs_sequential']:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny graph, jobs=2 only, no files written",
+    )
+    args = parser.parse_args()
+    result = run(smoke=args.smoke)
+    if args.smoke:
+        print("smoke run OK (byte parity held)")
+        return
+    write_result("build", format_result(result))
+    key = f"{result['oracle']}@{result['graph']}-build"
+    path = merge_json({key: result}, BUILD_JSON)
+    print(f"wrote {path}")
+    print(format_result(result))
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (small scale; the standalone main is the real run)
+# ----------------------------------------------------------------------
+def test_build_bench_smoke():
+    result = run(smoke=True)
+    assert result["jobs"]["2"]["units"] > 0
+    assert result["jobs"]["2"]["build_s"] > 0.0
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,10 @@ Every run first asserts exact answer parity between the two planes over
 the whole batch — a benchmark of a wrong answer is worthless.
 
 Standalone usage (writes ``results/frozen_plane.txt`` and merges the
-repo-root ``BENCH_query_latency.json``)::
+repo-root ``BENCH_query_latency.json``; ``merge_json`` stamps
+``git_rev`` + ``cpu_count`` into every entry centrally, so latency
+numbers stay attributable to the code and hardware that produced
+them)::
 
     PYTHONPATH=src:benchmarks python benchmarks/bench_frozen_plane.py
     PYTHONPATH=src:benchmarks python benchmarks/bench_frozen_plane.py --smoke

@@ -10,8 +10,9 @@ aggregate query throughput three ways:
   process mapping the same snapshot read-only.
 
 Every pool run first asserts exact answer parity with the sequential
-baseline.  Results merge into the repo-root ``BENCH_throughput.json``;
-``cpu_count`` is recorded alongside the numbers because process-level
+baseline.  Results merge into the repo-root ``BENCH_throughput.json``,
+where ``merge_json`` stamps ``git_rev`` + ``cpu_count`` into every
+entry centrally; ``cpu_count`` matters here because process-level
 speed-up is physically bounded by the cores actually present — on a
 single-core container the 4-worker row documents dispatch overhead,
 not scaling.

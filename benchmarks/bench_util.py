@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import statistics
+import subprocess
 from functools import lru_cache
 from pathlib import Path
 
@@ -23,6 +25,7 @@ RESULTS_DIR = Path(__file__).parent / "results"
 REPO_ROOT = Path(__file__).parent.parent
 LATENCY_JSON = REPO_ROOT / "BENCH_query_latency.json"
 THROUGHPUT_JSON = REPO_ROOT / "BENCH_throughput.json"
+BUILD_JSON = REPO_ROOT / "BENCH_build.json"
 
 #: Benchmark scale: large enough to show the paper's separations,
 #: small enough for a pure-Python suite to finish in minutes.
@@ -69,6 +72,34 @@ def latency_summary(build_s: float, query_seconds: list[float]) -> dict:
     }
 
 
+@lru_cache(maxsize=None)
+def git_rev() -> str:
+    """Short git revision of the working tree, or ``"unknown"``.
+
+    Recorded in every emitted BENCH payload so a number in a
+    checked-in results file is attributable to the code that produced
+    it — without it the perf trajectory across PRs is guesswork.
+    """
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if completed.returncode != 0:
+        return "unknown"
+    return completed.stdout.strip() or "unknown"
+
+
+def bench_metadata() -> dict:
+    """The attribution fields stamped into every emitted bench entry."""
+    return {"git_rev": git_rev(), "cpu_count": os.cpu_count()}
+
+
 def _load_merge_base(path: Path) -> dict:
     """Read an existing merge target, quarantining it if unusable.
 
@@ -99,9 +130,16 @@ def merge_json(entries: dict[str, dict], path: Path) -> Path:
     Merging (rather than overwriting) lets independent benches each
     contribute their own keys to one checked-in file.  Corrupt existing
     files are backed up and replaced instead of aborting the run.
+
+    Every dict-valued entry is stamped with :func:`bench_metadata`
+    (``git_rev`` + ``cpu_count``) on the way through, so all BENCH_*
+    emitters get attribution centrally rather than each remembering to.
     """
     merged = _load_merge_base(path)
-    merged.update(entries)
+    for key, value in entries.items():
+        if isinstance(value, dict):
+            value = {**value, **bench_metadata()}
+        merged[key] = value
     path.write_text(
         json.dumps(dict(sorted(merged.items())), indent=2) + "\n",
         encoding="utf-8",

@@ -1,0 +1,28 @@
+"""The parallel build plane: process-pool index construction.
+
+``build_parallel`` fans per-landmark work units over a worker pool and
+merges the resulting shards deterministically — the frozen snapshot of
+the result is bitwise-identical to the sequential constructor's.
+``finalize_checkpoint`` completes an interrupted, spooled build without
+redoing finished work.  See DESIGN.md §9.
+"""
+
+from repro.build.coordinator import (
+    FAMILIES,
+    BuildResult,
+    build_parallel,
+    canonical_snapshot_bytes,
+    finalize_checkpoint,
+)
+from repro.build.profiler import BuildReport, BuildWorkerStats, format_report
+
+__all__ = [
+    "FAMILIES",
+    "BuildReport",
+    "BuildResult",
+    "BuildWorkerStats",
+    "build_parallel",
+    "canonical_snapshot_bytes",
+    "finalize_checkpoint",
+    "format_report",
+]

@@ -1,0 +1,662 @@
+"""The parallel build coordinator: fan out, spool, merge, finalize.
+
+``build_parallel(graph, jobs=N)`` produces an oracle whose frozen
+snapshot is **bitwise identical** to the sequential constructor's, for
+every family (DISO, ADISO, DISO-S, ADISO-P).  The pipeline:
+
+1. *Selection* (coordinator): input sparsification for DISO-S, the ISC
+   path cover, SLS landmark selection — the cheap, sequential decisions
+   that define the work units.
+2. *Fan-out* (workers): one unit per transit node (bounded SPT +
+   overlay out-edges) and one per ADISO landmark (Dijkstra pair).
+   Workers read the graph from a shared read-only build container
+   (:mod:`repro.build.graph_store`) — never pickle — and return
+   CRC-framed shards (:mod:`repro.build.shards`).  Every validated
+   shard is spooled to disk before it is counted, so a killed build
+   resumes from its last complete shard.
+3. *Merge* (coordinator): shards are assembled in **sorted landmark
+   order**, regardless of arrival order.  Determinism holds because
+   every downstream serialization point is insertion-order independent
+   (DESIGN.md §9) and shard contents carry no wall-clock state.
+4. *Finalize* (coordinator): the per-family tail that needs the merged
+   overlay — DISO-S's overlay sparsification, ADISO-P's second overlay
+   ``H``.
+
+The dispatcher reuses the serving plane's shape (ready handshake,
+round-robin chunks, replace-on-crash with a restart budget) but not
+its deadline pings: build chunks have no latency SLA — a unit may
+legitimately run for minutes — so liveness is process aliveness, not
+responsiveness.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import wait as connection_wait
+from pathlib import Path
+
+from repro.build.checkpoint import BuildSpool
+from repro.build.graph_store import build_container_bytes, load_build_graph
+from repro.build.profiler import BuildReport, BuildWorkerStats
+from repro.build.shards import (
+    LANDMARK_KIND,
+    TREE_KIND,
+    decode_shard,
+    kind_name,
+)
+from repro.build.worker import build_worker_main, compute_unit
+from repro.exceptions import FormatError, PreprocessingError
+from repro.graph.digraph import DiGraph
+from repro.landmarks.base import LandmarkTable
+from repro.oracle.adiso import ADISO
+from repro.oracle.adiso_p import ADISOPartial
+from repro.oracle.diso import DISO
+from repro.oracle.diso_s import DISOSparse
+from repro.overlay.distance_graph import (
+    assemble_distance_graph,
+    validate_transit,
+)
+from repro.overlay.sparsify import sparsify_graph
+
+FAMILIES = ("diso", "adiso", "diso-s", "adiso-p")
+
+_READY_TIMEOUT = 60.0
+_POLL_SECONDS = 0.25
+
+
+@dataclass
+class BuildResult:
+    """What ``build_parallel`` returns: the oracle plus its profile."""
+
+    oracle: DISO
+    report: BuildReport
+
+
+def canonical_snapshot_bytes(frozen_oracle) -> bytes:
+    """Snapshot bytes with wall-clock meta zeroed — the parity artifact.
+
+    Snapshot headers record ``preprocess_seconds``/``freeze_seconds``,
+    which legitimately differ between two builds of the same index.
+    Zeroing them (and only them) before serializing yields bytes that
+    are a pure function of the index content, which is what the build
+    plane's bitwise-parity property tests compare.
+    """
+    from repro.oracle.snapshot import save_snapshot
+
+    saved = (frozen_oracle.preprocess_seconds, frozen_oracle.freeze_seconds)
+    frozen_oracle.preprocess_seconds = 0.0
+    frozen_oracle.freeze_seconds = 0.0
+    try:
+        with tempfile.TemporaryDirectory(prefix="dso-canon-") as tmp:
+            path = Path(tmp) / "canonical.dsosnap"
+            save_snapshot(frozen_oracle, path)
+            return path.read_bytes()
+    finally:
+        frozen_oracle.preprocess_seconds = saved[0]
+        frozen_oracle.freeze_seconds = saved[1]
+
+
+def _resolve_start_method(start_method: str | None) -> str:
+    """Explicit argument > ``DSO_BUILD_START_METHOD`` > fork-else-spawn."""
+    if start_method is None:
+        start_method = os.environ.get("DSO_BUILD_START_METHOD") or None
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else "spawn"
+    return start_method
+
+
+def _normalize_family(family: str) -> str:
+    key = family.lower().replace("_", "-")
+    if key not in FAMILIES:
+        raise PreprocessingError(
+            f"unknown oracle family {family!r}; "
+            f"parallel builds support {', '.join(FAMILIES)}"
+        )
+    return key
+
+
+class _WorkerHandle:
+    __slots__ = ("process", "conn", "outstanding", "stats")
+
+    def __init__(self, process, conn, stats: BuildWorkerStats) -> None:
+        self.process = process
+        self.conn = conn
+        # chunk_id -> unit list, re-sent verbatim if the process dies.
+        self.outstanding: dict[int, list] = {}
+        self.stats = stats
+
+
+class _BuildPool:
+    """A fixed-slot worker pool over one build container."""
+
+    def __init__(
+        self,
+        container_path: Path,
+        workers: int,
+        start_method: str,
+        max_restarts: int | None,
+        report: BuildReport,
+    ) -> None:
+        self._container_path = container_path
+        self._ctx = multiprocessing.get_context(start_method)
+        self._max_restarts = (
+            max_restarts if max_restarts is not None else 3 * workers
+        )
+        self._total_restarts = 0
+        self._report = report
+        self._workers: list[_WorkerHandle] = []
+        try:
+            for index in range(workers):
+                stats = BuildWorkerStats(index=index)
+                report.workers.append(stats)
+                self._workers.append(self._spawn(stats))
+        except BaseException:
+            self.shutdown()
+            raise
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, stats: BuildWorkerStats) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=build_worker_main,
+            args=(str(self._container_path), child_conn, stats.index),
+            daemon=True,
+            name=f"dso-build-worker-{stats.index}",
+        )
+        process.start()
+        child_conn.close()
+        deadline = time.monotonic() + _READY_TIMEOUT
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not parent_conn.poll(min(remaining, 1.0)):
+                if time.monotonic() >= deadline:
+                    process.terminate()
+                    raise PreprocessingError(
+                        f"build worker {stats.index} did not become "
+                        f"ready within {_READY_TIMEOUT:.0f}s"
+                    )
+                continue
+            try:
+                message = parent_conn.recv()
+            except (EOFError, OSError) as exc:
+                raise PreprocessingError(
+                    f"build worker {stats.index} died while loading the "
+                    f"container"
+                ) from exc
+            if message[0] == "ready":
+                stats.pid = message[2]["pid"]
+                stats.load_seconds += message[2]["load_seconds"]
+                return _WorkerHandle(process, parent_conn, stats)
+            if message[0] == "error":
+                raise PreprocessingError(
+                    f"build worker {stats.index} failed to start: "
+                    f"{message[2]}"
+                )
+            # Anything else pre-ready is a protocol bug; keep waiting.
+
+    def _replace(self, handle: _WorkerHandle) -> _WorkerHandle:
+        self._total_restarts += 1
+        handle.stats.restarts += 1
+        if self._total_restarts > self._max_restarts:
+            raise PreprocessingError(
+                f"build pool exceeded its restart budget "
+                f"({self._max_restarts}); giving up"
+            )
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        if handle.process.is_alive():
+            handle.process.terminate()
+        handle.process.join(timeout=5.0)
+        outstanding = handle.outstanding
+        fresh = self._spawn(handle.stats)
+        self._workers[handle.stats.index] = fresh
+        for chunk_id, units in outstanding.items():
+            fresh.conn.send(("chunk", chunk_id, units))
+            fresh.outstanding[chunk_id] = units
+        return fresh
+
+    def shutdown(self) -> None:
+        for handle in self._workers:
+            try:
+                handle.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for handle in self._workers:
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def run(self, units: list, chunk_size: int, handle_shard) -> None:
+        """Fan ``units`` out in chunks; deliver each shard as it lands.
+
+        ``handle_shard(kind, label, shard_bytes)`` runs on the
+        coordinator for every unit, in arrival order (merge order is
+        the assembler's job, not the dispatcher's).
+        """
+        chunks = [
+            (chunk_id, units[start : start + chunk_size])
+            for chunk_id, start in enumerate(
+                range(0, len(units), chunk_size)
+            )
+        ]
+        for position, (chunk_id, chunk_units) in enumerate(chunks):
+            worker = self._workers[position % len(self._workers)]
+            worker.conn.send(("chunk", chunk_id, chunk_units))
+            worker.outstanding[chunk_id] = chunk_units
+        remaining = {chunk_id for chunk_id, _ in chunks}
+
+        while remaining:
+            by_conn = {
+                handle.conn: handle
+                for handle in self._workers
+                if handle.outstanding
+            }
+            ready = connection_wait(
+                list(by_conn), timeout=_POLL_SECONDS
+            )
+            for conn in ready:
+                handle = by_conn[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    self._replace(handle)
+                    continue
+                if message[0] == "result":
+                    _, chunk_id, _, shards, busy = message
+                    if chunk_id not in handle.outstanding:
+                        continue  # duplicate after a re-send race
+                    del handle.outstanding[chunk_id]
+                    remaining.discard(chunk_id)
+                    handle.stats.chunks += 1
+                    handle.stats.units += len(shards)
+                    handle.stats.busy_seconds += busy
+                    for kind, label, data in shards:
+                        handle_shard(kind, label, data)
+                elif message[0] == "error":
+                    raise PreprocessingError(
+                        f"build worker {handle.stats.index} failed: "
+                        f"{message[2]}"
+                    )
+            # Health sweep: a silently dead worker never EOFs a wait.
+            for handle in list(self._workers):
+                if handle.outstanding and not handle.process.is_alive():
+                    self._replace(handle)
+
+
+# ----------------------------------------------------------------------
+# Assembly
+# ----------------------------------------------------------------------
+def _assemble_oracle(
+    *,
+    family: str,
+    graph: DiGraph,
+    input_sparsification,
+    transit_frozen: frozenset[int],
+    landmark_list: list[int],
+    node_ids: list[int],
+    results: dict,
+    params: dict,
+    report: BuildReport,
+):
+    """Merge decoded shards into a finished oracle, in landmark order."""
+    with report.timed("assembly"):
+        trees = {}
+        edges = {}
+        for u in sorted(transit_frozen):
+            shard = results[(TREE_KIND, u)]
+            trees[u] = shard.to_tree()
+            edges[u] = shard.out_edges
+        distance_graph = assemble_distance_graph(transit_frozen, edges)
+        landmark_table = None
+        if landmark_list:
+            out_rows = []
+            in_rows = []
+            for landmark in landmark_list:
+                shard = results[(LANDMARK_KIND, landmark)]
+                outbound, inbound = shard.to_rows(node_ids)
+                out_rows.append(outbound)
+                in_rows.append(inbound)
+            landmark_table = LandmarkTable.from_rows(
+                landmark_list, out_rows, in_rows
+            )
+    with report.timed("sparsify_overlay"):
+        if family == "diso":
+            oracle = DISO._from_assembled(graph, distance_graph, trees)
+        elif family == "adiso":
+            oracle = ADISO._from_assembled(
+                graph, distance_graph, trees, landmark_table=landmark_table
+            )
+        elif family == "diso-s":
+            oracle = DISOSparse._from_assembled(
+                graph,
+                input_sparsification,
+                distance_graph,
+                trees,
+                beta=params["beta"],
+                degree_floor=params["degree_floor"],
+            )
+        else:  # adiso-p
+            oracle = ADISOPartial._from_assembled(
+                graph,
+                distance_graph,
+                trees,
+                landmark_table=landmark_table,
+                tau_h=params["tau_h"],
+            )
+    return oracle
+
+
+def _complete_units(
+    *,
+    spool: BuildSpool,
+    units: list,
+    jobs: int,
+    start_method: str | None,
+    chunk_size: int | None,
+    max_restarts: int | None,
+    on_shard,
+    report: BuildReport,
+) -> dict:
+    """Resume spooled shards, build the missing ones, return all decoded."""
+    spooled, corrupt = spool.load_shards()
+    report.corrupt_shards = corrupt
+    results = {unit: spooled[unit] for unit in units if unit in spooled}
+    report.resumed_units = len(results)
+    missing = [unit for unit in units if unit not in results]
+
+    def handle_shard(kind: int, label: int, data: bytes) -> None:
+        shard = decode_shard(data)  # validates CRC before anything else
+        spool.write_shard(kind, label, data)
+        results[(kind, label)] = shard
+        report.shard_bytes.append(len(data))
+        report.built_units += 1
+        if on_shard is not None:
+            on_shard(kind_name(kind), label)
+
+    with report.timed("spt_fanout"):
+        if not missing:
+            return results
+        if jobs <= 0:
+            # Inline path: same container, same compute_unit, same
+            # shard codec as the pool — byte parity by construction.
+            loaded = load_build_graph(spool.container_path)
+            transit = frozenset(loaded.transit)
+            for kind, label in missing:
+                data = compute_unit(
+                    kind,
+                    label,
+                    loaded.graph,
+                    loaded.build_graph,
+                    transit,
+                    loaded.node_ids,
+                )
+                handle_shard(kind, label, data)
+            return results
+        workers = min(jobs, len(missing))
+        size = chunk_size or max(
+            1, -(-len(missing) // (workers * 4))
+        )
+        pool = _BuildPool(
+            spool.container_path,
+            workers,
+            _resolve_start_method(start_method),
+            max_restarts,
+            report,
+        )
+        try:
+            pool.run(missing, size, handle_shard)
+        finally:
+            pool.shutdown()
+    return results
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def build_parallel(
+    graph: DiGraph,
+    family: str = "diso",
+    jobs: int = 1,
+    *,
+    tau: int = 4,
+    theta: float = 1.0,
+    transit=None,
+    num_landmarks: int = 10,
+    alpha: float = 0.1,
+    landmarks: list[int] | None = None,
+    seed: int = 0,
+    beta: float = 1.5,
+    degree_floor: int | None = None,
+    tau_h: int = 4,
+    spool_dir: str | Path | None = None,
+    start_method: str | None = None,
+    chunk_size: int | None = None,
+    max_restarts: int | None = None,
+    on_shard=None,
+) -> BuildResult:
+    """Build an oracle with a process pool; bitwise-equal to sequential.
+
+    Parameters mirror the family constructors (``tau``/``theta``/
+    ``transit`` for the cover, ``num_landmarks``/``alpha``/
+    ``landmarks``/``seed`` for ADISO-family landmarks, ``beta``/
+    ``degree_floor`` for DISO-S, ``tau_h`` for ADISO-P), plus:
+
+    jobs:
+        Worker process count.  ``0`` computes every unit inline on the
+        coordinator (no processes — still spooled and profiled), which
+        is also the cheapest way to finish a near-complete checkpoint.
+    spool_dir:
+        Checkpoint directory.  When given, completed shards persist
+        there and a re-run resumes from them (after a fingerprint
+        check); when omitted, a temporary spool is used and deleted.
+    start_method:
+        ``fork``/``spawn``/``forkserver``; default is the
+        ``DSO_BUILD_START_METHOD`` environment variable, then fork
+        where available.
+    on_shard:
+        Optional ``callback(kind_name, label)`` invoked after each
+        newly built shard is validated and spooled — the hook the
+        kill-and-resume tests use.
+
+    Raises
+    ------
+    PreprocessingError
+        On an empty/invalid transit set, a worker failure, or an
+        exhausted restart budget.
+    FormatError
+        When ``spool_dir`` holds a checkpoint for a different build.
+    """
+    family = _normalize_family(family)
+    report = BuildReport(
+        family=family,
+        jobs=jobs,
+        start_method=_resolve_start_method(start_method) if jobs > 0
+        else None,
+    )
+    wall_start = time.perf_counter()
+
+    with report.timed("landmark_selection"):
+        if family == "diso-s":
+            input_sparsification = sparsify_graph(graph, beta, degree_floor)
+            build_graph = input_sparsification.graph
+        else:
+            input_sparsification = None
+            build_graph = graph
+        if transit is None:
+            transit = DISO.select_transit(build_graph, tau=tau, theta=theta)
+        transit_frozen = validate_transit(build_graph, transit)
+        if family in ("adiso", "adiso-p"):
+            landmark_list = ADISO.select_landmarks(
+                graph, num_landmarks, seed=seed, alpha=alpha,
+                landmarks=landmarks,
+            )
+        else:
+            landmark_list = []
+
+    params = {
+        "tau": tau,
+        "theta": theta,
+        "num_landmarks": num_landmarks,
+        "alpha": alpha,
+        "seed": seed,
+        "beta": beta,
+        "degree_floor": degree_floor,
+        "tau_h": tau_h,
+    }
+    container = build_container_bytes(
+        graph,
+        family=family,
+        params=params,
+        transit=sorted(transit_frozen),
+        landmarks=landmark_list,
+        build_graph=build_graph,
+    )
+
+    if spool_dir is not None:
+        oracle = _build_with_spool(
+            BuildSpool(spool_dir), container, graph, input_sparsification,
+            family, params, transit_frozen, landmark_list, jobs,
+            start_method, chunk_size, max_restarts, on_shard, report,
+        )
+    else:
+        with tempfile.TemporaryDirectory(prefix="dso-build-") as tmp:
+            oracle = _build_with_spool(
+                BuildSpool(tmp), container, graph, input_sparsification,
+                family, params, transit_frozen, landmark_list, jobs,
+                start_method, chunk_size, max_restarts, on_shard, report,
+            )
+    report.wall_seconds = time.perf_counter() - wall_start
+    report.oracle = oracle.name
+    oracle.preprocess_seconds = report.wall_seconds
+    return BuildResult(oracle=oracle, report=report)
+
+
+def _build_with_spool(
+    spool, container, graph, input_sparsification, family, params,
+    transit_frozen, landmark_list, jobs, start_method, chunk_size,
+    max_restarts, on_shard, report,
+):
+    spool.prepare(container)
+    units = [(TREE_KIND, u) for u in sorted(transit_frozen)]
+    units += [(LANDMARK_KIND, x) for x in landmark_list]
+    report.total_units = len(units)
+    results = _complete_units(
+        spool=spool,
+        units=units,
+        jobs=jobs,
+        start_method=start_method,
+        chunk_size=chunk_size,
+        max_restarts=max_restarts,
+        on_shard=on_shard,
+        report=report,
+    )
+    node_ids = sorted(graph.nodes())
+    return _assemble_oracle(
+        family=family,
+        graph=graph,
+        input_sparsification=input_sparsification,
+        transit_frozen=transit_frozen,
+        landmark_list=landmark_list,
+        node_ids=node_ids,
+        results=results,
+        params=params,
+        report=report,
+    )
+
+
+def finalize_checkpoint(
+    spool_dir: str | Path,
+    jobs: int = 0,
+    *,
+    start_method: str | None = None,
+    chunk_size: int | None = None,
+    max_restarts: int | None = None,
+    on_shard=None,
+) -> BuildResult:
+    """Complete an interrupted spool into a finished oracle.
+
+    Reads the spooled build container (graph, family, parameters,
+    selections — no re-selection, no original graph object needed),
+    builds whatever shards are still missing (inline by default;
+    ``jobs > 0`` fans out), and assembles.  The result freezes to the
+    same bytes a from-scratch build produces, because the container's
+    roundtripped graph is CSR-canonical.
+
+    Raises
+    ------
+    FormatError
+        When ``spool_dir`` has no container or it fails validation.
+    """
+    spool = BuildSpool(spool_dir)
+    if not spool.container_path.exists():
+        raise FormatError(
+            f"{spool.root}: no build checkpoint here (missing "
+            f"{spool.container_path.name})"
+        )
+    loaded = load_build_graph(spool.container_path)
+    family = _normalize_family(loaded.family)
+    params = loaded.params
+    report = BuildReport(
+        family=family,
+        jobs=jobs,
+        start_method=_resolve_start_method(start_method) if jobs > 0
+        else None,
+    )
+    wall_start = time.perf_counter()
+    with report.timed("landmark_selection"):
+        # Selection is already pinned by the container; only DISO-S
+        # needs its step-1 bookkeeping re-derived (deterministically).
+        if family == "diso-s":
+            input_sparsification = sparsify_graph(
+                loaded.graph, params["beta"], params["degree_floor"]
+            )
+            graph = loaded.graph
+        else:
+            input_sparsification = None
+            graph = loaded.graph
+    transit_frozen = frozenset(loaded.transit)
+    units = [(TREE_KIND, u) for u in sorted(transit_frozen)]
+    units += [(LANDMARK_KIND, x) for x in loaded.landmarks]
+    report.total_units = len(units)
+    results = _complete_units(
+        spool=spool,
+        units=units,
+        jobs=jobs,
+        start_method=start_method,
+        chunk_size=chunk_size,
+        max_restarts=max_restarts,
+        on_shard=on_shard,
+        report=report,
+    )
+    oracle = _assemble_oracle(
+        family=family,
+        graph=graph,
+        input_sparsification=input_sparsification,
+        transit_frozen=transit_frozen,
+        landmark_list=loaded.landmarks,
+        node_ids=loaded.node_ids,
+        results=results,
+        params=params,
+        report=report,
+    )
+    report.wall_seconds = time.perf_counter() - wall_start
+    report.oracle = oracle.name
+    oracle.preprocess_seconds = report.wall_seconds
+    return BuildResult(oracle=oracle, report=report)

@@ -1,0 +1,140 @@
+"""The build-graph container: one read-only binary file per build.
+
+Workers must see the input graph exactly once, as flat buffers — never
+through pickle (fork would share it for free, but spawn would re-pickle
+the whole dict-of-dicts per worker, and pickling is neither versioned
+nor checksummed).  This module reuses the DSOSNAP1 container machinery
+from :mod:`repro.oracle.snapshot` — same framing, same
+:class:`SectionWriter`, same :class:`SnapshotReader` — under its own
+magic ``b"DSOBLD01"`` so build containers and serving snapshots can
+never be confused for one another.
+
+Contents:
+
+* ``graph.*`` — the original input graph as a sorted CSR
+  (:class:`FrozenGraph` sections);
+* ``build.*`` — the *working* graph when it differs from the input
+  (DISO-S builds on the sparsified input); absent otherwise;
+* ``units.transit`` — the transit node labels, sorted;
+* ``units.landmarks`` — the ADISO landmark labels, in selection order
+  (order is meaningful: it fixes the landmark table's row order);
+* header meta — the oracle family and every build parameter.
+
+The container is a pure function of the inputs (sections are sorted
+CSR; the header JSON is dumped with sorted keys; no timestamps), so
+its exact bytes double as the checkpoint fingerprint: a resumed build
+recomputes the container and compares bytes — any drift in graph,
+parameters, or selection invalidates the spool loudly instead of
+merging stale shards into a wrong index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.graph.csr import FrozenGraph
+from repro.graph.digraph import DiGraph
+from repro.oracle.snapshot import (
+    SectionWriter,
+    SnapshotReader,
+    _add_csr,
+    _load_csr,
+    pack_container,
+)
+
+BUILD_MAGIC = b"DSOBLD01"
+BUILD_VERSION = 1
+
+
+def build_container_bytes(
+    graph: DiGraph,
+    *,
+    family: str,
+    params: dict,
+    transit: list[int],
+    landmarks: list[int],
+    build_graph: DiGraph | None = None,
+) -> bytes:
+    """Serialize a build's full input state to container bytes.
+
+    ``params`` must be a JSON-safe dict of build parameters; it lands in
+    the header meta verbatim (keys are sorted on dump, so equal dicts
+    give equal bytes).
+    """
+    writer = SectionWriter()
+    _add_csr(writer, "graph", FrozenGraph.from_digraph(graph))
+    has_build_graph = build_graph is not None and build_graph is not graph
+    if has_build_graph:
+        _add_csr(writer, "build", FrozenGraph.from_digraph(build_graph))
+    writer.add("units.transit", "q", sorted(transit))
+    writer.add("units.landmarks", "q", list(landmarks))
+    meta = {
+        "family": family,
+        "params": params,
+        "has_build_graph": has_build_graph,
+    }
+    return pack_container(
+        writer,
+        magic=BUILD_MAGIC,
+        version=BUILD_VERSION,
+        engine="BuildGraph",
+        meta=meta,
+    )
+
+
+@dataclass
+class BuildGraph:
+    """A loaded build container, rehydrated to dict graphs.
+
+    ``graph`` is the original input; ``build_graph`` is the working
+    graph the tree units run on (the same object unless the container
+    carried a separate one).  Both are *roundtripped* through the
+    sorted CSR — byte parity with a from-scratch build holds because
+    every serialized artifact downstream is insertion-order
+    independent (DESIGN.md §9).
+    """
+
+    graph: DiGraph
+    build_graph: DiGraph
+    transit: list[int]
+    landmarks: list[int]
+    family: str
+    params: dict
+    node_ids: list[int]
+
+
+def load_build_graph(path: str | Path) -> BuildGraph:
+    """Load a build container written by :func:`build_container_bytes`.
+
+    Raises
+    ------
+    FormatError
+        On bad magic/version, truncation, or checksum failure — the
+        shared container validation from :mod:`repro.oracle.snapshot`.
+    """
+    reader = SnapshotReader(
+        path, verify=True, magic=BUILD_MAGIC, version=BUILD_VERSION
+    )
+    try:
+        frozen = _load_csr(reader, "graph")
+        graph = frozen.to_digraph()
+        meta = reader.meta
+        if meta.get("has_build_graph") and reader.has_section(
+            "build.node_ids"
+        ):
+            build_graph = _load_csr(reader, "build").to_digraph()
+        else:
+            build_graph = graph
+        return BuildGraph(
+            graph=graph,
+            build_graph=build_graph,
+            transit=list(reader.section("units.transit")),
+            landmarks=list(reader.section("units.landmarks")),
+            family=meta.get("family", "diso"),
+            params=dict(meta.get("params", {})),
+            node_ids=list(frozen.node_ids),
+        )
+    finally:
+        # Everything was copied into dicts/lists; release the mapping.
+        reader.close()

@@ -1,0 +1,175 @@
+"""Build profiling: where a parallel index build spends its time.
+
+A :class:`BuildReport` accumulates per-phase wall time, per-worker
+utilization, and shard-size statistics while the coordinator runs, and
+serializes to JSON for ``repro build --jobs N --profile`` and
+``benchmarks/bench_build.py``.  The four phases mirror the build
+pipeline:
+
+* ``landmark_selection`` — input sparsification (DISO-S), the ISC path
+  cover, and landmark selection: everything that decides *what* the
+  work units are;
+* ``spt_fanout`` — the parallel part: per-landmark bounded SPTs and
+  landmark Dijkstra pairs, in workers or inline;
+* ``assembly`` — decoding shards and merging them, in sorted landmark
+  order, into the overlay, trees, and landmark table;
+* ``sparsify_overlay`` — the coordinator-side tail that needs the full
+  merged ``D``: DISO-S overlay sparsification / ADISO-P's second
+  overlay ``H`` (≈ 0 for plain DISO/ADISO).
+
+The report is observability only: nothing in it feeds back into the
+index, so timing jitter can never perturb the determinism contract.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+
+PHASES = (
+    "landmark_selection",
+    "spt_fanout",
+    "assembly",
+    "sparsify_overlay",
+)
+
+
+@dataclass
+class BuildWorkerStats:
+    """One pool slot's contribution (slot, not process: restarts keep
+    the slot and accumulate)."""
+
+    index: int
+    pid: int = 0
+    units: int = 0
+    chunks: int = 0
+    busy_seconds: float = 0.0
+    load_seconds: float = 0.0
+    restarts: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "pid": self.pid,
+            "units": self.units,
+            "chunks": self.chunks,
+            "busy_seconds": round(self.busy_seconds, 6),
+            "load_seconds": round(self.load_seconds, 6),
+            "restarts": self.restarts,
+        }
+
+
+@dataclass
+class BuildReport:
+    """Profile of one ``build_parallel`` run."""
+
+    family: str
+    jobs: int
+    start_method: str | None = None
+    oracle: str = ""
+    wall_seconds: float = 0.0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    total_units: int = 0
+    built_units: int = 0
+    resumed_units: int = 0
+    corrupt_shards: int = 0
+    shard_bytes: list[int] = field(default_factory=list)
+    workers: list[BuildWorkerStats] = field(default_factory=list)
+
+    @contextmanager
+    def timed(self, phase: str):
+        """Accumulate wall time under ``phase`` (one of :data:`PHASES`)."""
+        started = perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = perf_counter() - started
+            self.phase_seconds[phase] = (
+                self.phase_seconds.get(phase, 0.0) + elapsed
+            )
+
+    def shard_stats(self) -> dict:
+        """Size distribution of the shards built (not resumed) this run."""
+        sizes = sorted(self.shard_bytes)
+        if not sizes:
+            return {
+                "count": 0, "total_bytes": 0,
+                "min_bytes": 0, "median_bytes": 0, "max_bytes": 0,
+            }
+        return {
+            "count": len(sizes),
+            "total_bytes": sum(sizes),
+            "min_bytes": sizes[0],
+            "median_bytes": sizes[len(sizes) // 2],
+            "max_bytes": sizes[-1],
+        }
+
+    def utilization(self) -> dict[str, float]:
+        """Per-worker busy fraction of the fan-out phase's wall time."""
+        fanout = self.phase_seconds.get("spt_fanout", 0.0)
+        if fanout <= 0.0:
+            return {}
+        return {
+            str(stats.index): round(stats.busy_seconds / fanout, 4)
+            for stats in self.workers
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "oracle": self.oracle,
+            "jobs": self.jobs,
+            "start_method": self.start_method,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "phase_seconds": {
+                phase: round(self.phase_seconds.get(phase, 0.0), 6)
+                for phase in PHASES
+            },
+            "total_units": self.total_units,
+            "built_units": self.built_units,
+            "resumed_units": self.resumed_units,
+            "corrupt_shards": self.corrupt_shards,
+            "shards": self.shard_stats(),
+            "worker_utilization": self.utilization(),
+            "workers": [stats.to_dict() for stats in self.workers],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def format_report(report: BuildReport) -> str:
+    """Human-readable profile table (what ``--profile`` prints)."""
+    data = report.to_dict()
+    lines = [
+        f"build profile: family={data['family']} oracle={data['oracle']} "
+        f"jobs={data['jobs']} start_method={data['start_method']}",
+        f"units: total={data['total_units']} built={data['built_units']} "
+        f"resumed={data['resumed_units']} "
+        f"corrupt={data['corrupt_shards']}",
+        f"{'phase':>20} {'seconds':>10} {'share':>7}",
+    ]
+    wall = data["wall_seconds"] or 1.0
+    for phase in PHASES:
+        seconds = data["phase_seconds"][phase]
+        lines.append(
+            f"{phase:>20} {seconds:>10.4f} {seconds / wall:>6.1%}"
+        )
+    lines.append(f"{'wall':>20} {data['wall_seconds']:>10.4f} {'100%':>7}")
+    shards = data["shards"]
+    lines.append(
+        f"shards: {shards['count']} built, {shards['total_bytes']}B total "
+        f"(min {shards['min_bytes']} / median {shards['median_bytes']} / "
+        f"max {shards['max_bytes']})"
+    )
+    for stats in data["workers"]:
+        busy = data["worker_utilization"].get(str(stats["index"]), 0.0)
+        lines.append(
+            f"worker {stats['index']}: pid={stats['pid']} "
+            f"units={stats['units']} chunks={stats['chunks']} "
+            f"busy={stats['busy_seconds']:.4f}s ({busy:.1%} of fan-out) "
+            f"restarts={stats['restarts']}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,254 @@
+"""Per-landmark build shards: CRC-32 framed flat arrays.
+
+A *shard* is the serialized result of exactly one build work unit —
+either a transit node's :func:`repro.overlay.distance_graph.
+landmark_tree_unit` output (bounded tree + overlay out-edges) or one
+ADISO landmark's Dijkstra pair — encoded as flat little-endian arrays
+with a CRC-32 trailer.  Workers ship shards back to the coordinator
+over a pipe, and the coordinator spools the same bytes to disk, so one
+codec covers both the wire format and the checkpoint format.
+
+Frame layout::
+
+    magic     4 bytes   b"DSH1"
+    version   1 byte
+    kind      1 byte    1 = tree unit, 2 = landmark unit
+    reserved  2 bytes   zero
+    label     8 bytes   int64 — the transit node / landmark this is for
+    length    4 bytes   uint32 — payload byte count
+    payload   length    kind-specific flat arrays (below)
+    crc32     4 bytes   uint32 over everything before it
+
+Tree payload (all counts uint32, arrays 8-byte items)::
+
+    m  k  nodes int64[m]  parents int64[m]  dists float64[m]
+          heads int64[k]  weights float64[k]
+
+``nodes`` is the tree's attach order (root first, ``parents[0] = -1``),
+which is exactly the order :meth:`BoundedSearchResult.to_tree` used —
+replaying ``attach`` in that order reconstructs the identical tree.
+``heads``/``weights`` are the overlay out-edges in settle order.
+
+Landmark payload::
+
+    n  outbound float64[n]  inbound float64[n]
+
+Dense rows over the *sorted node-id order* of the build container;
+unreachable nodes hold ``inf``.
+
+Determinism contract: shard bytes are a pure function of the unit's
+result — no timestamps, pids, or worker ids ever enter the frame — so
+a resumed build reads bytes a dead build wrote and still merges to a
+bitwise-identical index.
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+import zlib
+from array import array
+from dataclasses import dataclass
+
+from repro.exceptions import FormatError
+from repro.pathing.spt import INFINITY, ShortestPathTree
+
+SHARD_MAGIC = b"DSH1"
+SHARD_VERSION = 1
+
+TREE_KIND = 1
+LANDMARK_KIND = 2
+
+_KIND_NAMES = {TREE_KIND: "tree", LANDMARK_KIND: "landmark"}
+_PREFIX = struct.Struct("<4sBBHqI")
+
+
+def kind_name(kind: int) -> str:
+    return _KIND_NAMES.get(kind, f"kind{kind}")
+
+
+def _pack_array(typecode: str, values) -> bytes:
+    data = array(typecode, values)
+    if sys.byteorder != "little":  # pragma: no cover - x86/arm LE
+        data.byteswap()
+    return data.tobytes()
+
+
+def _unpack_array(typecode: str, raw: bytes, count: int, offset: int):
+    end = offset + count * 8
+    data = array(typecode)
+    data.frombytes(raw[offset:end])
+    if sys.byteorder != "little":  # pragma: no cover - x86/arm LE
+        data.byteswap()
+    return data, end
+
+
+def _frame(kind: int, label: int, payload: bytes) -> bytes:
+    head = _PREFIX.pack(
+        SHARD_MAGIC, SHARD_VERSION, kind, 0, label, len(payload)
+    )
+    body = head + payload
+    return body + struct.pack("<I", zlib.crc32(body))
+
+
+@dataclass
+class TreeShard:
+    """Decoded tree unit: one transit node's tree + overlay out-edges."""
+
+    root: int
+    nodes: list[int]
+    parents: list[int]
+    dists: list[float]
+    out_edges: list[tuple[int, float]]
+
+    def to_tree(self) -> ShortestPathTree:
+        """Replay the attach sequence; identical to the worker's tree."""
+        tree = ShortestPathTree(self.root)
+        for node, parent, dist in zip(
+            self.nodes[1:], self.parents[1:], self.dists[1:]
+        ):
+            tree.attach(node, parent, dist)
+        return tree
+
+
+@dataclass
+class LandmarkShard:
+    """Decoded landmark unit: dense Dijkstra rows for one landmark."""
+
+    landmark: int
+    outbound: list[float]
+    inbound: list[float]
+
+    def to_rows(
+        self, node_ids: list[int]
+    ) -> tuple[dict[int, float], dict[int, float]]:
+        """Sparse ``{node: distance}`` maps, dropping unreachable rows."""
+        if len(node_ids) != len(self.outbound):
+            raise FormatError(
+                f"landmark shard for {self.landmark} has "
+                f"{len(self.outbound)} rows, graph has {len(node_ids)} "
+                f"nodes"
+            )
+        out = {
+            node: d
+            for node, d in zip(node_ids, self.outbound)
+            if d < INFINITY
+        }
+        into = {
+            node: d
+            for node, d in zip(node_ids, self.inbound)
+            if d < INFINITY
+        }
+        return out, into
+
+
+def encode_tree_shard(
+    root: int,
+    tree: ShortestPathTree,
+    out_edges: list[tuple[int, float]],
+) -> bytes:
+    """Serialize one :func:`landmark_tree_unit` result."""
+    nodes = list(tree.dist)  # attach order: root first
+    if not nodes or nodes[0] != root:
+        raise FormatError(
+            f"tree for {root} does not start at its root (got "
+            f"{nodes[:1]})"
+        )
+    parents = [-1] + [tree.parent[node] for node in nodes[1:]]
+    dists = [tree.dist[node] for node in nodes]
+    payload = b"".join(
+        (
+            struct.pack("<II", len(nodes), len(out_edges)),
+            _pack_array("q", nodes),
+            _pack_array("q", parents),
+            _pack_array("d", dists),
+            _pack_array("q", [head for head, _ in out_edges]),
+            _pack_array("d", [weight for _, weight in out_edges]),
+        )
+    )
+    return _frame(TREE_KIND, root, payload)
+
+
+def encode_landmark_shard(
+    landmark: int,
+    node_ids: list[int],
+    outbound: dict[int, float],
+    inbound: dict[int, float],
+) -> bytes:
+    """Serialize one landmark's Dijkstra pair as dense rows.
+
+    ``node_ids`` fixes the row order (the container's sorted node ids);
+    nodes absent from a distance map get ``inf``.
+    """
+    payload = b"".join(
+        (
+            struct.pack("<I", len(node_ids)),
+            _pack_array(
+                "d", [outbound.get(node, INFINITY) for node in node_ids]
+            ),
+            _pack_array(
+                "d", [inbound.get(node, INFINITY) for node in node_ids]
+            ),
+        )
+    )
+    return _frame(LANDMARK_KIND, landmark, payload)
+
+
+def decode_shard(raw: bytes) -> TreeShard | LandmarkShard:
+    """Decode and CRC-verify one shard frame.
+
+    Raises
+    ------
+    FormatError
+        On truncation, bad magic/version/kind, length mismatch, or a
+        CRC-32 failure — every way a half-written or corrupted spool
+        file can present.
+    """
+    if len(raw) < _PREFIX.size + 4:
+        raise FormatError("shard truncated (no frame)")
+    magic, version, kind, _, label, length = _PREFIX.unpack_from(raw)
+    if magic != SHARD_MAGIC:
+        raise FormatError(f"bad shard magic {magic!r}")
+    if version != SHARD_VERSION:
+        raise FormatError(f"unsupported shard version {version}")
+    expected_len = _PREFIX.size + length + 4
+    if len(raw) != expected_len:
+        raise FormatError(
+            f"shard length mismatch: frame says {expected_len} bytes, "
+            f"got {len(raw)}"
+        )
+    body, (crc,) = raw[:-4], struct.unpack_from("<I", raw, len(raw) - 4)
+    if zlib.crc32(body) != crc:
+        raise FormatError(f"shard CRC mismatch for label {label}")
+    payload = raw[_PREFIX.size : -4]
+
+    if kind == TREE_KIND:
+        m, k = struct.unpack_from("<II", payload)
+        offset = 8
+        nodes, offset = _unpack_array("q", payload, m, offset)
+        parents, offset = _unpack_array("q", payload, m, offset)
+        dists, offset = _unpack_array("d", payload, m, offset)
+        heads, offset = _unpack_array("q", payload, k, offset)
+        weights, offset = _unpack_array("d", payload, k, offset)
+        if offset != len(payload):
+            raise FormatError(f"tree shard for {label} has trailing bytes")
+        return TreeShard(
+            root=label,
+            nodes=list(nodes),
+            parents=list(parents),
+            dists=list(dists),
+            out_edges=list(zip(heads, weights)),
+        )
+    if kind == LANDMARK_KIND:
+        (n,) = struct.unpack_from("<I", payload)
+        offset = 4
+        outbound, offset = _unpack_array("d", payload, n, offset)
+        inbound, offset = _unpack_array("d", payload, n, offset)
+        if offset != len(payload):
+            raise FormatError(
+                f"landmark shard for {label} has trailing bytes"
+            )
+        return LandmarkShard(
+            landmark=label, outbound=list(outbound), inbound=list(inbound)
+        )
+    raise FormatError(f"unknown shard kind {kind}")

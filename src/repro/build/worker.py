@@ -1,0 +1,127 @@
+"""Build worker process: compute per-landmark units, ship shard bytes.
+
+Mirrors the serving worker (:mod:`repro.serving.worker`) but for
+construction: each worker loads the read-only build container exactly
+once (no pickled graphs cross the pipe — the container is validated,
+versioned, and identical for every worker), then answers chunk
+messages until told to stop.
+
+Protocol (tuples over a ``multiprocessing.Pipe``):
+
+* ``("ready", worker_id, {"pid", "load_seconds"})`` — sent once after
+  the container is loaded.
+* ``("chunk", chunk_id, [(kind, label), ...])`` → ``("result",
+  chunk_id, worker_id, [(kind, label, shard_bytes), ...],
+  busy_seconds)`` — one shard frame per unit, in request order.
+* ``("crash",)`` → ``os._exit(13)`` — test hook, as in serving.
+* ``("stop",)`` or pipe EOF — clean exit.
+* any per-unit exception → ``("error", worker_id, message)`` and exit:
+  unit computation is deterministic, so a retry on another worker
+  would fail identically; the coordinator surfaces the error instead.
+
+Unit kinds:
+
+* tree units run :func:`landmark_tree_unit` on the *working* graph
+  (the sparsified input for DISO-S, the input graph otherwise);
+* landmark units run the forward/backward Dijkstra pair on the
+  *original* graph (landmark tables always live on ``G``), returning
+  dense rows over the container's sorted node order.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.build.graph_store import load_build_graph
+from repro.build.shards import (
+    LANDMARK_KIND,
+    TREE_KIND,
+    encode_landmark_shard,
+    encode_tree_shard,
+)
+from repro.overlay.distance_graph import landmark_tree_unit
+from repro.pathing.dijkstra import dijkstra, reverse_dijkstra
+
+
+def compute_unit(
+    kind: int,
+    label: int,
+    graph,
+    build_graph,
+    transit: frozenset[int],
+    node_ids: list[int],
+) -> bytes:
+    """Compute one work unit and return its shard frame.
+
+    Shared by pool workers and the coordinator's inline (``jobs=0``)
+    path, so both produce byte-identical shards by construction.
+    """
+    if kind == TREE_KIND:
+        tree, out_edges = landmark_tree_unit(build_graph, label, transit)
+        return encode_tree_shard(label, tree, out_edges)
+    if kind == LANDMARK_KIND:
+        outbound, _ = dijkstra(graph, label)
+        inbound = reverse_dijkstra(graph, label)
+        return encode_landmark_shard(label, node_ids, outbound, inbound)
+    raise ValueError(f"unknown unit kind {kind}")
+
+
+def build_worker_main(container_path, conn, worker_id: int) -> None:
+    """Entry point for one build worker process."""
+    try:
+        started = time.perf_counter()
+        loaded = load_build_graph(container_path)
+        transit = frozenset(loaded.transit)
+        load_seconds = time.perf_counter() - started
+    except BaseException as exc:  # noqa: BLE001 — must reach the parent
+        try:
+            conn.send(("error", worker_id, f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+        return
+    conn.send(
+        ("ready", worker_id, {"pid": os.getpid(),
+                              "load_seconds": load_seconds})
+    )
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+            kind = message[0]
+            if kind == "chunk":
+                _, chunk_id, units = message
+                tick = time.perf_counter()
+                try:
+                    shards = [
+                        (
+                            unit_kind,
+                            label,
+                            compute_unit(
+                                unit_kind,
+                                label,
+                                loaded.graph,
+                                loaded.build_graph,
+                                transit,
+                                loaded.node_ids,
+                            ),
+                        )
+                        for unit_kind, label in units
+                    ]
+                except Exception as exc:  # noqa: BLE001
+                    conn.send(
+                        ("error", worker_id,
+                         f"{type(exc).__name__}: {exc}")
+                    )
+                    return
+                busy = time.perf_counter() - tick
+                conn.send(("result", chunk_id, worker_id, shards, busy))
+            elif kind == "crash":
+                os._exit(13)
+            elif kind == "stop":
+                return
+            # Unknown messages are ignored (forward compatibility).
+    except (BrokenPipeError, OSError):
+        return

@@ -3,6 +3,7 @@
 from repro.landmarks.base import LandmarkTable
 from repro.landmarks.selection import (
     best_cover_landmarks,
+    build_landmarks,
     max_cover_landmarks,
     random_landmarks,
     sls_landmarks,
@@ -10,6 +11,7 @@ from repro.landmarks.selection import (
 
 __all__ = [
     "LandmarkTable",
+    "build_landmarks",
     "random_landmarks",
     "sls_landmarks",
     "max_cover_landmarks",

@@ -25,6 +25,27 @@ from repro.pathing.dijkstra import dijkstra, reverse_dijkstra, shortest_path
 from repro.pathing.spt import INFINITY
 
 
+def build_landmarks(
+    graph: DiGraph,
+    count: int,
+    seed: int = 0,
+    alpha: float = 0.1,
+    landmarks: Sequence[int] | None = None,
+) -> list[int]:
+    """Resolve the landmark node list an ADISO-family build will use.
+
+    One entry point shared by the sequential constructors and the
+    parallel build plane, so both resolve the exact same list from the
+    exact same parameters — the precondition for the build plane's
+    bitwise-parity guarantee.  An explicit ``landmarks`` sequence wins;
+    otherwise SLS selection (the paper's default) runs with ``seed`` and
+    ``alpha``.
+    """
+    if landmarks is not None:
+        return list(landmarks)
+    return sls_landmarks(graph, count, seed=seed, alpha=alpha)
+
+
 def random_landmarks(graph: DiGraph, count: int, seed: int = 0) -> list[int]:
     """Sample ``count`` distinct landmarks uniformly at random (RAND)."""
     nodes = sorted(graph.nodes())

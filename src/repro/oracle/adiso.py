@@ -39,7 +39,7 @@ from heapq import heappop, heappush
 
 from repro.graph.digraph import DiGraph, Edge
 from repro.landmarks.base import LandmarkTable
-from repro.landmarks.selection import sls_landmarks
+from repro.landmarks.selection import build_landmarks
 from repro.oracle.base import (
     INFINITY,
     QueryResult,
@@ -95,11 +95,47 @@ class ADISO(DISO):
             self.landmarks = landmark_table
         else:
             if landmarks is None:
-                landmarks = sls_landmarks(
+                landmarks = self.select_landmarks(
                     graph, num_landmarks, seed=seed, alpha=alpha
                 )
             self.landmarks = LandmarkTable(graph, landmarks)
         self.preprocess_seconds += time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Build plane hooks
+    # ------------------------------------------------------------------
+    @staticmethod
+    def select_landmarks(
+        graph: DiGraph,
+        num_landmarks: int = 10,
+        seed: int = 0,
+        alpha: float = 0.1,
+        landmarks: list[int] | None = None,
+    ) -> list[int]:
+        """The default landmark node list: SLS selection."""
+        return build_landmarks(
+            graph, num_landmarks, seed=seed, alpha=alpha, landmarks=landmarks
+        )
+
+    @classmethod
+    def _from_assembled(
+        cls,
+        graph: DiGraph,
+        distance_graph,
+        trees,
+        *,
+        landmark_table: LandmarkTable,
+        preprocess_seconds: float = 0.0,
+    ) -> "ADISO":
+        """Adopt an index plus a landmark table assembled elsewhere."""
+        oracle = super()._from_assembled(
+            graph,
+            distance_graph,
+            trees,
+            preprocess_seconds=preprocess_seconds,
+        )
+        oracle.landmarks = landmark_table
+        return oracle
 
     # ------------------------------------------------------------------
     # Frozen query plane

@@ -192,6 +192,14 @@ class QueryEngine:
                 latencies=report.latencies,
                 errors=report.errors,
             )
+        if self.threads == 1:
+            # One worker means nothing to schedule: answer in the
+            # calling thread.  Routing through a fresh executor would
+            # answer every batch on a brand-new pool thread, and the
+            # frozen engines key their reusable search arenas on the
+            # thread — each run() would re-allocate the whole arena set
+            # instead of reusing the caller's.
+            return self.run_sequential(queries)
         oracle = self.oracle
         perf = time.perf_counter
 

@@ -59,7 +59,7 @@ def _align8(value: int) -> int:
     return (value + 7) & ~7
 
 
-class _SectionWriter:
+class SectionWriter:
     """Accumulates named array sections and lays them out 8-aligned."""
 
     def __init__(self) -> None:
@@ -90,7 +90,59 @@ class _SectionWriter:
         return b"".join(self.chunks)
 
 
-def _add_csr(writer: _SectionWriter, prefix: str, frozen: FrozenGraph) -> None:
+# Historical internal name, kept for callers that predate the rename.
+_SectionWriter = SectionWriter
+
+
+def pack_container(
+    writer: SectionWriter,
+    *,
+    magic: bytes = SNAPSHOT_MAGIC,
+    version: int = SNAPSHOT_VERSION,
+    engine: str | None = None,
+    meta: dict | None = None,
+) -> bytes:
+    """Serialize accumulated sections into one container byte string.
+
+    This is the DSOSNAP1 framing (DESIGN.md §7) with ``magic`` and
+    ``version`` as parameters: sibling planes — the parallel build
+    plane's graph container in :mod:`repro.build.graph_store` — reuse
+    the exact same layout, writer, and reader without masquerading as
+    serving snapshots.  ``magic`` must be exactly 8 bytes.
+
+    The output is a pure function of the sections and ``meta`` (the
+    header JSON is dumped with sorted keys, no timestamps are added),
+    so equal inputs produce bitwise-equal containers — the property the
+    build plane's checkpoint fingerprinting relies on.
+    """
+    if len(magic) != len(SNAPSHOT_MAGIC):
+        raise FormatError(
+            f"container magic must be {len(SNAPSHOT_MAGIC)} bytes, "
+            f"got {magic!r}"
+        )
+    payload = writer.payload()
+    header = {
+        "format_version": version,
+        "endianness": "little",
+        "payload_size": len(payload),
+        "payload_crc32": zlib.crc32(payload),
+        "sections": writer.table,
+        "meta": meta if meta is not None else {},
+    }
+    if engine is not None:
+        header["engine"] = engine
+    header_bytes = json.dumps(
+        header, separators=(",", ":"), sort_keys=True
+    ).encode("utf-8")
+    prefix_len = len(magic) + 4 + len(header_bytes)
+    padding = b"\x00" * (_align8(prefix_len) - prefix_len)
+    return b"".join(
+        (magic, struct.pack("<I", len(header_bytes)), header_bytes, padding,
+         payload)
+    )
+
+
+def _add_csr(writer: SectionWriter, prefix: str, frozen: FrozenGraph) -> None:
     writer.add(f"{prefix}.node_ids", "q", frozen.node_ids)
     writer.add(f"{prefix}.offsets", "q", frozen._offsets)
     writer.add(f"{prefix}.heads", "q", frozen._heads)
@@ -157,7 +209,7 @@ def save_snapshot(oracle: FrozenDISO, target: str | Path) -> Path:
             f"snapshots require a frozen engine (freeze() result), "
             f"got {type(oracle).__name__}"
         )
-    writer = _SectionWriter()
+    writer = SectionWriter()
     _add_csr(writer, "graph", oracle.frozen)
     _add_index(writer, oracle.index)
 
@@ -192,51 +244,41 @@ def save_snapshot(oracle: FrozenDISO, target: str | Path) -> Path:
     else:
         engine = "FrozenDISO"
 
-    payload = writer.payload()
-    header = {
-        "format_version": SNAPSHOT_VERSION,
-        "engine": engine,
-        "endianness": "little",
-        "payload_size": len(payload),
-        "payload_crc32": zlib.crc32(payload),
-        "sections": writer.table,
-        "meta": meta,
-    }
-    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
-    prefix_len = len(SNAPSHOT_MAGIC) + 4 + len(header_bytes)
-    padding = b"\x00" * (_align8(prefix_len) - prefix_len)
-
+    blob = pack_container(writer, engine=engine, meta=meta)
     path = Path(target)
-    with open(path, "wb") as handle:
-        handle.write(SNAPSHOT_MAGIC)
-        handle.write(struct.pack("<I", len(header_bytes)))
-        handle.write(header_bytes)
-        handle.write(padding)
-        handle.write(payload)
+    path.write_bytes(blob)
     return path
 
 
-def _read_header(raw: bytes | mmap.mmap, path: Path) -> tuple[dict, int]:
+def _read_header(
+    raw: bytes | mmap.mmap,
+    path: Path,
+    magic: bytes = SNAPSHOT_MAGIC,
+    version: int = SNAPSHOT_VERSION,
+) -> tuple[dict, int]:
     """Parse and validate the container prefix; return (header, payload_start)."""
-    if len(raw) < len(SNAPSHOT_MAGIC) + 4:
+    if len(raw) < len(magic) + 4:
         raise FormatError(f"{path}: truncated snapshot (no header)")
-    if raw[: len(SNAPSHOT_MAGIC)] != SNAPSHOT_MAGIC:
-        raise FormatError(f"{path}: not a DSO snapshot (bad magic)")
-    (header_len,) = struct.unpack_from("<I", raw, len(SNAPSHOT_MAGIC))
-    prefix_len = len(SNAPSHOT_MAGIC) + 4 + header_len
+    if raw[: len(magic)] != magic:
+        raise FormatError(
+            f"{path}: not a {magic.decode('ascii', 'replace')} container "
+            f"(bad magic)"
+        )
+    (header_len,) = struct.unpack_from("<I", raw, len(magic))
+    prefix_len = len(magic) + 4 + header_len
     if len(raw) < prefix_len:
         raise FormatError(f"{path}: truncated snapshot header")
     try:
         header = json.loads(
-            bytes(raw[len(SNAPSHOT_MAGIC) + 4 : prefix_len]).decode("utf-8")
+            bytes(raw[len(magic) + 4 : prefix_len]).decode("utf-8")
         )
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise FormatError(f"{path}: corrupt snapshot header: {exc}") from exc
-    version = header.get("format_version")
-    if version != SNAPSHOT_VERSION:
+    found = header.get("format_version")
+    if found != version:
         raise FormatError(
-            f"{path}: unsupported snapshot version {version!r} "
-            f"(expected {SNAPSHOT_VERSION})"
+            f"{path}: unsupported snapshot version {found!r} "
+            f"(expected {version})"
         )
     if header.get("endianness") != sys.byteorder:
         raise FormatError(
@@ -254,7 +296,13 @@ class SnapshotReader:
     keeps a reference to the reader for exactly that reason.
     """
 
-    def __init__(self, path: str | Path, verify: bool = True) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        verify: bool = True,
+        magic: bytes = SNAPSHOT_MAGIC,
+        version: int = SNAPSHOT_VERSION,
+    ) -> None:
         self.path = Path(path)
         self._handle = open(self.path, "rb")
         try:
@@ -266,7 +314,7 @@ class SnapshotReader:
             raise FormatError(f"{self.path}: empty snapshot file") from exc
         try:
             self.header, self._payload_start = _read_header(
-                self._mmap, self.path
+                self._mmap, self.path, magic=magic, version=version
             )
             payload_size = self.header.get("payload_size", 0)
             if self._payload_start + payload_size > len(self._mmap):

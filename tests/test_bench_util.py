@@ -3,12 +3,15 @@
 ``merge_json`` (and ``merge_latency_json`` on top of it) read-merge-
 write a repo-root JSON file.  A truncated or hand-mangled file must not
 brick every future bench run: the bad file is quarantined to
-``<name>.corrupt`` and the merge starts fresh.
+``<name>.corrupt`` and the merge starts fresh.  Every dict-valued entry
+is stamped with attribution metadata (``git_rev`` + ``cpu_count``) on
+the way through.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -16,27 +19,64 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
 
-from bench_util import merge_json, merge_latency_json  # noqa: E402
+from bench_util import (  # noqa: E402
+    bench_metadata,
+    git_rev,
+    merge_json,
+    merge_latency_json,
+)
+
+
+def _strip_stamp(merged: dict) -> dict:
+    """Drop the attribution fields so tests can compare the payloads."""
+    return {
+        key: {
+            inner_key: inner_value
+            for inner_key, inner_value in value.items()
+            if inner_key not in ("git_rev", "cpu_count")
+        }
+        if isinstance(value, dict)
+        else value
+        for key, value in merged.items()
+    }
 
 
 def test_merge_into_fresh_file(tmp_path):
     target = tmp_path / "out.json"
     merge_json({"a": {"x": 1}}, target)
-    assert json.loads(target.read_text()) == {"a": {"x": 1}}
+    merged = json.loads(target.read_text())
+    assert _strip_stamp(merged) == {"a": {"x": 1}}
+
+
+def test_merge_stamps_attribution_metadata(tmp_path):
+    target = tmp_path / "out.json"
+    merge_json({"a": {"x": 1}}, target)
+    entry = json.loads(target.read_text())["a"]
+    assert entry["git_rev"] == git_rev()
+    assert entry["cpu_count"] == os.cpu_count()
+
+
+def test_bench_metadata_fields():
+    meta = bench_metadata()
+    assert set(meta) == {"git_rev", "cpu_count"}
+    assert isinstance(meta["git_rev"], str) and meta["git_rev"]
+    assert meta["cpu_count"] == os.cpu_count()
 
 
 def test_merge_preserves_existing_keys(tmp_path):
     target = tmp_path / "out.json"
     merge_json({"a": {"x": 1}}, target)
     merge_json({"b": {"y": 2}}, target)
-    assert json.loads(target.read_text()) == {"a": {"x": 1}, "b": {"y": 2}}
+    merged = json.loads(target.read_text())
+    assert _strip_stamp(merged) == {"a": {"x": 1}, "b": {"y": 2}}
 
 
 def test_merge_overwrites_same_key(tmp_path):
     target = tmp_path / "out.json"
     merge_json({"a": {"x": 1}}, target)
     merge_json({"a": {"x": 9}}, target)
-    assert json.loads(target.read_text()) == {"a": {"x": 9}}
+    merged = json.loads(target.read_text())
+    assert _strip_stamp(merged) == {"a": {"x": 9}}
 
 
 @pytest.mark.parametrize(
@@ -53,7 +93,8 @@ def test_corrupt_file_is_quarantined_not_fatal(tmp_path, bad_content):
     target = tmp_path / "out.json"
     target.write_text(bad_content, encoding="utf-8")
     merge_json({"fresh": {"x": 1}}, target)
-    assert json.loads(target.read_text()) == {"fresh": {"x": 1}}
+    merged = json.loads(target.read_text())
+    assert _strip_stamp(merged) == {"fresh": {"x": 1}}
     backup = tmp_path / "out.json.corrupt"
     assert backup.exists()
     assert backup.read_text(encoding="utf-8") == bad_content

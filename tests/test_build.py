@@ -1,0 +1,279 @@
+"""The parallel build plane must be invisible in the result.
+
+``build_parallel`` fans per-landmark work over a process pool; its
+whole contract is that parallelism changes *when* the work happens and
+never *what* comes out.  The property under test is therefore bitwise:
+the canonical snapshot of a parallel build equals the sequential
+constructor's, for every family, across seeded graphs, at every jobs
+setting — and across a kill and resume from the shard spool.
+
+Set ``DSO_BUILD_START_METHOD=spawn`` (or ``fork``) to pin the worker
+start method; ``build_parallel`` reads it directly, so the whole module
+runs under either (CI exercises both).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.build import (
+    FAMILIES,
+    build_parallel,
+    canonical_snapshot_bytes,
+    finalize_checkpoint,
+)
+from repro.build.checkpoint import BuildSpool
+from repro.build.profiler import PHASES
+from repro.exceptions import FormatError, PreprocessingError
+from repro.graph.generators import road_network, scale_free_network
+from repro.oracle.adiso import ADISO
+from repro.oracle.adiso_p import ADISOPartial
+from repro.oracle.diso import DISO
+from repro.oracle.diso_s import DISOSparse
+
+# One knob set shared by the sequential baselines and the build plane —
+# parity is only meaningful when both sides resolve the same index.
+TAU = 3
+THETA = 1.0
+NUM_LANDMARKS = 4
+SEED = 0
+BETA = 1.5
+TAU_H = 3
+
+GRAPHS = {
+    "road-a": lambda: road_network(6, 6, seed=1),
+    "road-b": lambda: road_network(5, 7, seed=2),
+    "social": lambda: scale_free_network(60, attach=2, seed=3),
+}
+
+
+def sequential_oracle(family: str, graph):
+    """The classic constructor with the module's shared knob set."""
+    if family == "diso":
+        return DISO(graph, tau=TAU, theta=THETA)
+    if family == "adiso":
+        return ADISO(
+            graph, tau=TAU, theta=THETA,
+            num_landmarks=NUM_LANDMARKS, seed=SEED,
+        )
+    if family == "diso-s":
+        return DISOSparse(graph, beta=BETA, tau=TAU, theta=THETA)
+    assert family == "adiso-p"
+    return ADISOPartial(
+        graph, tau=TAU, theta=THETA,
+        num_landmarks=NUM_LANDMARKS, seed=SEED, tau_h=TAU_H,
+    )
+
+
+def parallel_build(graph, family: str, jobs: int, **kwargs):
+    return build_parallel(
+        graph,
+        family=family,
+        jobs=jobs,
+        tau=TAU,
+        theta=THETA,
+        num_landmarks=NUM_LANDMARKS,
+        seed=SEED,
+        beta=BETA,
+        tau_h=TAU_H,
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# The tentpole property: bitwise snapshot parity, per family
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+@pytest.mark.parametrize("family", FAMILIES)
+def test_jobs2_bitwise_parity(family, graph_name):
+    graph = GRAPHS[graph_name]()
+    expected = canonical_snapshot_bytes(
+        sequential_oracle(family, graph).freeze()
+    )
+    result = parallel_build(graph, family, jobs=2)
+    assert canonical_snapshot_bytes(result.oracle.freeze()) == expected
+    assert result.report.built_units == result.report.total_units
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_jobs0_inline_parity(family):
+    graph = GRAPHS["road-a"]()
+    expected = canonical_snapshot_bytes(
+        sequential_oracle(family, graph).freeze()
+    )
+    result = parallel_build(graph, family, jobs=0)
+    assert canonical_snapshot_bytes(result.oracle.freeze()) == expected
+    assert result.report.workers == []
+
+
+# ----------------------------------------------------------------------
+# Checkpoints: interrupt, resume, corruption, fingerprinting
+# ----------------------------------------------------------------------
+class _StopBuild(Exception):
+    pass
+
+
+def test_interrupted_build_resumes_from_spool(tmp_path):
+    graph = GRAPHS["road-a"]()
+    spool = tmp_path / "spool"
+    seen = []
+
+    def stop_after_three(kind, label):
+        seen.append((kind, label))
+        if len(seen) == 3:
+            raise _StopBuild
+
+    with pytest.raises(_StopBuild):
+        parallel_build(
+            graph, "diso", jobs=0,
+            spool_dir=spool, on_shard=stop_after_three,
+        )
+    shard_files = list((spool / "shards").iterdir())
+    assert len(shard_files) == 3
+
+    resumed = finalize_checkpoint(spool, jobs=0)
+    assert resumed.report.resumed_units == 3
+    assert resumed.report.built_units == resumed.report.total_units - 3
+    expected = canonical_snapshot_bytes(
+        sequential_oracle("diso", graph).freeze()
+    )
+    assert canonical_snapshot_bytes(resumed.oracle.freeze()) == expected
+
+
+def test_completed_spool_resumes_everything(tmp_path):
+    graph = GRAPHS["road-a"]()
+    spool = tmp_path / "spool"
+    first = parallel_build(graph, "diso", jobs=0, spool_dir=spool)
+    second = parallel_build(graph, "diso", jobs=0, spool_dir=spool)
+    assert second.report.resumed_units == second.report.total_units
+    assert second.report.built_units == 0
+    assert canonical_snapshot_bytes(second.oracle.freeze()) == (
+        canonical_snapshot_bytes(first.oracle.freeze())
+    )
+
+
+def test_corrupt_shard_is_rebuilt(tmp_path):
+    graph = GRAPHS["road-a"]()
+    spool = tmp_path / "spool"
+    parallel_build(graph, "diso", jobs=0, spool_dir=spool)
+    victim = sorted((spool / "shards").iterdir())[0]
+    raw = victim.read_bytes()
+    victim.write_bytes(raw[:-4] + b"\x00\x00\x00\x00")
+
+    result = finalize_checkpoint(spool, jobs=0)
+    assert result.report.corrupt_shards == 1
+    assert result.report.built_units == 1
+    expected = canonical_snapshot_bytes(
+        sequential_oracle("diso", graph).freeze()
+    )
+    assert canonical_snapshot_bytes(result.oracle.freeze()) == expected
+
+
+def test_spool_fingerprint_mismatch_raises(tmp_path):
+    spool = tmp_path / "spool"
+    parallel_build(GRAPHS["road-a"](), "diso", jobs=0, spool_dir=spool)
+    with pytest.raises(FormatError, match="fingerprint"):
+        parallel_build(GRAPHS["road-b"](), "diso", jobs=0, spool_dir=spool)
+
+
+def test_finalize_needs_a_container(tmp_path):
+    with pytest.raises(FormatError, match="no build checkpoint"):
+        finalize_checkpoint(tmp_path / "nothing-here")
+
+
+# ----------------------------------------------------------------------
+# A real kill: the builder process dies mid-flight, a fresh process
+# finishes the build from the spool with identical snapshot bytes.
+# ----------------------------------------------------------------------
+def _killed_build_child(spool_dir: str, kill_after: int) -> None:
+    """Run in a child process; hard-exits after ``kill_after`` shards."""
+    from repro.build import build_parallel
+    from repro.graph.generators import road_network
+
+    graph = road_network(6, 6, seed=1)
+    spooled = 0
+
+    def on_shard(kind, label):
+        nonlocal spooled
+        spooled += 1
+        if spooled >= kill_after:
+            os._exit(17)
+
+    build_parallel(
+        graph, family="diso", jobs=0,
+        tau=TAU, theta=THETA, seed=SEED,
+        spool_dir=spool_dir, on_shard=on_shard,
+    )
+
+
+def test_killed_build_process_resumes_bitwise(tmp_path):
+    spool = tmp_path / "spool"
+    method = os.environ.get("DSO_BUILD_START_METHOD") or None
+    context = multiprocessing.get_context(method)
+    child = context.Process(
+        target=_killed_build_child, args=(str(spool), 3)
+    )
+    child.start()
+    child.join(timeout=60)
+    assert child.exitcode == 17
+
+    result = finalize_checkpoint(spool, jobs=0)
+    assert result.report.resumed_units == 3
+    graph = GRAPHS["road-a"]()
+    expected = canonical_snapshot_bytes(
+        sequential_oracle("diso", graph).freeze()
+    )
+    assert canonical_snapshot_bytes(result.oracle.freeze()) == expected
+
+
+# ----------------------------------------------------------------------
+# Guard rails and the profiler
+# ----------------------------------------------------------------------
+def test_unknown_family_rejected():
+    with pytest.raises(PreprocessingError, match="family"):
+        build_parallel(GRAPHS["road-a"](), family="fddo", jobs=0)
+
+
+def test_family_names_normalize():
+    graph = GRAPHS["road-a"]()
+    upper = parallel_build(graph, "DISO_S", jobs=0)
+    lower = parallel_build(graph, "diso-s", jobs=0)
+    assert canonical_snapshot_bytes(upper.oracle.freeze()) == (
+        canonical_snapshot_bytes(lower.oracle.freeze())
+    )
+
+
+def test_spool_survives_via_build_spool_api(tmp_path):
+    spool = BuildSpool(tmp_path / "spool")
+    assert spool.prepare(b"payload") is False
+    assert spool.prepare(b"payload") is True
+    with pytest.raises(FormatError, match="fingerprint"):
+        spool.prepare(b"different payload")
+
+
+def test_profiler_report_schema():
+    graph = GRAPHS["road-a"]()
+    result = parallel_build(graph, "adiso", jobs=2)
+    data = result.report.to_dict()
+    assert data["family"] == "adiso"
+    assert data["jobs"] == 2
+    assert set(data["phase_seconds"]) == set(PHASES)
+    assert data["wall_seconds"] > 0.0
+    assert data["total_units"] == data["built_units"]
+    assert data["shards"]["count"] == data["built_units"]
+    assert data["shards"]["total_bytes"] > 0
+    assert len(data["workers"]) >= 1
+    for stats in data["workers"]:
+        assert stats["pid"] > 0
+    # Utilization fractions are per fan-out wall time, hence bounded.
+    for fraction in data["worker_utilization"].values():
+        assert 0.0 <= fraction <= 1.0
+    # JSON round-trip is what --profile PATH writes.
+    import json
+
+    assert json.loads(result.report.to_json()) == json.loads(
+        result.report.to_json()
+    )

@@ -1,0 +1,143 @@
+"""Degenerate-shape edge cases for the CSR bounded Dijkstra.
+
+The frozen query plane promises ``csr_bounded_dijkstra`` matches the
+dict-based :func:`bounded_dijkstra` semantics exactly.  The main suites
+exercise it on healthy graphs; these tests pin the degenerate shapes a
+build over real data hits — a bound of zero radius (every neighbour is
+transit), landmarks unreachable across a disconnect, and the one-node
+graph — where off-by-one index handling would otherwise hide.
+"""
+
+from __future__ import annotations
+
+from repro.graph.csr import INFINITY, FrozenGraph, SearchArena
+from repro.graph.digraph import DiGraph
+from repro.pathing.bounded import bounded_dijkstra
+from repro.pathing.csr_bounded import csr_bounded_dijkstra
+
+
+def _flags(frozen: FrozenGraph, transit: set[int]) -> bytearray:
+    flags = bytearray(len(frozen.node_ids))
+    for label in transit:
+        flags[frozen.index_of[label]] = 1
+    return flags
+
+
+def _access_by_label(frozen: FrozenGraph, result) -> dict[int, float]:
+    return {
+        frozen.node_ids[index]: dist
+        for index, dist in result.access.items()
+    }
+
+
+def _assert_parity(graph: DiGraph, source: int, transit: set[int]) -> None:
+    """CSR and dict implementations agree on access sets and labels."""
+    frozen = FrozenGraph.from_digraph(graph)
+    for direction in ("out", "in"):
+        reference = bounded_dijkstra(
+            graph, source, transit, direction=direction
+        )
+        result = csr_bounded_dijkstra(
+            frozen,
+            frozen.index_of[source],
+            _flags(frozen, transit),
+            direction=direction,
+        )
+        assert _access_by_label(frozen, result) == reference.access
+
+
+def test_zero_radius_bound_stops_at_every_neighbor():
+    """All neighbours transit: the search is one ring deep, no further."""
+    # Star with a tail: 0 -> {1, 2, 3}, 1 -> 4.  With 1..3 all transit,
+    # node 4 must never be labelled — the bound cuts before the tail.
+    graph = DiGraph(
+        [(0, 1, 1.0), (0, 2, 2.0), (0, 3, 3.0), (1, 4, 1.0)]
+    )
+    transit = {1, 2, 3}
+    frozen = FrozenGraph.from_digraph(graph)
+    result = csr_bounded_dijkstra(
+        frozen, frozen.index_of[0], _flags(frozen, transit)
+    )
+    assert _access_by_label(frozen, result) == {1: 1.0, 2: 2.0, 3: 3.0}
+    assert result.distance(frozen.index_of[4]) == INFINITY
+    # 0 plus the three transit neighbours settle; the tail does not.
+    assert result.settled_count == 4
+    _assert_parity(graph, 0, transit)
+
+
+def test_transit_source_is_expanded_not_terminal():
+    """The bound exempts the source: a transit source still searches."""
+    graph = DiGraph([(0, 1, 1.0), (1, 2, 1.0)])
+    transit = {0, 2}
+    frozen = FrozenGraph.from_digraph(graph)
+    result = csr_bounded_dijkstra(
+        frozen, frozen.index_of[0], _flags(frozen, transit)
+    )
+    assert _access_by_label(frozen, result) == {0: 0.0, 2: 2.0}
+    _assert_parity(graph, 0, transit)
+
+
+def test_unreachable_landmark_across_disconnect():
+    """A transit node in another component never enters the access set."""
+    # Two components: {0, 1} and {2, 3}; transit node 3 is unreachable
+    # from 0 in either direction.
+    graph = DiGraph([(0, 1, 1.0), (2, 3, 1.0)])
+    transit = {1, 3}
+    frozen = FrozenGraph.from_digraph(graph)
+    result = csr_bounded_dijkstra(
+        frozen, frozen.index_of[0], _flags(frozen, transit)
+    )
+    assert _access_by_label(frozen, result) == {1: 1.0}
+    assert result.distance(frozen.index_of[3]) == INFINITY
+    assert result.distance(frozen.index_of[2]) == INFINITY
+    _assert_parity(graph, 0, transit)
+
+
+def test_unreachable_by_direction_only():
+    """Directed reachability: the landmark is in-reachable, not out."""
+    graph = DiGraph([(1, 0, 1.0), (1, 2, 1.0)])
+    transit = {1}
+    frozen = FrozenGraph.from_digraph(graph)
+    out = csr_bounded_dijkstra(
+        frozen, frozen.index_of[0], _flags(frozen, transit), direction="out"
+    )
+    assert _access_by_label(frozen, out) == {}
+    inward = csr_bounded_dijkstra(
+        frozen, frozen.index_of[0], _flags(frozen, transit), direction="in"
+    )
+    assert _access_by_label(frozen, inward) == {1: 1.0}
+    _assert_parity(graph, 0, transit)
+
+
+def test_single_node_graph():
+    """One node, no edges: the smallest valid search still terminates."""
+    graph = DiGraph()
+    graph.add_nodes([5])
+    frozen = FrozenGraph.from_digraph(graph)
+
+    plain = csr_bounded_dijkstra(frozen, 0, _flags(frozen, set()))
+    assert plain.access == {}
+    assert plain.settled_count == 1
+
+    as_transit = csr_bounded_dijkstra(frozen, 0, _flags(frozen, {5}))
+    assert _access_by_label(frozen, as_transit) == {5: 0.0}
+    _assert_parity(graph, 5, {5})
+    _assert_parity(graph, 5, set())
+
+
+def test_edge_cases_share_one_arena():
+    """The degenerate searches reuse an arena without cross-talk."""
+    graph = DiGraph([(0, 1, 1.0), (2, 3, 1.0)])
+    frozen = FrozenGraph.from_digraph(graph)
+    arena = SearchArena(len(frozen.node_ids))
+
+    first = csr_bounded_dijkstra(
+        frozen, frozen.index_of[0], _flags(frozen, {1}), arena=arena
+    )
+    assert _access_by_label(frozen, first) == {1: 1.0}
+    second = csr_bounded_dijkstra(
+        frozen, frozen.index_of[2], _flags(frozen, {3}), arena=arena
+    )
+    assert _access_by_label(frozen, second) == {3: 1.0}
+    # The first result's labels are stale once the arena is reused.
+    assert first.generation != second.generation

@@ -249,6 +249,46 @@ class TestConcurrency:
         distinct = {id(a) for a in arenas.values()}
         assert len(distinct) == len(arenas)
 
+    def test_single_thread_engine_reuses_caller_arenas(self, monkeypatch):
+        """Regression: ``threads=1`` must not allocate arenas per batch.
+
+        ``run()`` used to spin up a fresh one-thread executor per call;
+        each batch then ran on a brand-new pool thread, and since the
+        frozen engines key their arena set on the thread, every batch
+        re-allocated all four ``SearchArena`` instances.  A one-worker
+        engine now answers in the calling thread, so repeated batches
+        share the caller's set.
+        """
+        graph = random_graph(11)
+        frozen = DISO(graph, tau=3, theta=1.0).freeze()
+        cases = list(_random_cases(graph, 17, 10))
+        expected = [frozen.query(s, t, failed=f) for s, t, f in cases]
+
+        allocations = []
+        original_init = SearchArena.__init__
+
+        def counting_init(self, size):
+            allocations.append(size)
+            original_init(self, size)
+
+        monkeypatch.setattr(SearchArena, "__init__", counting_init)
+        engine = QueryEngine(frozen, threads=1)
+        queries = [
+            Query(
+                source=s,
+                target=t,
+                failed=frozenset(f) if f else frozenset(),
+            )
+            for s, t, f in cases
+        ]
+        first = engine.run(queries)
+        second = engine.run(queries)
+        assert first.answers == expected
+        assert second.answers == expected
+        # The caller thread warmed its arena set answering `expected`
+        # above, so the two engine batches must allocate nothing at all.
+        assert allocations == []
+
 
 class TestArenaDijkstra:
     """Satellite: arena-aware csr_dijkstra answers never drift."""

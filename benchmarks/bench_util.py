@@ -95,9 +95,29 @@ def git_rev() -> str:
     return completed.stdout.strip() or "unknown"
 
 
+@lru_cache(maxsize=None)
+def lint_rules_version() -> str:
+    """The dsolint rule-catalogue version, or ``"unknown"``.
+
+    Perf numbers are only comparable between runs that were produced
+    under the same machine-checked invariant set — a catalogue bump can
+    mean a hot path gained a ``sorted()`` — so every bench entry
+    records which catalogue it ran under.
+    """
+    try:
+        from repro.analysis import RULE_CATALOGUE_VERSION
+    except ImportError:
+        return "unknown"
+    return RULE_CATALOGUE_VERSION
+
+
 def bench_metadata() -> dict:
     """The attribution fields stamped into every emitted bench entry."""
-    return {"git_rev": git_rev(), "cpu_count": os.cpu_count()}
+    return {
+        "git_rev": git_rev(),
+        "cpu_count": os.cpu_count(),
+        "lint_rules": lint_rules_version(),
+    }
 
 
 def _load_merge_base(path: Path) -> dict:

@@ -1,0 +1,204 @@
+"""Lint engine: parse files, run rules, apply suppressions.
+
+Suppression grammar (checked per physical line, so it works without a
+tokenizer pass)::
+
+    expr()  # dsolint: disable=DSO101 -- why order cannot matter here
+    # dsolint: disable-next=DSO102,DSO301 -- reason (applies to line+1)
+    # dsolint: disable-file=DSO104 -- reason (whole file, any position)
+
+The ``--`` justification is part of the contract: a suppression
+*without* one still silences its target, but the engine then emits
+``DSO001 suppression lacks a justification`` at the same line — the
+gate stays red until the waiver says why.  This keeps "fixed" and
+"consciously waived" the only two terminal states a finding can reach.
+
+Findings attach to the first physical line of the offending node, so
+for a multi-line comprehension the trailing comment goes on the line
+where the expression starts.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.config import DEFAULT_CONFIG, LintConfig
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import RULES, RuleContext
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*dsolint:\s*(?P<kind>disable(?:-next|-file)?)\s*=\s*"
+    r"(?P<ids>[A-Z0-9,\s]+?)\s*(?:--\s*(?P<reason>.*\S))?\s*$"
+)
+
+META_RULE_ID = "DSO001"
+
+
+@dataclass
+class _Suppression:
+    line: int  # line the suppression applies to (0 = whole file)
+    rule_ids: frozenset[str]
+    justification: str | None
+    comment_line: int
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run learned."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files: list[str] = field(default_factory=list)
+
+    @property
+    def unsuppressed(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.unsuppressed
+
+    def extend(self, other: "LintReport") -> None:
+        self.findings.extend(other.findings)
+        self.files.extend(other.files)
+
+
+def _parse_suppressions(source: str) -> list[_Suppression]:
+    suppressions: list[_Suppression] = []
+    for number, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        ids = frozenset(
+            part.strip()
+            for part in match.group("ids").split(",")
+            if part.strip()
+        )
+        if not ids:
+            continue
+        kind = match.group("kind")
+        if kind == "disable-file":
+            target = 0
+        elif kind == "disable-next":
+            target = number + 1
+        else:
+            target = number
+        suppressions.append(
+            _Suppression(
+                line=target,
+                rule_ids=ids,
+                justification=match.group("reason"),
+                comment_line=number,
+            )
+        )
+    return suppressions
+
+
+def _apply_suppressions(
+    findings: list[Finding],
+    suppressions: list[_Suppression],
+    path: str,
+) -> list[Finding]:
+    """Mark suppressed findings; report unjustified suppressions."""
+    used_without_reason: dict[int, _Suppression] = {}
+    for finding in findings:
+        for suppression in suppressions:
+            if finding.rule_id not in suppression.rule_ids:
+                continue
+            if suppression.line not in (0, finding.line):
+                continue
+            finding.suppressed = True
+            finding.justification = suppression.justification
+            if suppression.justification is None:
+                used_without_reason[suppression.comment_line] = suppression
+            break
+    for comment_line in sorted(used_without_reason):
+        findings.append(
+            Finding(
+                rule_id=META_RULE_ID,
+                severity=Severity.ERROR,
+                path=path,
+                line=comment_line,
+                col=0,
+                message=(
+                    "suppression lacks a justification; append "
+                    "'-- <why this is safe>'"
+                ),
+            )
+        )
+    return findings
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: LintConfig | None = None,
+) -> list[Finding]:
+    """Lint one source string as though it lived at ``path``.
+
+    The path drives profile selection (see
+    :mod:`repro.analysis.config`), which is what makes this directly
+    testable: the same snippet linted under ``src/repro/oracle/x.py``
+    and ``src/repro/experiments/x.py`` sees different rule sets.
+    """
+    config = config or DEFAULT_CONFIG
+    profile = config.profile_for(path)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id="DSO000",
+                severity=Severity.ERROR,
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    context = RuleContext.for_tree(path, tree)
+    findings: list[Finding] = []
+    for rule_cls in RULES:
+        if not profile.rule_enabled(rule_cls.rule_id):
+            continue
+        findings.extend(rule_cls(context).run())
+    findings = _apply_suppressions(
+        findings, _parse_suppressions(source), path
+    )
+    findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
+    return findings
+
+
+def _python_files(paths: list[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    # Deduplicate while keeping the sorted-walk order deterministic.
+    unique: dict[str, Path] = {}
+    for path in files:
+        unique[str(path.resolve())] = path
+    return [unique[key] for key in sorted(unique)]
+
+
+def lint_paths(
+    paths: list[str | Path],
+    config: LintConfig | None = None,
+) -> LintReport:
+    """Lint every ``*.py`` under ``paths`` (files or directories)."""
+    report = LintReport()
+    for path in _python_files(paths):
+        text = path.read_text(encoding="utf-8")
+        display = path.as_posix()
+        report.files.append(display)
+        report.findings.extend(lint_source(text, display, config))
+    return report

@@ -1,0 +1,60 @@
+"""Finding records produced by the lint engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Severity:
+    """Finding severities.
+
+    Both count toward the gate — a warning is "almost certainly worth a
+    look", not "free to ignore"; the distinction only orders output.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location.
+
+    ``suppressed`` findings were matched by a ``# dsolint: disable``
+    comment; they are kept in reports (the JSON artifact shows what was
+    waived and why) but do not fail the gate.  ``justification`` is the
+    text after ``--`` in the suppression comment, if any.
+    """
+
+    rule_id: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    justification: str | None = None
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class FileFindings:
+    """Findings for one linted file (internal engine bookkeeping)."""
+
+    path: str
+    findings: list[Finding] = field(default_factory=list)
+    parse_error: str | None = None

@@ -1,0 +1,217 @@
+"""Conservative, purely syntactic set-typedness inference.
+
+The determinism rules need to know when an iterated expression is an
+unordered container.  Whole-program type inference is out of scope for
+a linter that must stay dependency-free and fast, so this module infers
+set-ness from what is visible in the file alone:
+
+* literal evidence — set displays, set comprehensions,
+  ``set(...)``/``frozenset(...)`` calls, set-operator expressions
+  (``|``, ``&``, ``-``, ``^``) over set-typed operands, and set-method
+  calls (``.union(...)``, ``.intersection(...)``, ...);
+* annotation evidence — parameters, ``AnnAssign`` targets, and return
+  types annotated ``set[...]`` / ``frozenset[...]`` (including
+  ``Optional`` / ``| None`` wrappers);
+* local data flow — a name assigned exactly once in its function scope
+  from a set-typed expression is set-typed;
+* domain knowledge — this is *dsolint*, the repo's own linter, so it
+  knows the repo's API: :data:`SET_RETURNING_FUNCTIONS` lists
+  functions whose return type is a frozen set by contract
+  (e.g. ``normalize_failures``), and :data:`SET_TYPED_ATTRIBUTES`
+  lists attributes that are sets on every oracle
+  (e.g. ``self.transit``).
+
+Anything the inference is unsure about is treated as *not* a set:
+false negatives are acceptable (the parity property tests backstop
+them), false positives on every dict or list iteration would bury the
+signal.
+"""
+
+from __future__ import annotations
+
+import ast
+
+#: Repo functions documented to return a set/frozenset.
+SET_RETURNING_FUNCTIONS = frozenset({
+    "set",
+    "frozenset",
+    "normalize_failures",
+    "select_transit",
+    "select_landmarks",
+})
+
+#: Attributes that are sets on every object in this codebase's domain
+#: model (oracle.transit is a frozenset of transit nodes, Query.failed
+#: is a frozenset of failed edges, ...).
+SET_TYPED_ATTRIBUTES = frozenset({"transit", "failed_edges"})
+
+#: ``set`` methods that return a new set.
+_SET_METHODS = frozenset({
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "copy",
+})
+
+_SET_ANNOTATION_NAMES = frozenset({
+    "set",
+    "frozenset",
+    "Set",
+    "FrozenSet",
+    "AbstractSet",
+    "MutableSet",
+})
+
+
+def _annotation_is_set(node: ast.expr | None) -> bool:
+    """True when an annotation expression denotes a set type."""
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in _SET_ANNOTATION_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_ANNOTATION_NAMES
+    if isinstance(node, ast.Subscript):
+        if isinstance(node.value, (ast.Name, ast.Attribute)):
+            base = (
+                node.value.id
+                if isinstance(node.value, ast.Name)
+                else node.value.attr
+            )
+            if base in _SET_ANNOTATION_NAMES:
+                return True
+            if base == "Optional":
+                return _annotation_is_set(node.slice)
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        # ``set[int] | frozenset[int] | None`` — set if any arm is.
+        return _annotation_is_set(node.left) or _annotation_is_set(node.right)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            parsed = ast.parse(node.value, mode="eval")
+        except SyntaxError:
+            return False
+        return _annotation_is_set(parsed.body)
+    return False
+
+
+class ScopeEnv:
+    """Set-typedness of local names in one function (or module) scope."""
+
+    def __init__(self) -> None:
+        self.names: dict[str, bool] = {}
+
+    def is_set_name(self, name: str) -> bool:
+        return self.names.get(name, False)
+
+
+def _call_returns_set(node: ast.Call, env: ScopeEnv) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in SET_RETURNING_FUNCTIONS
+    if isinstance(func, ast.Attribute):
+        if func.attr in SET_RETURNING_FUNCTIONS:
+            return True
+        if func.attr in _SET_METHODS:
+            return is_set_expr(func.value, env)
+    return False
+
+
+def is_set_expr(node: ast.expr, env: ScopeEnv) -> bool:
+    """True when ``node`` is, by visible evidence, an unordered set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return _call_returns_set(node, env)
+    if isinstance(node, ast.Name):
+        return env.is_set_name(node.id)
+    if isinstance(node, ast.Attribute):
+        return node.attr in SET_TYPED_ATTRIBUTES
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return is_set_expr(node.left, env) or is_set_expr(node.right, env)
+    if isinstance(node, ast.IfExp):
+        return is_set_expr(node.body, env) or is_set_expr(node.orelse, env)
+    return False
+
+
+def _collect_scope(owner: ast.AST, env: ScopeEnv) -> None:
+    """Fill ``env`` from assignments/annotations directly in ``owner``.
+
+    Walks statements but does not descend into nested function or class
+    definitions (those get their own scopes).  A name assigned from a
+    non-set expression after a set assignment loses its set-ness —
+    single forward pass, last writer wins, which matches how the
+    determinism rules read code top to bottom.
+    """
+    if isinstance(owner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = owner.args
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            if _annotation_is_set(arg.annotation):
+                env.names[arg.arg] = True
+
+    def visit_body(statements: list[ast.stmt]) -> None:
+        for statement in statements:
+            if isinstance(
+                statement,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                continue
+            if isinstance(statement, ast.Assign):
+                value_is_set = is_set_expr(statement.value, env)
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        env.names[target.id] = value_is_set
+            elif isinstance(statement, ast.AnnAssign):
+                if isinstance(statement.target, ast.Name):
+                    env.names[statement.target.id] = _annotation_is_set(
+                        statement.annotation
+                    ) or (
+                        statement.value is not None
+                        and is_set_expr(statement.value, env)
+                    )
+            for field_name in ("body", "orelse", "finalbody"):
+                nested = getattr(statement, field_name, None)
+                if isinstance(nested, list):
+                    visit_body(nested)
+            for handler in getattr(statement, "handlers", None) or []:
+                visit_body(handler.body)
+
+    visit_body(getattr(owner, "body", []))
+
+
+def build_envs(tree: ast.Module) -> dict[ast.AST, ScopeEnv]:
+    """Map every scope-owning node (module, functions) to its env."""
+    envs: dict[ast.AST, ScopeEnv] = {}
+    module_env = ScopeEnv()
+    _collect_scope(tree, module_env)
+    envs[tree] = module_env
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            env = ScopeEnv()
+            _collect_scope(node, env)
+            envs[node] = env
+    return envs
+
+
+def enclosing_env(
+    node: ast.AST,
+    parents: dict[ast.AST, ast.AST],
+    envs: dict[ast.AST, ScopeEnv],
+    tree: ast.Module,
+) -> ScopeEnv:
+    """The env of the innermost function scope containing ``node``."""
+    current = parents.get(node)
+    while current is not None:
+        if current in envs and not isinstance(current, ast.ClassDef):
+            return envs[current]
+        current = parents.get(current)
+    return envs[tree]

@@ -1,0 +1,49 @@
+"""Text and JSON renderings of a lint report."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintReport
+from repro.analysis.rules import RULE_CATALOGUE_VERSION, rule_catalogue
+
+
+def to_text(report: LintReport, *, show_suppressed: bool = False) -> str:
+    """Human-readable listing: one line per finding plus a summary."""
+    lines: list[str] = []
+    for finding in report.unsuppressed:
+        lines.append(
+            f"{finding.location()}: {finding.rule_id} "
+            f"[{finding.severity}] {finding.message}"
+        )
+    if show_suppressed:
+        for finding in report.suppressed:
+            reason = finding.justification or "(no justification)"
+            lines.append(
+                f"{finding.location()}: {finding.rule_id} "
+                f"[suppressed] {reason}"
+            )
+    unsuppressed = len(report.unsuppressed)
+    lines.append(
+        f"dsolint v{RULE_CATALOGUE_VERSION}: {len(report.files)} files, "
+        f"{unsuppressed} finding{'s' if unsuppressed != 1 else ''}, "
+        f"{len(report.suppressed)} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def to_json(report: LintReport) -> str:
+    """Machine-readable report (the CI artifact schema)."""
+    payload = {
+        "tool": "dsolint",
+        "catalogue_version": RULE_CATALOGUE_VERSION,
+        "catalogue": rule_catalogue(),
+        "files": report.files,
+        "counts": {
+            "files": len(report.files),
+            "findings": len(report.unsuppressed),
+            "suppressed": len(report.suppressed),
+        },
+        "findings": [f.to_dict() for f in report.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

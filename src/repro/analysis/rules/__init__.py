@@ -1,0 +1,127 @@
+"""Rule registry for ``dsolint``.
+
+Every rule is a subclass of :class:`Rule` with a stable ``rule_id``
+(``DSO`` + family digit + two digits), a severity, and a one-line
+``summary`` quoted by ``--format json`` and DESIGN.md §10.  Rules are
+``ast.NodeVisitor`` subclasses; the engine instantiates each enabled
+rule per file with a shared :class:`RuleContext` and visits the module
+once per rule (the tree is tiny compared to parse cost, and per-rule
+visitors keep rules independent and testable).
+
+Bump :data:`RULE_CATALOGUE_VERSION` whenever a rule is added, removed,
+or materially re-scoped — benchmark entries record it (see
+``benchmarks/bench_util.py``), so perf numbers are attributable to the
+invariant set they were produced under.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+from repro.analysis.inference import ScopeEnv, build_envs, enclosing_env
+
+#: Catalogue version stamped into BENCH_*.json entries.
+RULE_CATALOGUE_VERSION = "1.0"
+
+
+@dataclass
+class RuleContext:
+    """Per-file state shared by every rule visitor."""
+
+    path: str
+    tree: ast.Module
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+    envs: dict[ast.AST, ScopeEnv] = field(default_factory=dict)
+
+    @classmethod
+    def for_tree(cls, path: str, tree: ast.Module) -> "RuleContext":
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        return cls(
+            path=path, tree=tree, parents=parents, envs=build_envs(tree)
+        )
+
+    def env_at(self, node: ast.AST) -> ScopeEnv:
+        return enclosing_env(node, self.parents, self.envs, self.tree)
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self.parents.get(node)
+
+
+class Rule(ast.NodeVisitor):
+    """Base class: collect findings while visiting one module."""
+
+    rule_id: str = ""
+    severity: str = "error"
+    summary: str = ""
+
+    def __init__(self, context: RuleContext) -> None:
+        self.context = context
+        self.findings: list[Finding] = []
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule_id=self.rule_id,
+                severity=self.severity,
+                path=self.context.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    def run(self) -> list[Finding]:
+        self.visit(self.context.tree)
+        return self.findings
+
+
+def _registry() -> tuple[type[Rule], ...]:
+    from repro.analysis.rules.determinism import (
+        SetIterationOrderRule,
+        SetLoopEmissionRule,
+        UnseededRandomRule,
+        WallClockRule,
+    )
+    from repro.analysis.rules.floats import (
+        FloatLiteralEqualityRule,
+        NanSentinelComparisonRule,
+    )
+    from repro.analysis.rules.mp_safety import (
+        MutableGlobalWriteRule,
+        UnpicklableDispatchRule,
+    )
+    from repro.analysis.rules.protocol import (
+        BareExceptRule,
+        SilentWorkerHandlerRule,
+        SwallowedBroadExceptRule,
+    )
+
+    return (
+        SetIterationOrderRule,
+        SetLoopEmissionRule,
+        UnseededRandomRule,
+        WallClockRule,
+        UnpicklableDispatchRule,
+        MutableGlobalWriteRule,
+        NanSentinelComparisonRule,
+        FloatLiteralEqualityRule,
+        BareExceptRule,
+        SwallowedBroadExceptRule,
+        SilentWorkerHandlerRule,
+    )
+
+
+RULES: tuple[type[Rule], ...] = _registry()
+
+
+def rule_catalogue() -> dict[str, dict[str, str]]:
+    """``{rule_id: {severity, summary}}`` for reports and docs."""
+    return {
+        rule.rule_id: {"severity": rule.severity, "summary": rule.summary}
+        for rule in RULES
+    }

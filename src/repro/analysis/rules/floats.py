@@ -1,0 +1,135 @@
+"""DSO3xx — float and sentinel comparison hazards.
+
+Protocol v2 encodes a failed query's answer as NaN
+(:data:`repro.serving.worker.QUERY_ERROR`).  NaN compares unequal to
+everything *including itself*, so ``answer == QUERY_ERROR`` is always
+``False`` — code that looks like an error check and never fires.  The
+only correct tests are ``math.isnan`` or the sparse error list that
+travels beside the answers.  Distances are sums of float edge weights;
+comparing them to non-integral literals with ``==`` is the classic
+representability trap (``0.1 + 0.2 != 0.3``).  Infinity is exempt:
+``float("inf")`` is exact and the codebase uses ``INFINITY`` equality
+as the canonical unreachability test.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules import Rule
+
+_NAN_NAMES = frozenset({"QUERY_ERROR"})
+
+
+def _is_nan_expr(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name) and node.id in _NAN_NAMES:
+        return True
+    if isinstance(node, ast.Attribute):
+        if node.attr in _NAN_NAMES:
+            return True
+        if node.attr == "nan":  # math.nan / np.nan
+            return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "float"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+            and node.args[0].value.strip().lower() in {"nan", "-nan", "+nan"}
+        ):
+            return True
+    return False
+
+
+def _is_inf_expr(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name) and node.id in {"INFINITY", "inf", "INF"}:
+        return True
+    if isinstance(node, ast.Attribute) and node.attr in {"inf", "infinity"}:
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "float"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+            and node.args[0].value.strip().lower().lstrip("+-") == "inf"
+        ):
+            return True
+    return False
+
+
+class NanSentinelComparisonRule(Rule):
+    """DSO301: ``==``/``!=`` against NaN or the ``QUERY_ERROR``
+    sentinel — the comparison is constant-False/True by IEEE-754 and
+    the error check it implies never fires.  Use ``math.isnan`` (or
+    read the per-query error channel).
+    """
+
+    rule_id = "DSO301"
+    severity = "error"
+    summary = "==/!= against NaN / QUERY_ERROR (always False/True)"
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                _is_nan_expr(left) or _is_nan_expr(right)
+            ):
+                self.report(
+                    node,
+                    "NaN never compares equal — this check cannot fire; "
+                    "use math.isnan(...) or the error channel",
+                )
+                break
+        self.generic_visit(node)
+
+
+class FloatLiteralEqualityRule(Rule):
+    """DSO302: ``==``/``!=`` against a non-integral float literal.
+
+    Computed distances are accumulated floats; exact equality with a
+    decimal literal like ``0.3`` holds only when the arithmetic
+    happens to round identically.  Compare with ``math.isclose`` (or
+    restructure to avoid the comparison).  Integral literals
+    (``0.0``, ``1.0``) and infinity are exact and exempt.
+    """
+
+    rule_id = "DSO302"
+    severity = "warning"
+    summary = "==/!= against a non-integral float literal (use isclose)"
+
+    @staticmethod
+    def _is_fractional_literal(node: ast.expr) -> bool:
+        if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.USub, ast.UAdd)
+        ):
+            node = node.operand
+        return (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, float)
+            and node.value == node.value  # not NaN (that's DSO301)
+            and node.value not in (float("inf"), float("-inf"))
+            and node.value != int(node.value)
+        )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_inf_expr(left) or _is_inf_expr(right):
+                continue
+            if self._is_fractional_literal(left) or self._is_fractional_literal(
+                right
+            ):
+                self.report(
+                    node,
+                    "exact equality with a fractional float literal; "
+                    "use math.isclose(...) for computed values",
+                )
+                break
+        self.generic_visit(node)

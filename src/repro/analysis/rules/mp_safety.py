@@ -1,0 +1,145 @@
+"""DSO2xx — multiprocessing-safety rules.
+
+The build and serving planes run under both fork and spawn start
+methods (CI exercises both).  Spawn pickles everything that crosses a
+``Process``/``Pipe`` boundary, so lambdas and nested functions that
+happen to work under fork explode only in the spawn matrix — the
+worst kind of CI flake.  Module-global mutable state is the mirror
+hazard: a write made inside a worker process is invisible to the
+parent and to sibling workers, so code that appears to share state
+under threads silently diverges under processes.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules import Rule
+
+#: Callables that hand their argument to another process.
+_DISPATCH_METHODS = frozenset({
+    "submit", "apply_async", "map_async", "starmap", "starmap_async",
+    "apply", "imap", "imap_unordered",
+})
+
+
+class UnpicklableDispatchRule(Rule):
+    """DSO201: a lambda or locally-defined function crosses a process
+    boundary (``Process(target=...)``, pool dispatch, ``conn.send``).
+
+    Fork inherits closures by memory copy; spawn pickles them and
+    pickle rejects lambdas and nested functions by name lookup.  The
+    fix is a module-level function (plus a picklable args tuple), which
+    is also what the serving/build workers already do.
+    """
+
+    rule_id = "DSO201"
+    severity = "error"
+    summary = "lambda/nested function passed across a process boundary"
+
+    def __init__(self, context) -> None:
+        super().__init__(context)
+        self._local_functions: set[str] = set()
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for inner in ast.walk(node):
+                    if (
+                        inner is not node
+                        and isinstance(
+                            inner, (ast.FunctionDef, ast.AsyncFunctionDef)
+                        )
+                    ):
+                        self._local_functions.add(inner.name)
+
+    def _is_unpicklable_callable(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Lambda):
+            return True
+        return (
+            isinstance(node, ast.Name) and node.id in self._local_functions
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        target_args: list[ast.expr] = []
+        if (
+            isinstance(func, ast.Name) and func.id == "Process"
+        ) or (
+            isinstance(func, ast.Attribute) and func.attr == "Process"
+        ):
+            target_args = [
+                keyword.value
+                for keyword in node.keywords
+                if keyword.arg == "target"
+            ]
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr in _DISPATCH_METHODS
+            and node.args
+        ):
+            target_args = [node.args[0]]
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "send"
+            and node.args
+        ):
+            # Anything containing a lambda inside a pipe message dies
+            # under spawn when the payload is pickled.
+            for argument in node.args:
+                for inner in ast.walk(argument):
+                    if isinstance(inner, ast.Lambda):
+                        target_args.append(inner)
+                        break
+        for candidate in target_args:
+            if self._is_unpicklable_callable(candidate):
+                self.report(
+                    candidate,
+                    "unpicklable callable crosses a process boundary; "
+                    "works under fork, breaks under spawn — use a "
+                    "module-level function",
+                )
+        self.generic_visit(node)
+
+
+class MutableGlobalWriteRule(Rule):
+    """DSO202: a function declares ``global X`` and assigns it.
+
+    Inside a worker process the write mutates the worker's copy only;
+    the parent and every sibling keep the old value, and fork/spawn
+    disagree about what the initial value even was.  State that must
+    travel between processes goes through the message protocol;
+    process-local caches belong on an object passed explicitly.
+    """
+
+    rule_id = "DSO202"
+    severity = "error"
+    summary = "module-global mutable state written inside a function"
+
+    def _check_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        declared: set[str] = set()
+        for statement in ast.walk(node):
+            if isinstance(statement, ast.Global):
+                declared.update(statement.names)
+        if declared:
+            for statement in ast.walk(node):
+                targets: list[ast.expr] = []
+                if isinstance(statement, ast.Assign):
+                    targets = list(statement.targets)
+                elif isinstance(statement, (ast.AugAssign, ast.AnnAssign)):
+                    targets = [statement.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id in declared
+                    ):
+                        self.report(
+                            statement,
+                            f"write to module-global {target.id!r} does "
+                            "not propagate across processes; pass state "
+                            "explicitly or use the message protocol",
+                        )
+        self.generic_visit(node)
+
+    visit_FunctionDef = _check_function
+    visit_AsyncFunctionDef = _check_function

@@ -1,0 +1,140 @@
+"""DSO4xx — exception-protocol hygiene.
+
+The hardened serving plane's contract is that *no* failure is silent:
+a poison query becomes a NaN answer plus a ``(position, message)``
+entry on the per-query error channel; a dead worker becomes a restart
+plus a counted stat; a corrupt snapshot becomes a raised
+``FormatError``.  Handlers that swallow exceptions break that contract
+at the root — the failure happened, nothing recorded it, and the
+symptom surfaces three layers away as a parity mismatch or a hang.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules import Rule
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _handler_names(handler: ast.ExceptHandler) -> list[str]:
+    kind = handler.type
+    nodes: list[ast.expr]
+    if kind is None:
+        return []
+    nodes = list(kind.elts) if isinstance(kind, ast.Tuple) else [kind]
+    names = []
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.append(node.attr)
+    return names
+
+
+def _body_reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+def _binds_and_uses_exception(handler: ast.ExceptHandler) -> bool:
+    if handler.name is None:
+        return False
+    for statement in handler.body:
+        for node in ast.walk(statement):
+            if (
+                isinstance(node, ast.Name)
+                and node.id == handler.name
+                and isinstance(node.ctx, ast.Load)
+            ):
+                return True
+    return False
+
+
+class BareExceptRule(Rule):
+    """DSO401: bare ``except:``.
+
+    Catches ``SystemExit``/``KeyboardInterrupt`` too, so a worker stuck
+    in one cannot even be interrupted; always name the exception types
+    (use ``BaseException`` explicitly when a cleanup genuinely must run
+    for everything — and re-raise).
+    """
+
+    rule_id = "DSO401"
+    severity = "error"
+    summary = "bare except: clause"
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node,
+                "bare except also traps KeyboardInterrupt/SystemExit; "
+                "name the exception types",
+            )
+        self.generic_visit(node)
+
+
+class SwallowedBroadExceptRule(Rule):
+    """DSO402: ``except Exception``/``BaseException`` that neither
+    re-raises nor reads the caught exception.
+
+    A broad catch is sometimes right (worker loops must survive any
+    query), but only when the handler *routes* the failure somewhere —
+    the error channel, a log, a counter.  A broad catch whose body
+    ignores the exception erases the failure entirely.
+    """
+
+    rule_id = "DSO402"
+    severity = "error"
+    summary = "broad except swallows the exception (no raise, unused)"
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if (
+            node.type is not None
+            and any(name in _BROAD for name in _handler_names(node))
+            and not _body_reraises(node)
+            and not _binds_and_uses_exception(node)
+        ):
+            self.report(
+                node,
+                "broad except discards the exception; narrow the types, "
+                "re-raise, or route it through the error channel",
+            )
+        self.generic_visit(node)
+
+
+class SilentWorkerHandlerRule(Rule):
+    """DSO403 (worker profile only): a pass-only handler in
+    serving/build code.
+
+    Inside a worker loop even a *narrow* ``except ...: pass`` deserves
+    scrutiny: the dispatcher cannot distinguish "worker ignored a
+    benign EOF" from "worker lost my batch", so each silent handler
+    must either route through the protocol or carry a justification
+    explaining why silence is the protocol (e.g. parent already gone,
+    nothing left to notify).  Bare/broad handlers are DSO401/DSO402's
+    business and are not double-reported here.
+    """
+
+    rule_id = "DSO403"
+    severity = "error"
+    summary = "pass-only exception handler in worker-plane code"
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        is_narrow = node.type is not None and not any(
+            name in _BROAD for name in _handler_names(node)
+        )
+        body_is_pass = len(node.body) == 1 and isinstance(
+            node.body[0], ast.Pass
+        )
+        if is_narrow and body_is_pass:
+            self.report(
+                node,
+                "silent pass in a worker-plane handler; route the "
+                "failure through the error channel or justify the "
+                "silence",
+            )
+        self.generic_visit(node)

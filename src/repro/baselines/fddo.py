@@ -144,7 +144,7 @@ class FDDOOracle(DistanceSensitivityOracle):
         stats = QueryStats()
         started = time.perf_counter()
 
-        reversed_failures = frozenset((b, a) for a, b in fail_set)
+        reversed_failures = frozenset((b, a) for a, b in fail_set)  # dsolint: disable=DSO101 -- frozenset-to-frozenset flip; no order escapes
         saved: list[tuple[int, str, ShortestPathTree]] = []
         if fail_set:
             update_start = time.perf_counter()

@@ -56,7 +56,7 @@ def _atomic_write(path: Path, data: bytes) -> None:
     except BaseException:
         try:
             os.unlink(tmp_name)
-        except OSError:
+        except OSError:  # dsolint: disable=DSO403 -- tmp cleanup is best-effort; the original failure re-raises below
             pass
         raise
 
@@ -123,7 +123,7 @@ class BuildSpool:
                 corrupt += 1
                 try:
                     path.unlink()
-                except OSError:
+                except OSError:  # dsolint: disable=DSO403 -- corrupt shard is rebuilt either way; deletion only reclaims disk
                     pass
                 continue
             if isinstance(shard, TreeShard):

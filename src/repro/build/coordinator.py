@@ -211,7 +211,7 @@ class _BuildPool:
             )
         try:
             handle.conn.close()
-        except OSError:
+        except OSError:  # dsolint: disable=DSO403 -- closing a dead worker's pipe; its replacement is spawned below
             pass
         if handle.process.is_alive():
             handle.process.terminate()
@@ -228,7 +228,7 @@ class _BuildPool:
         for handle in self._workers:
             try:
                 handle.conn.send(("stop",))
-            except (BrokenPipeError, OSError):
+            except (BrokenPipeError, OSError):  # dsolint: disable=DSO403 -- shutdown is best-effort; a dead worker is already the goal state
                 pass
         for handle in self._workers:
             handle.process.join(timeout=5.0)
@@ -237,7 +237,7 @@ class _BuildPool:
                 handle.process.join(timeout=5.0)
             try:
                 handle.conn.close()
-            except OSError:
+            except OSError:  # dsolint: disable=DSO403 -- shutdown close on an already-broken pipe
                 pass
 
     # ------------------------------------------------------------------

@@ -77,7 +77,7 @@ def build_worker_main(container_path, conn, worker_id: int) -> None:
     except BaseException as exc:  # noqa: BLE001 — must reach the parent
         try:
             conn.send(("error", worker_id, f"{type(exc).__name__}: {exc}"))
-        except (BrokenPipeError, OSError):
+        except (BrokenPipeError, OSError):  # dsolint: disable=DSO403 -- coordinator pipe is gone; no channel left to report on
             pass
         return
     conn.send(

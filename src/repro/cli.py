@@ -9,6 +9,10 @@ Subcommands
     distance sensitivity query.
 ``experiment``
     Reproduce one of the paper's tables/figures and print it.
+``lint``
+    Run the ``dsolint`` static invariant checks (determinism,
+    multiprocessing safety, float sentinels, protocol hygiene) and
+    exit non-zero on any unsuppressed finding.
 """
 
 from __future__ import annotations
@@ -186,6 +190,31 @@ def build_parser() -> argparse.ArgumentParser:
         "shards (--from-checkpoint only; default 0 = inline)",
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the dsolint static invariant checks (DESIGN.md §10)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        dest="output_format",
+    )
+    lint.add_argument(
+        "--output",
+        metavar="PATH",
+        help="also write the report (in the chosen format) to a file",
+    )
+    lint.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="list suppressed findings and their justifications",
+    )
+
     serve = sub.add_parser(
         "serve-bench",
         help="benchmark the process-pool query service over a snapshot",
@@ -356,6 +385,22 @@ def _run_snapshot(args) -> int:
     print(f"sections      : {len(info['sections'])}")
     print(f"snapshot      : {args.snapshot_file}")
     return 0
+
+
+def _run_lint(args) -> int:
+    from repro.analysis import lint_paths, to_json, to_text
+
+    report = lint_paths(args.paths)
+    if args.output_format == "json":
+        rendered = to_json(report)
+    else:
+        rendered = to_text(report, show_suppressed=args.show_suppressed)
+    print(rendered)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+    return 0 if report.ok else 1
 
 
 def _run_serve_bench(args) -> int:
@@ -540,6 +585,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_build(args)
     if args.command == "snapshot":
         return _run_snapshot(args)
+    if args.command == "lint":
+        return _run_lint(args)
     if args.command == "serve-bench":
         return _run_serve_bench(args)
     if args.command == "experiment":

@@ -324,7 +324,7 @@ def _fiedler_vector(graph: DiGraph, block: list[int]) -> list[float] | None:
         _, vectors = eigsh(
             lap.asfptype(), k=2, which="SM", maxiter=2000, tol=1e-4
         )
-    except Exception:
+    except Exception:  # dsolint: disable=DSO402 -- spectral bisection is best-effort; None routes to the BFS fallback
         return None
     return list(vectors[:, 1])
 
@@ -349,4 +349,4 @@ def _bfs_bisect(
                 queue.append(other)
     left = set(visited)
     right = [node for node in block if node not in left]
-    return list(left), right
+    return visited, right

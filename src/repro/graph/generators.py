@@ -206,7 +206,9 @@ def scale_free_network(
         while len(targets) < node_attach:
             candidate = repeated[rng.randrange(len(repeated))]
             targets.add(candidate)
-        for target in targets:
+        # Sorted so edge-insertion and ``repeated`` order (and hence the
+        # downstream preferential-attachment draws) are set-order-free.
+        for target in sorted(targets):
             graph.add_edge(new_node, target, weight_sampler(rng))
             graph.add_edge(target, new_node, weight_sampler(rng))
             repeated.extend((new_node, target))

@@ -276,7 +276,7 @@ def best_cover_landmarks(
             break
         best_node = max(sorted(counts), key=counts.__getitem__)
         landmarks.append(best_node)
-        uncovered = {
+        uncovered = {  # dsolint: disable=DSO101 -- set-to-set filter; only membership is read
             idx for idx in uncovered if best_node not in paths[idx]
         }
     # Pad with random nodes when paths ran out before ``count``.

@@ -34,7 +34,7 @@ def audit_index(oracle: DISO) -> list[str]:
     # 1. Transit set sanity.
     if not transit:
         problems.append("transit set is empty")
-    for node in transit:
+    for node in sorted(transit):
         if not graph.has_node(node):
             problems.append(f"transit node {node} is not in the graph")
 

@@ -57,7 +57,7 @@ class DISOMinus(DISO):
         affected: set[int] = set()
         transit = self.transit
         graph = self.graph
-        for tail, head in failed:
+        for tail, head in sorted(failed):
             if not graph.has_node(tail) or not graph.has_edge(tail, head):
                 continue
             if tail in transit:

@@ -157,7 +157,7 @@ class DISOSparse(DISO):
         fail_set = normalize_failures(failed)
         # Failures naming sparsified-away edges do not exist in this
         # oracle's world; drop them (their witnesses bound the error).
-        live_failures = frozenset(
+        live_failures = frozenset(  # dsolint: disable=DSO101 -- frozenset-to-frozenset filter; only membership is read
             edge for edge in fail_set if self.graph.has_edge(*edge)
         )
         result = super().query_detailed(source, target, live_failures)

@@ -442,7 +442,7 @@ class FrozenADISO(FrozenDISO):
         rank_of = index.rank_of
         transit_flags = index.transit_flags
         heuristic = self.landmarks.heuristic_to(target)
-        affected = {index.transit_nodes[rank] for rank in affected_ranks}
+        affected = {index.transit_nodes[rank] for rank in affected_ranks}  # dsolint: disable=DSO101 -- rank set to node set; only membership is read
 
         gen = arena.begin()
         d_o = arena.dist

@@ -159,7 +159,7 @@ def verify_distance_graph(
     """
     problems: list[str] = []
     transit = oracle_overlay.transit
-    for u in transit:
+    for u in sorted(transit):
         fresh = bounded_dijkstra(graph, u, transit, direction="out")
         stored = oracle_overlay.out_edges(u)
         fresh_neighbors = {v: d for v, d in fresh.access.items() if v != u}

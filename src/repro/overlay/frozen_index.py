@@ -336,7 +336,7 @@ class FrozenIndex:
         """
         tree = self.trees[rank]
         edge_pos = tree.edge_pos
-        hits = [
+        hits = [  # dsolint: disable=DSO101 -- consumed solely through sorted(hits) below
             edge_pos[edge_id]
             for edge_id in failed_edge_ids
             if edge_id in edge_pos

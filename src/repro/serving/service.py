@@ -269,7 +269,7 @@ class QueryService:
         for handle in self._pool:
             try:
                 handle.conn.send(("stop",))
-            except (BrokenPipeError, OSError):
+            except (BrokenPipeError, OSError):  # dsolint: disable=DSO403 -- stop is best-effort; a dead worker is already the goal state
                 pass
         for handle in self._pool:
             handle.process.join(timeout=5.0)

@@ -156,7 +156,7 @@ def worker_main(
                 break
             else:
                 conn.send(("error", worker_id, f"unknown message {kind!r}"))
-    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):  # dsolint: disable=DSO403 -- dispatcher pipe is gone; no channel left to report on
         pass
     finally:
         conn.close()

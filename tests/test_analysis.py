@@ -1,0 +1,445 @@
+"""Unit tests for the ``dsolint`` static-analysis subsystem.
+
+Each rule family gets a seeded violation (positive), a compliant
+variant (negative), and the suppression/path-scoping machinery is
+exercised end to end on inline fixture snippets.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    DEFAULT_CONFIG,
+    RULES,
+    RULE_CATALOGUE_VERSION,
+    lint_paths,
+    lint_source,
+    profile_for_path,
+    rule_catalogue,
+    to_json,
+    to_text,
+)
+
+CORE = "src/repro/oracle/fixture.py"
+WORKER = "src/repro/serving/fixture.py"
+EXPERIMENTS = "src/repro/experiments/fixture.py"
+TESTS = "tests/fixture.py"
+
+
+def ids(snippet: str, path: str = CORE) -> list[str]:
+    """Unsuppressed rule ids the snippet triggers at ``path``."""
+    findings = lint_source(textwrap.dedent(snippet), path)
+    return [f.rule_id for f in findings if not f.suppressed]
+
+
+# ----------------------------------------------------------------------
+# DSO101 — set iteration into ordered expressions
+# ----------------------------------------------------------------------
+
+def test_dso101_list_comprehension_over_set():
+    assert "DSO101" in ids("rows = [n for n in set(values)]\n")
+
+
+def test_dso101_list_call_over_set():
+    assert "DSO101" in ids("rows = list({1, 2, 3})\n")
+
+
+def test_dso101_set_annotation_on_parameter():
+    snippet = """
+        def emit(failed: frozenset) -> list:
+            return [edge for edge in failed]
+    """
+    assert "DSO101" in ids(snippet)
+
+
+def test_dso101_sorted_wrapper_is_clean():
+    assert ids("rows = [n for n in sorted(set(values))]\n") == []
+
+
+def test_dso101_order_free_aggregate_is_clean():
+    assert ids("total = sum(n for n in set(values))\n") == []
+
+
+def test_dso101_plain_list_iteration_is_clean():
+    assert ids("rows = [n for n in values]\n") == []
+
+
+# ----------------------------------------------------------------------
+# DSO102 — for-loops over sets that emit ordered output
+# ----------------------------------------------------------------------
+
+def test_dso102_append_inside_set_loop():
+    snippet = """
+        def report(transit: set) -> list:
+            lines = []
+            for node in transit:
+                lines.append(str(node))
+            return lines
+    """
+    assert "DSO102" in ids(snippet)
+
+
+def test_dso102_sorted_loop_is_clean():
+    snippet = """
+        def report(transit: set) -> list:
+            lines = []
+            for node in sorted(transit):
+                lines.append(str(node))
+            return lines
+    """
+    assert ids(snippet) == []
+
+
+def test_dso102_accumulating_loop_is_clean():
+    snippet = """
+        def total(transit: set) -> float:
+            acc = 0.0
+            for node in transit:
+                acc += node
+            return acc
+    """
+    assert ids(snippet) == []
+
+
+# ----------------------------------------------------------------------
+# DSO103 — unseeded randomness
+# ----------------------------------------------------------------------
+
+def test_dso103_global_random_draw():
+    assert "DSO103" in ids("import random\npick = random.random()\n")
+
+
+def test_dso103_unseeded_random_instance():
+    assert "DSO103" in ids("import random\nrng = random.Random()\n")
+
+
+def test_dso103_seeded_instance_is_clean():
+    snippet = """
+        import random
+        rng = random.Random(7)
+        pick = rng.random()
+    """
+    assert ids(snippet) == []
+
+
+# ----------------------------------------------------------------------
+# DSO104 — wall-clock time in library code (path-scoped)
+# ----------------------------------------------------------------------
+
+def test_dso104_time_time_in_core():
+    assert "DSO104" in ids("import time\nstamp = time.time()\n")
+
+
+def test_dso104_perf_counter_is_clean():
+    assert ids("import time\nstamp = time.perf_counter()\n") == []
+
+
+def test_dso104_allowed_in_experiments_profile():
+    snippet = "import time\nstamp = time.time()\n"
+    assert ids(snippet, path=EXPERIMENTS) == []
+
+
+# ----------------------------------------------------------------------
+# DSO201 — unpicklable callables at process boundaries
+# ----------------------------------------------------------------------
+
+def test_dso201_lambda_process_target():
+    snippet = """
+        import multiprocessing
+        proc = multiprocessing.Process(target=lambda: None)
+    """
+    assert "DSO201" in ids(snippet)
+
+
+def test_dso201_nested_function_target():
+    snippet = """
+        def start(ctx):
+            def inner():
+                return 1
+            return ctx.Process(target=inner)
+    """
+    assert "DSO201" in ids(snippet)
+
+
+def test_dso201_lambda_in_pipe_send():
+    snippet = """
+        def ship(conn):
+            conn.send(("work", lambda x: x + 1))
+    """
+    assert "DSO201" in ids(snippet)
+
+
+def test_dso201_module_level_target_is_clean():
+    snippet = """
+        def start(ctx, worker_main):
+            return ctx.Process(target=worker_main, args=(1,))
+    """
+    assert ids(snippet) == []
+
+
+# ----------------------------------------------------------------------
+# DSO202 — module-global mutable state written in functions
+# ----------------------------------------------------------------------
+
+def test_dso202_global_write():
+    snippet = """
+        CACHE = {}
+
+        def reset():
+            global CACHE
+            CACHE = {}
+    """
+    assert "DSO202" in ids(snippet)
+
+
+def test_dso202_local_shadow_is_clean():
+    snippet = """
+        CACHE = {}
+
+        def reset():
+            cache = {}
+            return cache
+    """
+    assert ids(snippet) == []
+
+
+# ----------------------------------------------------------------------
+# DSO301 — NaN / QUERY_ERROR sentinel comparison
+# ----------------------------------------------------------------------
+
+def test_dso301_sentinel_equality():
+    assert "DSO301" in ids("bad = answer == QUERY_ERROR\n")
+
+
+def test_dso301_float_nan_inequality():
+    assert "DSO301" in ids('bad = answer != float("nan")\n')
+
+
+def test_dso301_math_nan_attribute():
+    assert "DSO301" in ids("import math\nbad = answer == math.nan\n")
+
+
+def test_dso301_isnan_is_clean():
+    assert ids("import math\nok = math.isnan(answer)\n") == []
+
+
+def test_dso301_infinity_equality_is_clean():
+    assert ids('unreachable = answer == float("inf")\n') == []
+
+
+# ----------------------------------------------------------------------
+# DSO302 — fractional float literal equality
+# ----------------------------------------------------------------------
+
+def test_dso302_fractional_literal():
+    assert "DSO302" in ids("hit = distance == 0.3\n")
+
+
+def test_dso302_integral_literal_is_clean():
+    assert ids("hit = distance == 1.0\n") == []
+
+
+# ----------------------------------------------------------------------
+# DSO401 / DSO402 / DSO403 — exception protocol hygiene
+# ----------------------------------------------------------------------
+
+def test_dso401_bare_except():
+    snippet = """
+        try:
+            risky()
+        except:
+            pass
+    """
+    assert "DSO401" in ids(snippet)
+
+
+def test_dso402_swallowed_broad_except():
+    snippet = """
+        def guard():
+            try:
+                return risky()
+            except Exception:
+                return None
+    """
+    assert "DSO402" in ids(snippet)
+
+
+def test_dso402_reraise_is_clean():
+    snippet = """
+        def guard(cleanup):
+            try:
+                return risky()
+            except Exception:
+                cleanup()
+                raise
+    """
+    assert ids(snippet) == []
+
+
+def test_dso402_used_exception_is_clean():
+    snippet = """
+        def guard(channel):
+            try:
+                return risky()
+            except Exception as exc:
+                channel.append(str(exc))
+                return None
+    """
+    assert ids(snippet) == []
+
+
+def test_dso403_pass_handler_in_worker_path():
+    snippet = """
+        def loop(conn):
+            try:
+                conn.send(("stop",))
+            except OSError:
+                pass
+    """
+    assert "DSO403" in ids(snippet, path=WORKER)
+
+
+def test_dso403_off_in_core_profile():
+    snippet = """
+        def loop(conn):
+            try:
+                conn.send(("stop",))
+            except OSError:
+                pass
+    """
+    assert ids(snippet, path=CORE) == []
+
+
+# ----------------------------------------------------------------------
+# Suppression machinery
+# ----------------------------------------------------------------------
+
+def test_justified_suppression_silences_finding():
+    snippet = (
+        "rows = [n for n in set(values)]"
+        "  # dsolint: disable=DSO101 -- fixture: order provably irrelevant\n"
+    )
+    findings = lint_source(snippet, CORE)
+    assert [f.rule_id for f in findings if not f.suppressed] == []
+    suppressed = [f for f in findings if f.suppressed]
+    assert suppressed and suppressed[0].justification.startswith("fixture")
+
+
+def test_unjustified_suppression_reports_meta_rule():
+    snippet = "rows = [n for n in set(values)]  # dsolint: disable=DSO101\n"
+    assert ids(snippet) == ["DSO001"]
+
+
+def test_disable_next_line():
+    snippet = (
+        "# dsolint: disable-next=DSO101 -- fixture reason\n"
+        "rows = [n for n in set(values)]\n"
+    )
+    assert ids(snippet) == []
+
+
+def test_disable_file():
+    snippet = (
+        "# dsolint: disable-file=DSO101 -- fixture reason\n"
+        "rows = [n for n in set(values)]\n"
+        "more = [n for n in set(values)]\n"
+    )
+    assert ids(snippet) == []
+
+
+def test_suppression_for_other_rule_does_not_apply():
+    snippet = (
+        "rows = [n for n in set(values)]"
+        "  # dsolint: disable=DSO301 -- wrong rule id\n"
+    )
+    assert "DSO101" in ids(snippet)
+
+
+# ----------------------------------------------------------------------
+# Path-scoped configuration
+# ----------------------------------------------------------------------
+
+def test_profiles_by_path():
+    assert profile_for_path(WORKER).name == "worker"
+    assert profile_for_path(CORE).name == "core"
+    assert profile_for_path(EXPERIMENTS).name == "experiments"
+    assert profile_for_path("benchmarks/bench_x.py").name == "experiments"
+    assert profile_for_path(TESTS).name == "tests"
+    assert profile_for_path("somewhere/else.py").name == "core"
+
+
+def test_scope_matching_is_cwd_independent():
+    absolute = "/home/ci/checkout/src/repro/serving/worker.py"
+    assert DEFAULT_CONFIG.profile_for(absolute).name == "worker"
+
+
+def test_tests_profile_keeps_only_universal_rules():
+    determinism = "rows = [n for n in set(values)]\n"
+    assert ids(determinism, path=TESTS) == []
+    bare = "try:\n    risky()\nexcept:\n    pass\n"
+    assert "DSO401" in ids(bare, path=TESTS)
+
+
+# ----------------------------------------------------------------------
+# Engine, reporting, catalogue
+# ----------------------------------------------------------------------
+
+def test_syntax_error_becomes_dso000():
+    findings = lint_source("def broken(:\n", CORE)
+    assert [f.rule_id for f in findings] == ["DSO000"]
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    package = tmp_path / "src" / "repro" / "oracle"
+    package.mkdir(parents=True)
+    (package / "dirty.py").write_text(
+        "rows = [n for n in set(values)]\n", encoding="utf-8"
+    )
+    (package / "clean.py").write_text("rows = [1, 2]\n", encoding="utf-8")
+    report = lint_paths([tmp_path])
+    assert not report.ok
+    assert len(report.files) == 2
+    assert [f.rule_id for f in report.unsuppressed] == ["DSO101"]
+
+
+def test_json_report_schema(tmp_path):
+    target = tmp_path / "src" / "repro" / "oracle"
+    target.mkdir(parents=True)
+    (target / "dirty.py").write_text(
+        "rows = [n for n in set(values)]\n", encoding="utf-8"
+    )
+    report = lint_paths([tmp_path])
+    payload = json.loads(to_json(report))
+    assert payload["catalogue_version"] == RULE_CATALOGUE_VERSION
+    assert payload["counts"]["findings"] == 1
+    assert payload["findings"][0]["rule"] == "DSO101"
+    assert "DSO101" in payload["catalogue"]
+
+
+def test_text_report_lists_findings():
+    from repro.analysis.engine import LintReport
+
+    report = LintReport(
+        findings=lint_source("rows = [n for n in set(values)]\n", CORE),
+        files=[CORE],
+    )
+    text = to_text(report)
+    assert "DSO101" in text and CORE in text and "1 finding" in text
+
+
+def test_rule_ids_are_unique_and_catalogued():
+    rule_ids = [rule.rule_id for rule in RULES]
+    assert len(rule_ids) == len(set(rule_ids))
+    assert len(rule_ids) >= 8
+    catalogue = rule_catalogue()
+    for rule_id in rule_ids:
+        assert catalogue[rule_id]["summary"]
+
+
+def test_every_rule_family_represented():
+    families = {rule.rule_id[:4] for rule in RULES}
+    assert {"DSO1", "DSO2", "DSO3", "DSO4"} <= families

@@ -4,8 +4,8 @@
 write a repo-root JSON file.  A truncated or hand-mangled file must not
 brick every future bench run: the bad file is quarantined to
 ``<name>.corrupt`` and the merge starts fresh.  Every dict-valued entry
-is stamped with attribution metadata (``git_rev`` + ``cpu_count``) on
-the way through.
+is stamped with attribution metadata (``git_rev`` + ``cpu_count`` +
+``lint_rules``, the dsolint catalogue version) on the way through.
 """
 
 from __future__ import annotations
@@ -22,6 +22,7 @@ sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
 from bench_util import (  # noqa: E402
     bench_metadata,
     git_rev,
+    lint_rules_version,
     merge_json,
     merge_latency_json,
 )
@@ -33,7 +34,7 @@ def _strip_stamp(merged: dict) -> dict:
         key: {
             inner_key: inner_value
             for inner_key, inner_value in value.items()
-            if inner_key not in ("git_rev", "cpu_count")
+            if inner_key not in ("git_rev", "cpu_count", "lint_rules")
         }
         if isinstance(value, dict)
         else value
@@ -54,13 +55,20 @@ def test_merge_stamps_attribution_metadata(tmp_path):
     entry = json.loads(target.read_text())["a"]
     assert entry["git_rev"] == git_rev()
     assert entry["cpu_count"] == os.cpu_count()
+    assert entry["lint_rules"] == lint_rules_version()
 
 
 def test_bench_metadata_fields():
     meta = bench_metadata()
-    assert set(meta) == {"git_rev", "cpu_count"}
+    assert set(meta) == {"git_rev", "cpu_count", "lint_rules"}
     assert isinstance(meta["git_rev"], str) and meta["git_rev"]
     assert meta["cpu_count"] == os.cpu_count()
+
+
+def test_lint_rules_version_matches_catalogue():
+    from repro.analysis import RULE_CATALOGUE_VERSION
+
+    assert lint_rules_version() == RULE_CATALOGUE_VERSION
 
 
 def test_merge_preserves_existing_keys(tmp_path):

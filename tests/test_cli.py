@@ -281,3 +281,60 @@ class TestParallelBuildCLI:
 
         oracle = load_snapshot(snap)
         assert oracle.query(0, 12, frozenset()) >= 0.0
+
+
+class TestLint:
+    def test_lint_parser_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.paths == ["src"]
+        assert args.output_format == "text"
+
+    def test_lint_clean_file_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("rows = [1, 2, 3]\n", encoding="utf-8")
+        assert main(["lint", str(clean)]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+
+    def test_lint_dirty_file_exits_one(self, tmp_path, capsys):
+        dirty = tmp_path / "src" / "repro" / "oracle"
+        dirty.mkdir(parents=True)
+        target = dirty / "dirty.py"
+        target.write_text(
+            "rows = [n for n in set(values)]\n", encoding="utf-8"
+        )
+        assert main(["lint", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "DSO101" in out
+
+    def test_lint_json_output_file(self, tmp_path, capsys):
+        import json as json_module
+
+        dirty = tmp_path / "src" / "repro" / "oracle"
+        dirty.mkdir(parents=True)
+        (dirty / "dirty.py").write_text(
+            "bad = answer == QUERY_ERROR\n", encoding="utf-8"
+        )
+        report_path = tmp_path / "lint.json"
+        code = main(
+            ["lint", str(dirty), "--format", "json",
+             "--output", str(report_path)]
+        )
+        assert code == 1
+        capsys.readouterr()
+        payload = json_module.loads(
+            report_path.read_text(encoding="utf-8")
+        )
+        assert payload["findings"][0]["rule"] == "DSO301"
+
+    def test_lint_show_suppressed(self, tmp_path, capsys):
+        source = (
+            "rows = [n for n in set(values)]"
+            "  # dsolint: disable=DSO101 -- fixture justification\n"
+        )
+        scoped = tmp_path / "src" / "repro" / "oracle"
+        scoped.mkdir(parents=True)
+        (scoped / "waived.py").write_text(source, encoding="utf-8")
+        assert main(["lint", str(scoped), "--show-suppressed"]) == 0
+        out = capsys.readouterr().out
+        assert "fixture justification" in out

@@ -1,0 +1,42 @@
+"""The lint gate: the tree must carry zero unsuppressed findings.
+
+This is the test that turns ``dsolint`` from advice into an invariant:
+any commit that introduces unsorted set iteration on a serialization
+path, an unpicklable dispatch target, a NaN ``==``, or a swallowed
+exception fails here with the exact file:line, before the fork/spawn
+CI matrix gets a chance to flake on it.  Waivers are visible in the
+diff as ``# dsolint: disable=... -- reason`` comments and must carry a
+justification (enforced by DSO001).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths, to_text
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+GATED = ["src", "benchmarks", "examples", "tests"]
+
+
+@pytest.mark.parametrize("tree", GATED)
+def test_tree_is_lint_clean(tree):
+    root = REPO_ROOT / tree
+    assert root.is_dir(), f"gated tree {tree!r} missing"
+    report = lint_paths([root])
+    assert report.files, f"no python files found under {tree!r}"
+    assert report.ok, "unsuppressed dsolint findings:\n" + to_text(report)
+
+
+def test_src_suppressions_all_justified():
+    report = lint_paths([REPO_ROOT / "src"])
+    unjustified = [
+        finding
+        for finding in report.suppressed
+        if not finding.justification
+    ]
+    locations = [finding.location() for finding in unjustified]
+    assert not unjustified, f"suppressions without -- reason: {locations}"

@@ -10,6 +10,21 @@ sides equally; the reported number is the median over all rounds.
 Every run first asserts exact answer parity between the two planes over
 the whole batch — a benchmark of a wrong answer is worthless.
 
+The frozen DISO cells additionally time the vectorized batch kernel
+(``query_many``, :mod:`repro.oracle.batch_kernel`) against the scalar
+frozen loop on the same oracle: one scalar pass and one ``query_many``
+pass alternate within each round, and the batched number is the whole
+batch's wall clock divided by the batch size.  Batches are large
+(``BATCH_SIZE``) because the kernel's per-batch fixed costs only
+amortize at scale — at the 25-query latency batches above the kernel is
+*slower* than the scalar loop, which is why these are separate rows
+rather than a replacement.  Two workloads are timed: the paper's
+failure workload (every query carries ~5 on-path failures, keeping the
+per-rank repair machinery hot) and a failure-free workload isolating
+the sweep itself.  ADISO has no batched kernel (its merged-A* floats
+are query-state dependent; ``query_many`` falls back to the scalar
+loop), so only DISO rows exist.
+
 Standalone usage (writes ``results/frozen_plane.txt`` and merges the
 repo-root ``BENCH_query_latency.json``; ``merge_json`` stamps
 ``git_rev`` + ``cpu_count`` into every entry centrally, so latency
@@ -40,6 +55,15 @@ from bench_util import latency_summary, merge_latency_json, write_result
 SEED = 7
 QUERY_COUNT = 25
 ROUNDS = 10
+#: Queries per batched-kernel round — large enough to amortize the
+#: kernel's per-batch fixed costs (array setup, affected discovery).
+BATCH_SIZE = 300
+BATCH_ROUNDS = 8
+#: (row suffix, workload params) for the batched-kernel comparison.
+BATCH_WORKLOADS = (
+    ("", {"f_gen": 5, "p": 0.0005}),
+    ("-nofail", {"f_gen": 0, "p": 0.0}),
+)
 
 #: (name, builder) — both inside the paper's standard evaluation range.
 GRAPHS = (
@@ -91,12 +115,66 @@ def compare_planes(graph, oracle_factory, rounds: int, query_count: int):
     return dict_samples, frozen_samples, frozen_oracle
 
 
-def run(smoke: bool = False, rounds: int | None = None) -> list[dict]:
-    """Run every (graph, oracle) cell; return result rows."""
+def compare_batched(
+    frozen_oracle, graph, graph_name, rounds: int, batch_size: int
+) -> list[dict]:
+    """Scalar frozen loop vs ``query_many`` on one oracle, interleaved.
+
+    Asserts exact parity between the batched kernel and the scalar
+    loop over every workload first, then alternates one scalar pass and
+    one batched pass per round so machine drift hits both sides
+    equally.  Reports the median of per-round scalar medians against
+    the median of per-round amortized batched cost.
+    """
+    rows = []
+    for suffix, params in BATCH_WORKLOADS:
+        batch = generate_queries(graph, batch_size, seed=SEED, **params)
+        expected = [
+            frozen_oracle.query(q.source, q.target, q.failed) for q in batch
+        ]
+        got = frozen_oracle.query_many(batch)
+        assert got == expected, (
+            f"query_many/scalar mismatch on {graph_name}{suffix}"
+        )
+        scalar_medians: list[float] = []
+        amortized: list[float] = []
+        for _ in range(rounds):
+            scalar_medians.append(
+                statistics.median(timed_batch(frozen_oracle, batch))
+            )
+            started = time.perf_counter()
+            frozen_oracle.query_many(batch)
+            amortized.append(
+                (time.perf_counter() - started) / len(batch)
+            )
+        scalar_us = 1e6 * statistics.median(scalar_medians)
+        batched_us = 1e6 * statistics.median(amortized)
+        rows.append(
+            {
+                "graph": graph_name,
+                "workload": "failures" if not suffix else "no-failures",
+                "suffix": suffix,
+                "batch_size": batch_size,
+                "rounds": rounds,
+                "scalar_median_us": round(scalar_us, 3),
+                "batched_us_per_query": round(batched_us, 3),
+                "speedup": round(scalar_us / batched_us, 3),
+            }
+        )
+    return rows
+
+
+def run(
+    smoke: bool = False, rounds: int | None = None
+) -> tuple[list[dict], list[dict]]:
+    """Run every (graph, oracle) cell; return (rows, batched_rows)."""
     graphs = SMOKE_GRAPHS if smoke else GRAPHS
     rounds = rounds or (2 if smoke else ROUNDS)
     query_count = 10 if smoke else QUERY_COUNT
+    batch_rounds = 2 if smoke else BATCH_ROUNDS
+    batch_size = 12 if smoke else BATCH_SIZE
     rows = []
+    batched_rows = []
     for graph_name, build in graphs:
         graph = build()
         for oracle_name, factory in ORACLES:
@@ -126,10 +204,23 @@ def run(smoke: bool = False, rounds: int | None = None) -> list[dict]:
                 f"speedup {rows[-1]['speedup']:.2f}x  "
                 f"(freeze {rows[-1]['freeze_s']:.3f}s)"
             )
-    return rows
+            if oracle_name == "DISO":
+                for row in compare_batched(
+                    frozen_oracle, graph, graph_name,
+                    batch_rounds, batch_size,
+                ):
+                    batched_rows.append(row)
+                    print(
+                        f"{graph_name:>16} batched{row['suffix']:<8}: "
+                        f"scalar {row['scalar_median_us']:8.1f}us  "
+                        f"batched {row['batched_us_per_query']:8.1f}us/q  "
+                        f"speedup {row['speedup']:.2f}x  "
+                        f"(B={row['batch_size']})"
+                    )
+    return rows, batched_rows
 
 
-def format_rows(rows: list[dict]) -> str:
+def format_rows(rows: list[dict], batched_rows: list[dict]) -> str:
     lines = [
         "Frozen query plane vs dict engines "
         "(median per-query latency, interleaved rounds)",
@@ -142,6 +233,23 @@ def format_rows(rows: list[dict]) -> str:
             f"{row['dict_median_us']:>10.1f} {row['frozen_median_us']:>10.1f} "
             f"{row['speedup']:>7.2f}x {row['freeze_s']:>10.3f}"
         )
+    if batched_rows:
+        lines.append("")
+        lines.append(
+            "Vectorized batch kernel vs scalar frozen loop "
+            "(DISO, interleaved rounds, amortized over the batch)"
+        )
+        lines.append(
+            f"{'graph':>16} {'workload':>12} {'scalar(us)':>11} "
+            f"{'batched(us/q)':>14} {'speedup':>8} {'batch':>6}"
+        )
+        for row in batched_rows:
+            lines.append(
+                f"{row['graph']:>16} {row['workload']:>12} "
+                f"{row['scalar_median_us']:>11.1f} "
+                f"{row['batched_us_per_query']:>14.1f} "
+                f"{row['speedup']:>7.2f}x {row['batch_size']:>6}"
+            )
     return "\n".join(lines)
 
 
@@ -153,11 +261,11 @@ def main() -> None:
     )
     parser.add_argument("--rounds", type=int, default=None)
     args = parser.parse_args()
-    rows = run(smoke=args.smoke, rounds=args.rounds)
+    rows, batched_rows = run(smoke=args.smoke, rounds=args.rounds)
     if args.smoke:
         print("smoke run OK (parity held on every cell)")
         return
-    write_result("frozen_plane", format_rows(rows))
+    write_result("frozen_plane", format_rows(rows, batched_rows))
     entries = {}
     for row in rows:
         build = row["build_s"]
@@ -167,19 +275,31 @@ def main() -> None:
         entries[f"{row['oracle']}-F@{row['graph']}"] = latency_summary(
             build + row["freeze_s"], row["frozen_samples"]
         )
+    for row in batched_rows:
+        entries[f"DISO-FB@{row['graph']}{row['suffix']}"] = {
+            key: row[key]
+            for key in (
+                "batch_size", "rounds", "workload",
+                "scalar_median_us", "batched_us_per_query", "speedup",
+            )
+        }
     path = merge_latency_json(entries)
     print(f"wrote {path}")
-    print(format_rows(rows))
+    print(format_rows(rows, batched_rows))
 
 
 # ----------------------------------------------------------------------
 # pytest entry points (small scale; the standalone main is the real run)
 # ----------------------------------------------------------------------
 def test_frozen_plane_parity_and_speed():
-    rows = run(smoke=True)
+    rows, batched_rows = run(smoke=True)
     assert len(rows) == 4
     for row in rows:
         assert row["frozen_median_us"] > 0.0
+    # One batched row per (DISO cell, workload); parity asserted inside.
+    assert len(batched_rows) == 2 * len(BATCH_WORKLOADS)
+    for row in batched_rows:
+        assert row["batched_us_per_query"] > 0.0
 
 
 if __name__ == "__main__":

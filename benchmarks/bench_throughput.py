@@ -7,15 +7,25 @@ aggregate query throughput three ways:
 * sequential — the in-memory frozen oracle answering the batch alone
   (the single-core reference);
 * ``QueryService`` at 1, 2, and 4 workers — each worker a separate
-  process mapping the same snapshot read-only.
+  process mapping the same snapshot read-only — under **both** result
+  planes (``shm`` ring and ``pipe`` pickle), so the dispatch cost of
+  each channel is directly comparable at equal worker counts.
 
 Every pool run first asserts exact answer parity with the sequential
-baseline.  Results merge into the repo-root ``BENCH_throughput.json``,
-where ``merge_json`` stamps ``git_rev`` + ``cpu_count`` into every
-entry centrally; ``cpu_count`` matters here because process-level
-speed-up is physically bounded by the cores actually present — on a
-single-core container the 4-worker row documents dispatch overhead,
-not scaling.
+baseline.  Each row serves the batch ``ROUNDS`` times through one
+service (qps from the best round, dispatch overhead the median across
+rounds — a single run's per-batch decode cost is scheduler-noise-bound
+on small chunk counts) and records its ``result_plane``, the
+dispatcher-side ``dispatch_overhead_us`` per accepted batch (unpickle
+plus ring memcpy plus splice; the OS wait for the pipe is excluded)
+and ``pipe_bytes_per_batch`` (the pickled result traffic that actually
+crossed the pipe) — the shm rows carry only tiny completion records
+where the pipe rows carry the full answer payload.
+Results merge into the repo-root ``BENCH_throughput.json``, where
+``merge_json`` stamps ``git_rev`` + ``cpu_count`` into every entry
+centrally; ``cpu_count`` matters here because process-level speed-up is
+physically bounded by the cores actually present — on a single-core
+container the 4-worker row documents dispatch overhead, not scaling.
 
 Standalone usage::
 
@@ -31,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import statistics
 import tempfile
 import time
 from pathlib import Path
@@ -45,8 +56,11 @@ from repro.workload.queries import generate_queries
 from bench_util import THROUGHPUT_JSON, merge_json, write_result
 
 SEED = 7
-QUERY_COUNT = 300
+QUERY_COUNT = 600
 WORKER_COUNTS = (1, 2, 4)
+RESULT_PLANES = ("shm", "pipe")
+#: Serve rounds per row: qps is best-of, dispatch overhead the median.
+ROUNDS = 5
 
 GRAPH_NAME = "road2k"
 
@@ -104,27 +118,47 @@ def run(smoke: bool = False, query_count: int | None = None) -> dict:
         )
 
         result["workers"] = {}
+        rounds = 1 if smoke else ROUNDS
         for workers in worker_counts:
-            with QueryService(path, workers=workers) as service:
-                report = service.run(batch)
-            assert report.answers == expected, (
-                f"{workers}-worker answers diverge from sequential baseline"
-            )
-            assert report.error_count == 0, (
-                f"{workers}-worker run reported per-query errors on a "
-                f"clean workload: {report.error_indices[:5]}"
-            )
-            row = report.summary()
-            row["speedup_vs_sequential"] = round(
-                report.queries_per_second / seq["qps"], 3
-            )
-            result["workers"][str(workers)] = row
-            print(
-                f"{workers:>9} wkr: qps {row['qps']:>9.1f}  "
-                f"p50 {row['p50_us']:>7.1f}us  p99 {row['p99_us']:>7.1f}us  "
-                f"speedup {row['speedup_vs_sequential']:.2f}x  "
-                f"errors {row['errors']}  restarts {row['restarts']}"
-            )
+            for plane in RESULT_PLANES:
+                reports = []
+                with QueryService(
+                    path, workers=workers, result_plane=plane
+                ) as service:
+                    for _ in range(rounds):
+                        report = service.run(batch)
+                        assert report.answers == expected, (
+                            f"{workers}-worker {plane} answers diverge "
+                            f"from sequential baseline"
+                        )
+                        assert report.error_count == 0, (
+                            f"{workers}-worker {plane} run reported "
+                            f"per-query errors on a clean workload: "
+                            f"{report.error_indices[:5]}"
+                        )
+                        reports.append(report)
+                best = max(reports, key=lambda r: r.queries_per_second)
+                row = best.summary()
+                row["rounds"] = rounds
+                row["dispatch_overhead_us"] = round(
+                    statistics.median(
+                        r.dispatch_overhead_us for r in reports
+                    ),
+                    3,
+                )
+                row["speedup_vs_sequential"] = round(
+                    best.queries_per_second / seq["qps"], 3
+                )
+                result["workers"][f"{workers}w-{plane}"] = row
+                print(
+                    f"{workers:>4} wkr {plane:>4}: qps {row['qps']:>9.1f}  "
+                    f"p50 {row['p50_us']:>7.1f}us  "
+                    f"p99 {row['p99_us']:>7.1f}us  "
+                    f"speedup {row['speedup_vs_sequential']:.2f}x  "
+                    f"dispatch {row['dispatch_overhead_us']:>7.1f}us  "
+                    f"pipe {row['pipe_bytes_per_batch']:>8.1f}B/batch  "
+                    f"errors {row['errors']}  restarts {row['restarts']}"
+                )
     return result
 
 
@@ -135,16 +169,19 @@ def format_result(result: dict) -> str:
         f"queries={result['queries']}  cpu_count={result['cpu_count']}  "
         f"snapshot={result['snapshot_bytes']}B",
         f"{'backend':>12} {'qps':>10} {'p50 us':>9} {'p99 us':>9} "
-        f"{'speedup':>8}",
+        f"{'speedup':>8} {'dispatch us':>12} {'pipe B/batch':>13}",
         f"{'sequential':>12} {result['sequential']['qps']:>10.1f} "
         f"{result['sequential']['p50_us']:>9.1f} "
-        f"{result['sequential']['p99_us']:>9.1f} {'1.00':>8}",
+        f"{result['sequential']['p99_us']:>9.1f} {'1.00':>8} "
+        f"{'-':>12} {'-':>13}",
     ]
-    for workers, row in result["workers"].items():
+    for backend, row in result["workers"].items():
         lines.append(
-            f"{workers + ' wkr':>12} {row['qps']:>10.1f} "
+            f"{backend:>12} {row['qps']:>10.1f} "
             f"{row['p50_us']:>9.1f} {row['p99_us']:>9.1f} "
-            f"{row['speedup_vs_sequential']:>8.2f}"
+            f"{row['speedup_vs_sequential']:>8.2f} "
+            f"{row['dispatch_overhead_us']:>12.1f} "
+            f"{row['pipe_bytes_per_batch']:>13.1f}"
         )
     return "\n".join(lines)
 
@@ -173,8 +210,17 @@ def main() -> None:
 # ----------------------------------------------------------------------
 def test_throughput_smoke():
     result = run(smoke=True)
-    assert result["workers"]["2"]["queries"] == result["queries"]
-    assert result["workers"]["2"]["qps"] > 0.0
+    for plane in RESULT_PLANES:
+        row = result["workers"][f"2w-{plane}"]
+        assert row["queries"] == result["queries"]
+        assert row["qps"] > 0.0
+        assert row["result_plane"] == plane
+        assert row["pipe_bytes_per_batch"] > 0.0
+    # The whole point of the shm plane: answers stop crossing the pipe.
+    assert (
+        result["workers"]["2w-shm"]["pipe_bytes_per_batch"]
+        < result["workers"]["2w-pipe"]["pipe_bytes_per_batch"]
+    )
 
 
 if __name__ == "__main__":

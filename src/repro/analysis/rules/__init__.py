@@ -23,7 +23,7 @@ from repro.analysis.findings import Finding
 from repro.analysis.inference import ScopeEnv, build_envs, enclosing_env
 
 #: Catalogue version stamped into BENCH_*.json entries.
-RULE_CATALOGUE_VERSION = "1.0"
+RULE_CATALOGUE_VERSION = "1.1"
 
 
 @dataclass
@@ -90,6 +90,7 @@ def _registry() -> tuple[type[Rule], ...]:
     from repro.analysis.rules.floats import (
         FloatLiteralEqualityRule,
         NanSentinelComparisonRule,
+        SelfComparisonNanRule,
     )
     from repro.analysis.rules.mp_safety import (
         MutableGlobalWriteRule,
@@ -110,6 +111,7 @@ def _registry() -> tuple[type[Rule], ...]:
         MutableGlobalWriteRule,
         NanSentinelComparisonRule,
         FloatLiteralEqualityRule,
+        SelfComparisonNanRule,
         BareExceptRule,
         SwallowedBroadExceptRule,
         SilentWorkerHandlerRule,

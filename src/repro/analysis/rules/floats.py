@@ -5,16 +5,22 @@ Protocol v2 encodes a failed query's answer as NaN
 everything *including itself*, so ``answer == QUERY_ERROR`` is always
 ``False`` — code that looks like an error check and never fires.  The
 only correct tests are ``math.isnan`` or the sparse error list that
-travels beside the answers.  Distances are sums of float edge weights;
-comparing them to non-integral literals with ``==`` is the classic
-representability trap (``0.1 + 0.2 != 0.3``).  Infinity is exempt:
-``float("inf")`` is exact and the codebase uses ``INFINITY`` equality
-as the canonical unreachability test.
+travels beside the answers.  The batched kernel moved the sentinel
+into NumPy arrays, where the same bug wears two more disguises:
+``np.equal(arr, np.nan)`` (the call form of the constant-False
+comparison) and the ``x != x`` self-comparison idiom — semantically a
+NaN test, but elementwise sentinel checks in this codebase must spell
+it ``np.isnan`` so intent survives review.  Distances are sums of
+float edge weights; comparing them to non-integral literals with
+``==`` is the classic representability trap (``0.1 + 0.2 != 0.3``).
+Infinity is exempt: ``float("inf")`` is exact and the codebase uses
+``INFINITY`` equality as the canonical unreachability test.
 """
 
 from __future__ import annotations
 
 import ast
+import math
 
 from repro.analysis.rules import Rule
 
@@ -87,6 +93,22 @@ class NanSentinelComparisonRule(Rule):
                 break
         self.generic_visit(node)
 
+    def visit_Call(self, node: ast.Call) -> None:
+        # The call forms of the same constant comparison:
+        # ``np.equal(x, np.nan)`` / ``np.not_equal(x, QUERY_ERROR)``.
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in {"equal", "not_equal"}
+            and any(_is_nan_expr(arg) for arg in node.args)
+        ):
+            self.report(
+                node,
+                "elementwise comparison against NaN is constant — "
+                "use np.isnan(...)",
+            )
+        self.generic_visit(node)
+
 
 class FloatLiteralEqualityRule(Rule):
     """DSO302: ``==``/``!=`` against a non-integral float literal.
@@ -111,7 +133,7 @@ class FloatLiteralEqualityRule(Rule):
         return (
             isinstance(node, ast.Constant)
             and isinstance(node.value, float)
-            and node.value == node.value  # not NaN (that's DSO301)
+            and not math.isnan(node.value)  # NaN literals are DSO301's
             and node.value not in (float("inf"), float("-inf"))
             and node.value != int(node.value)
         )
@@ -130,6 +152,55 @@ class FloatLiteralEqualityRule(Rule):
                     node,
                     "exact equality with a fractional float literal; "
                     "use math.isclose(...) for computed values",
+                )
+                break
+        self.generic_visit(node)
+
+
+class SelfComparisonNanRule(Rule):
+    """DSO303: ``x == x`` / ``x != x`` — the NaN test in disguise.
+
+    Self-comparison is the folklore NaN check (``x != x`` is ``True``
+    exactly when ``x`` is NaN), and on a NumPy array it silently
+    builds an elementwise NaN mask.  Both spellings hide intent and
+    read as typos; sentinel handling in this codebase must use
+    ``math.isnan`` / ``np.isnan``.  Only side-effect-free operands
+    (names, attribute and subscript chains) are flagged — a repeated
+    call could legitimately differ between evaluations.
+    """
+
+    rule_id = "DSO303"
+    severity = "error"
+    summary = "x == x / x != x self-comparison (use math.isnan/np.isnan)"
+
+    _PURE_NODES = (
+        ast.Name,
+        ast.Attribute,
+        ast.Subscript,
+        ast.Constant,
+        ast.Tuple,
+        ast.Slice,
+        ast.expr_context,
+    )
+
+    @classmethod
+    def _is_pure(cls, node: ast.expr) -> bool:
+        return all(
+            isinstance(sub, cls._PURE_NODES) for sub in ast.walk(node)
+        )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if not (self._is_pure(left) and self._is_pure(right)):
+                continue
+            if ast.dump(left) == ast.dump(right):
+                self.report(
+                    node,
+                    "self-comparison is a hidden NaN test; spell it "
+                    "math.isnan(...) / np.isnan(...)",
                 )
                 break
         self.generic_visit(node)

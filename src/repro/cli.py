@@ -230,6 +230,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--chunk-size", type=int, default=None, help="queries per dispatch"
     )
+    serve.add_argument(
+        "--result-plane",
+        choices=("shm", "pipe"),
+        default=None,
+        help="result channel: shm ring or pipe pickle "
+        "(default: DSO_RESULT_PLANE env, else shm)",
+    )
 
     return parser
 
@@ -434,13 +441,17 @@ def _run_serve_bench(args) -> int:
 
     print(f"snapshot  : {args.snapshot_file} ({oracle.name})")
     print(f"queries   : {len(queries)}  (seed {args.seed})")
-    print(f"{'workers':>8} {'qps':>10} {'p50 us':>9} {'p99 us':>9} "
-          f"{'speedup':>8} {'errors':>7} {'restarts':>9}")
-    print(f"{'seq':>8} {base_qps:>10.1f} {'-':>9} {'-':>9} {1.0:>8.2f} "
-          f"{'-':>7} {'-':>9}")
+    print(f"{'workers':>8} {'plane':>6} {'qps':>10} {'p50 us':>9} "
+          f"{'p99 us':>9} {'speedup':>8} {'dispatch us':>12} "
+          f"{'pipe B/batch':>13} {'errors':>7} {'restarts':>9}")
+    print(f"{'seq':>8} {'-':>6} {base_qps:>10.1f} {'-':>9} {'-':>9} "
+          f"{1.0:>8.2f} {'-':>12} {'-':>13} {'-':>7} {'-':>9}")
     for workers in worker_counts:
         with QueryService(
-            args.snapshot_file, workers=workers, chunk_size=args.chunk_size
+            args.snapshot_file,
+            workers=workers,
+            chunk_size=args.chunk_size,
+            result_plane=args.result_plane,
         ) as service:
             report = service.run(queries)
         # Errored queries answer NaN by design; parity holds on the rest.
@@ -457,10 +468,13 @@ def _run_serve_bench(args) -> int:
                 f"sequential baseline at positions {diverged[:5]}"
             )
         print(
-            f"{workers:>8} {report.queries_per_second:>10.1f} "
+            f"{workers:>8} {report.result_plane:>6} "
+            f"{report.queries_per_second:>10.1f} "
             f"{1e6 * report.p50_seconds:>9.1f} "
             f"{1e6 * report.p99_seconds:>9.1f} "
             f"{report.queries_per_second / base_qps:>8.2f} "
+            f"{report.dispatch_overhead_us:>12.1f} "
+            f"{report.pipe_bytes_per_batch:>13.1f} "
             f"{report.error_count:>7} {report.restarts:>9}"
         )
         for position in report.error_indices[:5]:

@@ -16,6 +16,14 @@ oracle and answers any number of ``(s, t)`` queries against it.  It
 never writes to the oracle's shared index (the memo is view-local), so
 views for different failure states can coexist and run concurrently —
 stall avoidance carries over.
+
+:func:`query_many` is the general batched entry point for *per-query*
+failure sets: on a frozen DISO/DISO-S engine it routes whole batches
+through the vectorized overlay kernel
+(:mod:`repro.oracle.batch_kernel`) with bitwise-identical answers; on
+every other oracle (including frozen ADISO, whose merged A* search is
+float-association-order dependent and therefore not batchable without
+changing answers) it degrades to the scalar loop.
 """
 
 from __future__ import annotations
@@ -32,6 +40,38 @@ from repro.oracle.base import (
 )
 from repro.oracle.diso import DISO
 from repro.pathing.bounded import bounded_dijkstra
+from repro.workload.queries import Query
+
+
+def as_query_triple(query) -> tuple[int, int, frozenset | None]:
+    """Normalize a :class:`Query` / ``(s, t, failed)`` triple."""
+    if isinstance(query, Query):
+        return (query.source, query.target, query.failed or None)
+    source, target, failed = query
+    return (source, target, failed or None)
+
+
+def query_many(oracle, queries) -> list[float]:
+    """Answer a batch of queries on ``oracle``; scalar-loop semantics.
+
+    The batched fast path (the frozen engines' ``query_many``) is used
+    when the oracle provides one; otherwise this is exactly the scalar
+    loop.  Either way answers are bitwise identical to
+    ``[oracle.query(s, t, F) for ...]`` and the first invalid query
+    raises just as the loop would.
+    """
+    batched = getattr(oracle, "query_many", None)
+    if callable(batched):
+        return batched(queries)
+    answers: list[float] = []
+    for query in queries:
+        source, target, failed = as_query_triple(query)
+        answers.append(
+            oracle.query(
+                source, target, frozenset(failed) if failed else None
+            )
+        )
+    return answers
 
 
 class FailureStateView:

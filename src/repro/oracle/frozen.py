@@ -147,6 +147,125 @@ class FrozenDISO(DistanceSensitivityOracle):
         return arenas
 
     # ------------------------------------------------------------------
+    # Batched queries
+    # ------------------------------------------------------------------
+    #: Whether the vectorized overlay kernel may serve this engine's
+    #: batches.  ``FrozenADISO`` opts out: the merged A* search's float
+    #: association order is query-state dependent, so a batched
+    #: Bellman-Ford overlay cannot reproduce its answers bitwise
+    #: (measured 1-2 ulp divergence on ~20% of road queries).
+    _batched_overlay = True
+
+    def _batch_kernel(self):
+        """This engine's (lazily built, cached) vectorized kernel.
+
+        ``None`` when the engine opted out or NumPy is unavailable —
+        callers fall back to the scalar loop either way.
+        """
+        if not self._batched_overlay:
+            return None
+        kernel = getattr(self, "_kernel_cache", None)
+        if kernel is None:
+            from repro.oracle.batch_kernel import HAVE_NUMPY, DisoBatchKernel
+
+            if not HAVE_NUMPY:
+                return None
+            kernel = DisoBatchKernel(self.frozen, self.index)
+            self._kernel_cache = kernel
+        return kernel
+
+    def query_many(self, queries) -> list[float]:
+        """Answer a batch of queries; same answers as the scalar loop.
+
+        ``queries`` holds :class:`~repro.workload.queries.Query`
+        objects or ``(source, target, failed)`` triples.  Answers are
+        **bitwise identical** to ``[self.query(...) for ...]``
+        (property-tested): DISO/DISO-S batches run the vectorized
+        overlay kernel (:mod:`repro.oracle.batch_kernel`), ADISO
+        batches and NumPy-less environments take the scalar loop.  An
+        invalid query raises exactly what the scalar loop would raise
+        at its position; use :meth:`answer_many` for the per-query
+        sentinel form instead.
+        """
+        answers, failures = self._answer_many(queries)
+        if failures:
+            raise failures[0][1]
+        return answers
+
+    def answer_many(
+        self, queries
+    ) -> tuple[list[float], list[tuple[int, str]]]:
+        """Batch answers with per-query error capture (serving form).
+
+        Mirrors the worker's per-query error channel: a query that
+        would raise contributes NaN at its position plus a
+        ``(position, "ExcType: message")`` entry, and its neighbours
+        are answered normally.
+        """
+        answers, failures = self._answer_many(queries)
+        return answers, [
+            (position, f"{type(exc).__name__}: {exc}")
+            for position, exc in failures
+        ]
+
+    def _answer_many(self, queries):
+        from repro.oracle.batch import as_query_triple
+        from repro.oracle.batch_kernel import DEFAULT_BLOCK
+
+        triples = [as_query_triple(query) for query in queries]
+        answers: list[float] = [float("nan")] * len(triples)
+        failures: list[tuple[int, Exception]] = []
+        kernel = self._batch_kernel()
+        if kernel is None:
+            for position, (source, target, failed) in enumerate(triples):
+                try:
+                    answers[position] = self.query(
+                        source, target,
+                        frozenset(failed) if failed else None,
+                    )
+                except Exception as exc:
+                    failures.append((position, exc))
+            return answers, failures
+
+        frozen = self.frozen
+        index_of = frozen.index_of
+        prepared: list[tuple[int, int, frozenset[int]]] = []
+        slots: list[tuple[int, int, int, frozenset]] = []
+        for position, (source, target, failed) in enumerate(triples):
+            try:
+                self._validate_endpoints(source, target)
+                fail_set = normalize_failures(
+                    frozenset(failed) if failed else None
+                )
+            except Exception as exc:
+                failures.append((position, exc))
+                continue
+            if source == target:
+                answers[position] = 0.0
+                continue
+            failed_ids = (
+                frozen.edge_ids(fail_set) if fail_set else frozenset()
+            )
+            prepared.append((index_of[source], index_of[target], failed_ids))
+            slots.append((position, source, target, fail_set))
+        arenas = self._arenas()
+        for start in range(0, len(prepared), DEFAULT_BLOCK):
+            block = prepared[start : start + DEFAULT_BLOCK]
+            best = kernel.run(block, arenas.forward, arenas.backward)
+            for offset, value in enumerate(best):
+                position, source, target, fail_set = slots[start + offset]
+                if value == INFINITY and self._fallback is not None:
+                    # Same DISO-S safety net as the scalar path: answer
+                    # exactly on the original graph.
+                    fallback_ids = self._fallback.edge_ids(fail_set)
+                    value = csr_distance(
+                        self._fallback, source, target, fallback_ids,
+                        arenas.search,
+                    )
+                answers[position] = float(value)
+        return answers, failures
+
+    # ------------------------------------------------------------------
     # Query
     # ------------------------------------------------------------------
     def query_detailed(
@@ -351,6 +470,13 @@ class FrozenADISO(FrozenDISO):
     ``d_o`` / ``cost`` lanes, and affected transit nodes relax raw graph
     edges exactly as in the dict engine (improved lazy recomputation).
     """
+
+    #: The merged A* search's float association order depends on the
+    #: query state (seed-vs-overlay arrival order decides which partial
+    #: sums get added first), so the batched Bellman-Ford overlay
+    #: kernel cannot match its answers bitwise — ADISO/ADISO-P batches
+    #: keep the scalar per-query path (see ``_batched_overlay`` docs).
+    _batched_overlay = False
 
     def __init__(self, oracle) -> None:
         super().__init__(oracle)

@@ -307,6 +307,7 @@ class FrozenIndex:
         failed_edge_ids: frozenset[int] | set[int],
         base: float = 0.0,
         limit: float = INFINITY,
+        hits: list[int] | None = None,
     ) -> dict[int, float] | None:
         """Repaired overlay out-edge weights of ``rank`` under failures.
 
@@ -333,14 +334,20 @@ class FrozenIndex:
         use keeps exactly the value an unbounded repair would compute;
         dropped heads read ``INFINITY``, which the caller would have
         discarded against the incumbent anyway.
+
+        ``hits`` lets a caller that already mapped the failures to tree
+        positions (the batch kernel does, for its no-op precheck) skip
+        the second lookup; it must equal the positions this method
+        would derive itself.
         """
         tree = self.trees[rank]
         edge_pos = tree.edge_pos
-        hits = [  # dsolint: disable=DSO101 -- consumed solely through sorted(hits) below
-            edge_pos[edge_id]
-            for edge_id in failed_edge_ids
-            if edge_id in edge_pos
-        ]
+        if hits is None:
+            hits = [  # dsolint: disable=DSO101 -- consumed solely through sorted(hits) below
+                edge_pos[edge_id]
+                for edge_id in failed_edge_ids
+                if edge_id in edge_pos
+            ]
         if not hits:
             return None
         order = tree.order

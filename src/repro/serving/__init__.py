@@ -16,6 +16,7 @@ from repro.serving.faults import (
     FaultSpec,
     InjectedFault,
 )
+from repro.serving.ring import ResultRing
 from repro.serving.service import QueryService, ServeReport, WorkerStats
 from repro.serving.worker import QUERY_ERROR, worker_main
 
@@ -23,6 +24,7 @@ __all__ = [
     "QueryService",
     "ServeReport",
     "WorkerStats",
+    "ResultRing",
     "worker_main",
     "QUERY_ERROR",
     "FaultPlan",

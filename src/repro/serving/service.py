@@ -27,24 +27,43 @@ per-run:
   pong (alive, but a result was lost) its chunks are re-sent; if it
   stays silent past ``ping_timeout`` (hung or wedged) it is replaced.
 
+Result planes (v3, spec in DESIGN.md §11): by default answers travel
+through a per-run :class:`~repro.serving.ring.ResultRing` — a
+preallocated ``multiprocessing.shared_memory`` float64 ring with one
+slot per chunk — and the pipe carries only small epoch-tagged
+completion records, so the dispatcher stops paying pickle cost
+proportional to the answer volume.  ``result_plane="pipe"`` (or env
+``DSO_RESULT_PLANE=pipe``) restores the v2 all-pipe channel for
+platforms without usable shared memory; both planes produce identical
+reports, and the shm plane additionally falls back per-run (ring
+creation failure) and per-batch (worker-side attach/write failure)
+without losing answers.
+
 The dispatcher itself never loads the oracle: the only artifacts it
-touches are the snapshot path (a string) and the query/answer tuples on
-the pipes.
+touches are the snapshot path (a string), the query/answer tuples on
+the pipes, and the float lanes of the result ring.
 """
 
 from __future__ import annotations
 
 import math
 import multiprocessing
+import os
+import pickle
 import time
+from array import array
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
 from pathlib import Path
 from collections.abc import Sequence
 
 from repro.oracle.parallel import latency_percentile
+from repro.serving.ring import ResultRing
 from repro.serving.worker import worker_main
 from repro.workload.queries import Query
+
+#: Recognised ``result_plane`` values.
+RESULT_PLANES = ("shm", "pipe")
 
 #: Seconds to wait for a freshly spawned worker to map the snapshot.
 _READY_TIMEOUT = 60.0
@@ -86,6 +105,22 @@ class ServeReport:
     #: Per-query error messages, aligned with ``answers``; ``None`` for
     #: a query that succeeded.  An errored query's answer is NaN.
     errors: list[str | None] = field(default_factory=list)
+    #: Result plane the run actually used (``"shm"`` may degrade to
+    #: ``"pipe"`` when no usable shared memory exists).
+    result_plane: str = "pipe"
+    #: Dispatcher-side seconds spent decoding results per accepted
+    #: batch: unpickling the pipe payload plus, on the shm plane, the
+    #: stamped memcpy out of the ring (``read_into``); the end-of-run
+    #: bulk boxing of the typed buffers is epilogue, not per-batch
+    #: work.  The OS wait for the raw bytes is excluded — on a
+    #: one-core box it is scheduler noise an order of magnitude above
+    #: the plane cost being compared.
+    dispatch_seconds: float = 0.0
+    #: Result-channel bytes that crossed the pipe (pickled result or
+    #: completion messages), summed over accepted batches.
+    pipe_bytes: int = 0
+    #: Accepted result batches (denominator for the per-batch rates).
+    result_batches: int = 0
 
     @property
     def queries_per_second(self) -> float:
@@ -125,6 +160,20 @@ class ServeReport:
             "ok" if message is None else "error" for message in self.errors
         ]
 
+    @property
+    def dispatch_overhead_us(self) -> float:
+        """Mean dispatcher-side microseconds per accepted result batch."""
+        if self.result_batches == 0:
+            return 0.0
+        return 1e6 * self.dispatch_seconds / self.result_batches
+
+    @property
+    def pipe_bytes_per_batch(self) -> float:
+        """Mean result-channel pipe bytes per accepted batch."""
+        if self.result_batches == 0:
+            return 0.0
+        return self.pipe_bytes / self.result_batches
+
     def summary(self) -> dict:
         """The comparison row shared with ``ThroughputReport``."""
         return {
@@ -135,6 +184,9 @@ class ServeReport:
             "p99_us": round(1e6 * self.p99_seconds, 3),
             "restarts": self.restarts,
             "errors": self.error_count,
+            "result_plane": self.result_plane,
+            "dispatch_overhead_us": round(self.dispatch_overhead_us, 3),
+            "pipe_bytes_per_batch": round(self.pipe_bytes_per_batch, 1),
         }
 
 
@@ -198,6 +250,13 @@ class QueryService:
         Optional :class:`repro.serving.faults.FaultPlan` shipped to
         every spawned worker — the deterministic fault-injection rig
         used by the test suite.  Leave ``None`` in production.
+    result_plane:
+        ``"shm"`` (default) ships answers through a per-run
+        shared-memory :class:`~repro.serving.ring.ResultRing`;
+        ``"pipe"`` keeps the protocol-v2 all-pipe result channel for
+        platforms without usable shared memory.  ``None`` reads the
+        ``DSO_RESULT_PLANE`` environment variable, falling back to
+        ``"shm"``.  Answers are identical either way.
 
     Examples
     --------
@@ -224,11 +283,24 @@ class QueryService:
         batch_timeout: float = 30.0,
         ping_timeout: float = 5.0,
         fault_plan=None,
+        result_plane: str | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if batch_timeout <= 0 or ping_timeout <= 0:
             raise ValueError("batch_timeout and ping_timeout must be > 0")
+        if result_plane is None:
+            result_plane = os.environ.get("DSO_RESULT_PLANE") or "shm"
+        if result_plane not in RESULT_PLANES:
+            raise ValueError(
+                f"result_plane must be one of {RESULT_PLANES}, "
+                f"got {result_plane!r}"
+            )
+        self.result_plane = result_plane
+        #: The current run's ring; ``None`` between runs / on the pipe
+        #: plane.  Replacement/resend paths read it to rebuild batch
+        #: messages mid-run.
+        self._ring: ResultRing | None = None
         self.snapshot_path = str(snapshot_path)
         self.workers = workers
         self.chunk_size = chunk_size
@@ -336,7 +408,7 @@ class QueryService:
         replacement = self._spawn(handle.index)
         for batch_id, (start, chunk) in handle.outstanding.items():
             replacement.outstanding[batch_id] = (start, chunk)
-            replacement.conn.send(("batch", batch_id, chunk))
+            replacement.conn.send(self._batch_message(batch_id, chunk))
         replacement.last_progress = time.perf_counter()
         self._pool[handle.index] = replacement
         return replacement
@@ -397,8 +469,6 @@ class QueryService:
         epoch = self._epoch
         wire = [_wire_query(query) for query in queries]
         total = len(wire)
-        answers: list[float] = [float("nan")] * total
-        latencies: list[float] = [0.0] * total
         errors: list[str | None] = [None] * total
         stats = [
             WorkerStats(
@@ -408,13 +478,45 @@ class QueryService:
             )
             for handle in self._pool
         ]
+        size = chunk_size or self.chunk_size
+        if size is None:
+            size = max(1, math.ceil(total / (self.workers * 4))) if total else 1
+        ring: ResultRing | None = None
+        if total and self.result_plane == "shm":
+            try:
+                ring = ResultRing.create(math.ceil(total / size), size)
+            except (OSError, ValueError):
+                ring = None  # no usable shared memory: pipe fallback
+        if ring is not None:
+            # Typed result buffers: per-batch harvesting memcpys ring
+            # lanes straight into these (ring.read_into) and the floats
+            # are boxed once, in bulk, after the collect loop — the
+            # pipe plane has no such option (every payload must be
+            # unpickled on arrival), which is exactly the per-batch
+            # dispatch overhead the shm plane exists to shed.
+            answer_buf = array("d", [float("nan")]) * total
+            latency_buf = array("d", [0.0]) * total
+            sink = (memoryview(answer_buf), memoryview(latency_buf))
+            answers: list[float] = []
+            latencies: list[float] = []
+        else:
+            answer_buf = latency_buf = sink = None
+            answers = [float("nan")] * total
+            latencies = [0.0] * total
+        metrics = {
+            "dispatch_seconds": 0.0, "pipe_bytes": 0, "result_batches": 0,
+        }
+        self._ring = ring
         started = time.perf_counter()
         try:
             if total:
                 self._dispatch_epoch(
-                    epoch, wire, total, chunk_size, answers, latencies,
-                    errors, stats,
+                    epoch, wire, total, size, answers, latencies,
+                    errors, stats, metrics, sink,
                 )
+            if ring is not None:
+                answers[:] = answer_buf.tolist()
+                latencies[:] = latency_buf.tolist()
         except BaseException:
             # Leave the pool consistent: forget every in-flight chunk.
             # The epoch fence makes any late results for them inert.
@@ -422,6 +524,14 @@ class QueryService:
                 handle.outstanding.clear()
                 handle.ping_sent_at = None
             raise
+        finally:
+            # The ring lives exactly one run: unlink it even on abort so
+            # no segment can leak.  A straggling worker that still maps
+            # the old segment only delays the kernel freeing the pages;
+            # the name is gone and the next run gets a fresh ring.
+            self._ring = None
+            if ring is not None:
+                ring.destroy()
         wall = time.perf_counter() - started
         return ServeReport(
             answers=answers,
@@ -431,16 +541,23 @@ class QueryService:
             per_worker=stats,
             restarts=sum(s.restarts for s in stats),
             errors=errors,
+            result_plane="shm" if ring is not None else "pipe",
+            dispatch_seconds=metrics["dispatch_seconds"],
+            pipe_bytes=metrics["pipe_bytes"],
+            result_batches=metrics["result_batches"],
         )
 
+    def _batch_message(self, batch_id, chunk) -> tuple:
+        """The wire form of one chunk, carrying the run's ring spec."""
+        if self._ring is None:
+            return ("batch", batch_id, chunk)
+        return ("batch", batch_id, chunk, self._ring.spec())
+
     def _dispatch_epoch(
-        self, epoch, wire, total, chunk_size, answers, latencies, errors,
-        stats,
+        self, epoch, wire, total, size, answers, latencies, errors,
+        stats, metrics, sink=None,
     ) -> None:
         """Deal chunks for one epoch and collect until none are pending."""
-        size = chunk_size or self.chunk_size
-        if size is None:
-            size = max(1, math.ceil(total / (self.workers * 4)))
         pending: dict[tuple[int, int], int] = {}  # batch id -> worker slot
         restarts_this_run = 0
         seq = 0
@@ -452,7 +569,7 @@ class QueryService:
             handle.outstanding[batch_id] = (start, chunk)
             pending[batch_id] = slot
             try:
-                handle.conn.send(("batch", batch_id, chunk))
+                handle.conn.send(self._batch_message(batch_id, chunk))
             except (BrokenPipeError, OSError):
                 restarts_this_run += self._check_restart_budget(
                     restarts_this_run
@@ -475,13 +592,18 @@ class QueryService:
                 if handle is not self._pool[handle.index]:
                     continue  # replaced earlier in this ready sweep
                 try:
-                    message = conn.recv()
+                    # Raw bytes first: the OS wait stays *outside* the
+                    # dispatch-overhead window, which times only the
+                    # result-plane work (unpickle + ring memcpy/splice).
+                    payload_bytes = conn.recv_bytes()
                 except (EOFError, OSError):
                     restarts_this_run += self._check_restart_budget(
                         restarts_this_run
                     )
                     self._replace_and_requeue(handle, pending, stats)
                     continue
+                tick = time.perf_counter()
+                message = pickle.loads(payload_bytes)
                 kind = message[0]
                 if kind == "error":
                     raise RuntimeError(
@@ -494,29 +616,64 @@ class QueryService:
                     handle.ping_sent_at = None
                     handle.last_progress = now
                     continue
-                if kind != "result":
+                if kind not in ("result", "result_shm"):
                     continue
                 batch_id = message[1]
+                # The epoch fence comes before any ring read: a stale
+                # completion (deferred from an aborted run) never even
+                # touches the current ring, and whatever the stale
+                # worker wrote went to the *previous* run's ring, which
+                # is already unlinked.
                 if batch_id[0] != epoch:
                     continue  # stale epoch (aborted past run): drop
                 if batch_id not in handle.outstanding:
                     continue  # duplicate after a re-send: drop
-                _, _, _, chunk_answers, chunk_latencies, busy, chunk_errors \
-                    = message
-                start, _chunk = handle.outstanding.pop(batch_id)
+                start, chunk = handle.outstanding[batch_id]
+                count = len(chunk)
+                if kind == "result_shm":
+                    busy = None
+                    if self._ring is not None:
+                        busy = self._ring.read_into(
+                            batch_id[1], epoch, batch_id[1], count,
+                            sink[0], sink[1], start,
+                        )
+                    if busy is None:
+                        # Bad or missing stamp: the answers never landed
+                        # (worker died mid-write, or a completion
+                        # arrived without a usable ring).  Treat the
+                        # result as lost — the deadline path re-sends.
+                        continue
+                    chunk_errors = message[4]
+                else:
+                    _, _, _, chunk_answers, chunk_latencies, busy, \
+                        chunk_errors = message
+                    count = len(chunk_answers)
+                    if sink is not None:
+                        # Worker-side pipe fallback inside an shm run:
+                        # land the lists in the typed buffers so the
+                        # end-of-run bulk boxing stays uniform.
+                        sink[0][start : start + count] = array(
+                            "d", chunk_answers
+                        )
+                        sink[1][start : start + count] = array(
+                            "d", chunk_latencies
+                        )
+                    else:
+                        answers[start : start + count] = chunk_answers
+                        latencies[start : start + count] = chunk_latencies
+                handle.outstanding.pop(batch_id)
                 pending.pop(batch_id, None)
                 handle.last_progress = now
                 handle.ping_sent_at = None
-                answers[start : start + len(chunk_answers)] = chunk_answers
-                latencies[start : start + len(chunk_latencies)] = (
-                    chunk_latencies
-                )
                 for position, message_text in chunk_errors:
                     errors[start + position] = message_text
                 slot_stats = stats[handle.index]
-                slot_stats.queries += len(chunk_answers)
+                slot_stats.queries += count
                 slot_stats.batches += 1
                 slot_stats.busy_seconds += busy
+                metrics["dispatch_seconds"] += time.perf_counter() - tick
+                metrics["pipe_bytes"] += len(payload_bytes)
+                metrics["result_batches"] += 1
 
             # Health sweep: silent deaths, deadlines, unanswered pings.
             for handle in list(self._pool):
@@ -548,7 +705,7 @@ class QueryService:
     def _resend_outstanding(self, handle: _WorkerHandle) -> None:
         """Re-send a responsive worker's outstanding chunks (lost results)."""
         for batch_id, (start, chunk) in handle.outstanding.items():
-            handle.conn.send(("batch", batch_id, chunk))
+            handle.conn.send(self._batch_message(batch_id, chunk))
         handle.last_progress = time.perf_counter()
 
     def _replace_and_requeue(

@@ -9,18 +9,29 @@ tuples and answers as float lists — the index itself never crosses the
 pipe.
 
 Message protocol v2 (tuples, first element is the kind; the full
-specification lives in DESIGN.md §8):
+specification lives in DESIGN.md §8, the shared-memory result plane in
+§11):
 
-``("batch", batch_id, queries)``
+``("batch", batch_id, queries[, ring_spec])``
     ``batch_id`` is an ``(epoch, seq)`` pair stamped by the dispatcher;
-    the worker treats it as opaque and echoes it back.  Answer
-    ``queries`` (a list of ``(s, t, failed)`` with ``failed`` a tuple
-    of edge pairs or ``None``); reply ``("result", batch_id, worker_id,
-    answers, latencies, busy_seconds, errors)``.  A query that raises
-    does **not** kill the worker: its answer slot carries the
-    :data:`QUERY_ERROR` sentinel (NaN) and ``errors`` lists
-    ``(position, "ExcType: message")`` for every failed position —
-    the per-query error channel.
+    the worker treats ``epoch`` as opaque and echoes the id back.
+    Answer ``queries`` (a list of ``(s, t, failed)`` with ``failed`` a
+    tuple of edge pairs or ``None``).  When ``ring_spec`` is absent or
+    ``None`` (the ``"pipe"`` result plane), reply ``("result",
+    batch_id, worker_id, answers, latencies, busy_seconds, errors)``.
+    When ``ring_spec`` is a :meth:`~repro.serving.ring.ResultRing.spec`
+    triple (the default ``"shm"`` plane), write ``answers`` and
+    ``latencies`` into ring slot ``seq`` — stamped with ``(epoch, seq,
+    count)`` so the dispatcher can fence stale writes — and reply only
+    the completion record ``("result_shm", batch_id, worker_id,
+    busy_seconds, errors)``; if the ring cannot be attached or written
+    (platform without ``/dev/shm``, ring already gone) the worker falls
+    back to the full ``("result", ...)`` reply for that batch.  Either
+    way a query that raises does **not** kill the worker: its answer
+    slot carries the :data:`QUERY_ERROR` sentinel (NaN, which travels
+    the float plane unchanged) and ``errors`` lists ``(position,
+    "ExcType: message")`` for every failed position — the per-query
+    error channel.
 ``("ping",)``
     Reply ``("pong", worker_id)`` — liveness probe.  A worker blocked
     inside a query (hung or genuinely slow past the dispatcher's
@@ -122,12 +133,14 @@ def worker_main(
             },
         )
     )
+    ring = None
     try:
         while True:
             message = conn.recv()
             kind = message[0]
             if kind == "batch":
-                _, batch_id, queries = message
+                batch_id, queries = message[1], message[2]
+                ring_spec = message[3] if len(message) > 3 else None
                 if injector is not None:
                     injector.on_batch(conn, batch_id)
                 tick = time.perf_counter()
@@ -135,15 +148,28 @@ def worker_main(
                     oracle, queries, injector
                 )
                 busy = time.perf_counter() - tick
-                reply = (
-                    "result",
-                    batch_id,
-                    worker_id,
-                    answers,
-                    latencies,
-                    busy,
-                    errors,
-                )
+                ring = _current_ring(ring, ring_spec)
+                reply = None
+                if ring_spec is not None and ring is not None:
+                    epoch, seq = batch_id
+                    try:
+                        ring.write(seq, epoch, seq, answers, latencies, busy)
+                    except Exception:  # dsolint: disable=DSO402 -- ring write failure falls through to the full pipe reply below; nothing is swallowed
+                        reply = None
+                    else:
+                        reply = (
+                            "result_shm", batch_id, worker_id, busy, errors,
+                        )
+                if reply is None:
+                    reply = (
+                        "result",
+                        batch_id,
+                        worker_id,
+                        answers,
+                        latencies,
+                        busy,
+                        errors,
+                    )
                 if injector is not None:
                     reply = injector.outgoing_reply(batch_id, reply)
                 if reply is not None:
@@ -159,4 +185,29 @@ def worker_main(
     except (EOFError, BrokenPipeError, KeyboardInterrupt):  # dsolint: disable=DSO403 -- dispatcher pipe is gone; no channel left to report on
         pass
     finally:
+        if ring is not None:
+            ring.close()
         conn.close()
+
+
+def _current_ring(ring, ring_spec):
+    """Keep the worker mapped to the batch's ring (one live at a time).
+
+    Rings are per-``run()``: when a batch references a new ring name the
+    previous mapping is dropped first.  An attach failure (the run that
+    owned the ring already unlinked it, or the platform has no usable
+    shared memory) returns ``None`` and the caller replies over the
+    pipe instead — the dispatcher accepts either reply kind.
+    """
+    if ring_spec is None:
+        return ring
+    if ring is not None and ring.name == ring_spec[0]:
+        return ring
+    from repro.serving.ring import ResultRing
+
+    if ring is not None:
+        ring.close()
+    try:
+        return ResultRing.attach(ring_spec)
+    except Exception:  # dsolint: disable=DSO402 -- attach failure routes the batch to the pipe fallback, which the dispatcher reports normally
+        return None

@@ -231,6 +231,45 @@ def test_dso301_infinity_equality_is_clean():
     assert ids('unreachable = answer == float("inf")\n') == []
 
 
+def test_dso301_np_equal_call_form():
+    assert "DSO301" in ids(
+        "import numpy as np\nmask = np.equal(answers, np.nan)\n"
+    )
+    assert "DSO301" in ids(
+        "import numpy as np\nmask = np.not_equal(answers, QUERY_ERROR)\n"
+    )
+
+
+def test_dso301_np_isnan_is_clean():
+    assert ids("import numpy as np\nmask = np.isnan(answers)\n") == []
+
+
+# ----------------------------------------------------------------------
+# DSO303 — self-comparison NaN idiom
+# ----------------------------------------------------------------------
+
+def test_dso303_name_self_comparison():
+    assert "DSO303" in ids("poisoned = answer != answer\n")
+
+
+def test_dso303_subscript_self_comparison():
+    assert "DSO303" in ids("mask = answers[low:high] == answers[low:high]\n")
+
+
+def test_dso303_attribute_self_comparison():
+    assert "DSO303" in ids("weird = report.answers != report.answers\n")
+
+
+def test_dso303_distinct_operands_are_clean():
+    assert ids("same = left == right\n") == []
+    assert ids("same = result.dist == dist\n") == []
+
+
+def test_dso303_repeated_calls_are_clean():
+    # A call can legitimately return different values per evaluation.
+    assert ids("flaky = roll() != roll()\n") == []
+
+
 # ----------------------------------------------------------------------
 # DSO302 — fractional float literal equality
 # ----------------------------------------------------------------------

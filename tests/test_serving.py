@@ -136,9 +136,12 @@ class TestQueryService:
             summary = service.run(batch).summary()
         assert set(summary) == {
             "workers", "queries", "qps", "p50_us", "p99_us", "restarts",
-            "errors",
+            "errors", "result_plane", "dispatch_overhead_us",
+            "pipe_bytes_per_batch",
         }
         assert summary["errors"] == 0
+        assert summary["result_plane"] in ("shm", "pipe")
+        assert summary["pipe_bytes_per_batch"] > 0
 
     def test_clean_run_reports_no_errors(self, served):
         _, _, path, batch, _ = served

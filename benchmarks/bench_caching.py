@@ -5,6 +5,18 @@ re-uses the same endpoints across queries.  CachingDISO serves the
 access-node searches from cache whenever the failures stay outside the
 endpoints' bounded regions; this bench quantifies the win over plain
 DISO on exactly that workload.
+
+Standalone usage::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_caching.py
+
+runs the *serving-plane* variant of the same workload: the commuter
+batch (with exact repeats, as real re-asked routes produce) served by
+a process pool at 1/2/4 workers, with and without the dispatcher
+result cache, merged into the repo-root ``BENCH_throughput.json``.
+The pytest-benchmark tests above stay in-process and measure the
+endpoint (bounded-search) cache instead — the two caches compose but
+answer different questions.
 """
 
 from __future__ import annotations
@@ -74,3 +86,116 @@ def test_answers_identical(benchmark):
 
     mismatches = benchmark.pedantic(compare, rounds=1, iterations=1)
     assert mismatches == 0
+
+
+# ----------------------------------------------------------------------
+# Standalone serving-plane row (not collected by pytest-benchmark)
+# ----------------------------------------------------------------------
+WORKER_COUNTS = (1, 2, 4)
+CACHE_SIZE = 1024
+ROUNDS = 3
+#: Each closure variant is asked this many times — the commuter
+#: re-asking the identical route while the same closures are in force.
+REPEATS = 4
+
+
+def run_serving(smoke: bool = False) -> dict:
+    """Serve the commuter workload through the process pool, cached
+    and uncached, at each pool size; return the merged-row payload."""
+    import os
+    import tempfile
+    from pathlib import Path
+
+    from repro.serving import QueryService
+
+    graph, source, target, variants = commuter_workload()
+    if smoke:
+        variants = variants[:6]
+    batch = [
+        (source, target, tuple(sorted(failed)))
+        for failed in variants
+    ] * REPEATS
+    oracle = DISO(graph, tau=4, theta=1.0).freeze()
+    expected_one = [
+        oracle.query(source, target, failed) for failed in variants
+    ]
+    expected = expected_one * REPEATS
+
+    result: dict = {
+        "graph": "NY",
+        "oracle": oracle.name,
+        "workload": "commuter",
+        "queries": len(batch),
+        "unique_keys": len(variants),
+        "cache_size": CACHE_SIZE,
+        "rounds": ROUNDS,
+        "cpu_count": os.cpu_count(),
+        "workers": {},
+    }
+    with tempfile.TemporaryDirectory(prefix="dso-bench-") as tmp:
+        path = Path(tmp) / "oracle.dsosnap"
+        from repro.oracle.snapshot import save_snapshot
+
+        save_snapshot(oracle, path)
+        worker_counts = (2,) if smoke else WORKER_COUNTS
+        for workers in worker_counts:
+            rows = {}
+            for label, knobs in (
+                ("uncached", {}),
+                ("cached", {"cache_size": CACHE_SIZE}),
+            ):
+                reports = []
+                with QueryService(path, workers=workers, **knobs) as svc:
+                    for _ in range(ROUNDS):
+                        report = svc.run(batch)
+                        assert report.answers == expected, (
+                            f"{label} {workers}-worker commuter answers "
+                            f"diverge from the frozen oracle"
+                        )
+                        assert report.error_count == 0
+                        reports.append(report)
+                best = max(reports, key=lambda r: r.queries_per_second)
+                row = best.summary()
+                row["cold_hit_ratio"] = round(
+                    reports[0].cache_hit_ratio, 3
+                )
+                rows[label] = row
+            rows["cached"]["speedup_vs_uncached"] = round(
+                rows["cached"]["qps"] / rows["uncached"]["qps"], 3
+            )
+            result["workers"][f"{workers}w"] = rows
+            print(
+                f"NY commuter {workers} wkr: "
+                f"uncached {rows['uncached']['qps']:>9.1f} qps  "
+                f"cached {rows['cached']['qps']:>11.1f} qps  "
+                f"({rows['cached']['speedup_vs_uncached']:.2f}x, "
+                f"hit ratio {rows['cached']['cache_hit_ratio']:.3f})"
+            )
+    return result
+
+
+def main() -> None:
+    import argparse
+
+    from bench_util import THROUGHPUT_JSON, merge_json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="6 variants, 2 workers only, no files written",
+    )
+    args = parser.parse_args()
+    result = run_serving(smoke=args.smoke)
+    if args.smoke:
+        row = result["workers"]["2w"]
+        assert row["cached"]["cache_hit_ratio"] > 0.0
+        assert row["cached"]["errors"] == 0
+        print("smoke run OK (commuter workload hit the dispatcher cache)")
+        return
+    key = f"{result['oracle']}@{result['graph']}-commuter"
+    path = merge_json({key: result}, THROUGHPUT_JSON)
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

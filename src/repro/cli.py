@@ -237,6 +237,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="result channel: shm ring or pipe pickle "
         "(default: DSO_RESULT_PLANE env, else shm)",
     )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=0,
+        help="dispatcher result-cache capacity (0 disables, the default)",
+    )
+    serve.add_argument(
+        "--hot-pairs",
+        type=int,
+        default=0,
+        help="precompute this many hottest pairs after each run "
+        "(requires --cache-size)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="shed queries beyond this per-run latency budget "
+        "(default: no shedding)",
+    )
+    serve.add_argument(
+        "--workload",
+        choices=("uniform", "zipf"),
+        default="uniform",
+        help="query workload: uniform pairs or zipf-skewed repeated "
+        "pairs (default uniform)",
+    )
 
     return parser
 
@@ -413,7 +440,7 @@ def _run_lint(args) -> int:
 def _run_serve_bench(args) -> int:
     from repro.oracle.snapshot import load_snapshot
     from repro.serving import QueryService
-    from repro.workload.queries import generate_queries
+    from repro.workload.queries import generate_queries, generate_zipf_queries
 
     try:
         worker_counts = [
@@ -428,7 +455,12 @@ def _run_serve_bench(args) -> int:
         raise SystemExit("error: --workers needs at least one value >= 1")
 
     oracle = load_snapshot(args.snapshot_file)
-    queries = generate_queries(oracle.graph, args.queries, seed=args.seed)
+    if args.workload == "zipf":
+        queries = generate_zipf_queries(
+            oracle.graph, args.queries, seed=args.seed
+        )
+    else:
+        queries = generate_queries(oracle.graph, args.queries, seed=args.seed)
 
     import time
 
@@ -440,27 +472,42 @@ def _run_serve_bench(args) -> int:
     base_qps = len(queries) / base_wall if base_wall > 0 else float("inf")
 
     print(f"snapshot  : {args.snapshot_file} ({oracle.name})")
-    print(f"queries   : {len(queries)}  (seed {args.seed})")
+    print(
+        f"queries   : {len(queries)}  "
+        f"(seed {args.seed}, {args.workload} workload)"
+    )
+    if args.cache_size:
+        hot = f", hot_pairs {args.hot_pairs}" if args.hot_pairs else ""
+        print(f"cache     : {args.cache_size} entries{hot}")
+    if args.deadline_ms is not None:
+        print(f"deadline  : {args.deadline_ms} ms")
     print(f"{'workers':>8} {'plane':>6} {'qps':>10} {'p50 us':>9} "
-          f"{'p99 us':>9} {'speedup':>8} {'dispatch us':>12} "
-          f"{'pipe B/batch':>13} {'errors':>7} {'restarts':>9}")
+          f"{'p99 us':>9} {'speedup':>8} {'hits':>6} {'hit%':>6} "
+          f"{'shed%':>6} {'errors':>7} {'restarts':>9}")
     print(f"{'seq':>8} {'-':>6} {base_qps:>10.1f} {'-':>9} {'-':>9} "
-          f"{1.0:>8.2f} {'-':>12} {'-':>13} {'-':>7} {'-':>9}")
+          f"{1.0:>8.2f} {'-':>6} {'-':>6} {'-':>6} {'-':>7} {'-':>9}")
     for workers in worker_counts:
         with QueryService(
             args.snapshot_file,
             workers=workers,
             chunk_size=args.chunk_size,
             result_plane=args.result_plane,
+            cache_size=args.cache_size,
+            hot_pairs=args.hot_pairs,
+            deadline_ms=args.deadline_ms,
         ) as service:
             report = service.run(queries)
-        # Errored queries answer NaN by design; parity holds on the rest.
+        # Errored queries answer NaN by design, and shed queries are
+        # NaN on purpose; parity holds on everything else.
+        shed = set(report.shed_indices)
         diverged = [
             position
             for position, (got, want) in enumerate(
                 zip(report.answers, baseline)
             )
-            if report.errors[position] is None and got != want
+            if report.errors[position] is None
+            and position not in shed
+            and got != want
         ]
         if diverged:
             raise SystemExit(
@@ -473,8 +520,9 @@ def _run_serve_bench(args) -> int:
             f"{1e6 * report.p50_seconds:>9.1f} "
             f"{1e6 * report.p99_seconds:>9.1f} "
             f"{report.queries_per_second / base_qps:>8.2f} "
-            f"{report.dispatch_overhead_us:>12.1f} "
-            f"{report.pipe_bytes_per_batch:>13.1f} "
+            f"{report.cache_hits:>6} "
+            f"{100.0 * report.cache_hit_ratio:>5.1f}% "
+            f"{100.0 * report.shed_rate:>5.1f}% "
             f"{report.error_count:>7} {report.restarts:>9}"
         )
         for position in report.error_indices[:5]:

@@ -168,6 +168,28 @@ class DistanceSensitivityOracle(abc.ABC):
         )
 
 
+def canonical_failure_key(
+    failed: set[Edge] | frozenset[Edge] | tuple[Edge, ...] | None,
+) -> tuple[Edge, ...]:
+    """Deterministic, hashable canonical form of a failure set.
+
+    Two failure sets with the same members always canonicalize to the
+    same tuple regardless of how they were constructed or in which
+    order a ``set`` happens to iterate — the property that makes the
+    tuple safe as cache-key material (the serving plane's result cache
+    keys on ``(s, t, canonical_failure_key(F))``).  ``None`` and the
+    empty set both mean "no failures" and canonicalize to ``()``.
+
+    >>> canonical_failure_key({(3, 4), (1, 2)})
+    ((1, 2), (3, 4))
+    >>> canonical_failure_key(None)
+    ()
+    """
+    if not failed:
+        return ()
+    return tuple(sorted(failed))
+
+
 def normalize_failures(
     failed: set[Edge] | frozenset[Edge] | None,
 ) -> frozenset[Edge]:

@@ -48,8 +48,8 @@ class _EndpointCache:
             tuple[int, str], tuple[BoundedSearchResult, frozenset[Edge]]
         ] = OrderedDict()
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
+        self._hits = 0
+        self._misses = 0
 
     def lookup(
         self,
@@ -62,15 +62,15 @@ class _EndpointCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                self.misses += 1
+                self._misses += 1
                 return None
             result, region = entry
             if failed and not failed.isdisjoint(region):
                 # The failures touch the cached region: recompute.
-                self.misses += 1
+                self._misses += 1
                 return None
             self._entries.move_to_end(key)
-            self.hits += 1
+            self._hits += 1
             return result
 
     def has_entry(self, node: int, direction: str) -> bool:
@@ -95,6 +95,22 @@ class _EndpointCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Snapshot-consistent counters, read under one lock hold.
+
+        Reading ``hits`` and ``misses`` as two separate property
+        accesses can interleave with a concurrent ``lookup`` and
+        report a state the cache never passed through (hit counted,
+        matching miss not yet); this returns both from a single
+        critical section.
+        """
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "entries": len(self._entries),
+            }
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -163,12 +179,16 @@ class CachingDISO(DISO):
     @property
     def cache_hits(self) -> int:
         """Number of bounded searches served from cache."""
-        return self._cache.hits
+        return self._cache.stats()["hits"]
 
     @property
     def cache_misses(self) -> int:
         """Number of bounded searches that had to run."""
-        return self._cache.misses
+        return self._cache.stats()["misses"]
+
+    def cache_stats(self) -> dict[str, int]:
+        """One snapshot-consistent read of hits/misses/entries."""
+        return self._cache.stats()
 
     def invalidate_cache(self) -> None:
         """Drop every cached endpoint search (after graph mutation)."""

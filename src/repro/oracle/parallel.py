@@ -56,6 +56,12 @@ class ThroughputReport:
     #: backend shares one in-process oracle and lets query exceptions
     #: propagate, so this stays empty there.
     errors: list[str | None] = field(default_factory=list)
+    #: Dispatcher-cache hits (process backend with ``cache_size > 0``).
+    cache_hits: int = 0
+    #: Hits served from hot-pair precomputed entries specifically.
+    precomputed_hits: int = 0
+    #: Input positions shed by deadline admission control.
+    shed_indices: list[int] = field(default_factory=list)
 
     @property
     def queries_per_second(self) -> float:
@@ -63,6 +69,20 @@ class ThroughputReport:
         if self.wall_seconds <= 0:
             return float("inf")
         return len(self.answers) / self.wall_seconds
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of the batch served from the dispatcher cache."""
+        if not self.answers:
+            return 0.0
+        return self.cache_hits / len(self.answers)
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of the batch shed by admission control."""
+        if not self.answers:
+            return 0.0
+        return len(self.shed_indices) / len(self.answers)
 
     @property
     def p50_seconds(self) -> float:
@@ -99,6 +119,13 @@ class QueryEngine:
         oracle (``DISO(...).freeze()`` or ``ADISO(...).freeze()``).
         Call :meth:`close` (or use the engine as a context manager) to
         reap the workers and the temporary snapshot.
+    cache_size, hot_pairs, deadline_ms:
+        Forwarded to :class:`repro.serving.QueryService` — the
+        dispatcher-level result cache, hot-pair precomputation, and
+        deadline load-shedding (DESIGN.md §12).  Process backend only:
+        passing any of them with ``processes=0`` raises, because the
+        thread backend answers in-process and has no dispatcher to put
+        a cache in front of.
 
     Examples
     --------
@@ -116,6 +143,9 @@ class QueryEngine:
         oracle: DistanceSensitivityOracle,
         threads: int = 4,
         processes: int = 0,
+        cache_size: int = 0,
+        hot_pairs: int = 0,
+        deadline_ms: float | None = None,
     ) -> None:
         from repro.baselines.fddo import FDDOOracle
 
@@ -128,6 +158,11 @@ class QueryEngine:
             raise ValueError("threads must be >= 1")
         if processes < 0:
             raise ValueError("processes must be >= 0")
+        if not processes and (cache_size or hot_pairs or deadline_ms):
+            raise ValueError(
+                "cache_size/hot_pairs/deadline_ms configure the serving "
+                "dispatcher and need the process backend (processes > 0)"
+            )
         if processes:
             from repro.oracle.frozen import FrozenDISO
 
@@ -139,6 +174,9 @@ class QueryEngine:
         self.oracle = oracle
         self.threads = threads
         self.processes = processes
+        self.cache_size = cache_size
+        self.hot_pairs = hot_pairs
+        self.deadline_ms = deadline_ms
         self._service = None
         self._snapshot_dir = None
 
@@ -159,7 +197,13 @@ class QueryEngine:
             )
             path = Path(self._snapshot_dir.name) / "oracle.dsosnap"
             save_snapshot(self.oracle, path)
-            self._service = QueryService(path, workers=self.processes)
+            self._service = QueryService(
+                path,
+                workers=self.processes,
+                cache_size=self.cache_size,
+                hot_pairs=self.hot_pairs,
+                deadline_ms=self.deadline_ms,
+            )
             self._service.start()
         return self._service
 
@@ -191,6 +235,9 @@ class QueryEngine:
                 threads=self.processes,
                 latencies=report.latencies,
                 errors=report.errors,
+                cache_hits=report.cache_hits,
+                precomputed_hits=report.precomputed_hits,
+                shed_indices=report.shed_indices,
             )
         if self.threads == 1:
             # One worker means nothing to schedule: answer in the

@@ -10,6 +10,12 @@ instead of being GIL-capped like the thread pool in
 :class:`repro.oracle.parallel.QueryEngine`.
 """
 
+from repro.serving.admission import DeadlineAdmission
+from repro.serving.cache import (
+    HotPairTracker,
+    ResultCache,
+    canonical_query_key,
+)
 from repro.serving.faults import (
     FaultInjector,
     FaultPlan,
@@ -25,6 +31,10 @@ __all__ = [
     "ServeReport",
     "WorkerStats",
     "ResultRing",
+    "ResultCache",
+    "HotPairTracker",
+    "DeadlineAdmission",
+    "canonical_query_key",
     "worker_main",
     "QUERY_ERROR",
     "FaultPlan",

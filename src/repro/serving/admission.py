@@ -1,0 +1,112 @@
+"""Deadline-based admission control for the serving dispatcher.
+
+An overloaded dispatcher has exactly two honest options: queue work it
+already knows will miss its deadline, or refuse it up front.  Queueing
+unboundedly is the dishonest third option — every queued query makes
+every later query slower, latency compounds, and by the time the
+client sees an answer it has long stopped caring.  This module
+implements the refusal: :class:`DeadlineAdmission` tracks an
+exponentially-weighted estimate of per-query service time from the
+busy-seconds the workers actually report, converts the run's deadline
+budget into a feasible query count, and the dispatcher sheds the
+excess — those queries get the existing NaN answer sentinel with a
+``"shed"`` status (never the error channel: a shed is the *dispatcher*
+protecting its deadline, not a query failing), and they never reach a
+worker.
+
+The estimator deliberately starts optimistic (a fresh service has no
+evidence and should not refuse its very first batch), then converges
+onto the observed service rate within a few runs.  Shed decisions are
+deterministic given the observation history: same reports in, same
+capacity out.
+"""
+
+from __future__ import annotations
+
+
+class DeadlineAdmission:
+    """Load shedder: admit only the prefix that can meet the deadline.
+
+    Parameters
+    ----------
+    deadline_ms:
+        The latency budget one ``run()`` is allowed to spend inside
+        workers.  Dispatch/transport overhead is not modelled — the
+        budget bounds computation, which dominates at saturation.
+    workers:
+        Pool size; capacity scales linearly with it (workers share no
+        state, so the pool really is ``workers`` independent servers).
+    initial_query_us:
+        Optimistic starting estimate of per-query service time, used
+        until real observations arrive.
+    smoothing:
+        EWMA weight of each new observation in ``(0, 1]``; higher
+        adapts faster, lower is steadier.
+    """
+
+    def __init__(
+        self,
+        deadline_ms: float,
+        workers: int,
+        initial_query_us: float = 100.0,
+        smoothing: float = 0.3,
+    ) -> None:
+        if deadline_ms <= 0:
+            raise ValueError("deadline_ms must be > 0")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if initial_query_us <= 0:
+            raise ValueError("initial_query_us must be > 0")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.deadline_ms = deadline_ms
+        self.workers = workers
+        self.smoothing = smoothing
+        self._per_query_seconds = initial_query_us * 1e-6
+        self._observations = 0
+        self._shed_total = 0
+        self._admitted_total = 0
+
+    @property
+    def estimated_query_us(self) -> float:
+        """Current per-query service-time estimate in microseconds."""
+        return 1e6 * self._per_query_seconds
+
+    def capacity(self) -> int:
+        """Queries the pool can serve within one deadline budget."""
+        budget_seconds = self.deadline_ms / 1000.0
+        return int(budget_seconds / self._per_query_seconds) * self.workers
+
+    def admit(self, queued: int) -> int:
+        """How many of ``queued`` queries to admit (the rest are shed)."""
+        if queued <= 0:
+            return 0
+        admitted = min(queued, max(0, self.capacity()))
+        self._admitted_total += admitted
+        self._shed_total += queued - admitted
+        return admitted
+
+    def observe(self, queries: int, busy_seconds: float) -> None:
+        """Fold one run's worker-reported busy time into the estimate.
+
+        ``busy_seconds`` is the sum over workers of time actually spent
+        answering (not wall time, which double-counts idle waiting on a
+        multi-worker pool).
+        """
+        if queries <= 0 or busy_seconds <= 0:
+            return
+        sample = busy_seconds / queries
+        self._per_query_seconds += self.smoothing * (
+            sample - self._per_query_seconds
+        )
+        self._observations += 1
+
+    def stats(self) -> dict:
+        """Counters for reporting: sheds, admissions, current estimate."""
+        return {
+            "admitted": self._admitted_total,
+            "shed": self._shed_total,
+            "observations": self._observations,
+            "estimated_query_us": round(self.estimated_query_us, 3),
+            "deadline_ms": self.deadline_ms,
+        }

@@ -39,6 +39,25 @@ reports, and the shm plane additionally falls back per-run (ring
 creation failure) and per-batch (worker-side attach/write failure)
 without losing answers.
 
+Caching and admission (v4, spec in DESIGN.md §12): with
+``cache_size > 0`` the dispatcher keeps a
+:class:`~repro.serving.cache.ResultCache` keyed on ``(s, t,
+canonicalized failure set)`` — repeats of a finished query are served
+as a dictionary lookup without touching a worker, duplicates *within*
+one batch are computed once and fanned out, and every entry is stamped
+with the snapshot epoch it was computed under so retiring a snapshot
+(:meth:`QueryService.swap_snapshot`) invalidates the whole cache by
+bumping an integer.  ``hot_pairs > 0`` adds a
+:class:`~repro.serving.cache.HotPairTracker` whose hottest uncached
+keys are precomputed during dispatcher idle gaps
+(:meth:`QueryService.refresh_hot_pairs`).  ``deadline_ms`` arms a
+:class:`~repro.serving.admission.DeadlineAdmission` load-shedder: when
+the queued work provably cannot meet the deadline budget, the excess
+is answered with the NaN sentinel under a ``"shed"`` status instead of
+queueing unboundedly.  All three sit *before* shard dispatch — cache
+hits and sheds never reach a worker — and all three are off by
+default, leaving the v2/v3 behaviour untouched.
+
 The dispatcher itself never loads the oracle: the only artifacts it
 touches are the snapshot path (a string), the query/answer tuples on
 the pipes, and the float lanes of the result ring.
@@ -58,6 +77,12 @@ from pathlib import Path
 from collections.abc import Sequence
 
 from repro.oracle.parallel import latency_percentile
+from repro.serving.admission import DeadlineAdmission
+from repro.serving.cache import (
+    HotPairTracker,
+    ResultCache,
+    canonical_query_key,
+)
 from repro.serving.ring import ResultRing
 from repro.serving.worker import worker_main
 from repro.workload.queries import Query
@@ -121,6 +146,18 @@ class ServeReport:
     pipe_bytes: int = 0
     #: Accepted result batches (denominator for the per-batch rates).
     result_batches: int = 0
+    #: Queries served without touching a worker: repeats answered from
+    #: the dispatcher result cache plus within-batch duplicates fanned
+    #: out from a single computation.
+    cache_hits: int = 0
+    #: The subset of ``cache_hits`` served from entries that were
+    #: precomputed by the hot-pair refresh rather than by past queries.
+    precomputed_hits: int = 0
+    #: Input positions refused by deadline admission control.  A shed
+    #: query's answer is NaN, its ``errors`` slot stays ``None`` (a
+    #: shed is a dispatcher decision, not a query failure), and its
+    #: status reads ``"shed"``.
+    shed_indices: list[int] = field(default_factory=list)
 
     @property
     def queries_per_second(self) -> float:
@@ -155,10 +192,34 @@ class ServeReport:
 
     @property
     def statuses(self) -> list[str]:
-        """Per-query ``"ok"`` / ``"error"``, aligned with ``answers``."""
+        """Per-query ``"ok"`` / ``"error"`` / ``"shed"``, aligned with
+        ``answers``."""
+        shed = set(self.shed_indices)
         return [
-            "ok" if message is None else "error" for message in self.errors
+            "shed"
+            if position in shed
+            else ("ok" if message is None else "error")
+            for position, message in enumerate(self.errors)
         ]
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of the batch served from the dispatcher cache."""
+        if not self.answers:
+            return 0.0
+        return self.cache_hits / len(self.answers)
+
+    @property
+    def shed_count(self) -> int:
+        """Number of queries refused by admission control."""
+        return len(self.shed_indices)
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of the batch shed by admission control."""
+        if not self.answers:
+            return 0.0
+        return self.shed_count / len(self.answers)
 
     @property
     def dispatch_overhead_us(self) -> float:
@@ -187,6 +248,10 @@ class ServeReport:
             "result_plane": self.result_plane,
             "dispatch_overhead_us": round(self.dispatch_overhead_us, 3),
             "pipe_bytes_per_batch": round(self.pipe_bytes_per_batch, 1),
+            "cache_hits": self.cache_hits,
+            "cache_hit_ratio": round(self.cache_hit_ratio, 3),
+            "precomputed_hits": self.precomputed_hits,
+            "shed_rate": round(self.shed_rate, 3),
         }
 
 
@@ -230,8 +295,10 @@ class QueryService:
     workers:
         Pool size (>= 1).
     start_method:
-        ``multiprocessing`` start method; default prefers ``fork``
-        (instant worker startup) and falls back to ``spawn``.
+        ``multiprocessing`` start method.  ``None`` reads the
+        ``DSO_SERVING_START_METHOD`` environment variable (how CI pins
+        its fork x spawn matrix), then prefers ``fork`` (instant
+        worker startup) with a ``spawn`` fallback.
     chunk_size:
         Queries per dispatched chunk; default splits each batch into
         roughly four chunks per worker to smooth load imbalance.
@@ -257,6 +324,24 @@ class QueryService:
         platforms without usable shared memory.  ``None`` reads the
         ``DSO_RESULT_PLANE`` environment variable, falling back to
         ``"shm"``.  Answers are identical either way.
+    cache_size:
+        When > 0, keep a dispatcher-level
+        :class:`~repro.serving.cache.ResultCache` of at most this many
+        finished answers keyed on ``(s, t, canonicalized F)``.  Cache
+        hits (including within-batch duplicates) never reach a worker
+        and are bitwise-identical to recomputation under the same
+        snapshot epoch.  0 (default) disables caching entirely.
+    hot_pairs:
+        When > 0 (requires ``cache_size > 0``), track workload skew
+        with a :class:`~repro.serving.cache.HotPairTracker` and
+        precompute up to this many of the hottest uncached keys after
+        each run, while the pool is idle
+        (:meth:`refresh_hot_pairs`).
+    deadline_ms:
+        When set, arm :class:`~repro.serving.admission.
+        DeadlineAdmission`: queries beyond what the pool can answer
+        within this budget (per the observed service rate) are shed —
+        NaN answer, ``"shed"`` status — instead of queued unboundedly.
 
     Examples
     --------
@@ -284,11 +369,21 @@ class QueryService:
         ping_timeout: float = 5.0,
         fault_plan=None,
         result_plane: str | None = None,
+        cache_size: int = 0,
+        hot_pairs: int = 0,
+        deadline_ms: float | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if batch_timeout <= 0 or ping_timeout <= 0:
             raise ValueError("batch_timeout and ping_timeout must be > 0")
+        if cache_size < 0 or hot_pairs < 0:
+            raise ValueError("cache_size and hot_pairs must be >= 0")
+        if hot_pairs and not cache_size:
+            raise ValueError(
+                "hot-pair precomputation stores its answers in the result "
+                "cache; pass cache_size > 0 alongside hot_pairs"
+            )
         if result_plane is None:
             result_plane = os.environ.get("DSO_RESULT_PLANE") or "shm"
         if result_plane not in RESULT_PLANES:
@@ -311,6 +406,8 @@ class QueryService:
         self.ping_timeout = ping_timeout
         self.fault_plan = fault_plan
         if start_method is None:
+            start_method = os.environ.get("DSO_SERVING_START_METHOD") or None
+        if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
         self._ctx = multiprocessing.get_context(start_method)
@@ -320,6 +417,23 @@ class QueryService:
         #: Monotonic run counter; stamped into every batch id so the
         #: dispatcher can fence out results from aborted past runs.
         self._epoch = 0
+        self.cache_size = cache_size
+        self.hot_pairs = hot_pairs
+        self.deadline_ms = deadline_ms
+        self._cache = ResultCache(cache_size) if cache_size else None
+        self._hot = HotPairTracker() if hot_pairs else None
+        self._admission = (
+            DeadlineAdmission(deadline_ms, workers)
+            if deadline_ms is not None
+            else None
+        )
+        #: Snapshot-epoch stamp for cache entries.  Distinct from the
+        #: per-run ``_epoch`` fence: it advances only when the served
+        #: snapshot is retired (``swap_snapshot``), at which point every
+        #: cache entry stamped with an older value is dead.
+        self._snapshot_epoch = 1
+        #: Total answers precomputed by ``refresh_hot_pairs``.
+        self.precomputed_total = 0
         self._poll_seconds = max(
             _MIN_POLL_SECONDS,
             min(_POLL_SECONDS, batch_timeout / 5.0, ping_timeout / 5.0),
@@ -452,6 +566,13 @@ class QueryService:
         restart anything): its slot in ``answers`` is NaN and
         ``ServeReport.errors`` carries the message at the same index.
 
+        With caching enabled, repeats of finished queries (and
+        duplicates within this batch) are answered from the dispatcher
+        cache without reaching a worker; with a deadline armed,
+        queries beyond the feasible budget come back NaN under a
+        ``"shed"`` status.  Cache hits are bitwise-identical to what a
+        worker would recompute under the current snapshot epoch.
+
         Raises
         ------
         RuntimeError
@@ -469,7 +590,7 @@ class QueryService:
         epoch = self._epoch
         wire = [_wire_query(query) for query in queries]
         total = len(wire)
-        errors: list[str | None] = [None] * total
+        started = time.perf_counter()
         stats = [
             WorkerStats(
                 index=handle.index,
@@ -478,13 +599,79 @@ class QueryService:
             )
             for handle in self._pool
         ]
+        metrics = {
+            "dispatch_seconds": 0.0, "pipe_bytes": 0, "result_batches": 0,
+        }
+
+        # ---- cache lookup + within-batch dedup (before any dispatch) --
+        cache_hits = 0
+        precomputed_hits = 0
+        shed_indices: list[int] = []
+        keys: list | None = None
+        #: leader position -> positions of identical queries this batch.
+        duplicates: dict[int, list[int]] = {}
+        if self._cache is not None:
+            keys = [canonical_query_key(*triple) for triple in wire]
+            if self._hot is not None:
+                for key in keys:
+                    self._hot.observe(key)
+            full_answers: list[float] = [float("nan")] * total
+            first_seen: dict = {}
+            dispatch_positions: list[int] = []
+            for position, key in enumerate(keys):
+                hit = self._cache.get(key, self._snapshot_epoch)
+                if hit is not None:
+                    full_answers[position], was_precomputed = hit
+                    cache_hits += 1
+                    if was_precomputed:
+                        precomputed_hits += 1
+                    continue
+                leader = first_seen.get(key)
+                if leader is not None:
+                    duplicates.setdefault(leader, []).append(position)
+                else:
+                    first_seen[key] = position
+                    dispatch_positions.append(position)
+        else:
+            # Sized for the scatter path, which an admission-only
+            # configuration (sheds without a cache) still takes.
+            full_answers = [float("nan")] * total
+            dispatch_positions = list(range(total))
+
+        # ---- deadline admission: shed what cannot make the budget ----
+        if self._admission is not None and dispatch_positions:
+            admitted = self._admission.admit(len(dispatch_positions))
+            if admitted < len(dispatch_positions):
+                for position in dispatch_positions[admitted:]:
+                    shed_indices.append(position)
+                    # A duplicate of a shed leader is the same query:
+                    # it is shed with it, never silently answered NaN.
+                    shed_indices.extend(duplicates.pop(position, ()))
+                dispatch_positions = dispatch_positions[:admitted]
+                shed_indices.sort()
+
+        # ``identity`` means the fast pre-dispatch stages passed every
+        # query through untouched — the v2/v3 hot path, zero extra
+        # copies or scatters.
+        identity = self._cache is None and not shed_indices
+        if identity:
+            compact_wire = wire
+        else:
+            compact_wire = [wire[position] for position in dispatch_positions]
+        n_dispatch = len(compact_wire)
+        errors: list[str | None] = [None] * n_dispatch
+
         size = chunk_size or self.chunk_size
         if size is None:
-            size = max(1, math.ceil(total / (self.workers * 4))) if total else 1
+            size = (
+                max(1, math.ceil(n_dispatch / (self.workers * 4)))
+                if n_dispatch
+                else 1
+            )
         ring: ResultRing | None = None
-        if total and self.result_plane == "shm":
+        if n_dispatch and self.result_plane == "shm":
             try:
-                ring = ResultRing.create(math.ceil(total / size), size)
+                ring = ResultRing.create(math.ceil(n_dispatch / size), size)
             except (OSError, ValueError):
                 ring = None  # no usable shared memory: pipe fallback
         if ring is not None:
@@ -494,25 +681,21 @@ class QueryService:
             # pipe plane has no such option (every payload must be
             # unpickled on arrival), which is exactly the per-batch
             # dispatch overhead the shm plane exists to shed.
-            answer_buf = array("d", [float("nan")]) * total
-            latency_buf = array("d", [0.0]) * total
+            answer_buf = array("d", [float("nan")]) * n_dispatch
+            latency_buf = array("d", [0.0]) * n_dispatch
             sink = (memoryview(answer_buf), memoryview(latency_buf))
             answers: list[float] = []
             latencies: list[float] = []
         else:
             answer_buf = latency_buf = sink = None
-            answers = [float("nan")] * total
-            latencies = [0.0] * total
-        metrics = {
-            "dispatch_seconds": 0.0, "pipe_bytes": 0, "result_batches": 0,
-        }
+            answers = [float("nan")] * n_dispatch
+            latencies = [0.0] * n_dispatch
         self._ring = ring
-        started = time.perf_counter()
         try:
-            if total:
+            if n_dispatch:
                 self._dispatch_epoch(
-                    epoch, wire, total, size, answers, latencies,
-                    errors, stats, metrics, sink,
+                    epoch, compact_wire, n_dispatch, size, answers,
+                    latencies, errors, stats, metrics, sink,
                 )
             if ring is not None:
                 answers[:] = answer_buf.tolist()
@@ -532,8 +715,39 @@ class QueryService:
             self._ring = None
             if ring is not None:
                 ring.destroy()
+
+        if not identity:
+            # Scatter the compact results back to input positions, fan
+            # the leaders' outcomes out to their duplicates, and fill
+            # the cache with every successful fresh answer.
+            full_latencies = [0.0] * total
+            full_errors: list[str | None] = [None] * total
+            for index, position in enumerate(dispatch_positions):
+                full_answers[position] = answers[index]
+                full_latencies[position] = latencies[index]
+                full_errors[position] = errors[index]
+            for leader, positions in duplicates.items():
+                for position in positions:
+                    full_answers[position] = full_answers[leader]
+                    full_errors[position] = full_errors[leader]
+                    cache_hits += 1
+            if self._cache is not None:
+                for index, position in enumerate(dispatch_positions):
+                    if errors[index] is None:
+                        self._cache.put(
+                            keys[position],
+                            answers[index],
+                            self._snapshot_epoch,
+                        )
+            answers = full_answers
+            latencies = full_latencies
+            errors = full_errors
+        if self._admission is not None and n_dispatch:
+            self._admission.observe(
+                n_dispatch, sum(s.busy_seconds for s in stats)
+            )
         wall = time.perf_counter() - started
-        return ServeReport(
+        report = ServeReport(
             answers=answers,
             latencies=latencies,
             wall_seconds=wall,
@@ -545,7 +759,122 @@ class QueryService:
             dispatch_seconds=metrics["dispatch_seconds"],
             pipe_bytes=metrics["pipe_bytes"],
             result_batches=metrics["result_batches"],
+            cache_hits=cache_hits,
+            precomputed_hits=precomputed_hits,
+            shed_indices=shed_indices,
         )
+        # Idle-gap work: the batch is answered, the pool is quiet, the
+        # tracker has fresh skew evidence — warm the hottest uncached
+        # pairs now so the *next* run's hot traffic is a dict lookup.
+        if self._hot is not None:
+            self.refresh_hot_pairs()
+        return report
+
+    # ------------------------------------------------------------------
+    # Caching plane (v4): snapshot epochs, hot-pair refresh, stats
+    # ------------------------------------------------------------------
+    @property
+    def snapshot_epoch(self) -> int:
+        """The epoch every current cache entry must be stamped with."""
+        return self._snapshot_epoch
+
+    def retire_snapshot_epoch(self) -> int:
+        """Retire the current snapshot epoch; returns the new one.
+
+        Every cached answer was computed under the old epoch and is now
+        unservable: the epoch check in :meth:`ResultCache.get` refuses
+        it lazily, and the eager sweep here returns the memory at once.
+        """
+        self._snapshot_epoch += 1
+        if self._cache is not None:
+            self._cache.retire_older_than(self._snapshot_epoch)
+        return self._snapshot_epoch
+
+    def swap_snapshot(self, snapshot_path: str | Path) -> int:
+        """Serve ``snapshot_path`` from now on; retire the old epoch.
+
+        Stops the pool, retargets it at the new file, bumps the
+        snapshot epoch (killing every cache entry computed under the
+        old snapshot), and restarts the workers if they were running.
+        Returns the new snapshot epoch.
+        """
+        was_started = self._started
+        if was_started:
+            self.stop()
+        self.snapshot_path = str(snapshot_path)
+        epoch = self.retire_snapshot_epoch()
+        if was_started:
+            self.start()
+        return epoch
+
+    def refresh_hot_pairs(self, limit: int | None = None) -> int:
+        """Precompute answers for the hottest uncached pairs.
+
+        Dispatches up to ``limit`` (default ``hot_pairs``) of the
+        tracker's hottest keys that have no live cache entry, and
+        stores their answers flagged *precomputed* — hits on them are
+        reported separately (``ServeReport.precomputed_hits``) so the
+        benefit of the refresh is measurable.  Runs over the pipe
+        result plane (the batches are tiny; a ring would cost more
+        than it saves).  Called automatically after each ``run()``
+        when ``hot_pairs > 0``; safe to call manually between runs.
+
+        Returns the number of answers actually precomputed.
+        """
+        if self._hot is None or self._cache is None or not self._started:
+            return 0
+        budget = self.hot_pairs if limit is None else limit
+        hot_keys = self._hot.top(budget, exclude=self._cache.contains)
+        if not hot_keys:
+            return 0
+        wire = [
+            (source, target, failed or None)
+            for source, target, failed in hot_keys
+        ]
+        self._epoch += 1
+        epoch = self._epoch
+        count = len(wire)
+        answers = [float("nan")] * count
+        latencies = [0.0] * count
+        errors: list[str | None] = [None] * count
+        stats = [
+            WorkerStats(index=handle.index, pid=handle.pid)
+            for handle in self._pool
+        ]
+        metrics = {
+            "dispatch_seconds": 0.0, "pipe_bytes": 0, "result_batches": 0,
+        }
+        size = max(1, math.ceil(count / self.workers))
+        try:
+            self._dispatch_epoch(
+                epoch, wire, count, size, answers, latencies,
+                errors, stats, metrics, None,
+            )
+        except BaseException:
+            for handle in self._pool:
+                handle.outstanding.clear()
+                handle.ping_sent_at = None
+            raise
+        stored = 0
+        for key, answer, message in zip(hot_keys, answers, errors):
+            if message is None and self._cache.put(
+                key, answer, self._snapshot_epoch, precomputed=True
+            ):
+                stored += 1
+        self.precomputed_total += stored
+        return stored
+
+    def cache_stats(self) -> dict | None:
+        """Snapshot of the result-cache counters; ``None`` if disabled."""
+        if self._cache is None:
+            return None
+        return self._cache.stats()
+
+    def admission_stats(self) -> dict | None:
+        """Snapshot of the load-shedder counters; ``None`` if disabled."""
+        if self._admission is None:
+            return None
+        return self._admission.stats()
 
     def _batch_message(self, batch_id, chunk) -> tuple:
         """The wire form of one chunk, carrying the run's ring spec."""

@@ -12,6 +12,7 @@ from repro.workload.scenarios import (
     FailureEvent,
     FailureSchedule,
     generate_failure_schedule,
+    sample_bursty_query_times,
     sample_query_times,
 )
 from repro.workload.queries import (
@@ -19,6 +20,7 @@ from repro.workload.queries import (
     essential_failures,
     generate_queries,
     generate_query,
+    generate_zipf_queries,
     random_failures,
 )
 
@@ -26,6 +28,7 @@ __all__ = [
     "Query",
     "generate_query",
     "generate_queries",
+    "generate_zipf_queries",
     "essential_failures",
     "random_failures",
     "DATASETS",
@@ -38,4 +41,5 @@ __all__ = [
     "FailureSchedule",
     "generate_failure_schedule",
     "sample_query_times",
+    "sample_bursty_query_times",
 ]

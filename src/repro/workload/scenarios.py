@@ -148,3 +148,50 @@ def sample_query_times(
     """Uniformly random query arrival times over the scenario horizon."""
     rng = random.Random(seed)
     return sorted(rng.random() * duration for _ in range(count))
+
+
+def sample_bursty_query_times(
+    count: int,
+    duration: float,
+    bursts: int = 4,
+    burst_fraction: float = 0.8,
+    burst_width: float = 0.02,
+    seed: int = 0,
+) -> list[float]:
+    """Bursty query arrivals: short spikes over a sparse background.
+
+    Production traffic is not uniform — it piles up (the morning
+    commute, an incident driving everyone to re-route at once).  This
+    samples ``burst_fraction`` of the queries inside ``bursts`` narrow
+    windows of width ``burst_width * duration`` (uniform within each
+    window) and scatters the rest uniformly over the horizon.  Burst
+    centres are themselves uniform draws, so two bursts may overlap —
+    that is realistic, not a bug.  Deterministic given ``seed``.
+
+    The resulting trace is what deadline admission control exists for:
+    within a burst the instantaneous arrival rate far exceeds the
+    sustainable service rate, and a replay that batches by arrival
+    window will see deep queues exactly there.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if bursts < 1:
+        raise ValueError("bursts must be >= 1")
+    if not 0.0 <= burst_fraction <= 1.0:
+        raise ValueError("burst_fraction must be in [0, 1]")
+    if not 0.0 < burst_width <= 1.0:
+        raise ValueError("burst_width must be in (0, 1]")
+    rng = random.Random(seed)
+    width = burst_width * duration
+    centres = [rng.random() * duration for _ in range(bursts)]
+    times: list[float] = []
+    for _ in range(count):
+        if rng.random() < burst_fraction:
+            centre = centres[rng.randrange(len(centres))]
+            tick = centre + (rng.random() - 0.5) * width
+            times.append(min(max(tick, 0.0), duration))
+        else:
+            times.append(rng.random() * duration)
+    return sorted(times)

@@ -1,0 +1,438 @@
+"""The dispatcher cache must never change an answer — only skip work.
+
+Three components share this suite because they gate the same dispatch
+path (DESIGN.md §12): the epoch-scoped :class:`ResultCache`, the
+:class:`HotPairTracker` skew observer, and :class:`DeadlineAdmission`
+load shedding.  The load-bearing properties:
+
+* **Bitwise parity** — a cached serving run returns ``==``-equal
+  answers to an uncached run, across every oracle family
+  (DISO/ADISO/DISO-S/ADISO-P) and including failure-set queries.
+* **Epoch invalidation is falsifiable** — after ``swap_snapshot`` to a
+  same-shaped graph with *different weights*, the cached answers must
+  match the NEW oracle.  Remove the epoch check and this test fails.
+* **Sheds are honest** — a shed query is NaN + status ``"shed"``, not
+  an error and never a stale answer.
+"""
+
+from __future__ import annotations
+
+import math
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.oracle.adiso import ADISO
+from repro.oracle.adiso_p import ADISOPartial
+from repro.oracle.base import canonical_failure_key
+from repro.oracle.diso import DISO
+from repro.oracle.diso_s import DISOSparse
+from repro.oracle.snapshot import save_snapshot
+from repro.serving import (
+    DeadlineAdmission,
+    HotPairTracker,
+    QueryService,
+    ResultCache,
+    canonical_query_key,
+)
+from repro.workload.queries import generate_queries
+from util import random_failures_from, random_graph
+
+from test_serving import make_service
+
+
+# ----------------------------------------------------------------------
+# Canonical keys
+# ----------------------------------------------------------------------
+class TestCanonicalKeys:
+    def test_failure_key_is_order_independent(self):
+        assert canonical_failure_key({(3, 4), (1, 2)}) == ((1, 2), (3, 4))
+        assert canonical_failure_key([(3, 4), (1, 2)]) == ((1, 2), (3, 4))
+        assert canonical_failure_key(None) == ()
+        assert canonical_failure_key(set()) == ()
+
+    def test_query_key_identical_for_equivalent_spellings(self):
+        spellings = [
+            canonical_query_key(1, 9, {(5, 6), (2, 3)}),
+            canonical_query_key(1, 9, frozenset({(2, 3), (5, 6)})),
+            canonical_query_key(1, 9, [(5, 6), (2, 3)]),
+            canonical_query_key(1, 9, ((2, 3), (5, 6))),
+        ]
+        assert len(set(spellings)) == 1
+
+    def test_query_key_distinguishes_direction_and_failures(self):
+        assert canonical_query_key(1, 9, None) != canonical_query_key(
+            9, 1, None
+        )
+        assert canonical_query_key(1, 9, {(2, 3)}) != canonical_query_key(
+            1, 9, None
+        )
+
+
+# ----------------------------------------------------------------------
+# ResultCache unit behaviour
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_get_put_roundtrip_and_counters(self):
+        cache = ResultCache(8)
+        key = canonical_query_key(1, 2, None)
+        assert cache.get(key, epoch=1) is None
+        assert cache.put(key, 3.5, epoch=1)
+        answer, precomputed = cache.get(key, epoch=1)
+        assert answer == 3.5 and precomputed is False
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["inserts"] == 1
+
+    def test_nan_is_never_admitted(self):
+        cache = ResultCache(8)
+        key = canonical_query_key(1, 2, None)
+        assert not cache.put(key, float("nan"), epoch=1)
+        assert len(cache) == 0
+        assert cache.get(key, epoch=1) is None
+
+    def test_infinity_is_cacheable(self):
+        # Disconnection is a real, stable answer — unlike NaN errors.
+        cache = ResultCache(8)
+        key = canonical_query_key(1, 2, ((3, 4),))
+        assert cache.put(key, float("inf"), epoch=1)
+        assert cache.get(key, epoch=1)[0] == float("inf")
+
+    def test_stale_epoch_entry_is_refused_and_evicted(self):
+        cache = ResultCache(8)
+        key = canonical_query_key(1, 2, None)
+        cache.put(key, 3.5, epoch=1)
+        assert cache.get(key, epoch=2) is None
+        assert len(cache) == 0
+        assert cache.stats()["stale_drops"] == 1
+        # And it is gone even when asked at the old epoch again.
+        assert cache.get(key, epoch=1) is None
+
+    def test_retire_older_than_sweeps_eagerly(self):
+        cache = ResultCache(8)
+        for node in range(4):
+            cache.put(canonical_query_key(node, 9, None), 1.0, epoch=1)
+        cache.put(canonical_query_key(7, 9, None), 2.0, epoch=2)
+        cache.retire_older_than(2)
+        assert len(cache) == 1
+        assert cache.entry_epochs() == {2}
+
+    def test_lru_eviction_keeps_recent(self):
+        cache = ResultCache(2)
+        a = canonical_query_key(1, 9, None)
+        b = canonical_query_key(2, 9, None)
+        c = canonical_query_key(3, 9, None)
+        cache.put(a, 1.0, epoch=1)
+        cache.put(b, 2.0, epoch=1)
+        cache.get(a, epoch=1)  # refresh a; b is now least-recent
+        cache.put(c, 3.0, epoch=1)
+        assert cache.get(b, epoch=1) is None
+        assert cache.get(a, epoch=1)[0] == 1.0
+        assert cache.get(c, epoch=1)[0] == 3.0
+        assert cache.stats()["evictions"] == 1
+
+    def test_precomputed_flag_roundtrips(self):
+        cache = ResultCache(4)
+        key = canonical_query_key(5, 6, None)
+        cache.put(key, 1.5, epoch=1, precomputed=True)
+        answer, precomputed = cache.get(key, epoch=1)
+        assert precomputed is True
+        assert cache.stats()["precomputed_hits"] == 1
+
+
+# ----------------------------------------------------------------------
+# HotPairTracker
+# ----------------------------------------------------------------------
+class TestHotPairTracker:
+    def test_top_ranks_by_frequency(self):
+        tracker = HotPairTracker()
+        hot = canonical_query_key(1, 2, None)
+        warm = canonical_query_key(3, 4, None)
+        cold = canonical_query_key(5, 6, None)
+        for _ in range(10):
+            tracker.observe(hot)
+        for _ in range(3):
+            tracker.observe(warm)
+        tracker.observe(cold)
+        assert tracker.top(2) == [hot, warm]
+
+    def test_top_is_deterministic_under_ties(self):
+        tracker = HotPairTracker()
+        keys = [canonical_query_key(node, 9, None) for node in (3, 1, 2)]
+        for key in keys:
+            tracker.observe(key)
+        # Equal scores break ties on the key itself: sorted order.
+        assert tracker.top(3) == sorted(keys)
+
+    def test_exclude_filters_already_cached(self):
+        tracker = HotPairTracker()
+        a = canonical_query_key(1, 2, None)
+        b = canonical_query_key(3, 4, None)
+        for _ in range(5):
+            tracker.observe(a)
+        tracker.observe(b)
+        assert tracker.top(2, exclude=lambda key: key == a) == [b]
+
+    def test_decay_forgets_old_traffic(self):
+        tracker = HotPairTracker(decay=0.5, decay_every=8)
+        stale = canonical_query_key(1, 2, None)
+        fresh = canonical_query_key(3, 4, None)
+        for _ in range(4):
+            tracker.observe(stale)
+        # 100 observations of fresh trigger many decay rounds; stale's
+        # score halves each round and is eventually pruned entirely.
+        for _ in range(100):
+            tracker.observe(fresh)
+        assert tracker.top(2) == [fresh]
+
+    def test_capacity_bound_holds(self):
+        tracker = HotPairTracker(capacity=16, decay_every=8)
+        for node in range(1000):
+            tracker.observe(canonical_query_key(node, 0, None))
+        assert len(tracker) <= 16
+
+
+# ----------------------------------------------------------------------
+# DeadlineAdmission
+# ----------------------------------------------------------------------
+class TestDeadlineAdmission:
+    def test_admits_everything_under_generous_deadline(self):
+        admission = DeadlineAdmission(deadline_ms=1000.0, workers=2)
+        assert admission.admit(100) == 100
+        assert admission.stats()["shed"] == 0
+
+    def test_sheds_beyond_capacity(self):
+        admission = DeadlineAdmission(
+            deadline_ms=1.0, workers=1, initial_query_us=1000.0
+        )
+        # Budget 1 ms at 1 ms/query -> capacity 1.
+        assert admission.admit(10) == 1
+        assert admission.stats()["shed"] == 9
+
+    def test_observe_adapts_the_estimate(self):
+        admission = DeadlineAdmission(
+            deadline_ms=10.0, workers=1, initial_query_us=1.0
+        )
+        before = admission.capacity()
+        # Evidence: queries actually take 10 ms each, 10000x slower.
+        for _ in range(50):
+            admission.observe(queries=10, busy_seconds=0.1)
+        assert admission.estimated_query_us > 1000.0
+        assert admission.capacity() < before
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            DeadlineAdmission(deadline_ms=0.0, workers=1)
+        with pytest.raises(ValueError):
+            DeadlineAdmission(deadline_ms=5.0, workers=0)
+
+
+# ----------------------------------------------------------------------
+# Serving-plane integration: parity, epochs, sheds, precompute
+# ----------------------------------------------------------------------
+FAMILIES = [
+    pytest.param(lambda g: DISO(g, tau=3), id="DISO"),
+    pytest.param(lambda g: ADISO(g, tau=3), id="ADISO"),
+    pytest.param(lambda g: DISOSparse(g, tau=3), id="DISO-S"),
+    pytest.param(lambda g: ADISOPartial(g, tau=3), id="ADISO-P"),
+]
+
+
+@pytest.mark.parametrize("build", FAMILIES)
+def test_cached_serving_parity_all_families(build, tmp_path):
+    """Cold run, warm run, uncached run: three-way bitwise parity."""
+    graph = random_graph(21, n=36, extra=80)
+    frozen = build(graph).freeze()
+    path = save_snapshot(frozen, tmp_path / "o.dsosnap")
+    batch = generate_queries(graph, 18, f_gen=3, p=0.01, seed=5)
+    # Double the batch so the cold cached run already dedups repeats.
+    batch = batch + batch[:9]
+    expected = [frozen.query(q.source, q.target, q.failed) for q in batch]
+    with make_service(path, workers=2) as plain:
+        uncached = plain.run(batch).answers
+    with make_service(path, workers=2, cache_size=256) as service:
+        cold = service.run(batch)
+        warm = service.run(batch)
+    assert uncached == expected
+    assert cold.answers == expected
+    assert warm.answers == expected
+    assert cold.cache_hits >= 9  # within-batch duplicates
+    assert warm.cache_hits == len(batch)
+    assert warm.errors == [None] * len(batch)
+
+
+def test_swap_snapshot_retires_cached_answers(tmp_path):
+    """The falsifiability test: remove epoch invalidation and this
+    fails, because the old snapshot's cached answers differ from the
+    new snapshot's correct ones."""
+    graph_a = random_graph(31, n=30, extra=60)
+    # Same node ids and edges, different weights: every key collides,
+    # every answer differs.  (Built fresh: ``add_edge`` on an existing
+    # edge keeps the minimum weight, so raising weights in a copy is a
+    # no-op.)
+    from repro.graph.digraph import DiGraph
+
+    graph_b = DiGraph()
+    for tail, head, weight in graph_a.edges():
+        graph_b.add_edge(tail, head, weight * 3.0 + 1.0)
+    frozen_a = DISO(graph_a, tau=3).freeze()
+    frozen_b = DISO(graph_b, tau=3).freeze()
+    path_a = save_snapshot(frozen_a, tmp_path / "a.dsosnap")
+    path_b = save_snapshot(frozen_b, tmp_path / "b.dsosnap")
+    batch = generate_queries(graph_a, 12, f_gen=2, p=0.01, seed=9)
+    expected_a = [frozen_a.query(q.source, q.target, q.failed) for q in batch]
+    expected_b = [frozen_b.query(q.source, q.target, q.failed) for q in batch]
+    assert expected_a != expected_b  # the swap must be observable
+    with make_service(path_a, workers=2, cache_size=256) as service:
+        first = service.run(batch)
+        assert first.answers == expected_a
+        warm = service.run(batch)
+        assert warm.cache_hits == len(batch)
+        old_epoch = service.snapshot_epoch
+        new_epoch = service.swap_snapshot(path_b)
+        assert new_epoch == old_epoch + 1
+        after = service.run(batch)
+        # Every answer reflects the NEW snapshot; nothing stale leaked.
+        assert after.answers == expected_b
+        assert after.cache_hits == 0
+        # And entries re-cached after the swap carry the new epoch only.
+        assert service._cache.entry_epochs() <= {new_epoch}
+
+
+def test_retire_epoch_alone_invalidates_without_restart(tmp_path):
+    graph = random_graph(33, n=30, extra=60)
+    frozen = DISO(graph, tau=3).freeze()
+    path = save_snapshot(frozen, tmp_path / "o.dsosnap")
+    batch = generate_queries(graph, 10, f_gen=2, p=0.01, seed=3)
+    with make_service(path, workers=1, cache_size=64) as service:
+        service.run(batch)
+        assert len(service._cache) > 0
+        service.retire_snapshot_epoch()
+        assert len(service._cache) == 0
+        rerun = service.run(batch)
+        assert rerun.cache_hits == 0
+        assert rerun.errors == [None] * len(batch)
+
+
+def test_error_answers_are_never_cached(tmp_path):
+    graph = random_graph(35, n=30, extra=60)
+    frozen = DISO(graph, tau=3).freeze()
+    path = save_snapshot(frozen, tmp_path / "o.dsosnap")
+    poison = (10**9, 0, None)  # node id not in the graph
+    with make_service(path, workers=1, cache_size=64) as service:
+        first = service.run([poison])
+        assert first.error_count == 1
+        assert len(service._cache) == 0
+        # The repeat is a fresh miss that fails again — not a NaN hit.
+        second = service.run([poison])
+        assert second.error_count == 1
+        assert second.cache_hits == 0
+
+
+def test_deadline_shedding_reports_shed_not_error(tmp_path):
+    graph = random_graph(37, n=30, extra=60)
+    frozen = DISO(graph, tau=3).freeze()
+    path = save_snapshot(frozen, tmp_path / "o.dsosnap")
+    batch = generate_queries(graph, 16, f_gen=2, p=0.01, seed=7)
+    with make_service(
+        path, workers=1, deadline_ms=1e-6
+    ) as service:  # impossible budget: everything sheds
+        report = service.run(batch)
+    assert report.shed_count == len(batch)
+    assert report.shed_rate == pytest.approx(1.0)
+    assert all(math.isnan(answer) for answer in report.answers)
+    assert report.error_count == 0
+    assert set(report.statuses) == {"shed"}
+
+
+def test_shed_then_cache_still_consistent(tmp_path):
+    """Shed queries must not poison the cache; a later unconstrained
+    run answers them correctly."""
+    graph = random_graph(39, n=30, extra=60)
+    frozen = DISO(graph, tau=3).freeze()
+    path = save_snapshot(frozen, tmp_path / "o.dsosnap")
+    batch = generate_queries(graph, 10, f_gen=2, p=0.01, seed=2)
+    expected = [frozen.query(q.source, q.target, q.failed) for q in batch]
+    with make_service(
+        path, workers=1, cache_size=64,
+        deadline_ms=1e-6,
+    ) as service:
+        shed_run = service.run(batch)
+        assert shed_run.shed_count == len(batch)
+        assert len(service._cache) == 0
+        # Lift the deadline: the same service answers everything.
+        service._admission = None
+        full = service.run(batch)
+    assert full.answers == expected
+    assert full.shed_count == 0
+
+
+def test_hot_pair_precompute_serves_next_run(tmp_path):
+    graph = random_graph(41, n=30, extra=60)
+    frozen = DISO(graph, tau=3).freeze()
+    path = save_snapshot(frozen, tmp_path / "o.dsosnap")
+    nodes = sorted(graph.nodes())
+    hot_query = (nodes[0], nodes[5], None)
+    batch = [hot_query] * 6 + [(nodes[1], nodes[7], None)]
+    with make_service(
+        path, workers=1, cache_size=64, hot_pairs=4
+    ) as service:
+        first = service.run(batch)
+        # Within-batch dedup: 5 duplicate hot queries hit immediately.
+        assert first.cache_hits >= 5
+        # After the run the tracker refreshed hot pairs; everything in
+        # the batch is cached, so a cold *distinct* pair drawn from the
+        # tracker would have been warmed.  Warm run: all hits.
+        warm = service.run(batch)
+        assert warm.cache_hits == len(batch)
+        stats = service.cache_stats()
+        assert stats is not None and stats["hits"] > 0
+
+
+def test_refresh_hot_pairs_precomputes_unseen_answers(tmp_path):
+    """Drive the tracker directly so refresh targets *uncached* keys,
+    then verify hits on them are flagged precomputed."""
+    graph = random_graph(43, n=30, extra=60)
+    frozen = DISO(graph, tau=3).freeze()
+    path = save_snapshot(frozen, tmp_path / "o.dsosnap")
+    nodes = sorted(graph.nodes())
+    failed = frozenset(random_failures_from(graph, 1, 2))
+    target_query = (nodes[2], nodes[9], tuple(sorted(failed)))
+    expected = frozen.query(nodes[2], nodes[9], failed)
+    with make_service(
+        path, workers=1, cache_size=64, hot_pairs=2
+    ) as service:
+        service.start()
+        key = canonical_query_key(*target_query)
+        for _ in range(8):
+            service._hot.observe(key)
+        stored = service.refresh_hot_pairs()
+        assert stored == 1
+        assert service.precomputed_total == 1
+        report = service.run([target_query])
+        assert report.answers == [expected]
+        assert report.cache_hits == 1
+        assert report.precomputed_hits == 1
+
+
+def test_cache_knob_validation():
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "o.dsosnap"
+        with pytest.raises(ValueError):
+            QueryService(path, workers=1, cache_size=-1)
+        with pytest.raises(ValueError):
+            QueryService(path, workers=1, deadline_ms=-2.0)
+        with pytest.raises(ValueError, match="hot_pairs"):
+            QueryService(path, workers=1, hot_pairs=4)  # no cache
+
+
+def test_stats_accessors_none_when_disabled(tmp_path):
+    graph = random_graph(45, n=20, extra=30)
+    frozen = DISO(graph, tau=3).freeze()
+    path = save_snapshot(frozen, tmp_path / "o.dsosnap")
+    with make_service(path, workers=1) as service:
+        service.run(generate_queries(graph, 4, f_gen=1, p=0.0, seed=1))
+        assert service.cache_stats() is None
+        assert service.admission_stats() is None

@@ -102,6 +102,21 @@ class TestCachingDISO:
         oracle.query(7, 90)
         assert len(oracle._cache) <= 2
 
+    def test_cache_stats_snapshot_is_consistent(self, small_road):
+        """stats() reads hits/misses/entries in one critical section
+        and always accounts for every lookup made so far."""
+        oracle = CachingDISO(small_road, tau=3, theta=1.0)
+        assert oracle.cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+        for _ in range(4):
+            oracle.query(0, 143)
+        stats = oracle.cache_stats()
+        assert stats["hits"] == oracle.cache_hits
+        assert stats["misses"] == oracle.cache_misses
+        assert stats["entries"] == len(oracle._cache)
+        # Every bounded-search lookup is either a hit or a miss.
+        assert stats["hits"] + stats["misses"] >= 8  # 2 searches/query
+        assert stats["hits"] > 0 and stats["misses"] > 0
+
     def test_maintenance_drops_cache_automatically(self, small_road):
         """OracleMaintainer invalidates the endpoint cache on updates."""
         from repro.oracle.maintenance import OracleMaintainer

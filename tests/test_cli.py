@@ -183,6 +183,30 @@ class TestServingCommands:
         assert code == 0
         assert "FrozenADISO" in capsys.readouterr().out
 
+    def test_serve_bench_zipf_cached(self, tmp_path, capsys):
+        snap = tmp_path / "ny-cache.dsosnap"
+        main(
+            ["snapshot", str(snap), "--dataset", "NY", "--scale", "0.1",
+             "--tau", "3"]
+        )
+        capsys.readouterr()
+        code = main(
+            ["serve-bench", str(snap), "--workers", "1", "--queries", "60",
+             "--workload", "zipf", "--cache-size", "256"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "zipf workload" in out
+        assert "cache     : 256 entries" in out
+        assert "hit%" in out
+        # Zipf repeats pairs within one batch: the dedup stage alone
+        # guarantees a non-zero hit count on the very first run.
+        row = next(
+            line for line in out.splitlines()
+            if line.strip().startswith("1 ")
+        )
+        assert float(row.split()[7].rstrip("%")) > 0.0
+
     def test_serve_bench_rejects_bad_workers(self, tmp_path):
         snap = tmp_path / "x.dsosnap"
         main(

@@ -289,6 +289,85 @@ class TestEpochFencing:
             service.stop()
 
 
+class TestCacheUnderFaults:
+    """The dispatcher cache must stay honest through injected faults:
+    only fence-accepted answers are inserted, and no entry from a
+    retired snapshot epoch is ever served."""
+
+    def test_deferred_result_never_pollutes_cache(self, served):
+        """defer_result stashes a reply and flushes it during a later
+        run; the fence drops it.  Nothing from the stale delivery may
+        enter the cache, and every entry must carry the live epoch."""
+        _, _, path, batch, expected = served
+        plan = FaultPlan.single("defer_result", at=1, worker=0)
+        with make_service(
+            path, workers=2, fault_plan=plan, cache_size=256,
+            batch_timeout=0.4, ping_timeout=5.0,
+        ) as service:
+            first = service.run(batch)
+            assert first.answers == expected
+            # The stashed epoch-1 reply flushes ahead of this run.
+            other, other_expected = fresh_batch(served, seed=61)
+            second = service.run(other)
+            assert second.answers == other_expected
+            assert service._cache.entry_epochs() <= {
+                service.snapshot_epoch
+            }
+            # Warm re-run of both batches: pure cache, same answers.
+            warm_first = service.run(batch)
+            warm_second = service.run(other)
+        assert warm_first.answers == expected
+        assert warm_first.cache_hits == len(batch)
+        assert warm_second.answers == other_expected
+        assert warm_second.cache_hits == len(other)
+
+    def test_aborted_run_then_epoch_retirement_serves_nothing_stale(
+        self, served
+    ):
+        """An error_reply abort raises mid-run; the snapshot epoch is
+        then retired.  Every answer cached before the retirement —
+        including any from the aborted run — must be refused: the
+        post-retirement cache may only ever hold live-epoch entries."""
+        _, _, path, batch, expected = served
+        plan = FaultPlan.single("error_reply", at=1, worker=0)
+        service = make_service(
+            path, workers=2, fault_plan=plan, cache_size=256
+        )
+        try:
+            with pytest.raises(RuntimeError, match="injected error reply"):
+                service.run(batch)
+            retired = service.snapshot_epoch
+            live = service.retire_snapshot_epoch()
+            assert live == retired + 1
+            assert len(service._cache) == 0
+            report = service.run(batch)
+            assert report.answers == expected
+            assert report.error_count == 0
+            # No pre-retirement epoch survives anywhere in the cache.
+            assert service._cache.entry_epochs() == {live}
+            warm = service.run(batch)
+            assert warm.answers == expected
+            assert warm.cache_hits == len(batch)
+        finally:
+            service.stop()
+
+    def test_crash_with_cache_keeps_parity(self, served):
+        """A worker crash mid-run must not leave half-computed or
+        duplicate results in the cache: the warm re-run still returns
+        the exact expected answers."""
+        _, _, path, batch, expected = served
+        plan = FaultPlan.single("crash", at=2, worker=0)
+        with make_service(
+            path, workers=2, fault_plan=plan, cache_size=256
+        ) as service:
+            first = service.run(batch)
+            assert first.answers == expected
+            assert first.restarts == 1
+            warm = service.run(batch)
+        assert warm.answers == expected
+        assert warm.cache_hits == len(batch)
+
+
 class TestStartMethodParity:
     @pytest.mark.skipif(
         "spawn" not in multiprocessing.get_all_start_methods(),
@@ -310,3 +389,30 @@ class TestStartMethodParity:
         for position, answer in enumerate(report.answers):
             if position != bad:
                 assert answer == expected[position]
+
+    @pytest.mark.skipif(
+        "spawn" not in multiprocessing.get_all_start_methods(),
+        reason="spawn start method unavailable",
+    )
+    def test_spawn_pool_epoch_invalidation(self, served):
+        """The cache + epoch machinery is dispatcher-side state, but
+        this pins that it composes with spawn workers identically to
+        fork: deferred stale replies are fenced, retirement empties
+        the cache, warm runs hit fully."""
+        _, _, path, batch, expected = served
+        plan = FaultPlan.single("defer_result", at=1, worker=0)
+        with QueryService(
+            path, workers=2, chunk_size=CHUNK, cache_size=256,
+            start_method="spawn", fault_plan=plan,
+            batch_timeout=0.4, ping_timeout=5.0,
+        ) as service:
+            first = service.run(batch)
+            assert first.answers == expected
+            live = service.retire_snapshot_epoch()
+            assert len(service._cache) == 0
+            second = service.run(batch)
+            assert second.answers == expected
+            assert service._cache.entry_epochs() == {live}
+            warm = service.run(batch)
+        assert warm.answers == expected
+        assert warm.cache_hits == len(batch)

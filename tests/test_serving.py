@@ -137,11 +137,18 @@ class TestQueryService:
         assert set(summary) == {
             "workers", "queries", "qps", "p50_us", "p99_us", "restarts",
             "errors", "result_plane", "dispatch_overhead_us",
-            "pipe_bytes_per_batch",
+            "pipe_bytes_per_batch", "cache_hits", "cache_hit_ratio",
+            "precomputed_hits", "shed_rate",
         }
         assert summary["errors"] == 0
         assert summary["result_plane"] in ("shm", "pipe")
         assert summary["pipe_bytes_per_batch"] > 0
+        # Caching and admission are off by default: a plain service
+        # reports zeros, not surprises.
+        assert summary["cache_hits"] == 0
+        assert summary["cache_hit_ratio"] == 0.0
+        assert summary["precomputed_hits"] == 0
+        assert summary["shed_rate"] == 0.0
 
     def test_clean_run_reports_no_errors(self, served):
         _, _, path, batch, _ = served
@@ -191,6 +198,24 @@ class TestQueryEngineProcessBackend:
         engine.run(batch[:4])
         engine.close()
         engine.close()
+
+    def test_cache_knobs_require_process_backend(self, served):
+        _, frozen, _, _, _ = served
+        with pytest.raises(ValueError, match="process backend"):
+            QueryEngine(frozen, threads=2, cache_size=64)
+        with pytest.raises(ValueError, match="process backend"):
+            QueryEngine(frozen, threads=2, deadline_ms=5.0)
+
+    def test_cached_engine_parity_and_hit_reporting(self, served):
+        _, frozen, _, batch, expected = served
+        with QueryEngine(frozen, processes=1, cache_size=256) as engine:
+            cold = engine.run(batch)
+            warm = engine.run(batch)
+        assert cold.answers == expected
+        assert warm.answers == expected
+        assert warm.cache_hits == len(batch)
+        assert warm.cache_hit_ratio == pytest.approx(1.0)
+        assert warm.shed_rate == pytest.approx(0.0)
 
     def test_process_backend_surfaces_per_query_errors(self, served):
         from repro.workload.queries import Query

@@ -18,8 +18,10 @@ from repro.workload.queries import (
     essential_failures,
     generate_queries,
     generate_query,
+    generate_zipf_queries,
     random_failures,
 )
+from repro.workload.scenarios import sample_bursty_query_times
 
 
 class TestEssentialFailures:
@@ -123,6 +125,110 @@ class TestGenerateQueries:
         for q in queries:
             assert q.source in nodes
             assert q.target in nodes
+
+
+class TestZipfQueries:
+    def test_deterministic(self, small_road):
+        first = generate_zipf_queries(small_road, 50, seed=11)
+        again = generate_zipf_queries(small_road, 50, seed=11)
+        assert first == again
+        assert generate_zipf_queries(small_road, 50, seed=12) != first
+
+    def test_pairs_come_from_bounded_pool(self, small_road):
+        queries = generate_zipf_queries(
+            small_road, 200, pool_size=10, seed=3
+        )
+        pairs = {(q.source, q.target) for q in queries}
+        assert len(pairs) <= 10
+        assert all(q.source != q.target for q in queries)
+
+    def test_triples_repeat_exactly(self, small_road):
+        """The cache-relevant property: full (s, t, F) keys recur —
+        the same pair reuses the same precomputed failure variants."""
+        queries = generate_zipf_queries(
+            small_road, 300, pool_size=8, variants_per_pair=3, seed=5
+        )
+        triples = {(q.source, q.target, q.failed) for q in queries}
+        assert len(triples) <= 8 * 3
+        # Skew means substantial repetition, not near-unique keys.
+        assert len(triples) < len(queries) / 4
+
+    def test_skew_concentrates_on_head(self, small_road):
+        queries = generate_zipf_queries(
+            small_road, 500, pool_size=25, skew=1.2, seed=7
+        )
+        counts: dict[tuple[int, int], int] = {}
+        for q in queries:
+            pair = (q.source, q.target)
+            counts[pair] = counts.get(pair, 0) + 1
+        ranked = sorted(counts.values(), reverse=True)
+        # The hottest pair dominates the median pair by a wide margin.
+        assert ranked[0] >= 5 * ranked[len(ranked) // 2]
+
+    def test_failure_variants_include_failure_free(self, small_road):
+        queries = generate_zipf_queries(
+            small_road, 200, pool_size=5, seed=9
+        )
+        assert any(q.num_failures == 0 for q in queries)
+        assert any(q.num_failures > 0 for q in queries)
+        for q in queries:
+            if q.essential_count:
+                assert q.num_failures >= q.essential_count
+
+    def test_validation(self, small_road):
+        with pytest.raises(ValueError):
+            generate_zipf_queries(small_road, 10, pool_size=0)
+        with pytest.raises(ValueError):
+            generate_zipf_queries(small_road, 10, skew=0.0)
+        with pytest.raises(ValueError):
+            generate_zipf_queries(small_road, 10, variants_per_pair=0)
+        with pytest.raises(ValueError):
+            generate_zipf_queries(small_road, -1)
+
+
+class TestBurstyQueryTimes:
+    def test_deterministic_sorted_and_bounded(self):
+        first = sample_bursty_query_times(200, 100.0, seed=4)
+        again = sample_bursty_query_times(200, 100.0, seed=4)
+        assert first == again
+        assert first == sorted(first)
+        assert all(0.0 <= t <= 100.0 for t in first)
+        assert len(first) == 200
+
+    def test_bursts_concentrate_arrivals(self):
+        times = sample_bursty_query_times(
+            400, 100.0, bursts=2, burst_fraction=0.9,
+            burst_width=0.02, seed=6,
+        )
+        # Bin into 1%-wide windows: ~90% of arrivals land in a handful
+        # of bins near the two burst centres; uniform traffic would
+        # spread ~4 per bin.
+        bins: dict[int, int] = {}
+        for t in times:
+            bins[int(t)] = bins.get(int(t), 0) + 1
+        assert max(bins.values()) > 50
+
+    def test_zero_fraction_is_uniformish(self):
+        times = sample_bursty_query_times(
+            300, 100.0, burst_fraction=0.0, seed=8
+        )
+        bins: dict[int, int] = {}
+        for t in times:
+            bins[int(t) // 10] = bins.get(int(t) // 10, 0) + 1
+        # Ten decile bins, none wildly over-full.
+        assert max(bins.values()) < 80
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_bursty_query_times(10, 0.0)
+        with pytest.raises(ValueError):
+            sample_bursty_query_times(10, 1.0, bursts=0)
+        with pytest.raises(ValueError):
+            sample_bursty_query_times(10, 1.0, burst_fraction=1.5)
+        with pytest.raises(ValueError):
+            sample_bursty_query_times(10, 1.0, burst_width=0.0)
+        with pytest.raises(ValueError):
+            sample_bursty_query_times(-1, 1.0)
 
 
 class TestDatasets:

@@ -215,6 +215,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="list suppressed findings and their justifications",
     )
 
+    shard = sub.add_parser(
+        "shard",
+        help="partition a graph and build a sharded snapshot directory",
+    )
+    shard.add_argument(
+        "snapshot_dir", help="output directory (manifest + shard files)"
+    )
+    shard.add_argument(
+        "--parts", type=int, default=2, help="shard count (default 2)"
+    )
+    shard.add_argument(
+        "--method",
+        choices=("metis", "spectral", "uniform"),
+        default="metis",
+        help="partitioner (default metis)",
+    )
+    shard.add_argument(
+        "--dataset", choices=sorted(DATASETS), default="NY"
+    )
+    shard.add_argument("--graph-file", help="edge list or DIMACS .gr file")
+    shard.add_argument(
+        "--format", choices=("edgelist", "dimacs"), default="edgelist"
+    )
+    shard.add_argument("--scale", type=float, default=0.5)
+    shard.add_argument("--tau", type=int, default=3)
+    shard.add_argument("--theta", type=float, default=1.0)
+    shard.add_argument("--seed", type=int, default=7)
+    shard.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="border-matrix build workers per shard (0 = inline)",
+    )
+    shard.add_argument(
+        "--verify",
+        type=int,
+        default=0,
+        metavar="N",
+        help="after building, check N random stitched answers against "
+        "an unsharded oracle over the same graph (default 0 = skip)",
+    )
+
     serve = sub.add_parser(
         "serve-bench",
         help="benchmark the process-pool query service over a snapshot",
@@ -418,6 +461,76 @@ def _run_snapshot(args) -> int:
     print(f"file bytes    : {info['file_bytes']}")
     print(f"sections      : {len(info['sections'])}")
     print(f"snapshot      : {args.snapshot_file}")
+    return 0
+
+
+def _run_shard(args) -> int:
+    from repro.sharding import (
+        build_sharded,
+        load_sharded_snapshot,
+        save_sharded_snapshot,
+        sharded_snapshot_info,
+    )
+
+    if args.parts < 1:
+        raise SystemExit("error: --parts must be >= 1")
+    graph = _load_graph(args)
+    try:
+        build = build_sharded(
+            graph,
+            args.parts,
+            method=args.method,
+            seed=args.seed,
+            tau=args.tau,
+            theta=args.theta,
+            jobs=args.jobs,
+        )
+    except Exception as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    target = save_sharded_snapshot(build, args.snapshot_dir)
+    info = sharded_snapshot_info(target)
+    meta = info["meta"]
+    plan = build.plan
+    print(f"graph         : {graph.number_of_nodes()} nodes / "
+          f"{graph.number_of_edges()} edges")
+    print(f"partitioner   : {plan.method} (seed {plan.seed})")
+    print(f"shards        : {plan.parts}  sizes "
+          f"{[len(nodes) for nodes in plan.shard_nodes]}")
+    print(f"border nodes  : {plan.num_borders}")
+    print(f"edge cut      : {plan.edge_cut}")
+    print(f"build s       : {build.build_seconds:.3f}")
+    print(f"manifest bytes: {info['manifest_bytes']}")
+    for name, size in info["shard_file_bytes"].items():
+        print(f"  {name}: {size} bytes")
+    print(f"snapshot dir  : {target}")
+    if args.verify:
+        import math
+        import random
+
+        from repro.oracle.diso import DISO as _DISO
+
+        reference = _DISO(graph, tau=args.tau, theta=args.theta).freeze()
+        sharded = load_sharded_snapshot(target)
+        rng = random.Random(args.seed)
+        nodes = sorted(graph.nodes())
+        edges = [(tail, head) for tail, head, _ in graph.edges()]
+        mismatches = 0
+        for _ in range(args.verify):
+            source, target_node = rng.choice(nodes), rng.choice(nodes)
+            failed = frozenset(
+                rng.sample(edges, min(len(edges), rng.randrange(0, 3)))
+            )
+            want = reference.query(source, target_node, failed)
+            got = sharded.query(source, target_node, failed)
+            same = want == got or (math.isinf(want) and math.isinf(got))
+            if not same and not math.isclose(
+                want, got, rel_tol=1e-9, abs_tol=0.0
+            ):
+                mismatches += 1
+        print(f"verify        : {args.verify} queries, "
+              f"{mismatches} mismatches")
+        if mismatches:
+            return 1
     return 0
 
 
@@ -647,6 +760,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_build(args)
     if args.command == "snapshot":
         return _run_snapshot(args)
+    if args.command == "shard":
+        return _run_shard(args)
     if args.command == "lint":
         return _run_lint(args)
     if args.command == "serve-bench":

@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 from collections import deque
 
+from repro.exceptions import PartitionError
 from repro.graph.digraph import DiGraph
 
 
@@ -38,16 +39,66 @@ def border_nodes(graph: DiGraph, assignment: dict[int, int]) -> set[int]:
     return borders
 
 
+def _ensure_nonempty(
+    assignment: dict[int, int], parts: int
+) -> dict[int, int]:
+    """Guarantee every part id in ``range(parts)`` owns >= 1 node.
+
+    Every partitioner in this module can otherwise emit empty parts —
+    random assignment can miss a part id outright, BFS growing on a
+    disconnected graph leaves unreachable seeds starved, and spectral
+    bisection stops early on blocks too small to split.  An empty part
+    crashes any per-part consumer (a per-shard oracle build gets an
+    empty node set), so the invariant is enforced here, in one place.
+
+    Mutates and returns ``assignment``: each empty part is donated one
+    node from the currently largest part (ties broken toward the
+    smallest part id; the donated node is the largest node id in the
+    donor — fully deterministic, no RNG).  When the invariant is
+    unsatisfiable (fewer nodes than parts) raises
+    :class:`~repro.exceptions.PartitionError` instead of returning a
+    partial cover.
+    """
+    if len(assignment) < parts:
+        raise PartitionError(
+            f"cannot partition {len(assignment)} node(s) into {parts} "
+            f"non-empty parts"
+        )
+    members: list[list[int]] = [[] for _ in range(parts)]
+    for node in sorted(assignment):
+        part = assignment[node]
+        if not 0 <= part < parts:
+            raise PartitionError(
+                f"node {node} assigned to part {part}, outside "
+                f"range({parts})"
+            )
+        members[part].append(node)
+    for part in range(parts):
+        if members[part]:
+            continue
+        donor = max(range(parts), key=lambda p: (len(members[p]), -p))
+        node = members[donor].pop()
+        members[part].append(node)
+        assignment[node] = part
+    return assignment
+
+
 def uniform_partition(
     graph: DiGraph,
     parts: int,
     seed: int = 0,
 ) -> dict[int, int]:
-    """Assign every node to one of ``parts`` partitions uniformly at random."""
+    """Assign every node to one of ``parts`` partitions uniformly at random.
+
+    Every part is guaranteed non-empty; raises
+    :class:`~repro.exceptions.PartitionError` when the graph has fewer
+    nodes than ``parts``.
+    """
     if parts < 1:
         raise ValueError("parts must be >= 1")
     rng = random.Random(seed)
-    return {node: rng.randrange(parts) for node in graph.nodes()}
+    assignment = {node: rng.randrange(parts) for node in graph.nodes()}
+    return _ensure_nonempty(assignment, parts)
 
 
 def edge_cut(graph: DiGraph, assignment: dict[int, int]) -> int:
@@ -201,6 +252,10 @@ def metis_like_partition(
     most ``max(coarsen_until, parts * 4)`` supernodes; (2) partition the
     coarsest graph by BFS region growing; (3) project back level by
     level, refining the boundary greedily at each level.
+
+    Every part is guaranteed non-empty; raises
+    :class:`~repro.exceptions.PartitionError` when the graph has fewer
+    nodes than ``parts``.
     """
     if parts < 1:
         raise ValueError("parts must be >= 1")
@@ -224,7 +279,7 @@ def metis_like_partition(
             node: assignment[supernode] for node, supernode in mapping.items()
         }
         _refine(level_graph, assignment, parts)
-    return assignment
+    return _ensure_nonempty(assignment, parts)
 
 
 def _level_graphs(graph: DiGraph, levels: list[dict[int, int]]) -> list[DiGraph]:
@@ -252,6 +307,10 @@ def spectral_partition(
     the symmetrised graph Laplacian, recursing until ``parts`` blocks
     exist.  Falls back to BFS bisection when scipy is unavailable or the
     eigensolver fails (tiny or disconnected blocks).
+
+    Every part is guaranteed non-empty; raises
+    :class:`~repro.exceptions.PartitionError` when the graph has fewer
+    nodes than ``parts``.
     """
     if parts < 1:
         raise ValueError("parts must be >= 1")
@@ -272,7 +331,7 @@ def spectral_partition(
     for part, block in enumerate(blocks):
         for node in block:
             assignment[node] = part
-    return assignment
+    return _ensure_nonempty(assignment, parts)
 
 
 def _bisect(
@@ -280,7 +339,22 @@ def _bisect(
     block: list[int],
     rng: random.Random,
 ) -> tuple[list[int], list[int]]:
-    fiedler = _fiedler_vector(graph, block)
+    # A disconnected block has a degenerate (multiplicity > 1) zero
+    # Laplacian eigenvalue: ARPACK returns an arbitrary vector from
+    # that eigenspace, so the "Fiedler" split of such a block is not
+    # reproducible.  Its natural zero-cut bisection is structural
+    # anyway — peel the largest connected component off.
+    components = _undirected_components(graph, block)
+    if len(components) > 1:
+        left = components[0]
+        right = [node for component in components[1:] for node in component]
+        return left, right
+    # Tiny connected blocks (cycles, cliques) routinely have symmetric
+    # spectra — degenerate again.  BFS bisection is deterministic and
+    # just as good at this size.
+    if len(block) < 8:
+        return _bfs_bisect(graph, block, rng)
+    fiedler = _fiedler_vector(graph, block, rng)
     if fiedler is None:
         return _bfs_bisect(graph, block, rng)
     ranked = sorted(zip(fiedler, block))
@@ -290,7 +364,38 @@ def _bisect(
     return left, right
 
 
-def _fiedler_vector(graph: DiGraph, block: list[int]) -> list[float] | None:
+def _undirected_components(
+    graph: DiGraph, block: list[int]
+) -> list[list[int]]:
+    """Connected components of ``block`` (undirected), largest first.
+
+    Fully deterministic: nodes are scanned in sorted order and ties on
+    component size break toward the smallest member.
+    """
+    member = set(block)
+    seen: set[int] = set()
+    components: list[list[int]] = []
+    for start in sorted(block):
+        if start in seen:
+            continue
+        component = [start]
+        seen.add(start)
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for other in sorted(_undirected_neighbors(graph, node)):
+                if other in member and other not in seen:
+                    seen.add(other)
+                    component.append(other)
+                    queue.append(other)
+        components.append(sorted(component))
+    components.sort(key=lambda component: (-len(component), component[0]))
+    return components
+
+
+def _fiedler_vector(
+    graph: DiGraph, block: list[int], rng: random.Random
+) -> list[float] | None:
     """Fiedler vector of the symmetrised Laplacian restricted to ``block``."""
     if len(block) < 4:
         return None
@@ -320,9 +425,15 @@ def _fiedler_vector(graph: DiGraph, block: list[int]) -> list[float] | None:
     ).tocsr()
     adjacency.sum_duplicates()
     lap = laplacian(adjacency)
+    # ARPACK starts from a *random* vector unless v0 is pinned; on a
+    # disconnected block the lambda=0 eigenspace is degenerate, so an
+    # unpinned start returns a different "Fiedler" vector — and a
+    # different cut — every call.  Seed the start from the caller's RNG
+    # so equal seeds give bitwise-equal partitions.
+    v0 = np.array([rng.random() + 0.1 for _ in range(len(block))])
     try:
         _, vectors = eigsh(
-            lap.asfptype(), k=2, which="SM", maxiter=2000, tol=1e-4
+            lap.asfptype(), k=2, which="SM", maxiter=2000, tol=1e-4, v0=v0
         )
     except Exception:  # dsolint: disable=DSO402 -- spectral bisection is best-effort; None routes to the BFS fallback
         return None

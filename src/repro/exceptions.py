@@ -71,6 +71,17 @@ class PreprocessingError(ReproError):
     """
 
 
+class PartitionError(ReproError):
+    """Raised when a graph cannot be partitioned as requested.
+
+    Examples: asking for more parts than the graph has nodes, or
+    partitioning an empty graph.  Partitioners guarantee every emitted
+    part is non-empty (an empty part would make a per-shard oracle
+    build crash on an empty node set), so impossible requests fail
+    here, eagerly and with a clear message, instead of downstream.
+    """
+
+
 class FormatError(ReproError):
     """Raised when parsing a graph file fails."""
 

@@ -62,6 +62,11 @@ class ThroughputReport:
     precomputed_hits: int = 0
     #: Input positions shed by deadline admission control.
     shed_indices: list[int] = field(default_factory=list)
+    #: Shard count of the serving plane behind this run; 0 everywhere
+    #: except the sharded process backend.
+    shards: int = 0
+    #: Fraction of the batch stitched across shards (sharded plane).
+    cross_shard_ratio: float = 0.0
 
     @property
     def queries_per_second(self) -> float:
@@ -238,6 +243,8 @@ class QueryEngine:
                 cache_hits=report.cache_hits,
                 precomputed_hits=report.precomputed_hits,
                 shed_indices=report.shed_indices,
+                shards=report.shards,
+                cross_shard_ratio=report.cross_shard_ratio,
             )
         if self.threads == 1:
             # One worker means nothing to schedule: answer in the

@@ -24,11 +24,13 @@ from repro.serving.faults import (
 )
 from repro.serving.ring import ResultRing
 from repro.serving.service import QueryService, ServeReport, WorkerStats
+from repro.serving.sharded import ShardedQueryService
 from repro.serving.worker import QUERY_ERROR, worker_main
 
 __all__ = [
     "QueryService",
     "ServeReport",
+    "ShardedQueryService",
     "WorkerStats",
     "ResultRing",
     "ResultCache",

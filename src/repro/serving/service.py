@@ -158,6 +158,16 @@ class ServeReport:
     #: shed is a dispatcher decision, not a query failure), and its
     #: status reads ``"shed"``.
     shed_indices: list[int] = field(default_factory=list)
+    #: Shard count of the serving plane that produced this report; 0
+    #: for the unsharded (single-snapshot) service.
+    shards: int = 0
+    #: Fraction of the batch whose endpoints lived in different shards
+    #: (answered by stitching); 0.0 on the unsharded plane.
+    cross_shard_ratio: float = 0.0
+    #: Per-shard routed load: leg queries dispatched to each shard's
+    #: pool (local legs, border legs, and matrix repairs all count).
+    #: Empty on the unsharded plane.
+    shard_loads: list[int] = field(default_factory=list)
 
     @property
     def queries_per_second(self) -> float:
@@ -252,6 +262,8 @@ class ServeReport:
             "cache_hit_ratio": round(self.cache_hit_ratio, 3),
             "precomputed_hits": self.precomputed_hits,
             "shed_rate": round(self.shed_rate, 3),
+            "shards": self.shards,
+            "cross_shard_ratio": round(self.cross_shard_ratio, 3),
         }
 
 

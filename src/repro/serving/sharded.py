@@ -1,0 +1,393 @@
+"""Sharded serving: route queries to owning shards, stitch the rest.
+
+:class:`ShardedQueryService` serves a sharded snapshot directory
+(:func:`repro.sharding.snapshot.save_sharded_snapshot`).  The
+dispatcher loads only the manifest — the
+:class:`~repro.sharding.oracle.BorderOverlay` — and composes one inner
+:class:`~repro.serving.service.QueryService` *per shard*, each mapping
+exactly one ``shard-*.dsosnap`` file across its workers.  The full
+index is never resident in any single process.
+
+``run()`` turns each input query into shard-local *leg* queries
+(DESIGN.md §13 routing table):
+
+* same-shard ``(s, t)``: one **local** leg on the owning shard — plus
+  the border legs below, because the true shortest path may leave the
+  shard and return (the stitched answer is min-ed with the local one);
+* every query whose source shard has borders: one **outbound** leg
+  ``(s, b1, F_s)`` per source-shard border, and one **inbound** leg
+  ``(b2, t, F_t)`` per target-shard border;
+* every shard ``k`` with a non-empty owned failure set ``F_k``: a
+  **repair** leg ``(a, b, F_k)`` per ordered border pair, rebuilding
+  its type-2 overlay rows under the failures.
+
+Legs are deduplicated per shard on the canonical ``(s, t, F)`` key —
+two queries sharing a source and failure set share the outbound legs,
+and every query in a batch under the same ``F_k`` shares one repair set
+— then each shard's pool answers its batch through the ordinary
+dispatcher (result planes, crash replacement, epoch fencing all
+inherited).  Stitching runs in this process over the answered legs via
+:func:`~repro.sharding.oracle.stitch_over_borders`.
+
+Error semantics match the unsharded plane: a poison endpoint yields a
+NaN answer and a ``"QueryError: ..."`` message (same text the worker
+would produce), never an aborted run; a failed leg poisons exactly the
+queries that needed it.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from collections.abc import Sequence
+
+from repro.serving.cache import canonical_query_key
+from repro.serving.service import QueryService, ServeReport, _wire_query
+from repro.serving.worker import QUERY_ERROR
+from repro.sharding.oracle import INFINITY
+from repro.sharding.snapshot import load_shard_plan_overlay
+
+
+class _QueryPlan:
+    """Routing decision for one input query (leg references by index)."""
+
+    __slots__ = (
+        "error", "shard_s", "shard_t", "local", "out_legs", "in_legs",
+        "repairs", "cross_failed", "cross_shard",
+    )
+
+    def __init__(self) -> None:
+        self.error: str | None = None
+        self.shard_s = -1
+        self.shard_t = -1
+        #: ``(shard, leg index)`` of the local leg, or ``None``.
+        self.local: tuple[int, int] | None = None
+        #: ``[(border, (shard, leg index)), ...]`` source-side legs.
+        self.out_legs: list = []
+        #: ``[(border, (shard, leg index)), ...]`` target-side legs.
+        self.in_legs: list = []
+        #: ``{shard: [[leg ref or None per border pair]]}`` repair rows.
+        self.repairs: dict[int, list[list]] = {}
+        self.cross_failed = frozenset()
+        self.cross_shard = False
+
+
+class ShardedQueryService:
+    """Serve a sharded snapshot directory with per-shard worker pools.
+
+    Parameters
+    ----------
+    snapshot_dir:
+        Directory written by
+        :func:`repro.sharding.snapshot.save_sharded_snapshot`.
+    workers_per_shard:
+        Pool size of each shard's inner :class:`QueryService`.
+    verify:
+        Verify manifest and shard checksums while loading.
+    start_method, result_plane, chunk_size, max_restarts,
+    batch_timeout, ping_timeout:
+        Forwarded to every inner :class:`QueryService`.
+
+    Examples
+    --------
+    >>> from repro import DISO, grid_network
+    >>> from repro.sharding import build_sharded, save_sharded_snapshot
+    >>> from repro.serving.sharded import ShardedQueryService
+    >>> g = grid_network(4, 4)
+    >>> path = save_sharded_snapshot(
+    ...     build_sharded(g, 2, seed=1), "/tmp/doc-sharded"
+    ... )
+    >>> with ShardedQueryService(path, workers_per_shard=1) as service:
+    ...     report = service.run([(0, 15, None), (15, 0, ((0, 1),))])
+    >>> report.shards
+    2
+    >>> report.error_count
+    0
+    """
+
+    def __init__(
+        self,
+        snapshot_dir: str | Path,
+        workers_per_shard: int = 1,
+        verify: bool = True,
+        start_method: str | None = None,
+        result_plane: str | None = None,
+        chunk_size: int | None = None,
+        max_restarts: int | None = None,
+        batch_timeout: float = 30.0,
+        ping_timeout: float = 5.0,
+    ) -> None:
+        if workers_per_shard < 1:
+            raise ValueError("workers_per_shard must be >= 1")
+        self.snapshot_dir = str(snapshot_dir)
+        overlay, meta, shard_paths = load_shard_plan_overlay(
+            snapshot_dir, verify=verify
+        )
+        self.overlay = overlay
+        self.meta = meta
+        self.shards = overlay.parts
+        self.workers_per_shard = workers_per_shard
+        self._services = [
+            QueryService(
+                path,
+                workers=workers_per_shard,
+                start_method=start_method,
+                result_plane=result_plane,
+                chunk_size=chunk_size,
+                max_restarts=max_restarts,
+                batch_timeout=batch_timeout,
+                ping_timeout=ping_timeout,
+            )
+            for path in shard_paths
+        ]
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ShardedQueryService":
+        """Start every shard pool (lazy on first ``run()`` otherwise)."""
+        for service in self._services:
+            service.start()
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Stop every shard pool."""
+        for service in self._services:
+            service.stop()
+        self._started = False
+
+    def __enter__(self) -> "ShardedQueryService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def workers(self) -> int:
+        """Total workers across every shard pool."""
+        return self.shards * self.workers_per_shard
+
+    @property
+    def total_restarts(self) -> int:
+        """Worker replacements across all shard pools since start."""
+        return sum(service.total_restarts for service in self._services)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _plan_queries(
+        self, wire: list[tuple]
+    ) -> tuple[list[_QueryPlan], list[list[tuple]]]:
+        """Turn wire queries into per-shard leg batches plus plans."""
+        overlay = self.overlay
+        assignment = overlay.assignment
+        shard_legs: list[list[tuple]] = [[] for _ in range(self.shards)]
+        leg_index: list[dict] = [{} for _ in range(self.shards)]
+        #: ``(shard, canonical F_k) -> repair leg-ref rows`` — one
+        #: repair set per distinct failure set per shard per batch.
+        repair_rows: dict[tuple, list[list]] = {}
+
+        def leg(shard: int, source: int, target: int, failed) -> tuple[int, int]:
+            key = canonical_query_key(source, target, failed)
+            index = leg_index[shard].get(key)
+            if index is None:
+                index = len(shard_legs[shard])
+                leg_index[shard][key] = index
+                shard_legs[shard].append(
+                    (source, target, tuple(failed) if failed else None)
+                )
+            return (shard, index)
+
+        plans: list[_QueryPlan] = []
+        for source, target, failed in wire:
+            plan = _QueryPlan()
+            plans.append(plan)
+            if source not in assignment:
+                plan.error = (
+                    f"QueryError: source node {source!r} is not in the graph"
+                )
+                continue
+            if target not in assignment:
+                plan.error = (
+                    f"QueryError: target node {target!r} is not in the graph"
+                )
+                continue
+            try:
+                per_shard, cross_failed = overlay.split_failures(failed)
+            except Exception as exc:
+                plan.error = f"{type(exc).__name__}: {exc}"
+                continue
+            plan.shard_s = assignment[source]
+            plan.shard_t = assignment[target]
+            plan.cross_shard = plan.shard_s != plan.shard_t
+            plan.cross_failed = cross_failed
+            f_s = per_shard.get(plan.shard_s, frozenset())
+            f_t = per_shard.get(plan.shard_t, frozenset())
+            if not plan.cross_shard:
+                plan.local = leg(plan.shard_s, source, target, f_s)
+            borders_s = overlay.shard_borders[plan.shard_s]
+            borders_t = overlay.shard_borders[plan.shard_t]
+            if not borders_s or not borders_t:
+                continue  # local answer (or inf) is already exact
+            plan.out_legs = [
+                (border, leg(plan.shard_s, source, border, f_s))
+                for border in borders_s
+            ]
+            plan.in_legs = [
+                (border, leg(plan.shard_t, border, target, f_t))
+                for border in borders_t
+            ]
+            for shard in overlay.shards_touched(per_shard):
+                failures = per_shard[shard]
+                rows_key = (shard, canonical_query_key(0, 0, failures)[2])
+                rows = repair_rows.get(rows_key)
+                if rows is None:
+                    borders = overlay.shard_borders[shard]
+                    rows = [
+                        [
+                            None if a == b else leg(shard, a, b, failures)
+                            for b in borders
+                        ]
+                        for a in borders
+                    ]
+                    repair_rows[rows_key] = rows
+                plan.repairs[shard] = rows
+        return plans, shard_legs
+
+    # ------------------------------------------------------------------
+    # Dispatch + stitch
+    # ------------------------------------------------------------------
+    def run(
+        self, queries: Sequence, chunk_size: int | None = None
+    ) -> ServeReport:
+        """Answer ``queries``, stitching cross-shard ones over borders.
+
+        Answers keep input order and are bitwise-identical (NaN
+        sentinel included) to the unsharded frozen oracle whenever
+        float addition over the graph's weights is exact — the
+        property the sharded parity suite locks down.
+        """
+        started = time.perf_counter()
+        for service in self._services:
+            if not service._started:
+                service.start()
+        self._started = True
+        wire = [_wire_query(query) for query in queries]
+        plans, shard_legs = self._plan_queries(wire)
+
+        reports: list[ServeReport | None] = [None] * self.shards
+        for shard, legs in enumerate(shard_legs):
+            if legs:
+                reports[shard] = self._services[shard].run(
+                    legs, chunk_size=chunk_size
+                )
+
+        def leg_value(ref: tuple[int, int]) -> tuple[float, str | None]:
+            shard, index = ref
+            report = reports[shard]
+            return report.answers[index], report.errors[index]
+
+        answers: list[float] = []
+        latencies: list[float] = []
+        errors: list[str | None] = []
+        perf = time.perf_counter
+        for plan in plans:
+            tick = perf()
+            answer, message = self._stitch(plan, leg_value)
+            answers.append(answer)
+            errors.append(message)
+            latencies.append(perf() - tick)
+
+        # Aggregate the shard pools' accounting into one report.
+        per_worker = []
+        restarts = 0
+        dispatch_seconds = 0.0
+        pipe_bytes = 0
+        result_batches = 0
+        planes = set()
+        for report in reports:
+            if report is None:
+                continue
+            restarts += report.restarts
+            dispatch_seconds += report.dispatch_seconds
+            pipe_bytes += report.pipe_bytes
+            result_batches += report.result_batches
+            planes.add(report.result_plane)
+            per_worker.extend(report.per_worker)
+        for slot, stats in enumerate(per_worker):
+            stats.index = slot
+        cross = sum(1 for plan in plans if plan.cross_shard)
+        return ServeReport(
+            answers=answers,
+            latencies=latencies,
+            wall_seconds=time.perf_counter() - started,
+            workers=self.workers,
+            per_worker=per_worker,
+            restarts=restarts,
+            errors=errors,
+            result_plane="pipe" if not planes else (
+                "shm" if planes == {"shm"} else "pipe"
+            ),
+            dispatch_seconds=dispatch_seconds,
+            pipe_bytes=pipe_bytes,
+            result_batches=result_batches,
+            shards=self.shards,
+            cross_shard_ratio=(cross / len(wire)) if wire else 0.0,
+            shard_loads=[len(legs) for legs in shard_legs],
+        )
+
+    def _stitch(
+        self, plan: _QueryPlan, leg_value
+    ) -> tuple[float, str | None]:
+        """Combine one query's answered legs into its final answer."""
+        if plan.error is not None:
+            return QUERY_ERROR, plan.error
+
+        local = INFINITY
+        if plan.local is not None:
+            local, message = leg_value(plan.local)
+            if message is not None:
+                return QUERY_ERROR, message
+        if not plan.out_legs:
+            return local, None
+
+        sources = []
+        for border, ref in plan.out_legs:
+            value, message = leg_value(ref)
+            if message is not None:
+                return QUERY_ERROR, message
+            sources.append((border, value))
+        targets = {}
+        for border, ref in plan.in_legs:
+            value, message = leg_value(ref)
+            if message is not None:
+                return QUERY_ERROR, message
+            if value < INFINITY:
+                targets[border] = value
+        repaired = {}
+        for shard, ref_rows in plan.repairs.items():
+            rows = []
+            for ref_row in ref_rows:
+                row = []
+                for ref in ref_row:
+                    if ref is None:
+                        row.append(0.0)
+                        continue
+                    value, message = leg_value(ref)
+                    if message is not None:
+                        return QUERY_ERROR, message
+                    row.append(value)
+                rows.append(row)
+            repaired[shard] = rows
+
+        from repro.sharding.oracle import stitch_over_borders
+
+        adjacency = self.overlay.adjacency(repaired, plan.cross_failed)
+        return (
+            stitch_over_borders(
+                sources, targets, adjacency, upper_bound=local
+            ),
+            None,
+        )

@@ -1,0 +1,193 @@
+"""Sharded build: per-shard oracles plus the border-distance overlay.
+
+:func:`build_sharded` takes a :class:`~repro.sharding.plan.ShardPlan`
+cut and produces, per shard, a frozen DISO over the shard's induced
+subgraph, plus the *border matrix* — the failure-free distances
+``d_k(b, b')`` between every pair of the shard's border nodes inside
+that shard.  Border matrices are the type-2 edges of the cross-shard
+overlay graph the stitcher walks (DESIGN.md §13).
+
+Border rows are computed as LANDMARK-kind units of the parallel build
+plane (:func:`repro.build.worker.compute_unit`): each border node is a
+"landmark" of its shard subgraph and its unit is the same encoded
+forward/backward Dijkstra pair the ADISO landmark build ships —
+inline for ``jobs=0``, fanned over a
+:class:`repro.build.coordinator._BuildPool` per shard otherwise.
+Both paths produce byte-identical shard frames, so the matrices do not
+depend on the worker count.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.build.shards import LANDMARK_KIND, decode_shard
+from repro.build.worker import compute_unit
+from repro.graph.digraph import DiGraph
+from repro.oracle.diso import DISO
+from repro.sharding.plan import ShardPlan, make_shard_plan
+
+INFINITY = float("inf")
+
+
+@dataclass
+class ShardedBuild:
+    """The finished sharded index, ready to snapshot or query.
+
+    Attributes
+    ----------
+    plan:
+        The cut this build realises.
+    shard_graphs:
+        Per shard, the induced subgraph the oracle was built on.
+    shard_oracles:
+        Per shard, a frozen DISO over that subgraph.
+    border_matrices:
+        Per shard, the row-major failure-free distance matrix over the
+        shard's sorted border list (``matrix[i][j] = d_k(b_i, b_j)``
+        inside the shard subgraph; ``inf`` when unreachable).
+    build_seconds:
+        Wall time of the whole sharded build.
+    """
+
+    plan: ShardPlan
+    shard_graphs: list[DiGraph]
+    shard_oracles: list
+    border_matrices: list[list[list[float]]]
+    build_seconds: float = 0.0
+
+
+def _shard_transit(shard_graph: DiGraph, tau: int, theta: float):
+    """Transit set for one shard's oracle, never empty.
+
+    Tiny shards (a few nodes, or no edges at all) can yield an empty
+    ISC cover, which DISO rejects; falling back to *all* shard nodes
+    keeps the oracle exact — it just means no query on that shard
+    benefits from the overlay shortcut.
+    """
+    transit = DISO.select_transit(shard_graph, tau=tau, theta=theta)
+    if not transit:
+        transit = set(shard_graph.nodes())
+    return transit
+
+
+def compute_border_matrix(
+    shard_graph: DiGraph,
+    borders: tuple[int, ...] | list[int],
+    jobs: int = 0,
+    start_method: str | None = None,
+) -> list[list[float]]:
+    """Failure-free border-to-border distances inside one shard.
+
+    Each border node is dispatched as a LANDMARK-kind unit of the
+    parallel build plane; the decoded outbound Dijkstra row, projected
+    onto the border columns, is the matrix row.  ``jobs=0`` computes
+    the identical units inline.
+    """
+    borders = list(borders)
+    if not borders:
+        return []
+    node_ids = sorted(shard_graph.nodes())
+    shard_bytes: dict[int, bytes] = {}
+    if jobs > 0:
+        _pooled_landmark_units(
+            shard_graph, borders, node_ids, jobs, start_method, shard_bytes
+        )
+    else:
+        transit = frozenset(borders)
+        for border in borders:
+            shard_bytes[border] = compute_unit(
+                LANDMARK_KIND, border, shard_graph, shard_graph,
+                transit, node_ids,
+            )
+    matrix: list[list[float]] = []
+    for border in borders:
+        decoded = decode_shard(shard_bytes[border])
+        outbound, _ = decoded.to_rows(node_ids)
+        matrix.append([outbound.get(other, INFINITY) for other in borders])
+    return matrix
+
+
+def _pooled_landmark_units(
+    shard_graph, borders, node_ids, jobs, start_method, out: dict
+) -> None:
+    """Fan one shard's border units over a build-plane worker pool."""
+    from repro.build.coordinator import _BuildPool, _resolve_start_method
+    from repro.build.graph_store import build_container_bytes
+    from repro.build.profiler import BuildReport
+
+    container = build_container_bytes(
+        shard_graph,
+        family="diso",
+        params={"role": "border-overlay"},
+        transit=sorted(borders),
+        landmarks=list(borders),
+    )
+    report = BuildReport(family="diso", jobs=jobs)
+    with tempfile.TemporaryDirectory(prefix="dso-shard-build-") as tmp:
+        container_path = Path(tmp) / "shard.dsobld"
+        container_path.write_bytes(container)
+        pool = _BuildPool(
+            container_path,
+            workers=jobs,
+            start_method=_resolve_start_method(start_method),
+            max_restarts=None,
+            report=report,
+        )
+        try:
+            units = [(LANDMARK_KIND, border) for border in borders]
+            chunk = max(1, len(units) // (jobs * 4) or 1)
+            pool.run(
+                units, chunk,
+                lambda kind, label, data: out.__setitem__(label, data),
+            )
+        finally:
+            pool.shutdown()
+
+
+def build_sharded(
+    graph: DiGraph,
+    parts: int,
+    method: str = "metis",
+    seed: int = 0,
+    tau: int = 3,
+    theta: float = 1.0,
+    jobs: int = 0,
+    start_method: str | None = None,
+    plan: ShardPlan | None = None,
+) -> ShardedBuild:
+    """Cut ``graph`` and build the full sharded index.
+
+    Returns a :class:`ShardedBuild` whose oracles answer shard-local
+    queries exactly; stitched cross-shard answers come from
+    :class:`repro.sharding.oracle.ShardedOracle` (or the sharded
+    serving plane) on top of it.
+    """
+    started = time.perf_counter()
+    if plan is None:
+        plan = make_shard_plan(graph, parts, method=method, seed=seed)
+    shard_graphs = [graph.subgraph(nodes) for nodes in plan.shard_nodes]
+    shard_oracles = [
+        DISO(
+            shard_graph, tau=tau, theta=theta,
+            transit=_shard_transit(shard_graph, tau, theta),
+        ).freeze()
+        for shard_graph in shard_graphs
+    ]
+    border_matrices = [
+        compute_border_matrix(
+            shard_graph, plan.shard_borders[shard],
+            jobs=jobs, start_method=start_method,
+        )
+        for shard, shard_graph in enumerate(shard_graphs)
+    ]
+    return ShardedBuild(
+        plan=plan,
+        shard_graphs=shard_graphs,
+        shard_oracles=shard_oracles,
+        border_matrices=border_matrices,
+        build_seconds=time.perf_counter() - started,
+    )

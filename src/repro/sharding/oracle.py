@@ -1,0 +1,317 @@
+"""Stitched queries over a sharded index: the border overlay walk.
+
+The exact decomposition (DESIGN.md §13): any ``s -> t`` path that
+leaves ``shard(s)`` does so for the first time at a border node ``b1``
+of ``shard(s)``, and enters ``shard(t)`` for the last time at a border
+node ``b2`` of ``shard(t)``.  Between ``b1`` and ``b2`` the path is a
+walk in the *border overlay graph* ``H``: its nodes are all border
+nodes, its type-1 edges are the original cross-shard edges (both
+endpoints are borders by definition), and its type-2 edges are the
+within-shard border-to-border distances ``d_k(b, b')``.  So
+
+``d(s, t, F) = min( d_local ,
+min over b1 in B(shard(s)), b2 in B(shard(t)) of
+d_{shard(s)}(s, b1, F_s)  +  d_H(b1, b2, F)  +  d_{shard(t)}(b2, t, F_t) )``
+
+where ``d_local`` applies only when both endpoints share a shard
+(shortest paths may still *escape* a shard and return — same-shard
+queries therefore take the min of the local answer and the stitched
+walk; the local answer alone is exact only when the shard has no
+borders, i.e. no path can escape).
+
+Failure handling: ``F`` is split by ownership.  Edges inside shard
+``k`` form ``F_k`` and are forwarded to every leg computed on shard
+``k``'s oracle; failed *cross* edges are dropped from the type-1 edges
+of ``H``; and for every shard with ``F_k`` non-empty the precomputed
+type-2 matrix rows are *repaired* per query by re-asking shard ``k``'s
+oracle under ``F_k`` — which handles failure sets that hit border
+nodes' incident edges exactly.  Failed edges unknown to the graph are
+ignored, matching the unsharded oracles.
+
+:class:`BorderOverlay` holds the thin, oracle-free overlay state (the
+part a serving dispatcher keeps in memory); :class:`ShardedOracle`
+adds the per-shard oracles for fully in-process stitched queries.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Iterable
+
+from repro.exceptions import QueryError
+from repro.graph.digraph import Edge
+
+INFINITY = float("inf")
+
+#: ``adjacency(u)`` yields ``(v, weight)`` overlay edges out of ``u``.
+AdjacencyFn = Callable[[int], Iterable[tuple[int, float]]]
+
+
+def stitch_over_borders(
+    sources: list[tuple[int, float]],
+    targets: dict[int, float],
+    adjacency: AdjacencyFn,
+    upper_bound: float = INFINITY,
+) -> float:
+    """Multi-source Dijkstra over the border overlay graph.
+
+    ``sources`` seeds each entry border with its ``d(s, b1)`` leg,
+    ``targets`` maps each exit border to its ``d(b2, t)`` leg, and
+    ``adjacency`` enumerates the overlay edges (type-1 cross edges plus
+    type-2 within-shard border rows).  Returns the best completed
+    ``source-leg + overlay-walk + target-leg`` total, never better than
+    ``upper_bound`` (pass the local answer to prune the search).
+    """
+    best = upper_bound
+    dist: dict[int, float] = {}
+    heap: list[tuple[float, int]] = []
+    for border, lead in sources:
+        if lead < INFINITY and lead < dist.get(border, INFINITY):
+            dist[border] = lead
+            heapq.heappush(heap, (lead, border))
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist.get(u, INFINITY) or d >= best:
+            continue
+        tail = targets.get(u)
+        if tail is not None and d + tail < best:
+            best = d + tail
+        for v, weight in adjacency(u):
+            nd = d + weight
+            if nd < dist.get(v, INFINITY):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return best
+
+
+class BorderOverlay:
+    """The oracle-free overlay: assignment, borders, matrices, cross edges.
+
+    This is everything a query router needs that is *not* a per-shard
+    index: it fits in a dispatcher process without loading any shard
+    snapshot, and is what the sharded manifest serializes.
+    """
+
+    def __init__(
+        self,
+        assignment: dict[int, int],
+        shard_borders: tuple[tuple[int, ...], ...],
+        cross_edges: Iterable[tuple[int, int, float]],
+        border_matrices: list[list[list[float]]],
+    ) -> None:
+        self.assignment = assignment
+        self.parts = len(shard_borders)
+        self.shard_borders = tuple(tuple(b) for b in shard_borders)
+        self.border_matrices = border_matrices
+        #: Per shard, ``border -> row index`` into its matrix.
+        self.border_index: list[dict[int, int]] = [
+            {border: i for i, border in enumerate(borders)}
+            for borders in self.shard_borders
+        ]
+        #: Type-1 overlay edges: ``u -> ((v, w), ...)``, plus the edge
+        #: key set for failure filtering.
+        cross_adj: dict[int, list[tuple[int, float]]] = {}
+        cross_keys: set[Edge] = set()
+        for tail, head, weight in cross_edges:
+            cross_adj.setdefault(tail, []).append((head, weight))
+            cross_keys.add((tail, head))
+        self.cross_adjacency = {
+            u: tuple(edges) for u, edges in cross_adj.items()
+        }
+        self.cross_keys = frozenset(cross_keys)
+        #: Type-2 overlay edges, failure-free: per shard, per border
+        #: row index, ``((b', w), ...)`` with inf/self entries dropped.
+        self.type2: list[list[tuple[tuple[int, float], ...]]] = [
+            [
+                tuple(
+                    (self.shard_borders[shard][j], weight)
+                    for j, weight in enumerate(row)
+                    if j != i and weight < INFINITY
+                )
+                for i, row in enumerate(matrix)
+            ]
+            for shard, matrix in enumerate(border_matrices)
+        ]
+
+    # ------------------------------------------------------------------
+    # Failure routing
+    # ------------------------------------------------------------------
+    def split_failures(
+        self, failed: Iterable[Edge] | None
+    ) -> tuple[dict[int, frozenset[Edge]], frozenset[Edge]]:
+        """Split ``F`` into per-shard sets and the failed cross edges.
+
+        An edge whose endpoints share a shard joins that shard's
+        ``F_k``; an edge matching a known cross edge joins the cross
+        set; anything else (unknown nodes, non-edges spanning shards)
+        is dropped — the unsharded oracles ignore unknown failures too.
+        """
+        per_shard: dict[int, set[Edge]] = {}
+        cross: set[Edge] = set()
+        if failed:
+            for edge in failed:
+                if not isinstance(edge, tuple) or len(edge) != 2:
+                    raise QueryError(
+                        f"failed edges must be (tail, head) tuples, "
+                        f"got {edge!r}"
+                    )
+                tail, head = edge
+                shard_t = self.assignment.get(tail)
+                shard_h = self.assignment.get(head)
+                if shard_t is None or shard_h is None:
+                    continue
+                if shard_t == shard_h:
+                    per_shard.setdefault(shard_t, set()).add(edge)
+                elif edge in self.cross_keys:
+                    cross.add(edge)
+        return (
+            {k: frozenset(edges) for k, edges in per_shard.items()},
+            frozenset(cross),
+        )
+
+    def shards_touched(self, per_shard: dict[int, frozenset[Edge]]) -> list[int]:
+        """Shards whose type-2 rows need per-query repair (sorted)."""
+        return sorted(
+            shard for shard in per_shard if self.shard_borders[shard]
+        )
+
+    # ------------------------------------------------------------------
+    # Overlay adjacency under a failure set
+    # ------------------------------------------------------------------
+    def adjacency(
+        self,
+        repaired: dict[int, list[list[float]]] | None = None,
+        cross_failed: frozenset[Edge] | None = None,
+    ) -> AdjacencyFn:
+        """Overlay adjacency with repairs and cross failures applied.
+
+        ``repaired`` maps a shard id to replacement matrix rows (same
+        shape as its failure-free matrix) for shards whose ``F_k`` is
+        non-empty; ``cross_failed`` removes type-1 edges.
+        """
+        if not repaired and not cross_failed:
+            return self._adjacency_clean
+        repaired = repaired or {}
+        cross_failed = cross_failed or frozenset()
+
+        def adjacency(u: int) -> Iterable[tuple[int, float]]:
+            shard = self.assignment[u]
+            rows = repaired.get(shard)
+            if rows is None:
+                yield from self.type2[shard][self.border_index[shard][u]]
+            else:
+                borders = self.shard_borders[shard]
+                i = self.border_index[shard][u]
+                for j, weight in enumerate(rows[i]):
+                    if j != i and weight < INFINITY:
+                        yield (borders[j], weight)
+            for v, weight in self.cross_adjacency.get(u, ()):
+                if (u, v) not in cross_failed:
+                    yield (v, weight)
+
+        return adjacency
+
+    def _adjacency_clean(self, u: int) -> Iterable[tuple[int, float]]:
+        shard = self.assignment[u]
+        yield from self.type2[shard][self.border_index[shard][u]]
+        yield from self.cross_adjacency.get(u, ())
+
+
+class ShardedOracle:
+    """In-process stitched queries: overlay + every shard oracle loaded.
+
+    Answers are exact and — on graphs whose edge weights make float
+    addition exact (integer or dyadic weights) — bitwise-equal to the
+    unsharded frozen oracle, which the sharded parity suite asserts.
+    """
+
+    name = "DISO-SHARD"
+
+    def __init__(
+        self,
+        overlay: BorderOverlay,
+        shard_oracles: list,
+    ) -> None:
+        if overlay.parts != len(shard_oracles):
+            raise ValueError(
+                f"overlay has {overlay.parts} shards but "
+                f"{len(shard_oracles)} oracles were supplied"
+            )
+        self.overlay = overlay
+        self.shard_oracles = shard_oracles
+
+    @classmethod
+    def from_build(cls, build) -> "ShardedOracle":
+        """Wrap a :class:`repro.sharding.build.ShardedBuild`."""
+        overlay = BorderOverlay(
+            build.plan.assignment,
+            build.plan.shard_borders,
+            build.plan.cross_edges,
+            build.border_matrices,
+        )
+        return cls(overlay, build.shard_oracles)
+
+    # ------------------------------------------------------------------
+    # Query plane
+    # ------------------------------------------------------------------
+    def repair_rows(
+        self, shard: int, failed: frozenset[Edge]
+    ) -> list[list[float]]:
+        """Recompute shard ``shard``'s border matrix under ``F_k``."""
+        borders = self.overlay.shard_borders[shard]
+        oracle = self.shard_oracles[shard]
+        return [
+            [
+                0.0 if a == b else oracle.query(a, b, failed)
+                for b in borders
+            ]
+            for a in borders
+        ]
+
+    def query(
+        self,
+        source: int,
+        target: int,
+        failed: Iterable[Edge] | None = None,
+    ) -> float:
+        """Return ``d(source, target, failed)`` via the stitched plan."""
+        assignment = self.overlay.assignment
+        if source not in assignment:
+            raise QueryError(f"source node {source!r} is not in the graph")
+        if target not in assignment:
+            raise QueryError(f"target node {target!r} is not in the graph")
+        shard_s = assignment[source]
+        shard_t = assignment[target]
+        per_shard, cross_failed = self.overlay.split_failures(failed)
+        f_s = per_shard.get(shard_s, frozenset())
+        f_t = per_shard.get(shard_t, frozenset())
+
+        local = INFINITY
+        if shard_s == shard_t:
+            local = self.shard_oracles[shard_s].query(source, target, f_s)
+        borders_s = self.overlay.shard_borders[shard_s]
+        borders_t = self.overlay.shard_borders[shard_t]
+        if not borders_s or not borders_t:
+            # No escape from the source shard (or no entry into the
+            # target shard): the local answer is already exact.
+            return local
+
+        oracle_s = self.shard_oracles[shard_s]
+        oracle_t = self.shard_oracles[shard_t]
+        sources = [
+            (border, oracle_s.query(source, border, f_s))
+            for border in borders_s
+        ]
+        targets = {
+            border: leg
+            for border in borders_t
+            if (leg := oracle_t.query(border, target, f_t)) < INFINITY
+        }
+        repaired = {
+            shard: self.repair_rows(shard, per_shard[shard])
+            for shard in self.overlay.shards_touched(per_shard)
+        }
+        adjacency = self.overlay.adjacency(repaired, cross_failed)
+        return stitch_over_borders(
+            sources, targets, adjacency, upper_bound=local
+        )

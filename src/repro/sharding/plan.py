@@ -1,0 +1,145 @@
+"""Shard plans: a partition cut prepared for per-shard oracle builds.
+
+A :class:`ShardPlan` is the deterministic, fully sorted description of
+one K-way cut of a graph: which shard owns each node, the per-shard
+node lists, the border nodes (globally and per shard), and the
+cross-shard edges.  It is the single source of truth both for the
+sharded build (:mod:`repro.sharding.build`) and for the stitching
+query plane (:mod:`repro.sharding.oracle`), and every sequence it
+exposes is sorted — the dsolint DSO101/102 invariant that set
+iteration order must never escape into serialized bytes is satisfied
+by construction, not by every consumer remembering to sort.
+
+The paper's TNR structure is already border-node based ("a node having
+a neighbor included in a different partition"), so the cut's border
+set doubles as the transit set of the cross-shard overlay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cover.partitioning import (
+    border_nodes,
+    edge_cut,
+    metis_like_partition,
+    spectral_partition,
+    uniform_partition,
+)
+from repro.exceptions import PartitionError
+from repro.graph.digraph import DiGraph
+
+#: Recognised partitioner names for :func:`make_shard_plan`.
+PARTITION_METHODS = ("metis", "spectral", "uniform")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One K-way cut of a graph, with every sequence sorted.
+
+    Attributes
+    ----------
+    parts, method, seed:
+        The cut's provenance: shard count, partitioner name, and seed.
+    assignment:
+        ``node -> shard id`` for every node of the graph.
+    shard_nodes:
+        Per shard, the sorted tuple of owned node ids (never empty).
+    borders:
+        The sorted global border-node list (nodes with a neighbour in
+        another shard) — the transit set of the cross-shard overlay.
+    shard_borders:
+        Per shard, the sorted tuple of its border nodes.
+    cross_edges:
+        Sorted ``(tail, head, weight)`` triples of every edge whose
+        endpoints live in different shards.  Both endpoints of a cross
+        edge are border nodes by definition.
+    """
+
+    parts: int
+    method: str
+    seed: int
+    assignment: dict[int, int]
+    shard_nodes: tuple[tuple[int, ...], ...]
+    borders: tuple[int, ...]
+    shard_borders: tuple[tuple[int, ...], ...]
+    cross_edges: tuple[tuple[int, int, float], ...] = field(repr=False)
+
+    @property
+    def num_borders(self) -> int:
+        """Size of the global border set."""
+        return len(self.borders)
+
+    @property
+    def edge_cut(self) -> int:
+        """Number of cross-shard edges."""
+        return len(self.cross_edges)
+
+    def shard_of(self, node: int) -> int:
+        """The shard owning ``node``; raises ``KeyError`` if unknown."""
+        return self.assignment[node]
+
+
+def make_shard_plan(
+    graph: DiGraph,
+    parts: int,
+    method: str = "metis",
+    seed: int = 0,
+) -> ShardPlan:
+    """Cut ``graph`` into ``parts`` shards and derive the border overlay.
+
+    ``method`` selects the partitioner: ``"metis"`` (multilevel
+    heavy-edge matching), ``"spectral"`` (recursive spectral
+    bisection), or ``"uniform"`` (random).  All three guarantee every
+    shard is non-empty or raise
+    :class:`~repro.exceptions.PartitionError`.
+    """
+    if method not in PARTITION_METHODS:
+        raise ValueError(
+            f"method must be one of {PARTITION_METHODS}, got {method!r}"
+        )
+    if graph.number_of_nodes() == 0:
+        raise PartitionError("cannot shard an empty graph")
+    if method == "metis":
+        assignment = metis_like_partition(graph, parts, seed=seed)
+    elif method == "spectral":
+        assignment = spectral_partition(graph, parts, seed=seed)
+    else:
+        assignment = uniform_partition(graph, parts, seed=seed)
+
+    shard_nodes: list[list[int]] = [[] for _ in range(parts)]
+    for node in sorted(assignment):
+        shard_nodes[assignment[node]].append(node)
+
+    # ``border_nodes`` returns a raw set — sorted() here is what keeps
+    # set iteration order out of every serialized artifact downstream.
+    borders = tuple(sorted(border_nodes(graph, assignment)))
+    border_set = set(borders)
+    shard_borders = tuple(
+        tuple(node for node in nodes if node in border_set)
+        for nodes in shard_nodes
+    )
+    cross_edges = tuple(
+        sorted(
+            (tail, head, weight)
+            for tail, head, weight in graph.edges()
+            if assignment[tail] != assignment[head]
+        )
+    )
+    plan = ShardPlan(
+        parts=parts,
+        method=method,
+        seed=seed,
+        assignment=assignment,
+        shard_nodes=tuple(tuple(nodes) for nodes in shard_nodes),
+        borders=borders,
+        shard_borders=shard_borders,
+        cross_edges=cross_edges,
+    )
+    # The cut and its borders must agree: a nonzero cut with no borders
+    # (or vice versa) means the partitioner handed back garbage.
+    if (edge_cut(graph, assignment) > 0) != (len(borders) > 0):
+        raise PartitionError(
+            "inconsistent cut: edge_cut and border_nodes disagree"
+        )
+    return plan

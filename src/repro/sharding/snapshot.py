@@ -1,0 +1,200 @@
+"""Sharded snapshots: a manifest plus one DSOSNAP1 file per shard.
+
+A sharded snapshot is a *directory*::
+
+    <dir>/manifest.dsoshrd     DSOSHRD1 container: assignment, borders,
+                               border matrices, cross edges, provenance
+    <dir>/shard-0000.dsosnap   per-shard frozen-oracle snapshots, each a
+    <dir>/shard-0001.dsosnap   plain DSOSNAP1 file (loadable standalone
+    ...                        with :func:`repro.oracle.snapshot.load_snapshot`)
+
+The manifest reuses the parameterized DSOSNAP1 framing
+(:func:`repro.oracle.snapshot.pack_container` /
+:class:`~repro.oracle.snapshot.SnapshotReader` with the ``DSOSHRD1``
+magic) — same section table, CRC, and alignment rules, distinct magic
+so a shard manifest can never be mistaken for a serving snapshot.
+
+The split matters for serving: a dispatcher only needs the manifest
+(the :class:`~repro.sharding.oracle.BorderOverlay` state — small), while
+each shard worker maps exactly one ``shard-*.dsosnap`` file.  Nothing
+loads the whole graph anywhere.
+
+Every sequence serialized here arrives pre-sorted from the
+:class:`~repro.sharding.plan.ShardPlan` (nodes ascending, borders
+ascending, cross edges lexicographic), so equal builds produce
+bitwise-equal manifests.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.exceptions import FormatError
+from repro.oracle.snapshot import (
+    SectionWriter,
+    SnapshotReader,
+    load_snapshot,
+    pack_container,
+    save_snapshot,
+)
+from repro.sharding.oracle import BorderOverlay, ShardedOracle
+
+SHARD_MAGIC = b"DSOSHRD1"
+SHARD_VERSION = 1
+MANIFEST_NAME = "manifest.dsoshrd"
+
+INFINITY = float("inf")
+
+
+def _shard_file(shard: int) -> str:
+    return f"shard-{shard:04d}.dsosnap"
+
+
+def save_sharded_snapshot(build, target: str | Path) -> Path:
+    """Write a :class:`~repro.sharding.build.ShardedBuild` as a directory.
+
+    Creates ``target`` (and parents) if needed, writes the manifest and
+    one per-shard snapshot file, and returns the directory path.
+    """
+    target = Path(target)
+    target.mkdir(parents=True, exist_ok=True)
+    plan = build.plan
+
+    writer = SectionWriter()
+    # node -> shard, as two parallel columns sorted by node id.
+    nodes = sorted(plan.assignment)
+    writer.add("assignment.nodes", "q", nodes)
+    writer.add("assignment.parts", "q", [plan.assignment[n] for n in nodes])
+    writer.add("borders.all", "q", plan.borders)
+    for shard in range(plan.parts):
+        writer.add(f"shard{shard}.borders", "q", plan.shard_borders[shard])
+        writer.add(
+            f"shard{shard}.matrix",
+            "d",
+            [w for row in build.border_matrices[shard] for w in row],
+        )
+    writer.add("cross.tails", "q", [e[0] for e in plan.cross_edges])
+    writer.add("cross.heads", "q", [e[1] for e in plan.cross_edges])
+    writer.add("cross.weights", "d", [e[2] for e in plan.cross_edges])
+
+    shard_files = [_shard_file(shard) for shard in range(plan.parts)]
+    meta = {
+        "parts": plan.parts,
+        "method": plan.method,
+        "seed": plan.seed,
+        "num_nodes": len(plan.assignment),
+        "num_borders": plan.num_borders,
+        "edge_cut": plan.edge_cut,
+        "shard_files": shard_files,
+        "shard_sizes": [len(nodes) for nodes in plan.shard_nodes],
+        "build_seconds": build.build_seconds,
+    }
+    blob = pack_container(
+        writer,
+        magic=SHARD_MAGIC,
+        version=SHARD_VERSION,
+        engine="ShardedSnapshot",
+        meta=meta,
+    )
+    (target / MANIFEST_NAME).write_bytes(blob)
+    for shard, name in enumerate(shard_files):
+        save_snapshot(build.shard_oracles[shard], target / name)
+    return target
+
+
+def _open_manifest(source: str | Path, verify: bool = True) -> SnapshotReader:
+    source = Path(source)
+    manifest = source / MANIFEST_NAME if source.is_dir() else source
+    if not manifest.exists():
+        raise FormatError(f"{source}: no {MANIFEST_NAME} manifest found")
+    return SnapshotReader(
+        manifest, verify=verify, magic=SHARD_MAGIC, version=SHARD_VERSION
+    )
+
+
+def load_shard_plan_overlay(
+    source: str | Path, verify: bool = True
+) -> tuple[BorderOverlay, dict, list[Path]]:
+    """Load only the manifest: overlay state, meta, shard file paths.
+
+    This is the dispatcher-side load — no shard snapshot is touched, so
+    the caller's memory footprint is the overlay (assignment + borders +
+    matrices + cross edges), not the index.
+    """
+    source = Path(source)
+    base = source if source.is_dir() else source.parent
+    reader = _open_manifest(source, verify=verify)
+    try:
+        meta = dict(reader.meta)
+        parts = int(meta["parts"])
+        nodes = reader.section("assignment.nodes")
+        owners = reader.section("assignment.parts")
+        assignment = {
+            int(node): int(owner) for node, owner in zip(nodes, owners)
+        }
+        shard_borders = []
+        border_matrices = []
+        for shard in range(parts):
+            borders = tuple(
+                int(b) for b in reader.section(f"shard{shard}.borders")
+            )
+            flat = reader.section(f"shard{shard}.matrix")
+            width = len(borders)
+            if len(flat) != width * width:
+                raise FormatError(
+                    f"{source}: shard {shard} matrix has {len(flat)} "
+                    f"entries, expected {width * width}"
+                )
+            shard_borders.append(borders)
+            border_matrices.append(
+                [
+                    list(flat[i * width : (i + 1) * width])
+                    for i in range(width)
+                ]
+            )
+        cross_edges = list(
+            zip(
+                (int(t) for t in reader.section("cross.tails")),
+                (int(h) for h in reader.section("cross.heads")),
+                reader.section("cross.weights"),
+            )
+        )
+    finally:
+        reader.close()
+    overlay = BorderOverlay(
+        assignment, tuple(shard_borders), cross_edges, border_matrices
+    )
+    shard_paths = [base / name for name in meta["shard_files"]]
+    return overlay, meta, shard_paths
+
+
+def load_sharded_snapshot(
+    source: str | Path, verify: bool = True
+) -> ShardedOracle:
+    """Restore the full sharded oracle: manifest plus every shard file."""
+    overlay, _, shard_paths = load_shard_plan_overlay(source, verify=verify)
+    shard_oracles = [load_snapshot(path, verify=verify) for path in shard_paths]
+    return ShardedOracle(overlay, shard_oracles)
+
+
+def sharded_snapshot_info(source: str | Path) -> dict:
+    """Manifest header plus per-shard file sizes, without loading oracles."""
+    source = Path(source)
+    base = source if source.is_dir() else source.parent
+    reader = _open_manifest(source)
+    try:
+        header = dict(reader.header)
+        meta = reader.meta
+    finally:
+        reader.close()
+    shard_bytes = {}
+    for name in meta.get("shard_files", []):
+        path = base / name
+        shard_bytes[name] = path.stat().st_size if path.exists() else None
+    header["shard_file_bytes"] = shard_bytes
+    header["manifest_bytes"] = (
+        (base / MANIFEST_NAME).stat().st_size
+        if (base / MANIFEST_NAME).exists()
+        else None
+    )
+    return header

@@ -417,6 +417,44 @@ def test_refresh_hot_pairs_precomputes_unseen_answers(tmp_path):
         assert report.precomputed_hits == 1
 
 
+def test_refresh_hot_pairs_with_shm_plane(tmp_path):
+    """``refresh_hot_pairs`` under ``result_plane="shm"`` must not touch
+    (or leak) any ring slot: refresh batches are tiny and run over the
+    pipe plane, while real runs before and after keep the shm plane."""
+    graph = random_graph(44, n=30, extra=60)
+    frozen = DISO(graph, tau=3).freeze()
+    path = save_snapshot(frozen, tmp_path / "o.dsosnap")
+    nodes = sorted(graph.nodes())
+    target_query = (nodes[3], nodes[11], None)
+    expected = frozen.query(nodes[3], nodes[11])
+    with make_service(
+        path, workers=1, cache_size=64, hot_pairs=2, result_plane="shm"
+    ) as service:
+        service.start()
+        warmup = service.run([(nodes[0], nodes[1], None)])
+        assert warmup.result_plane == "shm"
+        assert service._ring is None  # ring lives exactly one run
+        key = canonical_query_key(*target_query)
+        for _ in range(8):
+            service._hot.observe(key)
+        stored = service.refresh_hot_pairs()
+        assert stored == 1
+        assert service.precomputed_total == 1
+        # Ring-less refresh: no slot allocated, nothing left behind.
+        assert service._ring is None
+        # Pair the precomputed key with a cold query: the cold one
+        # dispatches over the shm ring, the hot one is served from the
+        # cache and attributed as a precomputed hit.
+        cold_query = (nodes[5], nodes[20], None)
+        report = service.run([target_query, cold_query])
+        assert report.result_plane == "shm"
+        assert report.answers[0] == expected
+        assert report.answers[1] == frozen.query(nodes[5], nodes[20])
+        assert report.cache_hits == 1
+        assert report.precomputed_hits == 1
+        assert service._ring is None
+
+
 def test_cache_knob_validation():
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "o.dsosnap"

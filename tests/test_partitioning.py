@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.cover.partitioning import (
     border_nodes,
@@ -11,7 +12,22 @@ from repro.cover.partitioning import (
     spectral_partition,
     uniform_partition,
 )
+from repro.exceptions import PartitionError
+from repro.graph.digraph import DiGraph
 from repro.graph.generators import grid_network
+from util import random_graph
+
+PARTITIONERS = (uniform_partition, metis_like_partition, spectral_partition)
+
+
+def _disconnected_graph() -> DiGraph:
+    """Three separate 4-cycles: 12 nodes, no edges between components."""
+    g = DiGraph()
+    for base in (0, 10, 20):
+        for i in range(4):
+            g.add_edge(base + i, base + (i + 1) % 4, 1.0)
+            g.add_edge(base + (i + 1) % 4, base + i, 1.0)
+    return g
 
 
 class TestUniform:
@@ -94,6 +110,107 @@ class TestBorderNodes:
     def test_single_partition_has_no_borders(self, small_road):
         assignment = {node: 0 for node in small_road.nodes()}
         assert border_nodes(small_road, assignment) == set()
+
+
+class TestNonEmptyParts:
+    """Regression: partitioners must never emit an empty part.
+
+    Historically all three could — ``uniform_partition``'s randrange
+    can skip a part id, the metis-like grower clamps to fewer blocks on
+    small graphs, and recursive spectral bisection stops early — which
+    downstream crashed per-shard oracle builds on empty node sets.
+    """
+
+    @pytest.mark.parametrize("partition", PARTITIONERS)
+    @pytest.mark.parametrize("parts", [2, 3, 4])
+    def test_every_part_nonempty(self, partition, parts):
+        g = random_graph(3, n=24, extra=40)
+        assignment = partition(g, parts, seed=0)
+        counts = [0] * parts
+        for part in assignment.values():
+            counts[part] += 1
+        assert all(count > 0 for count in counts)
+
+    @pytest.mark.parametrize("partition", PARTITIONERS)
+    def test_disconnected_graph_fills_every_part(self, partition):
+        g = _disconnected_graph()
+        assignment = partition(g, 3, seed=1)
+        assert set(assignment) == set(g.nodes())
+        counts = [0, 0, 0]
+        for part in assignment.values():
+            counts[part] += 1
+        assert all(count > 0 for count in counts)
+
+    @pytest.mark.parametrize("partition", PARTITIONERS)
+    def test_more_parts_than_nodes_raises(self, partition):
+        g = DiGraph()
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(1, 0, 1.0)
+        with pytest.raises(PartitionError):
+            partition(g, 5, seed=0)
+
+    @pytest.mark.parametrize("partition", PARTITIONERS)
+    def test_parts_equal_nodes_is_singletons(self, partition):
+        g = _disconnected_graph()
+        n = g.number_of_nodes()
+        assignment = partition(g, n, seed=2)
+        assert sorted(assignment.values()) == list(range(n))
+
+    @pytest.mark.parametrize("partition", PARTITIONERS)
+    def test_deterministic_after_rebalance(self, partition):
+        g = _disconnected_graph()
+        assert partition(g, 5, seed=3) == partition(g, 5, seed=3)
+
+
+class TestPartitionProperties:
+    """Property suite: total assignment + cut/border consistency."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=40),
+        parts=st.integers(min_value=1, max_value=6),
+        which=st.integers(min_value=0, max_value=2),
+    )
+    def test_total_nonempty_assignment(self, seed, n, parts, which):
+        # ``extra`` must fit the edges a cycle leaves available, or the
+        # generator's rejection loop can never terminate on tiny n.
+        g = random_graph(seed, n=n, extra=min(2 * n, 40, n * (n - 2)))
+        partition = PARTITIONERS[which]
+        if parts > n:
+            with pytest.raises(PartitionError):
+                partition(g, parts, seed=seed)
+            return
+        assignment = partition(g, parts, seed=seed)
+        # Total: every node assigned, ids in range.
+        assert set(assignment) == set(g.nodes())
+        assert set(assignment.values()) <= set(range(parts))
+        # No empty part.
+        assert len(set(assignment.values())) == parts
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        parts=st.integers(min_value=1, max_value=5),
+        which=st.integers(min_value=0, max_value=2),
+    )
+    def test_cut_and_borders_consistent(self, seed, parts, which):
+        g = random_graph(seed, n=18, extra=30)
+        assignment = PARTITIONERS[which](g, parts, seed=seed)
+        cut = edge_cut(g, assignment)
+        borders = border_nodes(g, assignment)
+        # Nonzero cut <=> nonempty border set.
+        assert (cut > 0) == (len(borders) > 0)
+        # Every cut edge's endpoints are borders; border count is
+        # bounded by the endpoints the cut edges can supply.
+        cut_endpoints = {
+            endpoint
+            for tail, head, _ in g.edges()
+            if assignment[tail] != assignment[head]
+            for endpoint in (tail, head)
+        }
+        assert borders == cut_endpoints
+        assert len(borders) <= 2 * cut
 
 
 class TestEdgeCut:

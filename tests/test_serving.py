@@ -138,9 +138,12 @@ class TestQueryService:
             "workers", "queries", "qps", "p50_us", "p99_us", "restarts",
             "errors", "result_plane", "dispatch_overhead_us",
             "pipe_bytes_per_batch", "cache_hits", "cache_hit_ratio",
-            "precomputed_hits", "shed_rate",
+            "precomputed_hits", "shed_rate", "shards", "cross_shard_ratio",
         }
         assert summary["errors"] == 0
+        # The unsharded plane reports no shard structure.
+        assert summary["shards"] == 0
+        assert summary["cross_shard_ratio"] == 0.0
         assert summary["result_plane"] in ("shm", "pipe")
         assert summary["pipe_bytes_per_batch"] > 0
         # Caching and admission are off by default: a plain service

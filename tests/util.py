@@ -29,6 +29,30 @@ def random_graph(seed: int, n: int = 30, extra: int = 60) -> DiGraph:
     return graph
 
 
+def exact_random_graph(seed: int, n: int = 30, extra: int = 60) -> DiGraph:
+    """Like :func:`random_graph` but with small *integer* weights.
+
+    Integer weights keep float addition exact, so answers composed from
+    partial sums in any association order (the sharded stitcher) stay
+    bitwise-equal to a single-pass computation — the precondition of
+    the sharded parity suite.
+    """
+    rng = random.Random(seed)
+    graph = DiGraph()
+    order = list(range(n))
+    rng.shuffle(order)
+    for i in range(n):
+        graph.add_edge(order[i], order[(i + 1) % n], float(rng.randint(1, 8)))
+    added = 0
+    while added < extra:
+        a = rng.randrange(n)
+        b = rng.randrange(n)
+        if a != b and not graph.has_edge(a, b):
+            graph.add_edge(a, b, float(rng.randint(1, 8)))
+            added += 1
+    return graph
+
+
 def random_failures_from(
     graph: DiGraph, seed: int, count: int
 ) -> set[tuple[int, int]]:

@@ -51,7 +51,16 @@ from repro.oracle.diso import DISO
 from repro.oracle.parallel import latency_percentile
 from repro.oracle.snapshot import save_snapshot, snapshot_info
 from repro.serving import QueryService, ShardedQueryService
-from repro.sharding import build_sharded, save_sharded_snapshot, sharded_snapshot_info
+from repro.sharding import (
+    FrozenOverlay,
+    ShardedOracle,
+    build_sharded,
+    save_sharded_snapshot,
+    sharded_snapshot_info,
+    stitch_over_borders,
+)
+from repro.sharding.frozen_overlay import HAVE_NUMPY
+from repro.sharding.oracle import INFINITY
 from repro.workload.queries import generate_queries, generate_zipf_queries
 
 from bench_util import THROUGHPUT_JSON, merge_json, write_result
@@ -286,12 +295,15 @@ def run_sharded(smoke: bool = False, query_count: int | None = None) -> dict:
     """The sharded serving plane: K per-shard pools plus stitching.
 
     Serves the same batch through :class:`ShardedQueryService` at each
-    ``(workers_per_shard, shards)`` combination, asserting *bitwise*
-    answer parity with the sequential unsharded oracle every round.
+    ``(workers_per_shard, shards)`` combination — on **both** stitch
+    planes when NumPy is available — asserting *bitwise* answer parity
+    with the sequential unsharded oracle every round on every plane.
     The graph is a unit-weight grid so float addition is exact and the
-    stitched sums cannot drift.  Each row stamps the shard count, the
-    batch's cross-shard ratio, per-shard routing loads, and the
-    per-shard snapshot file sizes (the memory a shard worker maps).
+    stitched sums cannot drift.  Each row keeps its PR 8 key and is the
+    default (frozen) plane's best round, now including ``stitch_us``,
+    ``closure_hits``, and the same-/cross-shard latency split from
+    ``summary()``; ``scalar_stitch_us`` carries the scalar plane's cost
+    for the same batch so the dispatcher-side win is visible per row.
     """
     rows_cols = 8 if smoke else 20
     graph = grid_network(rows_cols, rows_cols)
@@ -323,24 +335,32 @@ def run_sharded(smoke: bool = False, query_count: int | None = None) -> dict:
             )
             info = sharded_snapshot_info(target)
             shard_bytes = info["shard_file_bytes"]
+            planes = ("frozen", "scalar") if HAVE_NUMPY else ("scalar",)
             for workers in worker_counts:
-                reports = []
-                with ShardedQueryService(
-                    target, workers_per_shard=workers
-                ) as service:
-                    for _ in range(rounds):
-                        report = service.run(batch)
-                        assert report.answers == expected, (
-                            f"{workers}w-{shards}shard answers diverge "
-                            f"from the unsharded sequential baseline"
-                        )
-                        assert report.error_count == 0, (
-                            f"{workers}w-{shards}shard run reported "
-                            f"per-query errors on a clean workload: "
-                            f"{report.error_indices[:5]}"
-                        )
-                        reports.append(report)
-                best = max(reports, key=lambda r: r.queries_per_second)
+                best_by_plane = {}
+                for plane in planes:
+                    reports = []
+                    with ShardedQueryService(
+                        target, workers_per_shard=workers,
+                        stitch_plane=plane,
+                    ) as service:
+                        for _ in range(rounds):
+                            report = service.run(batch)
+                            assert report.answers == expected, (
+                                f"{workers}w-{shards}shard {plane} "
+                                f"answers diverge from the unsharded "
+                                f"sequential baseline"
+                            )
+                            assert report.error_count == 0, (
+                                f"{workers}w-{shards}shard {plane} run "
+                                f"reported per-query errors on a clean "
+                                f"workload: {report.error_indices[:5]}"
+                            )
+                            reports.append(report)
+                    best_by_plane[plane] = max(
+                        reports, key=lambda r: r.queries_per_second
+                    )
+                best = best_by_plane[planes[0]]
                 row = best.summary()
                 row["rounds"] = rounds
                 row["shard_loads"] = list(best.shard_loads)
@@ -349,16 +369,149 @@ def run_sharded(smoke: bool = False, query_count: int | None = None) -> dict:
                 row["speedup_vs_sequential"] = round(
                     best.queries_per_second / seq["qps"], 3
                 )
+                if "scalar" in best_by_plane:
+                    row["scalar_stitch_us"] = round(
+                        best_by_plane["scalar"].stitch_us, 3
+                    )
                 result["workers"][f"{workers}w-{shards}shard"] = row
                 print(
-                    f"{workers:>2}w x {shards} shards: "
+                    f"{workers:>2}w x {shards} shards ({row['stitch_plane']}): "
                     f"qps {row['qps']:>9.1f}  "
                     f"p50 {row['p50_us']:>7.1f}us  "
+                    f"stitch {row['stitch_us']:>7.1f}us  "
                     f"cross {row['cross_shard_ratio']:.3f}  "
+                    f"closure {row['closure_hits']}  "
                     f"loads {row['shard_loads']}  "
                     f"errors {row['errors']}"
                 )
     return result
+
+
+def run_stitch_micro(smoke: bool = False, query_count: int | None = None) -> dict:
+    """Dispatcher-side stitch cost: scalar heap walk vs frozen closure.
+
+    Single-process measurement on the paper's road scale at K=4: for a
+    batch of failure-free cross-shard queries the border legs are
+    precomputed once, then the per-query *stitch* step alone is timed —
+    the scalar multi-source Dijkstra over the overlay versus the frozen
+    plane's closure fast path (two leg lookups + one matrix min).  This
+    isolates exactly the cost the frozen plane removes; worker leg time
+    is identical on both planes and excluded.  Answers are checked with
+    a 1e-9 relative tolerance (the closure re-associates float sums, so
+    bitwise equality is only guaranteed on exact-weight graphs — the
+    sharded parity suite covers that side).  The stamped ``cpu_count``
+    carries the usual caveat: on a single-core container the absolute
+    times are upper bounds, but both planes pay the same core.
+    """
+    if not HAVE_NUMPY:
+        return {"skipped": "numpy unavailable"}
+    rows_cols = 8 if smoke else 48
+    shards = 2 if smoke else 4
+    graph = road_network(rows_cols, rows_cols, seed=SEED)
+    graph_name = f"road{rows_cols}x{rows_cols}"
+    count = query_count or (20 if smoke else 200)
+
+    build = build_sharded(graph, shards, method="metis", seed=SEED)
+    oracle = ShardedOracle.from_build(build)
+    overlay = oracle.overlay
+    frozen = FrozenOverlay.from_overlay(overlay, closure=build.border_closure)
+    adjacency = overlay.adjacency(None, None)
+
+    # Failure-free cross-shard queries with both leg sets precomputed.
+    batch = generate_queries(
+        graph, 4 * count, f_gen=0, p=0.0, seed=SEED
+    )
+    prepared = []
+    for query in batch:
+        shard_s = overlay.assignment[query.source]
+        shard_t = overlay.assignment[query.target]
+        if shard_s == shard_t:
+            continue
+        oracle_s = oracle.shard_oracles[shard_s]
+        oracle_t = oracle.shard_oracles[shard_t]
+        sources = [
+            (border, oracle_s.query(query.source, border, frozenset()))
+            for border in overlay.shard_borders[shard_s]
+        ]
+        targets = [
+            (border, oracle_t.query(border, query.target, frozenset()))
+            for border in overlay.shard_borders[shard_t]
+        ]
+        prepared.append((sources, targets))
+        if len(prepared) >= count:
+            break
+
+    def timed(stitch_one):
+        values = []
+        costs = []
+        for sources, targets in prepared:
+            tick = time.perf_counter()
+            values.append(stitch_one(sources, targets))
+            costs.append(time.perf_counter() - tick)
+        return values, costs
+
+    scalar_values, scalar_costs = timed(
+        lambda sources, targets: stitch_over_borders(
+            sources,
+            {b: v for b, v in targets if v < INFINITY},
+            adjacency,
+            INFINITY,
+        )
+    )
+    closure_values, closure_costs = timed(
+        lambda sources, targets: frozen.closure_answer(
+            sources, targets, INFINITY
+        )
+    )
+    import math
+
+    for scalar, closure in zip(scalar_values, closure_values):
+        assert (scalar == closure) or math.isclose(
+            scalar, closure, rel_tol=1e-9
+        ), f"closure stitch diverged: {scalar!r} vs {closure!r}"
+
+    scalar_us = 1e6 * statistics.median(scalar_costs)
+    closure_us = 1e6 * statistics.median(closure_costs)
+    result = {
+        "graph": graph_name,
+        "shards": shards,
+        "borders": frozen.num_borders,
+        "queries": len(prepared),
+        "cpu_count": os.cpu_count(),
+        "scalar_stitch_us_p50": round(scalar_us, 3),
+        "closure_stitch_us_p50": round(closure_us, 3),
+        "closure_speedup": round(scalar_us / closure_us, 3)
+        if closure_us > 0
+        else float("inf"),
+        "caveat": (
+            "single-process stitch-step-only measurement; worker leg "
+            "time identical on both planes and excluded; absolute "
+            "times are 1-core-container bound"
+        ),
+    }
+    print(
+        f"stitch micro ({graph_name}, {shards} shards, "
+        f"{frozen.num_borders} borders): scalar "
+        f"{result['scalar_stitch_us_p50']:.1f}us vs closure "
+        f"{result['closure_stitch_us_p50']:.1f}us -> "
+        f"{result['closure_speedup']:.2f}x"
+    )
+    return result
+
+
+def format_stitch_micro(result: dict) -> str:
+    if "skipped" in result:
+        return f"Stitch micro: skipped ({result['skipped']})"
+    return (
+        "Frozen-closure stitch vs scalar heap walk "
+        "(failure-free cross-shard, stitch step only)\n"
+        f"graph={result['graph']}  shards={result['shards']}  "
+        f"borders={result['borders']}  queries={result['queries']}  "
+        f"cpu_count={result['cpu_count']}\n"
+        f"scalar p50 {result['scalar_stitch_us_p50']:.1f}us  "
+        f"closure p50 {result['closure_stitch_us_p50']:.1f}us  "
+        f"speedup {result['closure_speedup']:.2f}x"
+    )
 
 
 def format_sharded_result(result: dict) -> str:
@@ -368,14 +521,20 @@ def format_sharded_result(result: dict) -> str:
         f"rounds(best-of)={result['rounds']}  "
         f"cpu_count={result['cpu_count']}  "
         f"sequential qps={result['sequential']['qps']:.1f}",
-        f"{'backend':>12} {'qps':>10} {'p50 us':>9} {'speedup':>8} "
-        f"{'cross':>6} {'shards':>7} {'manifest B':>11}",
+        f"{'backend':>12} {'plane':>7} {'qps':>10} {'p50 us':>9} "
+        f"{'speedup':>8} {'stitch us':>10} {'scalar us':>10} "
+        f"{'closure':>8} {'cross':>6} {'manifest B':>11}",
     ]
     for backend, row in result["workers"].items():
+        scalar_us = row.get("scalar_stitch_us")
         lines.append(
-            f"{backend:>12} {row['qps']:>10.1f} {row['p50_us']:>9.1f} "
+            f"{backend:>12} {row['stitch_plane']:>7} "
+            f"{row['qps']:>10.1f} {row['p50_us']:>9.1f} "
             f"{row['speedup_vs_sequential']:>8.2f} "
-            f"{row['cross_shard_ratio']:>6.3f} {row['shards']:>7} "
+            f"{row['stitch_us']:>10.1f} "
+            f"{scalar_us if scalar_us is not None else '-':>10} "
+            f"{row['closure_hits']:>8} "
+            f"{row['cross_shard_ratio']:>6.3f} "
             f"{row['manifest_bytes']:>11}"
         )
     return "\n".join(lines)
@@ -441,6 +600,7 @@ def main() -> None:
     result = run(smoke=args.smoke, query_count=args.queries)
     zipf = run_zipf(smoke=args.smoke, query_count=args.queries)
     sharded = run_sharded(smoke=args.smoke, query_count=args.queries)
+    micro = run_stitch_micro(smoke=args.smoke, query_count=args.queries)
     if args.smoke:
         # The smoke contract for the caching plane: a skewed workload
         # must actually hit the cache, with zero errors anywhere.
@@ -457,23 +617,40 @@ def main() -> None:
             assert row["shards"] >= 2
             assert 0.0 <= row["cross_shard_ratio"] <= 1.0
             assert row["errors"] == 0
+            assert row["stitch_us"] >= 0.0
+            if HAVE_NUMPY:
+                assert row["stitch_plane"] == "frozen"
+        if "skipped" not in micro:
+            assert micro["closure_speedup"] > 0.0
         print(
             "smoke run OK (parity held, zipf hit the cache, "
-            "sharded stitching matched bitwise)"
+            "sharded stitching matched bitwise on both planes)"
         )
         return
+    if "skipped" not in micro:
+        # The tentpole's acceptance bar: the failure-free closure fast
+        # path must at least halve the median cross-shard stitch cost
+        # relative to the scalar heap walk at the paper's road scale.
+        assert micro["closure_speedup"] >= 2.0, (
+            f"closure fast path only {micro['closure_speedup']:.2f}x "
+            f"over the scalar stitcher (need >= 2x)"
+        )
     write_result("throughput", format_result(result))
     write_result("throughput_zipf", format_zipf_result(zipf))
     write_result("throughput_sharded", format_sharded_result(sharded))
+    write_result("throughput_stitch_micro", format_stitch_micro(micro))
     entries = {f"{result['oracle']}@{result['graph']}": result}
     for name, graph_result in zipf.items():
         entries[f"{graph_result['oracle']}@{name}-zipf"] = graph_result
     entries[f"{sharded['oracle']}@{sharded['graph']}"] = sharded
+    if "skipped" not in micro:
+        entries[f"stitch-micro@{micro['graph']}-{micro['shards']}shard"] = micro
     path = merge_json(entries, THROUGHPUT_JSON)
     print(f"wrote {path}")
     print(format_result(result))
     print(format_zipf_result(zipf))
     print(format_sharded_result(sharded))
+    print(format_stitch_micro(micro))
 
 
 # ----------------------------------------------------------------------
@@ -512,8 +689,9 @@ def test_sharded_smoke():
     result = run_sharded(smoke=True)
     row = result["workers"]["1w-2shard"]
     # Parity with the unsharded oracle is asserted inside run_sharded
-    # (bitwise — the grid's unit weights make float addition exact);
-    # here: the routing stats and per-shard memory must be stamped.
+    # (bitwise, on both stitch planes — the grid's unit weights make
+    # float addition exact); here: the routing stats, per-shard
+    # memory, and the stitch-plane stamps must all be present.
     assert row["shards"] == 2
     assert 0.0 <= row["cross_shard_ratio"] <= 1.0
     assert len(row["shard_loads"]) == 2
@@ -521,6 +699,24 @@ def test_sharded_smoke():
     assert all(size > 0 for size in row["per_shard_bytes"].values())
     assert row["manifest_bytes"] > 0
     assert row["errors"] == 0
+    assert row["stitch_plane"] in ("scalar", "frozen")
+    assert row["stitch_us"] >= 0.0
+    assert isinstance(row["latency_split"], dict)
+    if HAVE_NUMPY:
+        assert row["stitch_plane"] == "frozen"
+        assert row["scalar_stitch_us"] >= 0.0
+
+
+def test_stitch_micro_smoke():
+    result = run_stitch_micro(smoke=True)
+    if "skipped" in result:
+        return  # no numpy: the scalar plane is the only plane
+    # No speed bar at smoke scale (5-border overlays fit in the scalar
+    # walk's noise floor); the answers must agree and the stamps exist.
+    assert result["queries"] > 0
+    assert result["scalar_stitch_us_p50"] > 0.0
+    assert result["closure_stitch_us_p50"] > 0.0
+    assert result["closure_speedup"] > 0.0
 
 
 if __name__ == "__main__":

@@ -307,6 +307,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="query workload: uniform pairs or zipf-skewed repeated "
         "pairs (default uniform)",
     )
+    serve.add_argument(
+        "--stitch-plane",
+        choices=("scalar", "frozen"),
+        default=None,
+        help="sharded snapshots only: stitch cross-shard answers with "
+        "the scalar heap walk or the frozen CSR kernels "
+        "(default: DSO_STITCH_PLANE env, else frozen when numpy is "
+        "available)",
+    )
 
     return parser
 
@@ -551,8 +560,11 @@ def _run_lint(args) -> int:
 
 
 def _run_serve_bench(args) -> int:
+    from pathlib import Path
+
     from repro.oracle.snapshot import load_snapshot
     from repro.serving import QueryService
+    from repro.sharding.snapshot import MANIFEST_NAME
     from repro.workload.queries import generate_queries, generate_zipf_queries
 
     try:
@@ -566,6 +578,15 @@ def _run_serve_bench(args) -> int:
         ) from None
     if not worker_counts or min(worker_counts) < 1:
         raise SystemExit("error: --workers needs at least one value >= 1")
+
+    snapshot_path = Path(args.snapshot_file)
+    if snapshot_path.is_dir() or snapshot_path.name == MANIFEST_NAME:
+        return _run_serve_bench_sharded(args, worker_counts)
+    if args.stitch_plane is not None:
+        raise SystemExit(
+            "error: --stitch-plane applies to sharded snapshot "
+            "directories only"
+        )
 
     oracle = load_snapshot(args.snapshot_file)
     if args.workload == "zipf":
@@ -637,6 +658,125 @@ def _run_serve_bench(args) -> int:
             f"{100.0 * report.cache_hit_ratio:>5.1f}% "
             f"{100.0 * report.shed_rate:>5.1f}% "
             f"{report.error_count:>7} {report.restarts:>9}"
+        )
+        for position in report.error_indices[:5]:
+            print(f"  query {position} error: {report.errors[position]}")
+    return 0
+
+
+def _run_serve_bench_sharded(args, worker_counts: list[int]) -> int:
+    """serve-bench over a sharded snapshot directory.
+
+    Same contract as the unsharded bench (sequential baseline, strict
+    divergence check) plus the stitched plane's columns: dispatcher
+    stitch microseconds, cross-shard fraction, and closure fast-path
+    hits.  Workload endpoints come from the manifest's assignment (no
+    graph is loaded); every fourth query fails one cross-shard edge so
+    the stitch and repair paths are actually exercised.
+    """
+    import random
+    import time
+
+    from repro.serving.sharded import ShardedQueryService
+    from repro.sharding.snapshot import (
+        load_shard_plan_overlay,
+        load_sharded_snapshot,
+    )
+    from repro.workload.queries import generate_queries, generate_zipf_queries
+
+    if args.hot_pairs:
+        raise SystemExit(
+            "error: --hot-pairs is not supported on the sharded plane"
+        )
+    overlay, meta, _ = load_shard_plan_overlay(args.snapshot_file)
+    nodes = sorted(overlay.assignment)
+    if args.workload == "zipf":
+        base = generate_zipf_queries(
+            None, args.queries, f_gen=0, p=0.0, seed=args.seed, nodes=nodes
+        )
+    else:
+        base = generate_queries(
+            None, args.queries, f_gen=0, p=0.0, seed=args.seed, nodes=nodes
+        )
+    cross_edges = sorted(overlay.cross_keys)
+    rng = random.Random(args.seed)
+    queries = [
+        (
+            query.source,
+            query.target,
+            (
+                (cross_edges[rng.randrange(len(cross_edges))],)
+                if cross_edges and position % 4 == 3
+                else None
+            ),
+        )
+        for position, query in enumerate(base)
+    ]
+
+    oracle = load_sharded_snapshot(args.snapshot_file)
+    started = time.perf_counter()
+    baseline = [
+        oracle.query(source, target, frozenset(failed) if failed else None)
+        for source, target, failed in queries
+    ]
+    base_wall = time.perf_counter() - started
+    base_qps = len(queries) / base_wall if base_wall > 0 else float("inf")
+
+    print(
+        f"snapshot  : {args.snapshot_file} "
+        f"({meta['parts']} shards, {meta['num_borders']} borders)"
+    )
+    print(
+        f"queries   : {len(queries)}  "
+        f"(seed {args.seed}, {args.workload} workload, "
+        f"cross-edge failures on every 4th)"
+    )
+    if args.cache_size:
+        print(f"cache     : {args.cache_size} entries")
+    if args.deadline_ms is not None:
+        print(f"deadline  : {args.deadline_ms} ms")
+    print(f"{'workers':>8} {'stitch':>7} {'qps':>10} {'p50 us':>9} "
+          f"{'p99 us':>9} {'stitch us':>10} {'cross%':>7} "
+          f"{'closure':>8} {'hits':>6} {'shed%':>6} {'errors':>7}")
+    print(f"{'seq':>8} {'-':>7} {base_qps:>10.1f} {'-':>9} {'-':>9} "
+          f"{'-':>10} {'-':>7} {'-':>8} {'-':>6} {'-':>6} {'-':>7}")
+    for workers in worker_counts:
+        with ShardedQueryService(
+            args.snapshot_file,
+            workers_per_shard=workers,
+            chunk_size=args.chunk_size,
+            result_plane=args.result_plane,
+            stitch_plane=args.stitch_plane,
+            cache_size=args.cache_size,
+            deadline_ms=args.deadline_ms,
+        ) as service:
+            report = service.run(queries)
+        shed = set(report.shed_indices)
+        diverged = [
+            position
+            for position, (got, want) in enumerate(
+                zip(report.answers, baseline)
+            )
+            if report.errors[position] is None
+            and position not in shed
+            and got != want
+        ]
+        if diverged:
+            raise SystemExit(
+                f"error: {workers}-worker answers diverge from the "
+                f"sequential baseline at positions {diverged[:5]}"
+            )
+        print(
+            f"{workers:>8} {report.stitch_plane:>7} "
+            f"{report.queries_per_second:>10.1f} "
+            f"{1e6 * report.p50_seconds:>9.1f} "
+            f"{1e6 * report.p99_seconds:>9.1f} "
+            f"{report.stitch_us:>10.1f} "
+            f"{100.0 * report.cross_shard_ratio:>6.1f}% "
+            f"{report.closure_hits:>8} "
+            f"{report.cache_hits:>6} "
+            f"{100.0 * report.shed_rate:>5.1f}% "
+            f"{report.error_count:>7}"
         )
         for position in report.error_indices[:5]:
             print(f"  query {position} error: {report.errors[position]}")

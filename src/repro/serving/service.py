@@ -168,6 +168,20 @@ class ServeReport:
     #: pool (local legs, border legs, and matrix repairs all count).
     #: Empty on the unsharded plane.
     shard_loads: list[int] = field(default_factory=list)
+    #: Stitch plane the sharded dispatcher combined legs with
+    #: (``"scalar"`` heap walk or ``"frozen"`` CSR kernels); empty on
+    #: the unsharded plane.
+    stitch_plane: str = ""
+    #: Dispatcher-side seconds spent stitching answered legs into final
+    #: answers (the cost the frozen plane exists to shrink).
+    stitch_seconds: float = 0.0
+    #: Cross-shard queries answered by the precomputed border closure
+    #: (failure-free fast path) instead of an overlay search.
+    closure_hits: int = 0
+    #: Same-shard vs cross-shard latency split:
+    #: ``{"same_shard"|"cross_shard": {count, p50_us, p99_us}}``.
+    #: Empty on the unsharded plane.
+    latency_split: dict = field(default_factory=dict)
 
     @property
     def queries_per_second(self) -> float:
@@ -245,9 +259,16 @@ class ServeReport:
             return 0.0
         return self.pipe_bytes / self.result_batches
 
+    @property
+    def stitch_us(self) -> float:
+        """Mean dispatcher-side stitch microseconds per query."""
+        if not self.answers:
+            return 0.0
+        return 1e6 * self.stitch_seconds / len(self.answers)
+
     def summary(self) -> dict:
         """The comparison row shared with ``ThroughputReport``."""
-        return {
+        row = {
             "workers": self.workers,
             "queries": len(self.answers),
             "qps": round(self.queries_per_second, 2),
@@ -265,6 +286,12 @@ class ServeReport:
             "shards": self.shards,
             "cross_shard_ratio": round(self.cross_shard_ratio, 3),
         }
+        if self.shards:
+            row["stitch_plane"] = self.stitch_plane
+            row["stitch_us"] = round(self.stitch_us, 3)
+            row["closure_hits"] = self.closure_hits
+            row["latency_split"] = self.latency_split
+        return row
 
 
 class _WorkerHandle:

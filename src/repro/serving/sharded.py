@@ -24,28 +24,60 @@ index is never resident in any single process.
 Legs are deduplicated per shard on the canonical ``(s, t, F)`` key —
 two queries sharing a source and failure set share the outbound legs,
 and every query in a batch under the same ``F_k`` shares one repair set
-— then each shard's pool answers its batch through the ordinary
-dispatcher (result planes, crash replacement, epoch fencing all
-inherited).  Stitching runs in this process over the answered legs via
-:func:`~repro.sharding.oracle.stitch_over_borders`.
+(repaired rows are additionally memoized *across* batches per
+``(shard, canonical F_k)`` until the snapshot epoch retires) — then
+each shard's pool answers its batch through the ordinary dispatcher
+(result planes, crash replacement, epoch fencing all inherited).
+
+Stitching runs in this process over the answered legs, on one of two
+planes (DESIGN.md §14), selected by the ``stitch_plane`` knob or the
+``DSO_STITCH_PLANE`` environment variable:
+
+* ``"scalar"`` — the PR 8 per-query heap walk
+  (:func:`~repro.sharding.oracle.stitch_over_borders`);
+* ``"frozen"`` (default when NumPy is available) — the compiled
+  :class:`~repro.sharding.frozen_overlay.FrozenOverlay`: queries are
+  grouped by failure patch and stitched per group by the batched CSR
+  kernel, and failure-free cross-shard queries collapse to the
+  precomputed border closure (two leg lookups + one matrix min).
+  Answers are bitwise-identical to the scalar plane on every graph the
+  parity suite runs.
+
+The dispatcher-level ``cache_size`` / ``deadline_ms`` knobs mirror the
+unsharded service: result-cache entries are stamped with the *sum* of
+the shard pools' snapshot epochs (so retiring any shard's snapshot
+invalidates every cached stitched answer), and deadline admission sheds
+whole input queries before any leg is planned.
 
 Error semantics match the unsharded plane: a poison endpoint yields a
 NaN answer and a ``"QueryError: ..."`` message (same text the worker
 would produce), never an aborted run; a failed leg poisons exactly the
-queries that needed it.
+queries that needed it, scanning legs in a fixed local → outbound →
+inbound → repairs order on both stitch planes.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from pathlib import Path
 from collections.abc import Sequence
 
-from repro.serving.cache import canonical_query_key
+from repro.oracle.parallel import latency_percentile
+from repro.serving.admission import DeadlineAdmission
+from repro.serving.cache import ResultCache, canonical_query_key
 from repro.serving.service import QueryService, ServeReport, _wire_query
 from repro.serving.worker import QUERY_ERROR
-from repro.sharding.oracle import INFINITY
-from repro.sharding.snapshot import load_shard_plan_overlay
+from repro.sharding.frozen_overlay import HAVE_NUMPY
+from repro.sharding.oracle import INFINITY, stitch_over_borders
+from repro.sharding.snapshot import load_frozen_overlay, load_shard_plan_overlay
+
+#: Recognised stitch planes for :class:`ShardedQueryService`.
+STITCH_PLANES = ("scalar", "frozen")
+
+#: Cross-batch repaired-row memo entries kept per service (each entry
+#: is one shard's full border matrix under one failure set).
+_REPAIR_MEMO_LIMIT = 256
 
 
 class _QueryPlan:
@@ -66,10 +98,16 @@ class _QueryPlan:
         self.out_legs: list = []
         #: ``[(border, (shard, leg index)), ...]`` target-side legs.
         self.in_legs: list = []
-        #: ``{shard: [[leg ref or None per border pair]]}`` repair rows.
-        self.repairs: dict[int, list[list]] = {}
+        #: ``[(shard, rows_key), ...]`` repair sets this query needs,
+        #: sorted by shard; ``rows_key`` indexes the batch's shared
+        #: repair table (and the cross-batch memo).
+        self.repairs: list[tuple[int, tuple]] = []
         self.cross_failed = frozenset()
         self.cross_shard = False
+
+    def patch_key(self) -> tuple:
+        """Hashable failure-patch signature (groups the frozen stitch)."""
+        return (tuple(self.repairs), self.cross_failed)
 
 
 class ShardedQueryService:
@@ -87,6 +125,16 @@ class ShardedQueryService:
     start_method, result_plane, chunk_size, max_restarts,
     batch_timeout, ping_timeout:
         Forwarded to every inner :class:`QueryService`.
+    stitch_plane:
+        ``"frozen"`` (CSR kernels + closure fast path; requires NumPy)
+        or ``"scalar"`` (the per-query heap walk).  ``None`` reads
+        ``DSO_STITCH_PLANE``, then defaults to ``"frozen"`` when NumPy
+        is importable.
+    cache_size:
+        Dispatcher result-cache capacity (0 disables).  Entries are
+        epoch-stamped across *all* shard pools.
+    deadline_ms:
+        Per-batch deadline for admission control (``None`` disables).
 
     Examples
     --------
@@ -116,9 +164,28 @@ class ShardedQueryService:
         max_restarts: int | None = None,
         batch_timeout: float = 30.0,
         ping_timeout: float = 5.0,
+        stitch_plane: str | None = None,
+        cache_size: int = 0,
+        deadline_ms: float | None = None,
     ) -> None:
         if workers_per_shard < 1:
             raise ValueError("workers_per_shard must be >= 1")
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        if stitch_plane is None:
+            stitch_plane = os.environ.get("DSO_STITCH_PLANE") or None
+        if stitch_plane is None:
+            stitch_plane = "frozen" if HAVE_NUMPY else "scalar"
+        if stitch_plane not in STITCH_PLANES:
+            raise ValueError(
+                f"stitch_plane must be one of {STITCH_PLANES}, "
+                f"got {stitch_plane!r}"
+            )
+        if stitch_plane == "frozen" and not HAVE_NUMPY:
+            raise ValueError(
+                "stitch_plane='frozen' requires numpy; "
+                "pass stitch_plane='scalar'"
+            )
         self.snapshot_dir = str(snapshot_dir)
         overlay, meta, shard_paths = load_shard_plan_overlay(
             snapshot_dir, verify=verify
@@ -127,6 +194,12 @@ class ShardedQueryService:
         self.meta = meta
         self.shards = overlay.parts
         self.workers_per_shard = workers_per_shard
+        self.stitch_plane = stitch_plane
+        self._frozen = (
+            load_frozen_overlay(snapshot_dir, verify=verify)
+            if stitch_plane == "frozen"
+            else None
+        )
         self._services = [
             QueryService(
                 path,
@@ -141,6 +214,19 @@ class ShardedQueryService:
             for path in shard_paths
         ]
         self._started = False
+        self.cache_size = cache_size
+        self.deadline_ms = deadline_ms
+        self._cache = ResultCache(cache_size) if cache_size else None
+        self._admission = (
+            DeadlineAdmission(deadline_ms, self.workers)
+            if deadline_ms is not None
+            else None
+        )
+        #: ``(shard, canonical F_k) -> resolved float rows`` — repaired
+        #: border matrices carried across batches.  Cleared whenever
+        #: any shard's snapshot epoch retires (the rows embed that
+        #: shard's answers).
+        self._repair_memo: dict[tuple, list[list[float]]] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -153,9 +239,11 @@ class ShardedQueryService:
         return self
 
     def stop(self) -> None:
-        """Stop every shard pool."""
+        """Stop every shard pool and release the frozen overlay mmap."""
         for service in self._services:
             service.stop()
+        if self._frozen is not None:
+            self._frozen.close()
         self._started = False
 
     def __enter__(self) -> "ShardedQueryService":
@@ -175,19 +263,59 @@ class ShardedQueryService:
         return sum(service.total_restarts for service in self._services)
 
     # ------------------------------------------------------------------
+    # Caching plane: epochs spanning every shard pool
+    # ------------------------------------------------------------------
+    @property
+    def snapshot_epoch(self) -> int:
+        """Cache stamp: the sum of every shard pool's snapshot epoch.
+
+        Any single shard retiring its snapshot changes the sum, which
+        retires every cached *stitched* answer — a stitched value may
+        embed legs from any shard, so per-shard invalidation cannot be
+        finer than this.
+        """
+        return sum(service.snapshot_epoch for service in self._services)
+
+    def retire_snapshot_epoch(self) -> int:
+        """Invalidate all cached answers and memoized repaired rows."""
+        for service in self._services:
+            service.retire_snapshot_epoch()
+        epoch = self.snapshot_epoch
+        if self._cache is not None:
+            self._cache.retire_older_than(epoch)
+        self._repair_memo.clear()
+        return epoch
+
+    def cache_stats(self) -> dict | None:
+        """Dispatcher cache counters, or ``None`` when disabled."""
+        if self._cache is None:
+            return None
+        return self._cache.stats()
+
+    def admission_stats(self) -> dict | None:
+        """Admission-control state, or ``None`` when disabled."""
+        if self._admission is None:
+            return None
+        return self._admission.stats()
+
+    # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
     def _plan_queries(
         self, wire: list[tuple]
-    ) -> tuple[list[_QueryPlan], list[list[tuple]]]:
-        """Turn wire queries into per-shard leg batches plus plans."""
+    ) -> tuple[list[_QueryPlan], list[list[tuple]], dict]:
+        """Turn wire queries into per-shard leg batches plus plans.
+
+        Returns ``(plans, shard_legs, repair_refs)`` where
+        ``repair_refs`` maps each distinct ``(shard, canonical F_k)``
+        this batch needs — and the cross-batch memo cannot supply — to
+        its leg-reference rows (resolved once after dispatch).
+        """
         overlay = self.overlay
         assignment = overlay.assignment
         shard_legs: list[list[tuple]] = [[] for _ in range(self.shards)]
         leg_index: list[dict] = [{} for _ in range(self.shards)]
-        #: ``(shard, canonical F_k) -> repair leg-ref rows`` — one
-        #: repair set per distinct failure set per shard per batch.
-        repair_rows: dict[tuple, list[list]] = {}
+        repair_refs: dict[tuple, list[list]] = {}
 
         def leg(shard: int, source: int, target: int, failed) -> tuple[int, int]:
             key = canonical_query_key(source, target, failed)
@@ -242,19 +370,18 @@ class ShardedQueryService:
             for shard in overlay.shards_touched(per_shard):
                 failures = per_shard[shard]
                 rows_key = (shard, canonical_query_key(0, 0, failures)[2])
-                rows = repair_rows.get(rows_key)
-                if rows is None:
-                    borders = overlay.shard_borders[shard]
-                    rows = [
-                        [
-                            None if a == b else leg(shard, a, b, failures)
-                            for b in borders
-                        ]
-                        for a in borders
+                plan.repairs.append((shard, rows_key))
+                if rows_key in self._repair_memo or rows_key in repair_refs:
+                    continue  # repaired once per batch — or never again
+                borders = overlay.shard_borders[shard]
+                repair_refs[rows_key] = [
+                    [
+                        None if a == b else leg(shard, a, b, failures)
+                        for b in borders
                     ]
-                    repair_rows[rows_key] = rows
-                plan.repairs[shard] = rows
-        return plans, shard_legs
+                    for a in borders
+                ]
+        return plans, shard_legs, repair_refs
 
     # ------------------------------------------------------------------
     # Dispatch + stitch
@@ -267,7 +394,8 @@ class ShardedQueryService:
         Answers keep input order and are bitwise-identical (NaN
         sentinel included) to the unsharded frozen oracle whenever
         float addition over the graph's weights is exact — the
-        property the sharded parity suite locks down.
+        property the sharded parity suite locks down, on both stitch
+        planes.
         """
         started = time.perf_counter()
         for service in self._services:
@@ -275,8 +403,60 @@ class ShardedQueryService:
                 service.start()
         self._started = True
         wire = [_wire_query(query) for query in queries]
-        plans, shard_legs = self._plan_queries(wire)
+        total = len(wire)
+        assignment = self.overlay.assignment
+        cross_flags = [
+            source in assignment
+            and target in assignment
+            and assignment[source] != assignment[target]
+            for source, target, _ in wire
+        ]
 
+        # ---- cache lookup + within-batch dedup + deadline shedding ---
+        # (mirrors QueryService.run — the knobs compose identically).
+        cache_hits = 0
+        precomputed_hits = 0
+        shed_indices: list[int] = []
+        duplicates: dict[int, list[int]] = {}
+        keys: list | None = None
+        full_answers: list[float] = [float("nan")] * total
+        if self._cache is not None:
+            keys = [canonical_query_key(*triple) for triple in wire]
+            epoch = self.snapshot_epoch
+            first_seen: dict = {}
+            dispatch_positions: list[int] = []
+            for position, key in enumerate(keys):
+                hit = self._cache.get(key, epoch)
+                if hit is not None:
+                    full_answers[position], was_precomputed = hit
+                    cache_hits += 1
+                    if was_precomputed:
+                        precomputed_hits += 1
+                    continue
+                leader = first_seen.get(key)
+                if leader is not None:
+                    duplicates.setdefault(leader, []).append(position)
+                else:
+                    first_seen[key] = position
+                    dispatch_positions.append(position)
+        else:
+            dispatch_positions = list(range(total))
+        if self._admission is not None and dispatch_positions:
+            admitted = self._admission.admit(len(dispatch_positions))
+            if admitted < len(dispatch_positions):
+                for position in dispatch_positions[admitted:]:
+                    shed_indices.append(position)
+                    shed_indices.extend(duplicates.pop(position, ()))
+                dispatch_positions = dispatch_positions[:admitted]
+                shed_indices.sort()
+        identity = self._cache is None and not shed_indices
+        compact_wire = (
+            wire if identity
+            else [wire[position] for position in dispatch_positions]
+        )
+        n_dispatch = len(compact_wire)
+
+        plans, shard_legs, repair_refs = self._plan_queries(compact_wire)
         reports: list[ServeReport | None] = [None] * self.shards
         for shard, legs in enumerate(shard_legs):
             if legs:
@@ -289,16 +469,31 @@ class ShardedQueryService:
             report = reports[shard]
             return report.answers[index], report.errors[index]
 
-        answers: list[float] = []
-        latencies: list[float] = []
-        errors: list[str | None] = []
-        perf = time.perf_counter
-        for plan in plans:
-            tick = perf()
-            answer, message = self._stitch(plan, leg_value)
-            answers.append(answer)
-            errors.append(message)
-            latencies.append(perf() - tick)
+        answers, latencies, errors, stitch_seconds, closure_hits = (
+            self._stitch_all(plans, leg_value, repair_refs)
+        )
+
+        # ---- scatter back + cache fill (compact -> input positions) --
+        if not identity:
+            full_latencies = [0.0] * total
+            full_errors: list[str | None] = [None] * total
+            for index, position in enumerate(dispatch_positions):
+                full_answers[position] = answers[index]
+                full_latencies[position] = latencies[index]
+                full_errors[position] = errors[index]
+            for leader, positions in duplicates.items():
+                for position in positions:
+                    full_answers[position] = full_answers[leader]
+                    full_errors[position] = full_errors[leader]
+                    cache_hits += 1
+            if self._cache is not None:
+                epoch = self.snapshot_epoch
+                for index, position in enumerate(dispatch_positions):
+                    if errors[index] is None:
+                        self._cache.put(keys[position], answers[index], epoch)
+            answers = full_answers
+            latencies = full_latencies
+            errors = full_errors
 
         # Aggregate the shard pools' accounting into one report.
         per_worker = []
@@ -306,6 +501,7 @@ class ShardedQueryService:
         dispatch_seconds = 0.0
         pipe_bytes = 0
         result_batches = 0
+        busy_seconds = 0.0
         planes = set()
         for report in reports:
             if report is None:
@@ -318,7 +514,30 @@ class ShardedQueryService:
             per_worker.extend(report.per_worker)
         for slot, stats in enumerate(per_worker):
             stats.index = slot
-        cross = sum(1 for plan in plans if plan.cross_shard)
+            busy_seconds += stats.busy_seconds
+        if self._admission is not None and n_dispatch:
+            self._admission.observe(n_dispatch, busy_seconds)
+
+        # Same-shard vs cross-shard latency split over the queries that
+        # were actually stitched this run (cache hits and sheds carry
+        # no stitch latency and would only dilute the percentiles).
+        split: dict[str, dict] = {}
+        planned = (
+            range(total) if identity else dispatch_positions
+        )
+        for label, wanted in (("same_shard", False), ("cross_shard", True)):
+            lane = [
+                latencies[position]
+                for position in planned
+                if cross_flags[position] is wanted
+            ]
+            if lane:
+                split[label] = {
+                    "count": len(lane),
+                    "p50_us": round(1e6 * latency_percentile(lane, 0.50), 3),
+                    "p99_us": round(1e6 * latency_percentile(lane, 0.99), 3),
+                }
+        cross = sum(1 for flag in cross_flags if flag)
         return ServeReport(
             answers=answers,
             latencies=latencies,
@@ -333,61 +552,166 @@ class ShardedQueryService:
             dispatch_seconds=dispatch_seconds,
             pipe_bytes=pipe_bytes,
             result_batches=result_batches,
+            cache_hits=cache_hits,
+            precomputed_hits=precomputed_hits,
+            shed_indices=shed_indices,
             shards=self.shards,
-            cross_shard_ratio=(cross / len(wire)) if wire else 0.0,
+            cross_shard_ratio=(cross / total) if wire else 0.0,
             shard_loads=[len(legs) for legs in shard_legs],
+            stitch_plane=self.stitch_plane,
+            stitch_seconds=stitch_seconds,
+            closure_hits=closure_hits,
+            latency_split=split,
         )
 
-    def _stitch(
-        self, plan: _QueryPlan, leg_value
-    ) -> tuple[float, str | None]:
-        """Combine one query's answered legs into its final answer."""
-        if plan.error is not None:
-            return QUERY_ERROR, plan.error
+    # ------------------------------------------------------------------
+    # Stitch planes
+    # ------------------------------------------------------------------
+    def _resolve_repairs(
+        self, repair_refs: dict, leg_value
+    ) -> dict[tuple, tuple]:
+        """Resolve each distinct repair set once, memoizing clean ones.
 
-        local = INFINITY
-        if plan.local is not None:
-            local, message = leg_value(plan.local)
-            if message is not None:
-                return QUERY_ERROR, message
-        if not plan.out_legs:
-            return local, None
-
-        sources = []
-        for border, ref in plan.out_legs:
-            value, message = leg_value(ref)
-            if message is not None:
-                return QUERY_ERROR, message
-            sources.append((border, value))
-        targets = {}
-        for border, ref in plan.in_legs:
-            value, message = leg_value(ref)
-            if message is not None:
-                return QUERY_ERROR, message
-            if value < INFINITY:
-                targets[border] = value
-        repaired = {}
-        for shard, ref_rows in plan.repairs.items():
-            rows = []
+        Returns ``rows_key -> (rows, first_error_message)``; scan order
+        inside a set is row-major, matching the scalar plane's per-query
+        scan so error strings stay byte-identical.
+        """
+        resolved: dict[tuple, tuple] = {}
+        for rows_key, ref_rows in repair_refs.items():
+            rows: list[list[float]] = []
+            message: str | None = None
             for ref_row in ref_rows:
-                row = []
+                row: list[float] = []
                 for ref in ref_row:
                     if ref is None:
                         row.append(0.0)
                         continue
-                    value, message = leg_value(ref)
-                    if message is not None:
-                        return QUERY_ERROR, message
+                    value, leg_message = leg_value(ref)
+                    if leg_message is not None:
+                        message = leg_message
+                        break
                     row.append(value)
+                if message is not None:
+                    break
                 rows.append(row)
+            if message is not None:
+                resolved[rows_key] = (None, message)
+            else:
+                resolved[rows_key] = (rows, None)
+                if len(self._repair_memo) < _REPAIR_MEMO_LIMIT:
+                    self._repair_memo[rows_key] = rows
+        return resolved
+
+    def _resolve_legs(self, plan: _QueryPlan, leg_value, resolved):
+        """Answered legs of one plan, scanned in the canonical order.
+
+        Returns ``("done", answer, message)`` for plans that finish
+        without stitching (errors, borderless shards), else
+        ``("stitch", sources, targets, upper, repaired)``.
+        """
+        if plan.error is not None:
+            return ("done", QUERY_ERROR, plan.error)
+        local = INFINITY
+        if plan.local is not None:
+            local, message = leg_value(plan.local)
+            if message is not None:
+                return ("done", QUERY_ERROR, message)
+        if not plan.out_legs:
+            return ("done", local, None)
+        sources = []
+        for border, ref in plan.out_legs:
+            value, message = leg_value(ref)
+            if message is not None:
+                return ("done", QUERY_ERROR, message)
+            sources.append((border, value))
+        targets = []
+        for border, ref in plan.in_legs:
+            value, message = leg_value(ref)
+            if message is not None:
+                return ("done", QUERY_ERROR, message)
+            targets.append((border, value))
+        repaired: dict[int, list[list[float]]] = {}
+        for shard, rows_key in plan.repairs:
+            rows = self._repair_memo.get(rows_key)
+            if rows is None:
+                rows, message = resolved[rows_key]
+                if message is not None:
+                    return ("done", QUERY_ERROR, message)
             repaired[shard] = rows
+        return ("stitch", sources, targets, local, repaired)
 
-        from repro.sharding.oracle import stitch_over_borders
+    def _stitch_all(self, plans, leg_value, repair_refs):
+        """Stitch every plan on the active plane; returns the lanes.
 
-        adjacency = self.overlay.adjacency(repaired, plan.cross_failed)
+        Per-query ``latencies`` measure dispatcher-side stitch work
+        only (leg resolution plus the walk/kernel share); the legs'
+        own worker time is accounted by the shard pools.
+        """
+        perf = time.perf_counter
+        count = len(plans)
+        answers = [float("nan")] * count
+        latencies = [0.0] * count
+        errors: list[str | None] = [None] * count
+        closure_hits = 0
+        stitch_started = perf()
+        resolved = self._resolve_repairs(repair_refs, leg_value)
+        frozen = self._frozen if self.stitch_plane == "frozen" else None
+        #: patch signature -> (repaired, cross_failed, [(position, s, t, u)])
+        groups: dict[tuple, tuple] = {}
+        for position, plan in enumerate(plans):
+            tick = perf()
+            outcome = self._resolve_legs(plan, leg_value, resolved)
+            if outcome[0] == "done":
+                _, answers[position], errors[position] = outcome
+                latencies[position] = perf() - tick
+                continue
+            _, sources, targets, upper, repaired = outcome
+            if frozen is None:
+                targets_map = {
+                    border: value
+                    for border, value in targets
+                    if value < INFINITY
+                }
+                adjacency = self.overlay.adjacency(
+                    repaired or None, plan.cross_failed
+                )
+                answers[position] = stitch_over_borders(
+                    sources, targets_map, adjacency, upper_bound=upper
+                )
+                latencies[position] = perf() - tick
+                continue
+            if (
+                not repaired
+                and not plan.cross_failed
+                and frozen.closure is not None
+            ):
+                # Failure-free fast path: the precomputed closure.
+                answers[position] = frozen.closure_answer(
+                    sources, targets, upper
+                )
+                closure_hits += 1
+                latencies[position] = perf() - tick
+                continue
+            group = groups.get(plan.patch_key())
+            if group is None:
+                group = (repaired, plan.cross_failed, [])
+                groups[plan.patch_key()] = group
+            group[2].append((position, sources, targets, upper))
+            latencies[position] = perf() - tick
+        for repaired, cross_failed, members in groups.values():
+            tick = perf()
+            batch = [
+                (sources, targets, upper)
+                for _, sources, targets, upper in members
+            ]
+            stitched = frozen.stitch_batch(
+                batch, repaired=repaired or None, cross_failed=cross_failed
+            )
+            share = (perf() - tick) / len(members)
+            for slot, (position, _, _, _) in enumerate(members):
+                answers[position] = float(stitched[slot])
+                latencies[position] += share
         return (
-            stitch_over_borders(
-                sources, targets, adjacency, upper_bound=local
-            ),
-            None,
+            answers, latencies, errors,
+            perf() - stitch_started, closure_hits,
         )

@@ -19,6 +19,11 @@ from repro.sharding.build import (
     build_sharded,
     compute_border_matrix,
 )
+from repro.sharding.frozen_overlay import (
+    FrozenOverlay,
+    compile_overlay_csr,
+    compute_border_closure,
+)
 from repro.sharding.oracle import (
     BorderOverlay,
     ShardedOracle,
@@ -28,6 +33,7 @@ from repro.sharding.plan import PARTITION_METHODS, ShardPlan, make_shard_plan
 from repro.sharding.snapshot import (
     MANIFEST_NAME,
     SHARD_MAGIC,
+    load_frozen_overlay,
     load_shard_plan_overlay,
     load_sharded_snapshot,
     save_sharded_snapshot,
@@ -39,11 +45,15 @@ __all__ = [
     "PARTITION_METHODS",
     "SHARD_MAGIC",
     "BorderOverlay",
+    "FrozenOverlay",
     "ShardPlan",
     "ShardedBuild",
     "ShardedOracle",
     "build_sharded",
+    "compile_overlay_csr",
+    "compute_border_closure",
     "compute_border_matrix",
+    "load_frozen_overlay",
     "load_shard_plan_overlay",
     "load_sharded_snapshot",
     "make_shard_plan",

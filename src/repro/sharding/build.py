@@ -58,6 +58,12 @@ class ShardedBuild:
     shard_oracles: list
     border_matrices: list[list[list[float]]]
     build_seconds: float = 0.0
+    #: Failure-free all-pairs border-to-border closure over the overlay
+    #: (row-major over the globally sorted border list) — the frozen
+    #: stitch plane's F=∅ fast path.  ``None`` on builds predating it;
+    #: :func:`repro.sharding.snapshot.save_sharded_snapshot` computes a
+    #: missing closure before persisting.
+    border_closure: list[list[float]] | None = None
 
 
 def _shard_transit(shard_graph: DiGraph, tau: int, theta: float):
@@ -184,10 +190,24 @@ def build_sharded(
         )
         for shard, shard_graph in enumerate(shard_graphs)
     ]
+    # The F=∅ border closure is cheap relative to the per-shard oracle
+    # builds (one Dijkstra per border over the small overlay graph) and
+    # unlocks the frozen stitch plane's fast path, so it is always
+    # precomputed here rather than lazily at load time.
+    from repro.sharding.frozen_overlay import compute_border_closure
+    from repro.sharding.oracle import BorderOverlay
+
+    overlay = BorderOverlay(
+        plan.assignment,
+        plan.shard_borders,
+        [(tail, head, weight) for tail, head, weight in plan.cross_edges],
+        border_matrices,
+    )
     return ShardedBuild(
         plan=plan,
         shard_graphs=shard_graphs,
         shard_oracles=shard_oracles,
         border_matrices=border_matrices,
         build_seconds=time.perf_counter() - started,
+        border_closure=compute_border_closure(overlay),
     )

@@ -63,6 +63,11 @@ def stitch_over_borders(
     ``upper_bound`` (pass the local answer to prune the search).
     """
     best = upper_bound
+    # With no reachable exit border, or no finite entry lead, no
+    # stitched total can exist — skip the heap entirely rather than
+    # seeding a walk that can only drain to ``upper_bound``.
+    if not targets or not any(lead < INFINITY for _, lead in sources):
+        return best
     dist: dict[int, float] = {}
     heap: list[tuple[float, int]] = []
     for border, lead in sources:

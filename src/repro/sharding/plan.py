@@ -100,7 +100,14 @@ def make_shard_plan(
         )
     if graph.number_of_nodes() == 0:
         raise PartitionError("cannot shard an empty graph")
-    if method == "metis":
+    if parts < 1:
+        raise PartitionError(f"parts must be >= 1, got {parts}")
+    if parts == 1:
+        # Degenerate single shard: everything is local, no borders, no
+        # cross edges — skip the partitioners (some reject K=1) and let
+        # the query plane bypass stitching entirely.
+        assignment = {node: 0 for node in graph.nodes()}
+    elif method == "metis":
         assignment = metis_like_partition(graph, parts, seed=seed)
     elif method == "spectral":
         assignment = spectral_partition(graph, parts, seed=seed)

@@ -37,6 +37,12 @@ from repro.oracle.snapshot import (
     pack_container,
     save_snapshot,
 )
+from repro.sharding.frozen_overlay import (
+    HAVE_NUMPY,
+    FrozenOverlay,
+    compile_overlay_csr,
+    compute_border_closure,
+)
 from repro.sharding.oracle import BorderOverlay, ShardedOracle
 
 SHARD_MAGIC = b"DSOSHRD1"
@@ -76,6 +82,27 @@ def save_sharded_snapshot(build, target: str | Path) -> Path:
     writer.add("cross.tails", "q", [e[0] for e in plan.cross_edges])
     writer.add("cross.heads", "q", [e[1] for e in plan.cross_edges])
     writer.add("cross.weights", "d", [e[2] for e in plan.cross_edges])
+
+    # Frozen stitch plane sections: the overlay pre-compiled to CSR
+    # (dense border ids reuse ``borders.all``) plus the failure-free
+    # border closure.  Pure-Python compile, so the manifest bytes are
+    # identical with or without numpy installed at save time.
+    overlay = BorderOverlay(
+        plan.assignment,
+        plan.shard_borders,
+        [(tail, head, weight) for tail, head, weight in plan.cross_edges],
+        build.border_matrices,
+    )
+    csr = compile_overlay_csr(overlay)
+    writer.add("frozen.shard", "q", csr["border_shard"])
+    writer.add("frozen.local", "q", csr["border_local"])
+    writer.add("frozen.offsets", "q", csr["offsets"])
+    writer.add("frozen.heads", "q", csr["heads"])
+    writer.add("frozen.weights", "d", csr["weights"])
+    closure = getattr(build, "border_closure", None)
+    if closure is None:
+        closure = compute_border_closure(overlay)
+    writer.add("closure.matrix", "d", [w for row in closure for w in row])
 
     shard_files = [_shard_file(shard) for shard in range(plan.parts)]
     meta = {
@@ -166,6 +193,56 @@ def load_shard_plan_overlay(
     )
     shard_paths = [base / name for name in meta["shard_files"]]
     return overlay, meta, shard_paths
+
+
+def load_frozen_overlay(
+    source: str | Path, verify: bool = True
+) -> FrozenOverlay | None:
+    """Load the frozen stitch plane from a manifest, zero-copy.
+
+    When the manifest carries ``frozen.*`` sections the CSR lanes (and
+    the closure matrix, if present) are NumPy views straight into the
+    manifest mmap — no copies; the returned overlay keeps the reader
+    open and releases it via :meth:`FrozenOverlay.close`.  Manifests
+    predating the sections fall back to an in-memory compile (closure
+    included).  Returns ``None`` when NumPy is unavailable — callers
+    then stay on the scalar stitch plane.
+    """
+    if not HAVE_NUMPY:
+        return None
+    import numpy as np
+
+    reader = _open_manifest(source, verify=verify)
+    if not reader.has_section("frozen.offsets"):
+        reader.close()
+        overlay, _, _ = load_shard_plan_overlay(source, verify=verify)
+        return FrozenOverlay.from_overlay(overlay, compute_closure=True)
+    try:
+        border_ids = np.asarray(reader.section("borders.all"))
+        closure = None
+        if reader.has_section("closure.matrix"):
+            flat = np.asarray(reader.section("closure.matrix"))
+            num = int(border_ids.size)
+            if flat.size != num * num:
+                raise FormatError(
+                    f"{source}: closure matrix has {flat.size} entries, "
+                    f"expected {num * num}"
+                )
+            closure = flat.reshape(num, num)
+        frozen = FrozenOverlay(
+            border_ids,
+            np.asarray(reader.section("frozen.shard")),
+            np.asarray(reader.section("frozen.local")),
+            np.asarray(reader.section("frozen.offsets")),
+            np.asarray(reader.section("frozen.heads")),
+            np.asarray(reader.section("frozen.weights")),
+            closure=closure,
+        )
+    except Exception:
+        reader.close()
+        raise
+    frozen.reader = reader
+    return frozen
 
 
 def load_sharded_snapshot(

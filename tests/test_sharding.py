@@ -114,6 +114,22 @@ class TestShardPlan:
         with pytest.raises(PartitionError):
             make_shard_plan(DiGraph(), 2)
 
+    def test_nonpositive_parts_raise(self):
+        for parts in (0, -3):
+            with pytest.raises(PartitionError):
+                make_shard_plan(grid_network(3, 3), parts)
+
+    def test_single_part_skips_partitioner(self):
+        """K=1 plans need no partitioner and produce no borders, so no
+        query ever stitches — the PartitionError-free trivial path."""
+        graph = grid_network(4, 4)
+        plan = make_shard_plan(graph, 1, seed=0)
+        assert plan.parts == 1
+        assert set(plan.assignment.values()) == {0}
+        assert plan.num_borders == 0
+        assert plan.cross_edges == ()
+        assert plan.edge_cut == 0
+
     def test_too_many_parts_raises(self):
         with pytest.raises(PartitionError):
             make_shard_plan(grid_network(2, 2), 9)
@@ -149,6 +165,40 @@ class TestBorderMatrix:
     def test_empty_borders(self):
         graph = grid_network(3, 3)
         assert compute_border_matrix(graph, ()) == []
+
+
+class TestStitchEarlyExit:
+    """Degenerate stitches return the upper bound without walking."""
+
+    def _counting_adjacency(self):
+        calls = []
+
+        def adjacency(u):
+            calls.append(u)
+            return ()
+
+        return adjacency, calls
+
+    def test_empty_targets_skip_the_walk(self):
+        from repro.sharding.oracle import stitch_over_borders
+
+        adjacency, calls = self._counting_adjacency()
+        best = stitch_over_borders(
+            [(1, 0.0), (2, 3.0)], {}, adjacency, upper_bound=5.0
+        )
+        assert best == 5.0
+        assert calls == []
+
+    def test_all_infinite_leads_skip_the_walk(self):
+        from repro.sharding.oracle import stitch_over_borders
+
+        adjacency, calls = self._counting_adjacency()
+        inf = float("inf")
+        best = stitch_over_borders(
+            [(1, inf), (2, inf)], {3: 0.0}, adjacency, upper_bound=7.0
+        )
+        assert best == 7.0
+        assert calls == []
 
 
 GRAPHS = {
@@ -369,3 +419,50 @@ class TestShardedServing:
         assert report.workers == 4
         assert len(report.per_worker) == 4
         assert [stats.index for stats in report.per_worker] == [0, 1, 2, 3]
+
+    def test_result_cache_spans_shard_epochs(self, served):
+        graph, build, target = served
+        batch = list(_query_mix(graph, build.plan, seed=33, count=10))
+        batch.append(batch[0])  # within-batch duplicate
+        with ShardedQueryService(
+            target, workers_per_shard=1, cache_size=64
+        ) as service:
+            first = service.run(batch)
+            assert first.cache_hits >= 1  # the duplicate coalesced
+            second = service.run(batch)
+            # Everything answered from the dispatcher cache: no legs
+            # planned, no shard dispatched.
+            assert second.cache_hits == len(batch)
+            assert sum(second.shard_loads) == 0
+            for got, want in zip(second.answers, first.answers):
+                _assert_same(got, want)
+            # The cache stamp is the *sum* of shard epochs: retiring
+            # (any) shard snapshots invalidates every stitched answer.
+            before = service.snapshot_epoch
+            assert service.retire_snapshot_epoch() > before
+            third = service.run(batch)
+            assert third.cache_hits == 1  # only the duplicate again
+            assert sum(third.shard_loads) > 0
+            for got, want in zip(third.answers, first.answers):
+                _assert_same(got, want)
+            stats = service.cache_stats()
+            assert stats is not None and stats["hits"] >= len(batch)
+
+    def test_deadline_sheds_whole_queries(self, served):
+        _, _, target = served
+        batch = [(0, 24, None), (24, 0, None), (0, 12, None)]
+        with ShardedQueryService(
+            target, workers_per_shard=1, deadline_ms=1e-6
+        ) as service:  # impossible budget: everything sheds
+            report = service.run(batch)
+        assert report.shed_count == len(batch)
+        assert set(report.statuses) == {"shed"}
+        assert all(math.isnan(answer) for answer in report.answers)
+        assert report.error_count == 0
+
+    def test_bad_knobs_rejected(self, served):
+        _, _, target = served
+        with pytest.raises(ValueError):
+            ShardedQueryService(target, cache_size=-1)
+        with pytest.raises(ValueError):
+            ShardedQueryService(target, workers_per_shard=0)

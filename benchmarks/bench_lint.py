@@ -1,0 +1,124 @@
+"""Bench: dsolint cold vs warm (summary-cached) full-tree lint.
+
+The lint gate runs on every commit, so its wall time is part of the
+developer loop; and the whole-program engine's incremental story —
+per-file summaries cached by content hash, only the cheap project
+pass re-running on a warm tree — is a perf *claim* that should be
+measured, not assumed.  This bench lints the four gated trees twice
+with a fresh cache file (cold: every file parsed, every rule run;
+warm: every file served from cache) and stamps both times plus the
+speedup into the ``lint`` section of ``BENCH_build.json``.
+
+The warm/cold ratio is asserted ≥5x: if a refactor drags per-file
+work into the project pass (which the cache cannot skip), this bench
+is where the regression surfaces.
+
+Standalone usage::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_lint.py
+    PYTHONPATH=src:benchmarks python benchmarks/bench_lint.py --smoke
+
+``--smoke`` lints ``src/repro/analysis`` only and skips the speedup
+assertion (CI containers have noisy clocks at sub-100ms scales).
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis import SummaryCache, lint_paths
+
+from bench_util import BUILD_JSON, REPO_ROOT, merge_json, write_result
+
+GATED_TREES = ("src", "tests", "benchmarks", "examples")
+SMOKE_TREES = ("src/repro/analysis",)
+
+#: The incremental-lint contract asserted by the full run.
+MIN_SPEEDUP = 5.0
+
+
+def run(smoke: bool = False) -> dict:
+    trees = SMOKE_TREES if smoke else GATED_TREES
+    targets = [str(REPO_ROOT / tree) for tree in trees]
+    with tempfile.TemporaryDirectory() as scratch:
+        cache_file = Path(scratch) / "lint-cache.json"
+
+        started = time.perf_counter()
+        cold_report = lint_paths(
+            targets, cache=SummaryCache(cache_file)
+        )
+        cold_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warm_report = lint_paths(
+            targets, cache=SummaryCache(cache_file)
+        )
+        warm_s = time.perf_counter() - started
+
+    if not cold_report.ok:
+        raise SystemExit(
+            "lint bench refuses to time a red tree: "
+            f"{len(cold_report.unsuppressed)} findings"
+        )
+    if [f.to_dict() for f in warm_report.findings] != [
+        f.to_dict() for f in cold_report.findings
+    ]:
+        raise SystemExit("cached lint diverged from the cold pass")
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    return {
+        "trees": list(trees),
+        "files": len(cold_report.files),
+        "findings": len(cold_report.unsuppressed),
+        "suppressed": len(cold_report.suppressed),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(speedup, 1),
+        "warm_cache_hits": warm_report.stats.get("cache_hits", 0),
+    }
+
+
+def format_table(result: dict) -> str:
+    lines = [
+        "dsolint full-tree lint (cold vs summary-cached warm)",
+        f"  files        {result['files']}",
+        f"  cold pass    {result['cold_s']:.3f} s",
+        f"  warm pass    {result['warm_s']:.3f} s",
+        f"  speedup      {result['speedup']:.1f}x",
+    ]
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny tree, no speedup assertion",
+    )
+    args = parser.parse_args()
+    result = run(smoke=args.smoke)
+    print(format_table(result))
+    if args.smoke:
+        print("smoke run OK (cold/warm parity held)")
+        return
+    if result["speedup"] < MIN_SPEEDUP:
+        raise SystemExit(
+            f"incremental lint speedup {result['speedup']}x is below "
+            f"the {MIN_SPEEDUP}x contract"
+        )
+    path = merge_json({"lint": result}, BUILD_JSON)
+    write_result("bench_lint", format_table(result))
+    print(f"merged into {path}")
+
+
+def test_lint_bench_smoke():
+    result = run(smoke=True)
+    assert result["files"] > 0
+    assert result["warm_cache_hits"] == result["files"]
+
+
+if __name__ == "__main__":
+    main()

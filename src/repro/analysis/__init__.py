@@ -22,6 +22,12 @@ DESIGN.md §10):
   non-integral float literals.
 * ``DSO4xx`` protocol hygiene — bare ``except``, swallowed broad
   exceptions, silent pass-only handlers in worker loops.
+* ``DSO5xx`` inter-procedural dataflow — unordered/unpicklable/NaN
+  taints chased across call boundaries over the project call graph
+  (:mod:`repro.analysis.dataflow`, DESIGN.md §15).
+* ``DSO6xx`` protocol conformance — write-then-stamp ordering,
+  epoch-fenced cache admission, lock/field coverage
+  (:mod:`repro.analysis.protocol`).
 
 Findings are suppressed inline with a justified comment::
 
@@ -40,10 +46,22 @@ from repro.analysis.config import (
     Profile,
     profile_for_path,
 )
-from repro.analysis.engine import LintReport, lint_paths, lint_source
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.callgraph import Project, module_name_for
+from repro.analysis.engine import (
+    LintReport,
+    changed_files,
+    lint_paths,
+    lint_source,
+)
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.reporting import to_json, to_text
+from repro.analysis.reporting import to_json, to_sarif, to_text
 from repro.analysis.rules import RULES, RULE_CATALOGUE_VERSION, rule_catalogue
+from repro.analysis.summaries import SummaryCache
 
 __all__ = [
     "DEFAULT_CONFIG",
@@ -51,13 +69,21 @@ __all__ = [
     "LintConfig",
     "LintReport",
     "Profile",
+    "Project",
     "RULES",
     "RULE_CATALOGUE_VERSION",
+    "SummaryCache",
+    "apply_baseline",
+    "changed_files",
     "lint_paths",
     "lint_source",
+    "load_baseline",
+    "module_name_for",
     "profile_for_path",
     "rule_catalogue",
     "to_json",
+    "to_sarif",
     "to_text",
+    "write_baseline",
     "Severity",
 ]

@@ -1,0 +1,91 @@
+"""Baseline debt files: land new rules without blocking on old debt.
+
+A baseline is a checked-in JSON file recording the unsuppressed
+findings a tree had at some point, as *fingerprints* — deliberately
+line-free (``path::rule::message``) so unrelated edits above a finding
+do not churn the file.  ``repro-dso lint --baseline FILE`` marks any
+finding matching a baselined fingerprint as suppressed (justification
+``accepted in baseline``), consuming one count per match; findings
+beyond the recorded count stay live, so *new* instances of an old
+problem still fail the gate.
+
+The intended lifecycle: ``--write-baseline`` when a rule family lands
+hot, burn the file down to empty as the debt is fixed, delete it.  The
+gated trees in this repo carry no baseline — ``tests/test_lint_clean.py``
+holds them at zero — but the mechanism is what lets the next rule
+family land without a flag-day fix-everything commit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.engine import LintReport
+from repro.analysis.findings import Finding
+
+#: Bump when the fingerprint or file format changes.
+BASELINE_SCHEMA_VERSION = 1
+
+_JUSTIFICATION = "accepted in baseline"
+
+
+def fingerprint(finding: Finding) -> str:
+    """Line-free identity of a finding for baseline matching."""
+    return f"{finding.path}::{finding.rule_id}::{finding.message}"
+
+
+def write_baseline(path: str | Path, report: LintReport) -> int:
+    """Record ``report``'s unsuppressed findings; returns the count."""
+    entries: dict[str, int] = {}
+    for finding in report.unsuppressed:
+        key = fingerprint(finding)
+        entries[key] = entries.get(key, 0) + 1
+    payload = {
+        "tool": "dsolint-baseline",
+        "schema": BASELINE_SCHEMA_VERSION,
+        "entries": dict(sorted(entries.items())),
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return sum(entries.values())
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """Fingerprint -> allowed count; raises on a malformed file."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if (
+        not isinstance(payload, dict)
+        or payload.get("schema") != BASELINE_SCHEMA_VERSION
+        or not isinstance(payload.get("entries"), dict)
+    ):
+        raise ValueError(f"{path} is not a dsolint baseline file")
+    return {
+        str(key): int(value)
+        for key, value in payload["entries"].items()
+    }
+
+
+def apply_baseline(
+    report: LintReport, entries: dict[str, int]
+) -> int:
+    """Suppress baselined findings in place; returns how many matched.
+
+    Matching consumes counts: a baseline recording two instances of a
+    fingerprint waives at most two — the third is a regression and
+    stays unsuppressed.
+    """
+    remaining = dict(entries)
+    matched = 0
+    for finding in report.findings:
+        if finding.suppressed:
+            continue
+        key = fingerprint(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            finding.suppressed = True
+            finding.justification = _JUSTIFICATION
+            matched += 1
+    return matched

@@ -1,0 +1,211 @@
+"""Project-wide symbol table and call graph over module summaries.
+
+:class:`Project` stitches the per-file :class:`~repro.analysis.
+summaries.ModuleSummary` records into one namespace: every file is
+assigned a dotted module name (``src/repro/oracle/frozen.py`` →
+``repro.oracle.frozen``; scripts outside a package root get their stem),
+and the dotted names recorded at call sites are resolved through each
+module's import table to a concrete :class:`FunctionSummary` or
+:class:`ClassSummary` somewhere else in the project.
+
+Resolution is deliberately shallow and sound-by-omission: a name the
+table cannot resolve (builtins, third-party modules, dynamic dispatch)
+resolves to ``None`` and the dataflow layer treats the call result as
+clean.  That keeps the inter-procedural rules quiet exactly where the
+per-file rules are quiet — on code the analysis cannot see.
+
+The module-level import graph doubles as the dependency oracle for
+``repro-dso lint --changed``: :meth:`Project.dependents_of` returns the
+transitive *reverse* closure of a changed file set, which is the set of
+files whose inter-procedural findings could change when those files
+change.
+"""
+
+from __future__ import annotations
+
+from pathlib import PurePosixPath
+
+from repro.analysis.summaries import (
+    ClassSummary,
+    FunctionSummary,
+    ModuleSummary,
+)
+
+#: Directory names that act as import roots: the module name of a file
+#: is its path below the innermost of these.
+_SOURCE_ROOTS = frozenset({"src"})
+
+
+def module_name_for(path: str) -> str:
+    """The dotted module name the import system would give ``path``.
+
+    >>> module_name_for("src/repro/oracle/frozen.py")
+    'repro.oracle.frozen'
+    >>> module_name_for("benchmarks/bench_util.py")
+    'bench_util'
+    >>> module_name_for("src/repro/graph/__init__.py")
+    'repro.graph'
+    """
+    parts = list(PurePosixPath(str(path).replace("\\", "/")).parts)
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] in _SOURCE_ROOTS:
+            parts = parts[index + 1:]
+            break
+    if not parts:
+        return ""
+    if parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    # Scripts outside a package root (tests/, benchmarks/, examples/)
+    # import as their bare stem.
+    if parts and parts[0] in {"tests", "benchmarks", "examples"}:
+        return parts[-1]
+    return ".".join(parts)
+
+
+class Project:
+    """Resolved whole-program view over a set of module summaries."""
+
+    def __init__(self, modules: list[ModuleSummary]) -> None:
+        #: module name -> summary (first definition wins on collision,
+        #: which matches the import system's behaviour for sys.path).
+        self.modules: dict[str, ModuleSummary] = {}
+        for summary in modules:
+            if not summary.module:
+                summary.module = module_name_for(summary.path)
+            self.modules.setdefault(summary.module, summary)
+        self._resolve_memo: dict[tuple[str, str], tuple | None] = {}
+
+    # ------------------------------------------------------------------
+    # Name resolution
+    # ------------------------------------------------------------------
+    def resolve(
+        self, module: str, dotted: str, cls: str | None = None
+    ) -> tuple | None:
+        """Resolve a call-site name to a project symbol.
+
+        Returns ``("func", module_summary, function_summary)`` or
+        ``("class", module_summary, class_summary)``, or ``None`` when
+        the name leaves the project.  ``cls`` is the enclosing class
+        for ``self.method(...)`` calls.
+        """
+        key = (module, f"{cls or ''}|{dotted}")
+        if key in self._resolve_memo:
+            return self._resolve_memo[key]
+        result = self._resolve(module, dotted, cls)
+        self._resolve_memo[key] = result
+        return result
+
+    def _resolve(
+        self, module: str, dotted: str, cls: str | None
+    ) -> tuple | None:
+        owner = self.modules.get(module)
+        if owner is None:
+            return None
+        parts = dotted.split(".")
+        if parts[0] == "self" and cls is not None:
+            if len(parts) == 2:
+                return self._symbol_in(owner, f"{cls}.{parts[1]}")
+            return None
+        if len(parts) == 1:
+            name = parts[0]
+            local = self._symbol_in(owner, name)
+            if local is not None:
+                return local
+            target = owner.imports.get(name)
+            if target is None:
+                return None
+            return self._resolve_qualified(target)
+        # "a.b.f": resolve the longest importable prefix to a module,
+        # then look the remainder up inside it.
+        head = owner.imports.get(parts[0])
+        if head is None:
+            return None
+        return self._resolve_qualified(".".join([head, *parts[1:]]))
+
+    def _resolve_qualified(self, qualified: str) -> tuple | None:
+        """Resolve a fully-dotted target like ``repro.oracle.frozen.f``."""
+        parts = qualified.split(".")
+        # Longest module prefix wins; the remainder is a symbol path.
+        for split in range(len(parts), 0, -1):
+            module = ".".join(parts[:split])
+            owner = self.modules.get(module)
+            if owner is None:
+                continue
+            remainder = parts[split:]
+            if not remainder:
+                return None
+            if len(remainder) == 1:
+                direct = self._symbol_in(owner, remainder[0])
+                if direct is not None:
+                    return direct
+                # One level of re-export: ``from x import f`` in the
+                # target module forwards the lookup.
+                forwarded = owner.imports.get(remainder[0])
+                if forwarded is not None and forwarded != qualified:
+                    return self._resolve_qualified(forwarded)
+                return None
+            if len(remainder) == 2:
+                # Class attribute/method: Cls.method.
+                return self._symbol_in(owner, ".".join(remainder))
+            return None
+        return None
+
+    @staticmethod
+    def _symbol_in(owner: ModuleSummary, name: str) -> tuple | None:
+        function = owner.functions.get(name)
+        if function is not None:
+            return ("func", owner, function)
+        klass = owner.classes.get(name)
+        if klass is not None:
+            return ("class", owner, klass)
+        return None
+
+    def init_of(
+        self, owner: ModuleSummary, klass: ClassSummary
+    ) -> FunctionSummary | None:
+        return owner.functions.get(f"{klass.name}.__init__")
+
+    # ------------------------------------------------------------------
+    # Module dependency graph (for --changed)
+    # ------------------------------------------------------------------
+    def _import_edges(self) -> dict[str, set[str]]:
+        """module -> set of project modules it imports from."""
+        edges: dict[str, set[str]] = {}
+        for name, summary in self.modules.items():
+            targets: set[str] = set()
+            for dotted in summary.imports.values():
+                parts = dotted.split(".")
+                for split in range(len(parts), 0, -1):
+                    candidate = ".".join(parts[:split])
+                    if candidate in self.modules and candidate != name:
+                        targets.add(candidate)
+                        break
+            edges[name] = targets
+        return edges
+
+    def dependents_of(self, paths: set[str]) -> set[str]:
+        """Paths of every module transitively importing any of ``paths``.
+
+        The result includes ``paths`` themselves (restricted to files
+        the project knows).  This is the file set whose findings can
+        change when ``paths`` change — the ``--changed`` lint target.
+        """
+        by_path = {
+            summary.path: name for name, summary in self.modules.items()
+        }
+        seeds = {by_path[path] for path in sorted(paths) if path in by_path}
+        reverse: dict[str, set[str]] = {name: set() for name in self.modules}
+        for source, targets in self._import_edges().items():
+            for target in sorted(targets):
+                reverse[target].add(source)
+        reached = set(seeds)
+        frontier = sorted(seeds)
+        while frontier:
+            current = frontier.pop()
+            for dependent in sorted(reverse.get(current, ())):
+                if dependent not in reached:
+                    reached.add(dependent)
+                    frontier.append(dependent)
+        return {self.modules[name].path for name in sorted(reached)}

@@ -1,0 +1,522 @@
+"""Inter-procedural dataflow: the DSO5xx rule family.
+
+This is the layer the per-file rules provably cannot be: a taint
+engine that evaluates the abstract terms recorded in function
+summaries (:mod:`repro.analysis.summaries`) against the project call
+graph (:mod:`repro.analysis.callgraph`).  Three taints propagate:
+
+* **unordered** — the value is a set/frozenset; its iteration order is
+  hash order.
+* **tainted** — the value is *ordered data whose order came from
+  iterating an unordered container* (``list(s)``, a comprehension over
+  a set parameter).  Serializing it bakes nondeterminism into bytes.
+* **sentinel** — the value may be the NaN ``QUERY_ERROR`` sentinel.
+* **unpicklable** — the value (or, transitively, one of its
+  attributes) is something pickle rejects.
+
+Rules
+-----
+``DSO501``
+    An unordered or order-tainted value reaches a serialization sink
+    (``json.dump``, ``struct.pack``, ``handle.write``, ...) through
+    *any* call chain — including "helper A iterates the set, caller B
+    two files away serializes A's return value", which no single-file
+    rule can see.  Also fires at a call site that passes an unordered
+    value into a parameter the callee (transitively) serializes.
+``DSO502``
+    A value crossing a process boundary (``conn.send``, pool dispatch,
+    ``Process(args=...)``) whose type summary is transitively
+    unpicklable — e.g. an instance of a class holding a
+    ``threading.Lock`` three attribute hops down.  Classes defining
+    ``__getstate__``/``__reduce__`` are exempt by contract.
+``DSO503``
+    A NaN-sentinel value (the return of a function that can return
+    ``QUERY_ERROR``/``float("nan")``) flows into arithmetic or an
+    ordering comparison in *another* function without an
+    ``math.isnan`` guard — NaN poisons every sum silently and every
+    ``<`` is constant-False.
+
+Soundness posture: unresolved calls evaluate to no taints, so the
+engine is quiet on code it cannot see — identical philosophy to the
+per-file inference.  Evaluation is memoized per run and guarded
+against recursion, so the fixpoint terminates on any call graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.callgraph import Project
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.summaries import (
+    ClassSummary,
+    FunctionSummary,
+    ModuleSummary,
+)
+
+#: Maximum call-chain depth one evaluation may descend.
+_MAX_DEPTH = 12
+
+_ORDER_TAINTS = frozenset({"unordered", "tainted"})
+
+#: Dataflow rule ids, their severities and catalogue summaries.
+DATAFLOW_RULES: dict[str, dict[str, str]] = {
+    "DSO501": {
+        "severity": Severity.ERROR,
+        "summary": (
+            "unordered iteration order reaches a serialization sink "
+            "across call boundaries"
+        ),
+    },
+    "DSO502": {
+        "severity": Severity.ERROR,
+        "summary": (
+            "transitively unpicklable value crosses a process boundary"
+        ),
+    },
+    "DSO503": {
+        "severity": Severity.ERROR,
+        "summary": (
+            "NaN-sentinel return value used in arithmetic/comparison "
+            "without an isnan guard"
+        ),
+    },
+}
+
+
+@dataclass
+class _Eval:
+    """One evaluated term: its taints and a human-readable origin."""
+
+    tags: frozenset[str]
+    origin: str = ""
+
+    def has(self, *tags: str) -> bool:
+        return any(tag in self.tags for tag in tags)
+
+
+_CLEAN_EVAL = _Eval(frozenset())
+
+
+class DataflowEngine:
+    """Evaluates summary terms over the project graph; emits findings."""
+
+    def __init__(self, project: Project, config: LintConfig) -> None:
+        self.project = project
+        self.config = config
+        self._memo: dict[str, _Eval] = {}
+        self._class_memo: dict[str, bool] = {}
+        self._sink_params: dict[str, frozenset[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Term evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        term: dict,
+        module: ModuleSummary,
+        fn: FunctionSummary | None,
+        binding: dict[int, _Eval] | None = None,
+        depth: int = 0,
+        stack: frozenset[str] = frozenset(),
+    ) -> _Eval:
+        kind = term.get("k", "clean")
+        if kind == "clean":
+            return _CLEAN_EVAL
+        if kind == "set":
+            return _Eval(frozenset({"unordered"}))
+        if kind == "sentinel":
+            return _Eval(frozenset({"sentinel"}))
+        if kind == "unpicklable":
+            return _Eval(
+                frozenset({"unpicklable"}), term.get("why", "unpicklable")
+            )
+        if kind == "cap":
+            inner = self.evaluate(
+                term["of"], module, fn, binding, depth, stack
+            )
+            if inner.has(*_ORDER_TAINTS):
+                return _Eval(frozenset({"tainted"}), inner.origin)
+            return _CLEAN_EVAL
+        if kind == "tuple":
+            tags: set[str] = set()
+            origin = ""
+            for item in term.get("items", ()):
+                result = self.evaluate(
+                    item, module, fn, binding, depth, stack
+                )
+                tags.update(result.tags)
+                origin = origin or result.origin
+            return _Eval(frozenset(tags), origin)
+        if kind == "param":
+            index = term.get("i", -1)
+            if binding is not None and index in binding:
+                return binding[index]
+            if fn is not None and index in fn.set_params:
+                return _Eval(
+                    frozenset({"unordered"}),
+                    f"set-annotated parameter of {fn.qualname}()",
+                )
+            return _CLEAN_EVAL
+        if kind == "call":
+            return self._evaluate_call(
+                term, module, fn, binding, depth, stack
+            )
+        return _CLEAN_EVAL
+
+    def _evaluate_call(
+        self,
+        term: dict,
+        module: ModuleSummary,
+        fn: FunctionSummary | None,
+        binding: dict[int, _Eval] | None,
+        depth: int,
+        stack: frozenset[str],
+    ) -> _Eval:
+        if depth >= _MAX_DEPTH:
+            return _CLEAN_EVAL
+        enclosing_class = _enclosing_class(fn)
+        resolved = self.project.resolve(
+            module.module, term["fn"], cls=enclosing_class
+        )
+        if resolved is None:
+            return _CLEAN_EVAL
+        kind, owner, symbol = resolved
+        if kind == "class":
+            if self.class_unpicklable(owner, symbol):
+                return _Eval(
+                    frozenset({"unpicklable"}),
+                    f"instance of {symbol.name} [{owner.path}:"
+                    f"{symbol.line}]",
+                )
+            return _CLEAN_EVAL
+        callee: FunctionSummary = symbol
+        args = [
+            self.evaluate(arg, module, fn, binding, depth, stack)
+            for arg in term.get("args", ())
+        ]
+        offset = 1 if callee.is_method else 0
+        callee_binding = {
+            position + offset: value
+            for position, value in enumerate(args)
+            if value.tags
+        }
+        frame = (
+            f"{owner.module}:{callee.qualname}:"
+            f"{','.join(sorted(str(k) for k in callee_binding))}"
+        )
+        if frame in stack:
+            return _CLEAN_EVAL
+        stack = stack | {frame}
+        memo_key = frame + "|" + ",".join(
+            sorted(
+                f"{index}={'+'.join(sorted(value.tags))}"
+                for index, value in callee_binding.items()
+            )
+        )
+        if memo_key in self._memo:
+            return self._memo[memo_key]
+        tags: set[str] = set()
+        origin = ""
+        for ret in callee.returns:
+            result = self.evaluate(
+                ret, owner, callee, callee_binding, depth + 1, stack
+            )
+            tags.update(result.tags)
+            origin = origin or result.origin
+        note = origin or (
+            f"via {callee.qualname}() [{owner.path}:{callee.line}]"
+        )
+        evaluated = _Eval(frozenset(tags), note if tags else "")
+        self._memo[memo_key] = evaluated
+        return evaluated
+
+    # ------------------------------------------------------------------
+    # Class picklability
+    # ------------------------------------------------------------------
+    def class_unpicklable(
+        self,
+        owner: ModuleSummary,
+        klass: ClassSummary,
+        stack: frozenset[str] = frozenset(),
+    ) -> bool:
+        key = f"{owner.module}:{klass.name}"
+        if key in self._class_memo:
+            return self._class_memo[key]
+        if key in stack or klass.custom_pickle:
+            return False
+        stack = stack | {key}
+        verdict = False
+        init = self.project.init_of(owner, klass)
+        for term in klass.attrs.values():
+            result = self.evaluate(term, owner, init, None, 0)
+            if result.has("unpicklable"):
+                verdict = True
+                break
+            if term.get("k") == "call" and not verdict:
+                resolved = self.project.resolve(owner.module, term["fn"])
+                if resolved is not None and resolved[0] == "class":
+                    if self.class_unpicklable(
+                        resolved[1], resolved[2], stack
+                    ):
+                        verdict = True
+                        break
+        self._class_memo[key] = verdict
+        return verdict
+
+    # ------------------------------------------------------------------
+    # Sink-parameter fixpoint (params the callee transitively serializes)
+    # ------------------------------------------------------------------
+    def _function_id(
+        self, module: ModuleSummary, fn: FunctionSummary
+    ) -> str:
+        return f"{module.module}:{fn.qualname}"
+
+    def compute_sink_params(self) -> None:
+        """Fixpoint: which parameters reach a serialization sink.
+
+        Parameter ``i`` of ``f`` is a *sink param* when an unordered
+        value bound to it would arrive (order-intact or captured) at a
+        serialization sink inside ``f`` — directly, or by being passed
+        onward into a sink param of another function.
+        """
+        for module in self._modules():
+            for fn in module.functions.values():
+                self._sink_params[self._function_id(module, fn)] = (
+                    frozenset()
+                )
+        changed = True
+        rounds = 0
+        while changed and rounds < 10:
+            changed = False
+            rounds += 1
+            for module in self._modules():
+                for fn in module.functions.values():
+                    fid = self._function_id(module, fn)
+                    known = self._sink_params[fid]
+                    grown = set(known)
+                    for index in range(len(fn.params)):
+                        if index in grown:
+                            continue
+                        if self._param_reaches_sink(module, fn, index):
+                            grown.add(index)
+                    if len(grown) != len(known):
+                        self._sink_params[fid] = frozenset(grown)
+                        changed = True
+        # A fixpoint round invalidates call memos (sink params are not
+        # part of the memo key, but findings below re-evaluate terms).
+
+    def _param_reaches_sink(
+        self, module: ModuleSummary, fn: FunctionSummary, index: int
+    ) -> bool:
+        # Origin-free so memoized call evaluations carry the callee
+        # frame ("via f() [path:line]") rather than a probe marker.
+        probe = {index: _Eval(frozenset({"unordered"}))}
+        for sink in fn.sinks:
+            for arg in sink["args"]:
+                with_taint = self.evaluate(arg, module, fn, probe)
+                without = self.evaluate(arg, module, fn, {})
+                if with_taint.has(*_ORDER_TAINTS) and not without.has(
+                    *_ORDER_TAINTS
+                ):
+                    return True
+        for call in fn.calls:
+            resolved = self.project.resolve(
+                module.module, call["fn"], cls=_enclosing_class(fn)
+            )
+            if resolved is None or resolved[0] != "func":
+                continue
+            _, owner, callee = resolved
+            callee_sinks = self._sink_params.get(
+                self._function_id(owner, callee), frozenset()
+            )
+            if not callee_sinks:
+                continue
+            offset = 1 if callee.is_method else 0
+            for position, arg in enumerate(call["args"]):
+                if position + offset not in callee_sinks:
+                    continue
+                with_taint = self.evaluate(arg, module, fn, probe)
+                without = self.evaluate(arg, module, fn, {})
+                if with_taint.has(*_ORDER_TAINTS) and not without.has(
+                    *_ORDER_TAINTS
+                ):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Finding generation
+    # ------------------------------------------------------------------
+    def _modules(self) -> list[ModuleSummary]:
+        return [
+            self.modules_by_name[name]
+            for name in sorted(self.modules_by_name)
+        ]
+
+    @property
+    def modules_by_name(self) -> dict[str, ModuleSummary]:
+        return self.project.modules
+
+    def _emit(
+        self,
+        findings: list[Finding],
+        rule_id: str,
+        module: ModuleSummary,
+        line: int,
+        col: int,
+        message: str,
+    ) -> None:
+        profile = self.config.profile_for(module.path)
+        if not profile.rule_enabled(rule_id):
+            return
+        findings.append(
+            Finding(
+                rule_id=rule_id,
+                severity=DATAFLOW_RULES[rule_id]["severity"],
+                path=module.path,
+                line=line,
+                col=col,
+                message=message,
+            )
+        )
+
+    def run(self) -> list[Finding]:
+        """Evaluate every sink/dispatch/arith site; return findings."""
+        self.compute_sink_params()
+        findings: list[Finding] = []
+        for module in self._modules():
+            for fn in module.functions.values():
+                self._check_sinks(findings, module, fn)
+                self._check_call_sites(findings, module, fn)
+                self._check_dispatches(findings, module, fn)
+                self._check_arith(findings, module, fn)
+        return findings
+
+    def _check_sinks(
+        self,
+        findings: list[Finding],
+        module: ModuleSummary,
+        fn: FunctionSummary,
+    ) -> None:
+        for sink in fn.sinks:
+            for arg in sink["args"]:
+                result = self.evaluate(arg, module, fn, None)
+                if not result.has(*_ORDER_TAINTS):
+                    continue
+                what = (
+                    "set iteration order"
+                    if result.has("tainted")
+                    else "an unordered set"
+                )
+                origin = f" ({result.origin})" if result.origin else ""
+                self._emit(
+                    findings,
+                    "DSO501",
+                    module,
+                    sink["line"],
+                    sink["col"],
+                    f"{what} reaches serialization sink "
+                    f"{sink['fn']}(){origin}; sort before capture or "
+                    "suppress with a justification",
+                )
+                break
+
+    def _check_call_sites(
+        self,
+        findings: list[Finding],
+        module: ModuleSummary,
+        fn: FunctionSummary,
+    ) -> None:
+        for call in fn.calls:
+            resolved = self.project.resolve(
+                module.module, call["fn"], cls=_enclosing_class(fn)
+            )
+            if resolved is None or resolved[0] != "func":
+                continue
+            _, owner, callee = resolved
+            if owner.path == module.path and callee.qualname == fn.qualname:
+                continue
+            callee_sinks = self._sink_params.get(
+                self._function_id(owner, callee), frozenset()
+            )
+            if not callee_sinks:
+                continue
+            offset = 1 if callee.is_method else 0
+            for position, arg in enumerate(call["args"]):
+                if position + offset not in callee_sinks:
+                    continue
+                result = self.evaluate(arg, module, fn, None)
+                if not result.has(*_ORDER_TAINTS):
+                    continue
+                self._emit(
+                    findings,
+                    "DSO501",
+                    module,
+                    call["line"],
+                    call["col"],
+                    f"unordered value passed to {callee.qualname}() "
+                    f"[{owner.path}:{callee.line}], which serializes "
+                    "its iteration order; pass sorted(...) instead",
+                )
+                break
+
+    def _check_dispatches(
+        self,
+        findings: list[Finding],
+        module: ModuleSummary,
+        fn: FunctionSummary,
+    ) -> None:
+        for dispatch in fn.dispatches:
+            for arg in dispatch["args"]:
+                result = self.evaluate(arg, module, fn, None)
+                if not result.has("unpicklable"):
+                    continue
+                origin = f" ({result.origin})" if result.origin else ""
+                self._emit(
+                    findings,
+                    "DSO502",
+                    module,
+                    dispatch["line"],
+                    dispatch["col"],
+                    "transitively unpicklable value crosses a process "
+                    f"boundary via {dispatch['fn']}(){origin}; works "
+                    "under fork, breaks under spawn — ship a picklable "
+                    "handle (spec/state dict) instead",
+                )
+                break
+
+    def _check_arith(
+        self,
+        findings: list[Finding],
+        module: ModuleSummary,
+        fn: FunctionSummary,
+    ) -> None:
+        for use in fn.arith:
+            result = self.evaluate(use["term"], module, fn, None)
+            if not result.has("sentinel"):
+                continue
+            origin = f" ({result.origin})" if result.origin else ""
+            self._emit(
+                findings,
+                "DSO503",
+                module,
+                use["line"],
+                use["col"],
+                f"{use['name']!r} may hold the NaN error "
+                f"sentinel{origin} and flows into arithmetic/"
+                "comparison; guard with math.isnan(...) first",
+            )
+
+
+def _enclosing_class(fn: FunctionSummary | None) -> str | None:
+    if fn is not None and fn.is_method and "." in fn.qualname:
+        return fn.qualname.rsplit(".", 1)[0]
+    return None
+
+
+def run_dataflow(
+    project: Project, config: LintConfig
+) -> list[Finding]:
+    """The DSO5xx pass: evaluate the project, return raw findings."""
+    return DataflowEngine(project, config).run()

@@ -16,18 +16,44 @@ gate stays red until the waiver says why.  This keeps "fixed" and
 Findings attach to the first physical line of the offending node, so
 for a multi-line comprehension the trailing comment goes on the line
 where the expression starts.
+
+Two passes
+----------
+:func:`lint_source` is the per-file pass: the DSO1xx–DSO4xx idiom
+rules plus the DSO6xx protocol machines, all of which see one module.
+:func:`lint_paths` runs that pass over every file, then stitches the
+per-file summaries into a :class:`~repro.analysis.callgraph.Project`
+and runs the inter-procedural DSO5xx dataflow pass on top.  Dataflow
+findings land at their *sink* and are subject to the sink file's
+suppressions — a ``# dsolint: disable=DSO501`` where the bytes are
+written silences the finding even when the taint originates in
+another file.
+
+With a :class:`~repro.analysis.summaries.SummaryCache`, the per-file
+pass is skipped entirely for files whose content hash is unchanged —
+only the (cheap) project pass re-runs — which is what makes warm CI
+lints and ``--changed`` pre-commit runs fast.
 """
 
 from __future__ import annotations
 
 import ast
 import re
+import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.analysis.callgraph import Project, module_name_for
 from repro.analysis.config import DEFAULT_CONFIG, LintConfig
+from repro.analysis.dataflow import run_dataflow
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.rules import RULES, RuleContext
+from repro.analysis.summaries import (
+    ModuleSummary,
+    SummaryCache,
+    content_sha,
+    summarize_module,
+)
 
 _SUPPRESS_RE = re.compile(
     r"#\s*dsolint:\s*(?P<kind>disable(?:-next|-file)?)\s*=\s*"
@@ -35,6 +61,9 @@ _SUPPRESS_RE = re.compile(
 )
 
 META_RULE_ID = "DSO001"
+
+def _finding_order(finding: Finding) -> tuple[int, int, str]:
+    return (finding.line, finding.col, finding.rule_id)
 
 
 @dataclass
@@ -51,6 +80,8 @@ class LintReport:
 
     findings: list[Finding] = field(default_factory=list)
     files: list[str] = field(default_factory=list)
+    #: Run statistics: summary-cache hits/misses, changed-mode targets.
+    stats: dict = field(default_factory=dict)
 
     @property
     def unsuppressed(self) -> list[Finding]:
@@ -104,8 +135,15 @@ def _apply_suppressions(
     findings: list[Finding],
     suppressions: list[_Suppression],
     path: str,
+    already_reported: set[int] | None = None,
 ) -> list[Finding]:
-    """Mark suppressed findings; report unjustified suppressions."""
+    """Mark suppressed findings; report unjustified suppressions.
+
+    ``already_reported`` carries the comment lines the per-file pass
+    already flagged with DSO001, so the project pass does not report
+    the same reason-less waiver twice when an inter-procedural finding
+    matches it too.
+    """
     used_without_reason: dict[int, _Suppression] = {}
     for finding in findings:
         for suppression in suppressions:
@@ -119,6 +157,8 @@ def _apply_suppressions(
                 used_without_reason[suppression.comment_line] = suppression
             break
     for comment_line in sorted(used_without_reason):
+        if already_reported is not None and comment_line in already_reported:
+            continue
         findings.append(
             Finding(
                 rule_id=META_RULE_ID,
@@ -135,6 +175,43 @@ def _apply_suppressions(
     return findings
 
 
+def _analyze_source(
+    source: str, path: str, config: LintConfig
+) -> tuple[list[Finding], ModuleSummary | None]:
+    """One parse: per-file rule findings (raw) plus the module summary."""
+    profile = config.profile_for(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except (SyntaxError, ValueError) as exc:
+        lineno = getattr(exc, "lineno", None) or 0
+        offset = getattr(exc, "offset", None) or 0
+        message = getattr(exc, "msg", None) or str(exc)
+        return (
+            [
+                Finding(
+                    rule_id="DSO000",
+                    severity=Severity.ERROR,
+                    path=path,
+                    line=lineno,
+                    col=offset,
+                    message=(
+                        f"syntax error: {message} "
+                        f"({path}:{lineno}:{offset})"
+                    ),
+                )
+            ],
+            None,
+        )
+    context = RuleContext.for_tree(path, tree)
+    findings: list[Finding] = []
+    for rule_cls in RULES:
+        if not profile.rule_enabled(rule_cls.rule_id):
+            continue
+        findings.extend(rule_cls(context).run())
+    summary = summarize_module(tree, path, module_name_for(path))
+    return findings, summary
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -146,32 +223,16 @@ def lint_source(
     :mod:`repro.analysis.config`), which is what makes this directly
     testable: the same snippet linted under ``src/repro/oracle/x.py``
     and ``src/repro/experiments/x.py`` sees different rule sets.
+
+    This is the *per-file* pass only; the inter-procedural DSO5xx
+    rules need a project and run in :func:`lint_paths`.
     """
     config = config or DEFAULT_CONFIG
-    profile = config.profile_for(path)
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                rule_id="DSO000",
-                severity=Severity.ERROR,
-                path=path,
-                line=exc.lineno or 0,
-                col=exc.offset or 0,
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
-    context = RuleContext.for_tree(path, tree)
-    findings: list[Finding] = []
-    for rule_cls in RULES:
-        if not profile.rule_enabled(rule_cls.rule_id):
-            continue
-        findings.extend(rule_cls(context).run())
+    findings, _ = _analyze_source(source, path, config)
     findings = _apply_suppressions(
         findings, _parse_suppressions(source), path
     )
-    findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
+    findings.sort(key=_finding_order)
     return findings
 
 
@@ -190,15 +251,146 @@ def _python_files(paths: list[str | Path]) -> list[Path]:
     return [unique[key] for key in sorted(unique)]
 
 
+def _lint_one_file(
+    text: str,
+    display: str,
+    config: LintConfig,
+    store: SummaryCache | None,
+) -> tuple[list[Finding], ModuleSummary | None]:
+    """Per-file pass with cache: findings (suppressions applied) + summary."""
+    sha = content_sha(text)
+    if store is not None:
+        entry = store.get(display, sha)
+        if entry is not None:
+            findings = [
+                Finding.from_dict(payload) for payload in entry["findings"]
+            ]
+            summary = (
+                ModuleSummary.from_dict(entry["summary"])
+                if entry["summary"] is not None
+                else None
+            )
+            return findings, summary
+    findings, summary = _analyze_source(text, display, config)
+    findings = _apply_suppressions(
+        findings, _parse_suppressions(text), display
+    )
+    findings.sort(key=_finding_order)
+    if store is not None:
+        store.put(
+            display,
+            {
+                "sha": sha,
+                "findings": [finding.to_dict() for finding in findings],
+                "summary": (
+                    summary.to_dict() if summary is not None else None
+                ),
+            },
+        )
+    return findings, summary
+
+
 def lint_paths(
     paths: list[str | Path],
     config: LintConfig | None = None,
+    *,
+    cache: SummaryCache | None = None,
+    changed: set[str] | None = None,
 ) -> LintReport:
-    """Lint every ``*.py`` under ``paths`` (files or directories)."""
+    """Lint every ``*.py`` under ``paths`` (files or directories).
+
+    Runs the per-file pass (cached when ``cache`` is given), then the
+    whole-program DSO5xx dataflow pass over the stitched project.
+
+    ``changed`` restricts the *report* to the given posix paths plus
+    their reverse import-graph dependents — the summary/project build
+    still covers everything (dataflow through an unchanged middleman
+    must still be seen), but findings and the file list are filtered
+    to the blast radius of the change.
+    """
+    config = config or DEFAULT_CONFIG
     report = LintReport()
+    per_file: dict[str, list[Finding]] = {}
+    texts: dict[str, str] = {}
+    summaries: list[ModuleSummary] = []
     for path in _python_files(paths):
         text = path.read_text(encoding="utf-8")
         display = path.as_posix()
+        texts[display] = text
+        findings, summary = _lint_one_file(text, display, config, cache)
         report.files.append(display)
-        report.findings.extend(lint_source(text, display, config))
+        per_file[display] = findings
+        if summary is not None:
+            summaries.append(summary)
+    if cache is not None:
+        cache.save()
+        report.stats["cache_hits"] = cache.hits
+        report.stats["cache_misses"] = cache.misses
+
+    # Project pass: inter-procedural findings, attributed to their
+    # sink file and filtered through that file's suppressions.
+    project = Project(summaries)
+    by_sink: dict[str, list[Finding]] = {}
+    for finding in run_dataflow(project, config):
+        by_sink.setdefault(finding.path, []).append(finding)
+    for display in sorted(by_sink):
+        flow_findings = by_sink[display]
+        already = {
+            finding.line
+            for finding in per_file.get(display, [])
+            if finding.rule_id == META_RULE_ID
+        }
+        _apply_suppressions(
+            flow_findings,
+            _parse_suppressions(texts.get(display, "")),
+            display,
+            already_reported=already,
+        )
+        per_file.setdefault(display, []).extend(flow_findings)
+
+    if changed is not None:
+        # A changed file the project has no summary for (syntax error)
+        # must still be reported, hence the union with the raw set.
+        targets = project.dependents_of(changed) | (
+            changed & set(report.files)
+        )
+        report.files = [
+            display for display in report.files if display in targets
+        ]
+        report.stats["changed_targets"] = sorted(targets)
+    for display in report.files:
+        ordered = sorted(per_file.get(display, []), key=_finding_order)
+        report.findings.extend(ordered)
     return report
+
+
+def changed_files(ref: str, root: str | Path = ".") -> set[str]:
+    """Posix paths of files differing from ``ref`` plus untracked files.
+
+    The input set for ``repro-dso lint --changed``; raises
+    ``RuntimeError`` when ``git`` cannot resolve the ref so the CLI
+    can fail loudly instead of silently linting nothing.
+    """
+    commands = (
+        ["git", "diff", "--name-only", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    )
+    changed: set[str] = set()
+    for command in commands:
+        proc = subprocess.run(
+            command,
+            cwd=str(root),
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"{' '.join(command)} failed: {proc.stderr.strip()}"
+            )
+        changed.update(
+            line.strip()
+            for line in proc.stdout.splitlines()
+            if line.strip().endswith(".py")
+        )
+    return changed

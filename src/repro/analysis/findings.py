@@ -50,6 +50,20 @@ class Finding:
             "justification": self.justification,
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Finding":
+        """Inverse of :meth:`to_dict` (summary-cache round trip)."""
+        return cls(
+            rule_id=payload["rule"],
+            severity=payload["severity"],
+            path=payload["path"],
+            line=payload["line"],
+            col=payload["col"],
+            message=payload["message"],
+            suppressed=payload.get("suppressed", False),
+            justification=payload.get("justification"),
+        )
+
 
 @dataclass
 class FileFindings:

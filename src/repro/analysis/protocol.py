@@ -1,0 +1,379 @@
+"""Protocol-conformance machines: the DSO6xx rule family.
+
+Where DSO1xx–DSO4xx check local idioms and DSO5xx chases taints across
+calls, DSO6xx checks small *state machines* against the code — the
+hand-shaken conventions the serving plane's lock-free paths rest on:
+
+``DSO601`` — write-then-stamp ordering.
+    The shm result ring publishes a slot by writing payload lanes
+    first and the stamp (``epoch``/``seq`` header) last; a reader that
+    sees the stamp is guaranteed coherent payload bytes.  A payload
+    store *after* the stamp store re-opens the torn-read window the
+    protocol exists to close.  The machine tracks, per buffer, whether
+    a stamp store (an indexed store whose value mentions an
+    epoch/seq-named variable) has been seen, and flags any later
+    payload store to the same buffer on the same path.
+
+``DSO602`` — epoch-fenced cache admission.
+    Every insert into a snapshot-scoped cache must carry the epoch the
+    answer was computed under, or a stale answer survives a snapshot
+    swap.  Flags ``<cache>.put(...)`` calls that pass no
+    epoch-referencing argument.
+
+``DSO603`` — lock covers its fields.
+    A class that owns a ``threading.Lock`` and mutates a field under
+    it is documenting "this field is lock-protected".  Any *other*
+    mutation of that field outside the lock (``__init__`` excepted —
+    no concurrent access before construction completes) is a data race
+    waiting for a second thread.
+
+All three are syntactic machines over one module — no project context
+needed — so they run in the per-file pass and participate in the
+ordinary suppression/profile machinery.
+"""
+
+from __future__ import annotations
+
+import ast
+
+#: Identifier fragments that mark a stamp store (DSO601).
+_STAMP_WORDS = ("epoch", "seq")
+#: The fragment whose store *publishes* the slot.
+_PUBLISH_WORD = "epoch"
+
+#: Method names that mutate their receiver in place (DSO603).
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "update",
+        "pop",
+        "popitem",
+        "popleft",
+        "clear",
+        "move_to_end",
+        "extend",
+        "remove",
+        "discard",
+        "insert",
+        "setdefault",
+    }
+)
+
+#: Lock-like constructors (DSO603).
+_LOCK_CTORS = frozenset({"Lock", "RLock"})
+
+
+def _receiver_name(node: ast.expr) -> str | None:
+    """Dotted name of an expression, or None for computed receivers."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _mentions(node: ast.expr, words: tuple[str, ...]) -> bool:
+    """True when any identifier in ``node`` contains one of ``words``."""
+    for child in ast.walk(node):
+        name = None
+        if isinstance(child, ast.Name):
+            name = child.id
+        elif isinstance(child, ast.Attribute):
+            name = child.attr
+        if name is not None:
+            lowered = name.lower()
+            if any(word in lowered for word in words):
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# DSO601: write-then-stamp ordering
+# ----------------------------------------------------------------------
+def _subscript_store(
+    statement: ast.stmt,
+) -> tuple[str, ast.expr, ast.stmt] | None:
+    """``(buffer, value_expr, statement)`` for an indexed store."""
+    if isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+        target = statement.targets[0]
+        value = statement.value
+    elif isinstance(statement, ast.AugAssign):
+        target = statement.target
+        value = statement.value
+    else:
+        return None
+    if not isinstance(target, ast.Subscript):
+        return None
+    buffer = _receiver_name(target.value)
+    if buffer is None:
+        return None
+    return (buffer, value, statement)
+
+
+def check_write_then_stamp(
+    tree: ast.Module,
+) -> list[tuple[ast.stmt, str]]:
+    """DSO601: payload stores after the publishing stamp store."""
+    violations: list[tuple[ast.stmt, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            published: dict[str, int] = {}
+            _scan_stamp_order(node.body, published, violations)
+    return violations
+
+
+def _scan_stamp_order(
+    statements: list[ast.stmt],
+    published: dict[str, int],
+    violations: list[tuple[ast.stmt, str]],
+) -> None:
+    """Walk ``statements`` in program order tracking published buffers.
+
+    ``published`` maps buffer name -> line of the stamp store that
+    published it.  Branches are scanned with copies and merged by
+    union (a stamp on either path publishes for everything after the
+    join — conservative, matching the reader's view).
+    """
+    for statement in statements:
+        store = _subscript_store(statement)
+        if store is not None:
+            buffer, value, node = store
+            if _mentions(value, (_PUBLISH_WORD,)):
+                published.setdefault(buffer, node.lineno)
+            elif not _mentions(value, _STAMP_WORDS):
+                stamp_line = published.get(buffer)
+                if stamp_line is not None:
+                    violations.append(
+                        (
+                            node,
+                            f"payload store to {buffer!r} after its "
+                            f"stamp was published on line {stamp_line}; "
+                            "a reader that trusts the stamp can see "
+                            "torn payload bytes — write payload lanes "
+                            "first, stamp last",
+                        )
+                    )
+            continue
+        if isinstance(statement, (ast.If, ast.Try)):
+            branches = _branches_of(statement)
+            merged: dict[str, int] = dict(published)
+            for branch in branches:
+                state = dict(published)
+                _scan_stamp_order(branch, state, violations)
+                merged.update(state)
+            published.clear()
+            published.update(merged)
+        elif isinstance(statement, (ast.For, ast.While, ast.With)):
+            bodies = [statement.body]
+            if not isinstance(statement, ast.With):
+                bodies.append(statement.orelse)
+            for body in bodies:
+                _scan_stamp_order(body, published, violations)
+        # Nested defs get their own pass from check_write_then_stamp.
+
+
+def _branches_of(statement: ast.stmt) -> list[list[ast.stmt]]:
+    if isinstance(statement, ast.If):
+        return [statement.body, statement.orelse]
+    if isinstance(statement, ast.Try):
+        return [
+            statement.body,
+            *[handler.body for handler in statement.handlers],
+            statement.orelse,
+            statement.finalbody,
+        ]
+    return []
+
+
+# ----------------------------------------------------------------------
+# DSO602: epoch-fenced cache admission
+# ----------------------------------------------------------------------
+def check_epoch_fenced_puts(
+    tree: ast.Module,
+) -> list[tuple[ast.AST, str]]:
+    """DSO602: ``<cache>.put(...)`` with no epoch-carrying argument."""
+    violations: list[tuple[ast.AST, str]] = []
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "put"
+        ):
+            continue
+        receiver = _receiver_name(node.func.value)
+        if receiver is None or "cache" not in receiver.lower():
+            continue
+        carried = any(
+            _mentions(argument, (_PUBLISH_WORD,))
+            for argument in [
+                *node.args,
+                *[keyword.value for keyword in node.keywords],
+            ]
+        )
+        if not carried:
+            violations.append(
+                (
+                    node,
+                    f"{receiver}.put(...) passes no snapshot-epoch "
+                    "argument; an un-fenced insert survives a snapshot "
+                    "swap and serves stale distances — thread the "
+                    "current epoch through the insert",
+                )
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# DSO603: lock covers its fields
+# ----------------------------------------------------------------------
+def _is_lock_ctor(value: ast.expr) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    callee = value.func
+    name = None
+    if isinstance(callee, ast.Name):
+        name = callee.id
+    elif isinstance(callee, ast.Attribute):
+        name = callee.attr
+    return name in _LOCK_CTORS
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _Mutation:
+    __slots__ = ("field", "node", "guarded", "method")
+
+    def __init__(
+        self, field: str, node: ast.AST, guarded: bool, method: str
+    ) -> None:
+        self.field = field
+        self.node = node
+        self.guarded = guarded
+        self.method = method
+
+
+def check_lock_coverage(
+    tree: ast.Module,
+) -> list[tuple[ast.AST, str]]:
+    """DSO603: unguarded mutations of lock-covered fields."""
+    violations: list[tuple[ast.AST, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            violations.extend(_check_class_locks(node))
+    return violations
+
+
+def _check_class_locks(klass: ast.ClassDef) -> list[tuple[ast.AST, str]]:
+    lock_attrs = _lock_attrs_of(klass)
+    if not lock_attrs:
+        return []
+    mutations = _collect_mutations(klass, lock_attrs)
+    guarded_fields = {
+        mutation.field for mutation in mutations if mutation.guarded
+    }
+    violations: list[tuple[ast.AST, str]] = []
+    for mutation in mutations:
+        if (
+            mutation.field in guarded_fields
+            and not mutation.guarded
+            and mutation.method != "__init__"
+        ):
+            violations.append(
+                (
+                    mutation.node,
+                    f"self.{mutation.field} is mutated under the lock "
+                    "elsewhere in this class but not here; either take "
+                    "the lock or document why this path is "
+                    "single-threaded",
+                )
+            )
+    return violations
+
+
+def _lock_attrs_of(klass: ast.ClassDef) -> frozenset[str]:
+    attrs: set[str] = set()
+    for node in ast.walk(klass):
+        if isinstance(node, ast.Assign) and _is_lock_ctor(node.value):
+            for target in node.targets:
+                field = _self_attr(target)
+                if field is not None:
+                    attrs.add(field)
+    return frozenset(attrs)
+
+
+def _collect_mutations(
+    klass: ast.ClassDef, lock_attrs: frozenset[str]
+) -> list[_Mutation]:
+    mutations: list[_Mutation] = []
+    for item in klass.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        _walk_method(item, item.name, lock_attrs, False, mutations)
+    return mutations
+
+
+def _walk_method(
+    node: ast.AST,
+    method: str,
+    lock_attrs: frozenset[str],
+    under_lock: bool,
+    mutations: list[_Mutation],
+) -> None:
+    """Recursive walk tracking whether we are inside ``with self.lock``."""
+    for child in ast.iter_child_nodes(node):
+        child_under_lock = under_lock
+        if isinstance(child, ast.With):
+            for item in child.items:
+                expr = item.context_expr
+                target = expr.func if isinstance(expr, ast.Call) else expr
+                if isinstance(target, ast.Attribute):
+                    if target.attr == "acquire":
+                        target = target.value
+                    field = _self_attr(target)
+                    if field in lock_attrs:
+                        child_under_lock = True
+        _record_mutation(child, method, lock_attrs, under_lock, mutations)
+        _walk_method(
+            child, method, lock_attrs, child_under_lock, mutations
+        )
+
+
+def _record_mutation(
+    node: ast.AST,
+    method: str,
+    lock_attrs: frozenset[str],
+    under_lock: bool,
+    mutations: list[_Mutation],
+) -> None:
+    field: str | None = None
+    anchor: ast.AST = node
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            field = _self_attr(target)
+            if field is not None:
+                break
+    elif isinstance(node, ast.AugAssign):
+        field = _self_attr(node.target)
+    elif (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _MUTATING_METHODS
+    ):
+        field = _self_attr(node.func.value)
+    if field is None or field in lock_attrs:
+        return
+    mutations.append(_Mutation(field, anchor, under_lock, method))

@@ -1,4 +1,12 @@
-"""Text and JSON renderings of a lint report."""
+"""Text, JSON and SARIF renderings of a lint report.
+
+SARIF (:func:`to_sarif`) is the exchange format GitHub code scanning
+ingests: one run, one rule descriptor per catalogue entry, one result
+per finding.  Suppressed findings are included with an ``inSource``
+suppression record carrying the waiver justification, so the scanning
+UI shows them as dismissed rather than hiding them — the same
+auditability contract as the JSON artifact.
+"""
 
 from __future__ import annotations
 
@@ -45,5 +53,71 @@ def to_json(report: LintReport) -> str:
             "suppressed": len(report.suppressed),
         },
         "findings": [f.to_dict() for f in report.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def to_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 rendering (the code-scanning upload format)."""
+    catalogue = rule_catalogue()
+    rule_ids = sorted(catalogue)
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": catalogue[rule_id]["summary"]},
+            "defaultConfiguration": {
+                "level": catalogue[rule_id]["severity"]
+            },
+        }
+        for rule_id in rule_ids
+    ]
+    index_of = {rule_id: index for index, rule_id in enumerate(rule_ids)}
+    results = []
+    for finding in report.findings:
+        result = {
+            "ruleId": finding.rule_id,
+            "level": (
+                finding.severity
+                if finding.severity in ("error", "warning")
+                else "error"
+            ),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule_id in index_of:
+            result["ruleIndex"] = index_of[finding.rule_id]
+        if finding.suppressed:
+            result["suppressions"] = [
+                {
+                    "kind": "inSource",
+                    "justification": finding.justification or "",
+                }
+            ]
+        results.append(result)
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "dsolint",
+                        "version": RULE_CATALOGUE_VERSION,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

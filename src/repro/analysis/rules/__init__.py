@@ -23,7 +23,7 @@ from repro.analysis.findings import Finding
 from repro.analysis.inference import ScopeEnv, build_envs, enclosing_env
 
 #: Catalogue version stamped into BENCH_*.json entries.
-RULE_CATALOGUE_VERSION = "1.1"
+RULE_CATALOGUE_VERSION = "2.0"
 
 
 @dataclass
@@ -81,6 +81,11 @@ class Rule(ast.NodeVisitor):
 
 
 def _registry() -> tuple[type[Rule], ...]:
+    from repro.analysis.rules.conformance import (
+        EpochFencedPutRule,
+        LockCoverageRule,
+        WriteThenStampRule,
+    )
     from repro.analysis.rules.determinism import (
         SetIterationOrderRule,
         SetLoopEmissionRule,
@@ -115,6 +120,9 @@ def _registry() -> tuple[type[Rule], ...]:
         BareExceptRule,
         SwallowedBroadExceptRule,
         SilentWorkerHandlerRule,
+        WriteThenStampRule,
+        EpochFencedPutRule,
+        LockCoverageRule,
     )
 
 
@@ -122,8 +130,21 @@ RULES: tuple[type[Rule], ...] = _registry()
 
 
 def rule_catalogue() -> dict[str, dict[str, str]]:
-    """``{rule_id: {severity, summary}}`` for reports and docs."""
-    return {
+    """``{rule_id: {severity, summary}}`` for reports and docs.
+
+    Covers the per-file registry *and* the DSO5xx dataflow family,
+    which runs in the project pass (no :class:`Rule` subclass) but is
+    part of the same contract and the same catalogue version.
+    """
+    from repro.analysis.dataflow import DATAFLOW_RULES
+
+    catalogue = {
         rule.rule_id: {"severity": rule.severity, "summary": rule.summary}
         for rule in RULES
     }
+    for rule_id, info in DATAFLOW_RULES.items():
+        catalogue[rule_id] = {
+            "severity": info["severity"],
+            "summary": info["summary"],
+        }
+    return catalogue

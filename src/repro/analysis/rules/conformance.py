@@ -1,0 +1,72 @@
+"""DSO6xx — protocol-conformance rules.
+
+Thin :class:`Rule` adapters over the state machines in
+:mod:`repro.analysis.protocol`; the machines own the semantics, these
+classes own the registry identity (id, severity, catalogue summary)
+and the finding plumbing.  See DESIGN.md §15 for the protocols being
+enforced and why each invariant exists.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.protocol import (
+    check_epoch_fenced_puts,
+    check_lock_coverage,
+    check_write_then_stamp,
+)
+from repro.analysis.rules import Rule
+
+
+class WriteThenStampRule(Rule):
+    """DSO601: shm slot payload written after its stamp.
+
+    The ring reader validates a slot by its ``(epoch, seq)`` stamp and
+    then trusts the payload lanes; the writer's half of that contract
+    is payload-first, stamp-last.  Any payload store downstream of the
+    publishing stamp store re-opens the torn-read window.
+    """
+
+    rule_id = "DSO601"
+    severity = "error"
+    summary = "slot payload stored after its stamp was published"
+
+    def run(self):
+        for node, message in check_write_then_stamp(self.context.tree):
+            self.report(node, message)
+        return self.findings
+
+
+class EpochFencedPutRule(Rule):
+    """DSO602: cache insert without a snapshot-epoch argument.
+
+    Snapshot-scoped caches invalidate by epoch; an insert that does
+    not carry the epoch it was computed under can be admitted after a
+    snapshot swap and serve a distance from the dead snapshot.
+    """
+
+    rule_id = "DSO602"
+    severity = "error"
+    summary = "cache .put() not fenced by a snapshot-epoch argument"
+
+    def run(self):
+        for node, message in check_epoch_fenced_puts(self.context.tree):
+            self.report(node, message)
+        return self.findings
+
+
+class LockCoverageRule(Rule):
+    """DSO603: lock does not cover every mutation of its fields.
+
+    Mutating a field under ``self._lock`` in one method declares the
+    field lock-protected; a second mutation path outside the lock is
+    the half-guarded race that only fails under thread interleaving.
+    """
+
+    rule_id = "DSO603"
+    severity = "error"
+    summary = "field mutated both under a lock and outside it"
+
+    def run(self):
+        for node, message in check_lock_coverage(self.context.tree):
+            self.report(node, message)
+        return self.findings

@@ -1,0 +1,742 @@
+"""Per-file function/class summaries for whole-program analysis.
+
+The inter-procedural rules (DSO5xx, :mod:`repro.analysis.dataflow`)
+cannot afford to re-analyse every callee body at every call site, so
+each file is compiled once into a compact, JSON-serializable *summary*:
+for every function, an abstract term for each returned value, each
+serialization-sink argument, each process-dispatch payload, and each
+arithmetic use of a call result; for every class, an abstract term per
+``self.<attr>`` assignment.  The dataflow layer then evaluates these
+terms against each other across the project call graph.
+
+Term language
+-------------
+A term is a small dict with a ``"k"`` kind tag:
+
+``{"k": "clean"}``
+    Nothing interesting flows here.
+``{"k": "set"}``
+    An unordered container (set/frozenset) — hash iteration order.
+``{"k": "cap", "of": T}``
+    An *ordered capture* of iterating ``T`` (``list(T)``, a
+    comprehension over ``T``, ``array("d", T)``): the order of the
+    result is meaningful, so if ``T`` is unordered the capture is
+    order-tainted.
+``{"k": "param", "i": N}``
+    The function's N-th parameter (``self`` included for methods) —
+    resolved against the actual argument at each call site.
+``{"k": "call", "fn": "a.b.f", "args": [T...]}``
+    The result of calling ``fn`` (a raw dotted name, resolved later
+    via the module's import table) with the given argument terms.
+``{"k": "sentinel"}``
+    The NaN error sentinel (``float("nan")``, ``math.nan``,
+    ``QUERY_ERROR``) or arithmetic derived from it.
+``{"k": "unpicklable", "why": "..."}``
+    A value pickle rejects (lock, memoryview, shared-memory handle,
+    open file, lambda, ...).
+``{"k": "tuple", "items": [T...]}``
+    A container literal / joined branches — tags are the union of the
+    items' tags.
+
+Everything the extractor is unsure about becomes ``clean``: false
+negatives are backstopped by the parity property tests, while false
+positives on every opaque call would bury the signal (the same
+philosophy as :mod:`repro.analysis.inference`).
+
+Summary caching
+---------------
+:class:`SummaryCache` persists the per-file artifacts (local findings,
+suppressions, summary) keyed by the file content's SHA-256 plus the
+rule-catalogue version, so an unchanged file is never re-parsed — this
+is what makes ``repro-dso lint`` incremental and the pre-commit
+``--changed`` mode fast.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.inference import (
+    SET_RETURNING_FUNCTIONS,
+    SET_TYPED_ATTRIBUTES,
+)
+
+#: Bump when the summary schema or extraction semantics change; stale
+#: cache entries are discarded on mismatch.
+SUMMARY_SCHEMA_VERSION = 2
+
+CLEAN = {"k": "clean"}
+
+#: Constructor calls whose results pickle rejects.
+_UNPICKLABLE_CTORS = {
+    "Lock": "thread lock",
+    "RLock": "thread lock",
+    "Condition": "condition variable",
+    "Semaphore": "semaphore",
+    "BoundedSemaphore": "semaphore",
+    "Event": "event",
+    "Barrier": "barrier",
+    "memoryview": "memoryview",
+    "open": "open file handle",
+    "mmap": "mmap",
+    "SharedMemory": "shared-memory handle",
+    "socket": "socket",
+}
+
+#: ``set`` methods that return a new set.
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference", "copy",
+})
+
+#: Serialization sinks: the dotted-name suffixes whose arguments become
+#: bytes in a file, a snapshot, or a wire message — iteration order of
+#: anything reaching them is frozen into the output.
+_SERIALIZE_FUNCS = frozenset({
+    "json.dump", "json.dumps", "pickle.dump", "pickle.dumps",
+    "marshal.dump", "marshal.dumps",
+})
+_SINK_METHODS = frozenset({"write", "writelines", "tofile"})
+
+#: Pool/executor methods that ship their *payload* arguments to another
+#: process (the callable itself is DSO201's business).
+_DISPATCH_METHODS = frozenset({
+    "submit", "apply_async", "map_async", "starmap", "starmap_async",
+    "apply", "imap", "imap_unordered",
+})
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod)
+_ORDER_CMPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+_SET_ANNOTATIONS = frozenset({
+    "set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet",
+})
+
+_PICKLE_HOOKS = frozenset({
+    "__getstate__", "__reduce__", "__reduce_ex__", "__getnewargs__",
+    "__getnewargs_ex__",
+})
+
+
+@dataclass
+class FunctionSummary:
+    """What one function does, abstracted for cross-function checking."""
+
+    qualname: str
+    line: int
+    params: list[str] = field(default_factory=list)
+    #: Parameter indices annotated as set/frozenset.
+    set_params: list[int] = field(default_factory=list)
+    is_method: bool = False
+    #: Abstract terms of every ``return`` expression.
+    returns: list[dict] = field(default_factory=list)
+    #: Serialization sink calls: {line, col, fn, args: [term...]}.
+    sinks: list[dict] = field(default_factory=list)
+    #: Process-boundary payloads: {line, col, fn, args: [term...]}.
+    dispatches: list[dict] = field(default_factory=list)
+    #: All calls with an extractable dotted name:
+    #: {line, col, fn, form: "name"|"attr", args: [term...]}.
+    calls: list[dict] = field(default_factory=list)
+    #: Arithmetic/ordering uses of call results:
+    #: {line, col, name, term}.
+    arith: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "qualname": self.qualname,
+            "line": self.line,
+            "params": self.params,
+            "set_params": self.set_params,
+            "is_method": self.is_method,
+            "returns": self.returns,
+            "sinks": self.sinks,
+            "dispatches": self.dispatches,
+            "calls": self.calls,
+            "arith": self.arith,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FunctionSummary":
+        return cls(**payload)
+
+
+@dataclass
+class ClassSummary:
+    """Attribute types and pickle hooks of one class."""
+
+    name: str
+    line: int
+    #: ``self.<attr> = expr`` terms (first interesting assignment wins).
+    attrs: dict[str, dict] = field(default_factory=dict)
+    bases: list[str] = field(default_factory=list)
+    #: Defines __getstate__/__reduce__/... — picklable by contract.
+    custom_pickle: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "attrs": self.attrs,
+            "bases": self.bases,
+            "custom_pickle": self.custom_pickle,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ClassSummary":
+        return cls(**payload)
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the project-level analysis needs from one file."""
+
+    path: str
+    module: str = ""
+    #: alias -> dotted target ("import a.b as c" => c -> a.b;
+    #: "from a import f" => f -> a.f).
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionSummary] = field(default_factory=dict)
+    classes: dict[str, ClassSummary] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "imports": self.imports,
+            "functions": {
+                name: summary.to_dict()
+                for name, summary in self.functions.items()
+            },
+            "classes": {
+                name: summary.to_dict()
+                for name, summary in self.classes.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ModuleSummary":
+        return cls(
+            path=payload["path"],
+            module=payload["module"],
+            imports=dict(payload["imports"]),
+            functions={
+                name: FunctionSummary.from_dict(value)
+                for name, value in payload["functions"].items()
+            },
+            classes={
+                name: ClassSummary.from_dict(value)
+                for name, value in payload["classes"].items()
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# Term extraction
+# ----------------------------------------------------------------------
+
+def _dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _annotation_is_set(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in _SET_ANNOTATIONS
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_ANNOTATIONS
+    if isinstance(node, ast.Subscript):
+        return _annotation_is_set(node.value)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _annotation_is_set(node.left) or _annotation_is_set(node.right)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            parsed = ast.parse(node.value, mode="eval")
+        except SyntaxError:
+            return False
+        return _annotation_is_set(parsed.body)
+    return False
+
+
+def _is_nan_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name) and node.id == "QUERY_ERROR":
+        return True
+    if isinstance(node, ast.Attribute) and node.attr in {"nan", "QUERY_ERROR"}:
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+        and len(node.args) == 1
+        and isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, str)
+        and node.args[0].value.strip().lower().lstrip("+-") == "nan"
+    )
+
+
+def _interesting(term: dict) -> bool:
+    return term.get("k") != "clean"
+
+
+class _TermEnv:
+    """Name -> term for one function scope (forward pass, last wins)."""
+
+    def __init__(self) -> None:
+        self.names: dict[str, dict] = {}
+
+    def get(self, name: str) -> dict:
+        return self.names.get(name, CLEAN)
+
+
+def _join(terms: list[dict]) -> dict:
+    interesting = [term for term in terms if _interesting(term)]
+    if not interesting:
+        return CLEAN
+    if len(interesting) == 1:
+        return interesting[0]
+    return {"k": "tuple", "items": interesting}
+
+
+def term_of(node: ast.expr, env: _TermEnv) -> dict:
+    """The abstract term of one expression under ``env``."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return {"k": "set"}
+    if isinstance(node, ast.Lambda):
+        return {"k": "unpicklable", "why": "lambda"}
+    if isinstance(node, ast.Name):
+        if node.id == "QUERY_ERROR":
+            return {"k": "sentinel"}
+        return env.get(node.id)
+    if isinstance(node, ast.Attribute):
+        if _is_nan_literal(node):
+            return {"k": "sentinel"}
+        if node.attr in SET_TYPED_ATTRIBUTES:
+            return {"k": "set"}
+        return CLEAN
+    if isinstance(node, ast.Call):
+        return _term_of_call(node, env)
+    if isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+        sources = [
+            term_of(generator.iter, env) for generator in node.generators
+        ]
+        return {"k": "cap", "of": _join(sources)}
+    if isinstance(node, ast.BinOp):
+        left = term_of(node.left, env)
+        right = term_of(node.right, env)
+        if isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.BitXor)):
+            if left.get("k") == "set" or right.get("k") == "set":
+                return {"k": "set"}
+        if isinstance(node.op, ast.Sub):
+            if left.get("k") == "set" and right.get("k") == "set":
+                return {"k": "set"}
+        if isinstance(node.op, _ARITH_OPS):
+            if "sentinel" in (left.get("k"), right.get("k")):
+                return {"k": "sentinel"}
+        return CLEAN
+    if isinstance(node, ast.IfExp):
+        return _join([term_of(node.body, env), term_of(node.orelse, env)])
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return _join([term_of(item, env) for item in node.elts])
+    if isinstance(node, ast.Starred):
+        return term_of(node.value, env)
+    if isinstance(node, ast.NamedExpr):
+        return term_of(node.value, env)
+    if isinstance(node, ast.Await):
+        return term_of(node.value, env)
+    return CLEAN
+
+
+def _term_of_call(node: ast.Call, env: _TermEnv) -> dict:
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else None
+    attr = func.attr if isinstance(func, ast.Attribute) else None
+    if name == "sorted":
+        return CLEAN
+    if _is_nan_literal(node):
+        return {"k": "sentinel"}
+    if name in SET_RETURNING_FUNCTIONS or attr in SET_RETURNING_FUNCTIONS:
+        return {"k": "set"}
+    if attr in _SET_METHODS and _interesting(term_of(func.value, env)):
+        if term_of(func.value, env).get("k") == "set":
+            return {"k": "set"}
+    leaf = name or attr
+    if leaf in _UNPICKLABLE_CTORS:
+        return {"k": "unpicklable", "why": _UNPICKLABLE_CTORS[leaf]}
+    if name in {"list", "tuple"} and len(node.args) == 1:
+        return {"k": "cap", "of": term_of(node.args[0], env)}
+    if name == "array" and len(node.args) == 2:
+        return {"k": "cap", "of": term_of(node.args[1], env)}
+    dotted = _dotted_name(func)
+    if dotted is not None:
+        return {
+            "k": "call",
+            "fn": dotted,
+            "args": [term_of(arg, env) for arg in node.args],
+        }
+    return CLEAN
+
+
+# ----------------------------------------------------------------------
+# Function / class summarization
+# ----------------------------------------------------------------------
+
+def _walk_own(node: ast.AST):
+    """Walk ``node`` without descending into nested function/class defs."""
+    queue = list(ast.iter_child_nodes(node))
+    while queue:
+        current = queue.pop(0)
+        yield current
+        if isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        queue.extend(ast.iter_child_nodes(current))
+
+
+def _build_env(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef, params: list[str]
+) -> _TermEnv:
+    env = _TermEnv()
+    for index, param in enumerate(params):
+        env.names[param] = {"k": "param", "i": index}
+    # Forward pass over the function's own statements: assignments
+    # refine the environment; control-flow nesting is flattened (a
+    # last-writer-wins approximation, same as inference.ScopeEnv).
+    for statement in _walk_own(fn):
+        if isinstance(statement, ast.Assign):
+            value = term_of(statement.value, env)
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    env.names[target.id] = value
+        elif isinstance(statement, ast.AnnAssign) and isinstance(
+            statement.target, ast.Name
+        ):
+            if _annotation_is_set(statement.annotation):
+                env.names[statement.target.id] = {"k": "set"}
+            elif statement.value is not None:
+                env.names[statement.target.id] = term_of(
+                    statement.value, env
+                )
+    return env
+
+
+def _param_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = fn.args
+    ordered = list(args.posonlyargs) + list(args.args)
+    return [arg.arg for arg in ordered]
+
+
+def _guarded_names(fn: ast.AST) -> set[str]:
+    """Names the function NaN-guards via ``isnan`` or self-comparison."""
+    guarded: set[str] = set()
+    for node in _walk_own(fn):
+        if (
+            isinstance(node, ast.Call)
+            and (
+                (isinstance(node.func, ast.Name) and node.func.id == "isnan")
+                or (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "isnan"
+                )
+            )
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+        ):
+            guarded.add(node.args[0].id)
+        if (
+            isinstance(node, ast.Compare)
+            and len(node.ops) == 1
+            and isinstance(node.left, ast.Name)
+            and isinstance(node.comparators[0], ast.Name)
+            and node.left.id == node.comparators[0].id
+        ):
+            guarded.add(node.left.id)
+    return guarded
+
+
+def summarize_function(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    qualname: str,
+    is_method: bool,
+) -> FunctionSummary:
+    params = _param_names(fn)
+    env = _build_env(fn, params)
+    ordered_args = list(fn.args.posonlyargs) + list(fn.args.args)
+    summary = FunctionSummary(
+        qualname=qualname,
+        line=fn.lineno,
+        params=params,
+        set_params=[
+            index
+            for index, arg in enumerate(ordered_args)
+            if _annotation_is_set(arg.annotation)
+        ],
+        is_method=is_method,
+    )
+    guarded = _guarded_names(fn)
+    for node in _walk_own(fn):
+        if isinstance(node, ast.Return) and node.value is not None:
+            term = term_of(node.value, env)
+            if _interesting(term):
+                summary.returns.append(term)
+        elif isinstance(node, ast.Call):
+            _record_call(node, env, summary)
+        elif isinstance(node, ast.BinOp) and isinstance(
+            node.op, _ARITH_OPS
+        ):
+            _record_arith(
+                [node.left, node.right], node, env, guarded, summary
+            )
+        elif isinstance(node, ast.Compare) and any(
+            isinstance(op, _ORDER_CMPS) for op in node.ops
+        ):
+            _record_arith(
+                [node.left, *node.comparators], node, env, guarded, summary
+            )
+    return summary
+
+
+def _record_arith(
+    operands: list[ast.expr],
+    node: ast.AST,
+    env: _TermEnv,
+    guarded: set[str],
+    summary: FunctionSummary,
+) -> None:
+    for operand in operands:
+        if not isinstance(operand, ast.Name) or operand.id in guarded:
+            continue
+        term = env.get(operand.id)
+        if term.get("k") == "call":
+            summary.arith.append({
+                "line": node.lineno,
+                "col": node.col_offset,
+                "name": operand.id,
+                "term": term,
+            })
+
+
+def _record_call(
+    node: ast.Call, env: _TermEnv, summary: FunctionSummary
+) -> None:
+    func = node.func
+    dotted = _dotted_name(func)
+    args = [term_of(arg, env) for arg in node.args]
+    keyword_args = {
+        keyword.arg: term_of(keyword.value, env)
+        for keyword in node.keywords
+        if keyword.arg is not None
+    }
+    location = {"line": node.lineno, "col": node.col_offset}
+    if dotted is not None:
+        if dotted in _SERIALIZE_FUNCS:
+            summary.sinks.append(
+                {**location, "fn": dotted, "args": args[:1]}
+            )
+        elif dotted == "struct.pack" or dotted.endswith(".pack"):
+            summary.sinks.append({**location, "fn": dotted, "args": args})
+        elif isinstance(func, ast.Attribute) and func.attr in _SINK_METHODS:
+            if args:
+                summary.sinks.append(
+                    {**location, "fn": dotted, "args": args[:1]}
+                )
+        summary.calls.append({
+            **location,
+            "fn": dotted,
+            "form": "name" if isinstance(func, ast.Name) else "attr",
+            "args": args,
+        })
+    if isinstance(func, ast.Attribute):
+        if func.attr == "send" and args:
+            summary.dispatches.append(
+                {**location, "fn": dotted or "send", "args": args}
+            )
+        elif func.attr in _DISPATCH_METHODS and args:
+            summary.dispatches.append(
+                {**location, "fn": dotted or func.attr, "args": args[1:]}
+            )
+    if (
+        isinstance(func, ast.Name) and func.id == "Process"
+    ) or (
+        isinstance(func, ast.Attribute) and func.attr == "Process"
+    ):
+        payload = [
+            value
+            for key, value in keyword_args.items()
+            if key in {"args", "kwargs"}
+        ]
+        if payload:
+            summary.dispatches.append(
+                {**location, "fn": "Process", "args": payload}
+            )
+
+
+def summarize_class(node: ast.ClassDef) -> ClassSummary:
+    summary = ClassSummary(
+        name=node.name,
+        line=node.lineno,
+        bases=[
+            dotted
+            for dotted in (_dotted_name(base) for base in node.bases)
+            if dotted is not None
+        ],
+    )
+    for statement in node.body:
+        if not isinstance(
+            statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        if statement.name in _PICKLE_HOOKS:
+            summary.custom_pickle = True
+        params = _param_names(statement)
+        env = _build_env(statement, params)
+        for inner in _walk_own(statement):
+            if not isinstance(inner, ast.Assign):
+                continue
+            value = term_of(inner.value, env)
+            if not _interesting(value):
+                continue
+            for target in inner.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and target.attr not in summary.attrs
+                ):
+                    summary.attrs[target.attr] = value
+    return summary
+
+
+def _module_imports(tree: ast.Module) -> dict[str, str]:
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    top = alias.name.split(".")[0]
+                    imports[top] = top
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return imports
+
+
+def summarize_module(
+    tree: ast.Module, path: str, module: str
+) -> ModuleSummary:
+    """Compile one parsed file into its whole-program summary."""
+    summary = ModuleSummary(
+        path=path, module=module, imports=_module_imports(tree)
+    )
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            summary.functions[node.name] = summarize_function(
+                node, node.name, is_method=False
+            )
+        elif isinstance(node, ast.ClassDef):
+            summary.classes[node.name] = summarize_class(node)
+            for statement in node.body:
+                if isinstance(
+                    statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    qualname = f"{node.name}.{statement.name}"
+                    summary.functions[qualname] = summarize_function(
+                        statement, qualname, is_method=True
+                    )
+    return summary
+
+
+# ----------------------------------------------------------------------
+# Content-hash summary cache
+# ----------------------------------------------------------------------
+
+def content_sha(text: str) -> str:
+    """The cache key of one file's content."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class SummaryCache:
+    """File-backed cache of per-file lint artifacts.
+
+    Entries are keyed by display path and validated against the
+    content SHA, the rule-catalogue version, and the summary schema
+    version — any mismatch is a miss, so a rule change or a schema
+    change transparently invalidates the whole cache.  ``path=None``
+    makes every operation a no-op (the in-memory fallback used by unit
+    tests and one-shot API calls).
+    """
+
+    def __init__(self, path: str | Path | None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._entries: dict[str, dict] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None and self.path.exists():
+            self._entries = self._load(self.path)
+
+    @staticmethod
+    def _load(path: Path) -> dict[str, dict]:
+        from repro.analysis.rules import RULE_CATALOGUE_VERSION
+
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return {}
+        if not isinstance(payload, dict):
+            return {}
+        if payload.get("schema") != SUMMARY_SCHEMA_VERSION:
+            return {}
+        if payload.get("catalogue") != RULE_CATALOGUE_VERSION:
+            return {}
+        files = payload.get("files")
+        return dict(files) if isinstance(files, dict) else {}
+
+    def get(self, display_path: str, sha: str) -> dict | None:
+        entry = self._entries.get(display_path)
+        if entry is not None and entry.get("sha") == sha:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def put(self, display_path: str, entry: dict) -> None:
+        self._entries[display_path] = entry
+        self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        from repro.analysis.rules import RULE_CATALOGUE_VERSION
+
+        payload = {
+            "schema": SUMMARY_SCHEMA_VERSION,
+            "catalogue": RULE_CATALOGUE_VERSION,
+            "files": dict(sorted(self._entries.items())),
+        }
+        try:
+            self.path.write_text(
+                json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8"
+            )
+        except OSError:
+            # A read-only checkout degrades to uncached linting rather
+            # than failing the run.
+            return
+        self._dirty = False

@@ -201,7 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src)",
     )
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         dest="output_format",
     )
     lint.add_argument(
@@ -213,6 +213,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-suppressed",
         action="store_true",
         help="list suppressed findings and their justifications",
+    )
+    lint.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="lint only files differing from REF (default HEAD) plus "
+        "their reverse call-graph dependents",
+    )
+    lint.add_argument(
+        "--cache",
+        nargs="?",
+        const=".dsolint-cache.json",
+        default=None,
+        metavar="PATH",
+        help="summary cache file for incremental linting (default "
+        ".dsolint-cache.json when the flag is given with no value)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="suppress findings recorded in this baseline debt file",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="record the run's unsuppressed findings as a new baseline "
+        "and exit 0",
     )
 
     shard = sub.add_parser(
@@ -544,11 +573,43 @@ def _run_shard(args) -> int:
 
 
 def _run_lint(args) -> int:
-    from repro.analysis import lint_paths, to_json, to_text
+    from repro.analysis import (
+        SummaryCache,
+        apply_baseline,
+        changed_files,
+        lint_paths,
+        load_baseline,
+        to_json,
+        to_sarif,
+        to_text,
+        write_baseline,
+    )
 
-    report = lint_paths(args.paths)
+    changed = None
+    if args.changed is not None:
+        try:
+            changed = changed_files(args.changed)
+        except RuntimeError as exc:
+            raise SystemExit(f"repro-dso lint --changed: {exc}")
+    store = SummaryCache(args.cache) if args.cache else None
+    report = lint_paths(args.paths, cache=store, changed=changed)
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, report)
+        print(
+            f"dsolint: wrote baseline with {count} finding"
+            f"{'s' if count != 1 else ''} to {args.write_baseline}"
+        )
+        return 0
+    if args.baseline:
+        try:
+            entries = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro-dso lint --baseline: {exc}")
+        apply_baseline(report, entries)
     if args.output_format == "json":
         rendered = to_json(report)
+    elif args.output_format == "sarif":
+        rendered = to_sarif(report)
     else:
         rendered = to_text(report, show_suppressed=args.show_suppressed)
     print(rendered)

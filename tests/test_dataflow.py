@@ -1,0 +1,789 @@
+"""Whole-program engine tests: DSO5xx dataflow, DSO6xx conformance,
+summary caching, --changed mode, baselines, and SARIF.
+
+The centerpiece regression is the cross-file DSO501 case the tentpole
+exists for: a helper in one file captures a set's iteration order, a
+caller two files away serializes the captured value — the per-file
+pass on the caller provably finds nothing, the project pass flags the
+sink line.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    RULE_CATALOGUE_VERSION,
+    SummaryCache,
+    apply_baseline,
+    changed_files,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    module_name_for,
+    rule_catalogue,
+    to_sarif,
+    write_baseline,
+)
+from repro.analysis.baseline import fingerprint
+
+WORKER = "src/repro/serving/fixture.py"
+
+
+def ids(snippet: str, path: str = WORKER) -> list[str]:
+    findings = lint_source(textwrap.dedent(snippet), path)
+    return [f.rule_id for f in findings if not f.suppressed]
+
+
+def make_project(tmp_path, files: dict[str, str]):
+    """Write ``{relative path: source}`` under a tmp repo root."""
+    for relative, source in files.items():
+        target = tmp_path / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    package = tmp_path / "src" / "repro"
+    for directory in sorted(
+        {package, *[(tmp_path / rel).parent for rel in files]}
+    ):
+        if directory.is_relative_to(tmp_path / "src"):
+            init = directory / "__init__.py"
+            if not init.exists():
+                init.write_text("", encoding="utf-8")
+
+
+HELPER_A = """
+    def collect(items: set) -> list:
+        order = [item for item in items]
+        return order
+"""
+
+CALLER_B = """
+    import json
+
+    from repro.oracle.helper import collect
+
+
+    def snapshot(failed: set, handle):
+        payload = collect(failed)
+        json.dump(payload, handle)
+"""
+
+
+def cross_file_fixture(tmp_path, caller: str = CALLER_B):
+    make_project(
+        tmp_path,
+        {
+            "src/repro/oracle/helper.py": HELPER_A,
+            "src/repro/oracle/writer.py": caller,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# DSO501 — unordered iteration order reaching a serialization sink
+# ----------------------------------------------------------------------
+
+def test_dso501_cross_file_sink(tmp_path, monkeypatch):
+    """The seeded regression: taint in helper A, sink in caller B."""
+    cross_file_fixture(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    # The per-file pass on the caller alone sees nothing: the set
+    # never appears in writer.py, only an opaque call result does.
+    caller_source = (
+        tmp_path / "src/repro/oracle/writer.py"
+    ).read_text(encoding="utf-8")
+    assert lint_source(caller_source, "src/repro/oracle/writer.py") == []
+    report = lint_paths(["src"])
+    flagged = [f for f in report.unsuppressed if f.rule_id == "DSO501"]
+    assert len(flagged) == 1
+    (finding,) = flagged
+    assert finding.path == "src/repro/oracle/writer.py"
+    assert "json.dump" in finding.message
+    # The helper's own DSO101 still fires locally too.
+    assert any(f.rule_id == "DSO101" for f in report.unsuppressed)
+
+
+def test_dso501_sorted_at_source_is_clean(tmp_path, monkeypatch):
+    make_project(
+        tmp_path,
+        {
+            "src/repro/oracle/helper.py": """
+                def collect(items: set) -> list:
+                    return sorted(items)
+            """,
+            "src/repro/oracle/writer.py": CALLER_B,
+        },
+    )
+    monkeypatch.chdir(tmp_path)
+    report = lint_paths(["src"])
+    assert [f.rule_id for f in report.unsuppressed] == []
+
+
+def test_dso501_taint_through_middleman(tmp_path, monkeypatch):
+    """Three files: source -> pass-through -> sink."""
+    make_project(
+        tmp_path,
+        {
+            "src/repro/oracle/helper.py": HELPER_A,
+            "src/repro/oracle/middle.py": """
+                from repro.oracle.helper import collect
+
+
+                def relay(items: set) -> list:
+                    return collect(items)
+            """,
+            "src/repro/oracle/writer.py": """
+                import json
+
+                from repro.oracle.middle import relay
+
+
+                def snapshot(failed: set, handle):
+                    json.dump(relay(failed), handle)
+            """,
+        },
+    )
+    monkeypatch.chdir(tmp_path)
+    report = lint_paths(["src"])
+    flagged = [f for f in report.unsuppressed if f.rule_id == "DSO501"]
+    assert [f.path for f in flagged] == ["src/repro/oracle/writer.py"]
+
+
+def test_dso501_sink_param_call_site(tmp_path, monkeypatch):
+    """Passing a raw set into a function that serializes it."""
+    make_project(
+        tmp_path,
+        {
+            "src/repro/oracle/sink.py": """
+                import json
+
+
+                def dump_rows(rows, handle):
+                    json.dump([row for row in rows], handle)
+            """,
+            "src/repro/oracle/caller.py": """
+                from repro.oracle.sink import dump_rows
+
+
+                def snapshot(handle):
+                    failed = {(1, 2), (3, 4)}
+                    dump_rows(failed, handle)
+            """,
+        },
+    )
+    monkeypatch.chdir(tmp_path)
+    report = lint_paths(["src"])
+    flagged = [f for f in report.unsuppressed if f.rule_id == "DSO501"]
+    assert "src/repro/oracle/caller.py" in [f.path for f in flagged]
+
+
+# ----------------------------------------------------------------------
+# Suppression interaction at the sink
+# ----------------------------------------------------------------------
+
+SUPPRESSED_CALLER = """
+    import json
+
+    from repro.oracle.helper import collect
+
+
+    def snapshot(failed: set, handle):
+        payload = collect(failed)
+        json.dump(payload, handle)  # dsolint: disable=DSO501 -- parity test covers this path
+"""
+
+UNJUSTIFIED_CALLER = """
+    import json
+
+    from repro.oracle.helper import collect
+
+
+    def snapshot(failed: set, handle):
+        payload = collect(failed)
+        json.dump(payload, handle)  # dsolint: disable=DSO501
+"""
+
+
+def test_dso501_suppressed_at_sink(tmp_path, monkeypatch):
+    """A justified waiver where the bytes are written silences the
+    finding even though the taint originates in another file."""
+    cross_file_fixture(tmp_path, SUPPRESSED_CALLER)
+    monkeypatch.chdir(tmp_path)
+    report = lint_paths(["src"])
+    assert not any(
+        f.rule_id == "DSO501" for f in report.unsuppressed
+    )
+    waived = [f for f in report.suppressed if f.rule_id == "DSO501"]
+    assert len(waived) == 1
+    assert "parity test" in waived[0].justification
+
+
+def test_dso501_unjustified_waiver_fires_meta_rule(tmp_path, monkeypatch):
+    cross_file_fixture(tmp_path, UNJUSTIFIED_CALLER)
+    monkeypatch.chdir(tmp_path)
+    report = lint_paths(["src"])
+    assert not any(
+        f.rule_id == "DSO501" for f in report.unsuppressed
+    )
+    meta = [
+        f
+        for f in report.unsuppressed
+        if f.rule_id == "DSO001"
+        and f.path == "src/repro/oracle/writer.py"
+    ]
+    # Exactly one DSO001 — the project pass must not double-report a
+    # waiver line the per-file pass already flagged.
+    assert len(meta) == 1
+
+
+# ----------------------------------------------------------------------
+# DSO502 — transitively unpicklable value crossing a process boundary
+# ----------------------------------------------------------------------
+
+def test_dso502_lock_holder_crosses_pipe(tmp_path, monkeypatch):
+    make_project(
+        tmp_path,
+        {
+            "src/repro/oracle/holder.py": """
+                import threading
+
+
+                class Holder:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.value = 0
+            """,
+            "src/repro/serving/ship.py": """
+                from repro.oracle.holder import Holder
+
+
+                def ship(conn):
+                    handle = Holder()
+                    conn.send(handle)
+            """,
+        },
+    )
+    monkeypatch.chdir(tmp_path)
+    report = lint_paths(["src"])
+    flagged = [f for f in report.unsuppressed if f.rule_id == "DSO502"]
+    assert [f.path for f in flagged] == ["src/repro/serving/ship.py"]
+    assert "Holder" in flagged[0].message
+
+
+def test_dso502_custom_pickle_hook_is_exempt(tmp_path, monkeypatch):
+    make_project(
+        tmp_path,
+        {
+            "src/repro/oracle/holder.py": """
+                import threading
+
+
+                class Holder:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def __getstate__(self):
+                        return {}
+            """,
+            "src/repro/serving/ship.py": """
+                from repro.oracle.holder import Holder
+
+
+                def ship(conn):
+                    handle = Holder()
+                    conn.send(handle)
+            """,
+        },
+    )
+    monkeypatch.chdir(tmp_path)
+    report = lint_paths(["src"])
+    assert not any(f.rule_id == "DSO502" for f in report.unsuppressed)
+
+
+def test_dso502_nested_attribute_chain(tmp_path, monkeypatch):
+    """Unpicklability two attribute hops down."""
+    make_project(
+        tmp_path,
+        {
+            "src/repro/oracle/inner.py": """
+                import threading
+
+
+                class Inner:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+            """,
+            "src/repro/oracle/outer.py": """
+                from repro.oracle.inner import Inner
+
+
+                class Outer:
+                    def __init__(self):
+                        self.inner = Inner()
+            """,
+            "src/repro/serving/ship.py": """
+                from repro.oracle.outer import Outer
+
+
+                def ship(conn):
+                    conn.send(Outer())
+            """,
+        },
+    )
+    monkeypatch.chdir(tmp_path)
+    report = lint_paths(["src"])
+    assert any(f.rule_id == "DSO502" for f in report.unsuppressed)
+
+
+# ----------------------------------------------------------------------
+# DSO503 — NaN sentinel flowing into arithmetic in another function
+# ----------------------------------------------------------------------
+
+SENTINEL_SOURCE = """
+    QUERY_ERROR = float("nan")
+
+
+    def distance(u, v):
+        if u == v:
+            return 0.0
+        return QUERY_ERROR
+"""
+
+
+def test_dso503_sentinel_reaches_arithmetic(tmp_path, monkeypatch):
+    make_project(
+        tmp_path,
+        {
+            "src/repro/oracle/query.py": SENTINEL_SOURCE,
+            "src/repro/oracle/agg.py": """
+                from repro.oracle.query import distance
+
+
+                def total(pairs):
+                    acc = 0.0
+                    for u, v in pairs:
+                        d = distance(u, v)
+                        acc = acc + d
+                    return acc
+            """,
+        },
+    )
+    monkeypatch.chdir(tmp_path)
+    report = lint_paths(["src"])
+    flagged = [f for f in report.unsuppressed if f.rule_id == "DSO503"]
+    assert [f.path for f in flagged] == ["src/repro/oracle/agg.py"]
+    assert "isnan" in flagged[0].message
+
+
+def test_dso503_isnan_guard_is_clean(tmp_path, monkeypatch):
+    make_project(
+        tmp_path,
+        {
+            "src/repro/oracle/query.py": SENTINEL_SOURCE,
+            "src/repro/oracle/agg.py": """
+                import math
+
+                from repro.oracle.query import distance
+
+
+                def total(pairs):
+                    acc = 0.0
+                    for u, v in pairs:
+                        d = distance(u, v)
+                        if math.isnan(d):
+                            continue
+                        acc = acc + d
+                    return acc
+            """,
+        },
+    )
+    monkeypatch.chdir(tmp_path)
+    report = lint_paths(["src"])
+    assert not any(f.rule_id == "DSO503" for f in report.unsuppressed)
+
+
+# ----------------------------------------------------------------------
+# DSO601 — write-then-stamp ordering
+# ----------------------------------------------------------------------
+
+def test_dso601_payload_after_stamp_fires():
+    """The deliberately reordered ring-protocol fixture."""
+    snippet = """
+        def publish(view, base, epoch, seq, lanes):
+            view[base] = float(epoch)
+            view[base + 1] = float(seq)
+            view[base + 4] = lanes
+    """
+    assert "DSO601" in ids(snippet)
+
+
+def test_dso601_payload_first_is_clean():
+    snippet = """
+        def publish(view, base, epoch, seq, lanes):
+            view[base + 4] = lanes
+            view[base + 1] = float(seq)
+            view[base] = float(epoch)
+    """
+    assert ids(snippet) == []
+
+
+def test_dso601_tracks_buffers_independently():
+    snippet = """
+        def publish(view, shadow, base, epoch, lanes):
+            view[base] = float(epoch)
+            shadow[base + 4] = lanes
+    """
+    assert ids(snippet) == []
+
+
+def test_dso601_branch_isolation():
+    """A stamp on one branch must not poison its sibling."""
+    snippet = """
+        def publish(view, base, epoch, lanes, fast):
+            if fast:
+                view[base] = float(epoch)
+            else:
+                view[base + 4] = lanes
+    """
+    assert ids(snippet) == []
+
+
+def test_dso601_real_ring_module_is_clean():
+    source = open("src/repro/serving/ring.py", encoding="utf-8").read()
+    findings = lint_source(source, "src/repro/serving/ring.py")
+    assert not any(
+        f.rule_id == "DSO601" for f in findings if not f.suppressed
+    )
+
+
+# ----------------------------------------------------------------------
+# DSO602 — epoch-fenced cache admission
+# ----------------------------------------------------------------------
+
+def test_dso602_unfenced_put_fires():
+    snippet = """
+        def admit(result_cache, key, answer):
+            result_cache.put(key, answer)
+    """
+    assert "DSO602" in ids(snippet)
+
+
+def test_dso602_epoch_argument_is_clean():
+    snippet = """
+        def admit(result_cache, key, answer, snapshot_epoch):
+            result_cache.put(key, answer, snapshot_epoch)
+    """
+    assert ids(snippet) == []
+
+
+def test_dso602_epoch_keyword_is_clean():
+    snippet = """
+        def admit(self, key, answer):
+            self._cache.put(key, answer, epoch=self._snapshot_epoch)
+    """
+    assert ids(snippet) == []
+
+
+def test_dso602_non_cache_receiver_is_ignored():
+    snippet = """
+        def remember(store, key, entry):
+            store.put(key, entry)
+    """
+    assert ids(snippet) == []
+
+
+# ----------------------------------------------------------------------
+# DSO603 — lock covers its fields
+# ----------------------------------------------------------------------
+
+LOCKED_CLASS = """
+    import threading
+
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.hits = 0
+
+        def bump(self):
+            with self._lock:
+                self.hits += 1
+"""
+
+
+def test_dso603_unguarded_mutation_fires():
+    snippet = textwrap.dedent(LOCKED_CLASS) + textwrap.indent(
+        textwrap.dedent(
+            """
+            def racy_bump(self):
+                self.hits += 1
+            """
+        ),
+        "    ",
+    )
+    findings = lint_source(snippet, WORKER)
+    assert "DSO603" in [f.rule_id for f in findings if not f.suppressed]
+
+
+def test_dso603_all_mutations_guarded_is_clean():
+    assert ids(LOCKED_CLASS) == []
+
+
+def test_dso603_init_is_exempt():
+    """__init__ assigns without the lock by design."""
+    assert ids(LOCKED_CLASS) == []
+
+
+def test_dso603_lockless_class_is_ignored():
+    snippet = """
+        class Counter:
+            def __init__(self):
+                self.hits = 0
+
+            def bump(self):
+                self.hits += 1
+    """
+    assert ids(snippet) == []
+
+
+def test_dso603_real_cache_module_is_clean():
+    source = open("src/repro/serving/cache.py", encoding="utf-8").read()
+    findings = lint_source(source, "src/repro/serving/cache.py")
+    assert not any(
+        f.rule_id == "DSO603" for f in findings if not f.suppressed
+    )
+
+
+# ----------------------------------------------------------------------
+# DSO000 — parse failures carry their position
+# ----------------------------------------------------------------------
+
+def test_dso000_carries_line_and_column():
+    findings = lint_source(
+        "def broken(:\n    pass\n", "src/repro/oracle/broken.py"
+    )
+    assert [f.rule_id for f in findings] == ["DSO000"]
+    (finding,) = findings
+    assert finding.line == 1
+    assert finding.col > 0
+    assert "src/repro/oracle/broken.py:1:" in finding.message
+
+
+def test_dso000_position_on_later_line():
+    findings = lint_source(
+        "x = 1\ny = 2\ndef broken(:\n", "src/repro/oracle/broken.py"
+    )
+    assert findings[0].rule_id == "DSO000"
+    assert findings[0].line == 3
+
+
+# ----------------------------------------------------------------------
+# Summary cache — incremental linting
+# ----------------------------------------------------------------------
+
+def test_summary_cache_round_trip(tmp_path, monkeypatch):
+    cross_file_fixture(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    store = SummaryCache(tmp_path / "lint-cache.json")
+    cold = lint_paths(["src"], cache=store)
+    assert cold.stats["cache_misses"] > 0
+    assert cold.stats["cache_hits"] == 0
+
+    warm_store = SummaryCache(tmp_path / "lint-cache.json")
+    warm = lint_paths(["src"], cache=warm_store)
+    assert warm.stats["cache_misses"] == 0
+    assert warm.stats["cache_hits"] == len(warm.files)
+    assert [f.to_dict() for f in warm.findings] == [
+        f.to_dict() for f in cold.findings
+    ]
+
+
+def test_summary_cache_invalidated_by_edit(tmp_path, monkeypatch):
+    cross_file_fixture(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    store = SummaryCache(tmp_path / "lint-cache.json")
+    lint_paths(["src"], cache=store)
+
+    helper = tmp_path / "src/repro/oracle/helper.py"
+    helper.write_text(
+        "def collect(items: set) -> list:\n    return sorted(items)\n",
+        encoding="utf-8",
+    )
+    edited_store = SummaryCache(tmp_path / "lint-cache.json")
+    report = lint_paths(["src"], cache=edited_store)
+    assert report.stats["cache_misses"] == 1
+    # The fix in the helper clears the cross-file finding even though
+    # the sink file itself was served from cache.
+    assert not any(f.rule_id == "DSO501" for f in report.unsuppressed)
+
+
+# ----------------------------------------------------------------------
+# --changed mode
+# ----------------------------------------------------------------------
+
+def _git(tmp_path, *argv):
+    subprocess.run(
+        ["git", *argv],
+        cwd=tmp_path,
+        check=True,
+        capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@t",
+            "HOME": str(tmp_path),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+    )
+
+
+def test_changed_mode_limits_to_dependents(tmp_path, monkeypatch):
+    make_project(
+        tmp_path,
+        {
+            "src/repro/oracle/helper.py": HELPER_A,
+            "src/repro/oracle/writer.py": CALLER_B,
+            "src/repro/oracle/island.py": """
+                def unrelated():
+                    return 1
+            """,
+        },
+    )
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", "-A")
+    _git(tmp_path, "commit", "-qm", "seed")
+    helper = tmp_path / "src/repro/oracle/helper.py"
+    helper.write_text(
+        helper.read_text(encoding="utf-8") + "\n\nEXTRA = 1\n",
+        encoding="utf-8",
+    )
+    monkeypatch.chdir(tmp_path)
+    changed = changed_files("HEAD", tmp_path)
+    assert changed == {"src/repro/oracle/helper.py"}
+    report = lint_paths(["src"], changed=changed)
+    # helper itself + its importer, but not the island or __init__s.
+    assert "src/repro/oracle/helper.py" in report.files
+    assert "src/repro/oracle/writer.py" in report.files
+    assert "src/repro/oracle/island.py" not in report.files
+    # Cross-file finding at the (unchanged) dependent is still there.
+    assert any(f.rule_id == "DSO501" for f in report.unsuppressed)
+
+
+def test_changed_mode_bad_ref_raises(tmp_path):
+    make_project(tmp_path, {"src/repro/oracle/helper.py": HELPER_A})
+    _git(tmp_path, "init", "-q")
+    with pytest.raises(RuntimeError):
+        changed_files("no-such-ref", tmp_path)
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+
+def test_baseline_round_trip(tmp_path, monkeypatch):
+    cross_file_fixture(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    report = lint_paths(["src"])
+    assert not report.ok
+    baseline_path = tmp_path / "lint-baseline.json"
+    count = write_baseline(baseline_path, report)
+    assert count == len(report.unsuppressed)
+
+    fresh = lint_paths(["src"])
+    matched = apply_baseline(fresh, load_baseline(baseline_path))
+    assert matched == count
+    assert fresh.ok
+    assert all(
+        f.justification == "accepted in baseline"
+        for f in fresh.suppressed
+    )
+
+
+def test_baseline_counts_are_consumed(tmp_path, monkeypatch):
+    """A new instance of a baselined problem still fails the gate."""
+    cross_file_fixture(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    report = lint_paths(["src"])
+    baseline_path = tmp_path / "lint-baseline.json"
+    write_baseline(baseline_path, report)
+
+    # Seed a second, identical violation in a new file.
+    make_project(
+        tmp_path,
+        {
+            "src/repro/oracle/writer2.py": CALLER_B,
+        },
+    )
+    grown = lint_paths(["src"])
+    apply_baseline(grown, load_baseline(baseline_path))
+    fresh = [f for f in grown.unsuppressed if f.rule_id == "DSO501"]
+    assert len(fresh) == 1
+    assert fresh[0].path == "src/repro/oracle/writer2.py"
+
+
+def test_baseline_fingerprints_are_line_free(tmp_path, monkeypatch):
+    cross_file_fixture(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    report = lint_paths(["src"])
+    finding = report.unsuppressed[0]
+    assert str(finding.line) + "::" not in fingerprint(finding)
+    assert fingerprint(finding).startswith(finding.path + "::")
+
+
+# ----------------------------------------------------------------------
+# SARIF
+# ----------------------------------------------------------------------
+
+def test_sarif_structure(tmp_path, monkeypatch):
+    cross_file_fixture(tmp_path, SUPPRESSED_CALLER)
+    monkeypatch.chdir(tmp_path)
+    report = lint_paths(["src"])
+    document = json.loads(to_sarif(report))
+    assert document["version"] == "2.1.0"
+    (run,) = document["runs"]
+    assert run["tool"]["driver"]["name"] == "dsolint"
+    assert run["tool"]["driver"]["version"] == RULE_CATALOGUE_VERSION
+    declared = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert declared.issuperset(
+        {"DSO501", "DSO502", "DSO503", "DSO601", "DSO602", "DSO603"}
+    )
+    waived = [r for r in run["results"] if "suppressions" in r]
+    assert waived, "suppressed findings must appear with suppressions"
+    assert waived[0]["suppressions"][0]["kind"] == "inSource"
+    for result in run["results"]:
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Catalogue
+# ----------------------------------------------------------------------
+
+def test_catalogue_includes_new_families():
+    catalogue = rule_catalogue()
+    for rule_id in (
+        "DSO501",
+        "DSO502",
+        "DSO503",
+        "DSO601",
+        "DSO602",
+        "DSO603",
+    ):
+        assert rule_id in catalogue
+        assert catalogue[rule_id]["summary"]
+    assert RULE_CATALOGUE_VERSION == "2.0"
+
+
+def test_module_name_resolution():
+    assert module_name_for("src/repro/oracle/frozen.py") == (
+        "repro.oracle.frozen"
+    )
+    assert module_name_for("src/repro/graph/__init__.py") == "repro.graph"
+    assert module_name_for("tests/test_dataflow.py") == "test_dataflow"
+    assert module_name_for("benchmarks/bench_util.py") == "bench_util"
